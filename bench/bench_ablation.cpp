@@ -1,0 +1,147 @@
+// Ablations over the design knobs DESIGN.md calls out: the multiplex
+// time-slice length, the ProfileMe sampling period, and the out-of-order
+// skid depth.  Each sweep isolates one knob and shows the tradeoff the
+// default sits on.
+#include <algorithm>
+#include <cmath>
+
+#include "bench_util.h"
+#include "tools/vprof.h"
+
+using namespace papirepro;
+using bench::Rig;
+
+namespace {
+
+// --- (a) multiplex slice length: accuracy vs switching overhead ---
+void mux_slice_sweep() {
+  std::printf("(a) multiplex slice length, 6 events on 4 counters, "
+              "saxpy(300000):\n\n");
+  std::printf("%14s %12s %14s %12s\n", "slice (cyc)", "rotations",
+              "worst_rel_err", "switch_ovh");
+  // Slices below the ~11k-cycle switch cost degenerate into an interrupt
+  // storm (rotation per instruction) — start just above it.
+  for (std::uint64_t slice :
+       {15'000ULL, 40'000ULL, 160'000ULL, 640'000ULL, 2'560'000ULL}) {
+    const std::int64_t n = 300'000;
+    Rig rig(sim::make_saxpy(n), pmu::sim_x86(), {});
+    papi::EventSet& set = rig.new_set();
+    (void)set.enable_multiplex(slice);
+    const struct {
+      const char* name;
+      double expected;
+    } checks[] = {{"PAPI_FMA_INS", double(n)},
+                  {"PAPI_LD_INS", double(2 * n)},
+                  {"PAPI_SR_INS", double(n)},
+                  {"PAPI_BR_INS", double(n)},
+                  {"PAPI_L1_DCA", double(3 * n)},
+                  {"PAPI_TOT_INS", double(8 * n + 5)}};
+    for (const auto& c : checks) (void)set.add_named(c.name);
+    (void)set.start();
+    rig.machine->run();
+    std::vector<long long> v(set.num_events());
+    (void)set.stop(v);
+    double worst = 0;
+    for (std::size_t i = 0; i < std::size(checks); ++i) {
+      worst = std::max(worst, bench::rel_error(static_cast<double>(v[i]),
+                                               checks[i].expected));
+    }
+    const std::uint64_t rotations =
+        rig.machine->cycles() / std::max<std::uint64_t>(slice, 1);
+    std::printf("%14llu %12llu %14.4f %11.2f%%\n",
+                static_cast<unsigned long long>(slice),
+                static_cast<unsigned long long>(rotations), worst,
+                100 * rig.overhead_fraction());
+  }
+  std::printf("\n  tradeoff: short slices burn cycles on start/stop "
+              "switches; long slices\n  starve groups of samples on "
+              "short runs.\n");
+}
+
+// --- (b) ProfileMe period: estimation error vs sampling overhead ---
+void sampling_period_sweep() {
+  std::printf("\n(b) ProfileMe sampling period, sim-alpha, "
+              "saxpy(400000), PAPI_FP_OPS:\n\n");
+  std::printf("%14s %10s %12s %12s\n", "period (ins)", "samples",
+              "rel_err", "overhead");
+  for (std::uint64_t period :
+       {64ULL, 128ULL, 256ULL, 512ULL, 2'048ULL, 8'192ULL}) {
+    papi::SimSubstrateOptions options;
+    options.sample_period = period;
+    const std::int64_t n = 400'000;
+    Rig rig(sim::make_saxpy(n), pmu::sim_alpha(), options);
+    (void)rig.substrate->set_estimation(true);
+    papi::EventSet& set = rig.new_set();
+    (void)set.add_preset(papi::Preset::kFpOps);
+    (void)set.start();
+    rig.machine->run();
+    long long v = 0;
+    (void)set.stop({&v, 1});
+    const auto* engine = rig.substrate->sampling_engine();
+    std::printf("%14llu %10llu %12.4f %11.2f%%\n",
+                static_cast<unsigned long long>(period),
+                static_cast<unsigned long long>(
+                    engine != nullptr ? engine->samples_taken() : 0),
+                bench::rel_error(static_cast<double>(v),
+                                 static_cast<double>(2 * n)),
+                100 * rig.overhead_fraction());
+  }
+  std::printf("\n  tradeoff: denser sampling buys accuracy with overhead;"
+              " the default (512)\n  sits at the paper's 1-2%% point.\n");
+}
+
+// --- (c) skid depth: attribution accuracy vs out-of-order window ---
+void skid_sweep() {
+  std::printf("\n(c) interrupt skid depth vs attribution accuracy "
+              "(pointer chase, L1_DCM):\n\n");
+  std::printf("%22s %10s %10s\n", "skid model", "samples", "exact");
+  struct Case {
+    const char* label;
+    sim::SkidModel skid;
+  };
+  const Case cases[] = {
+      {"precise (in-order)", sim::SkidModel::precise()},
+      {"fixed 2", sim::SkidModel::fixed_skid(2)},
+      {"fixed 6", sim::SkidModel::fixed_skid(6)},
+      {"OoO cap 8", sim::SkidModel::out_of_order(0.3, 8, 1)},
+      {"OoO cap 24", sim::SkidModel::out_of_order(0.3, 24, 3)},
+      {"OoO cap 64", sim::SkidModel::out_of_order(0.3, 64, 8)},
+  };
+  for (const Case& c : cases) {
+    pmu::PlatformDescription platform = pmu::sim_x86();
+    platform.skid = c.skid;
+    papi::SimSubstrateOptions options;
+    options.charge_costs = false;
+    Rig rig(sim::make_pointer_chase(1024, 100'000, 17), platform,
+            options);
+    papi::EventSet& set = rig.new_set();
+    (void)set.add_preset(papi::Preset::kL1Dcm);
+    papi::ProfileBuffer buf(sim::kTextBase,
+                            rig.workload.program.size() *
+                                sim::kInstrBytes);
+    (void)set.profil(buf, papi::EventId::preset(papi::Preset::kL1Dcm),
+                     400);
+    (void)set.start();
+    rig.machine->run();
+    (void)set.stop();
+    const auto acc =
+        tools::attribution_accuracy(buf, rig.workload.program, 3);
+    std::printf("%22s %10llu %9.1f%%\n", c.label,
+                static_cast<unsigned long long>(acc.total_samples),
+                100 * acc.exact);
+  }
+  std::printf("\n  tradeoff: attribution degrades from exact to uniform "
+              "smear as the\n  out-of-order window deepens — why the "
+              "paper pushes EAR/ProfileMe.\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::header("ABL", "design-knob ablations (multiplex slice, sampling "
+                       "period, skid)");
+  mux_slice_sweep();
+  sampling_period_sweep();
+  skid_sweep();
+  return 0;
+}

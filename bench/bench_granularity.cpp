@@ -1,0 +1,81 @@
+// E9: "the overhead of library calls to read the hardware counters can
+// be excessive if the routines are called frequently — for example, on
+// entry and exit of a small subroutine or basic block within a tight
+// loop.  Unacceptable overhead has caused some tool developers to reduce
+// the number of calls through statistical sampling techniques."
+//
+// Sweeps dynaprof entry/exit probing over function body sizes (the
+// smaller the function, the worse the relative cost), then shows the
+// statistical-sampling alternative (overflow-driven profiling) on the
+// same workload.
+#include "bench_util.h"
+#include "tools/dynaprof.h"
+
+using namespace papirepro;
+using bench::Rig;
+
+namespace {
+
+void probe_sweep() {
+  std::printf("dynaprof entry/exit probes on a leaf called 20000x:\n\n");
+  std::printf("%14s %14s %14s %10s\n", "body (FMAs)", "app cycles",
+              "probe cycles", "overhead");
+  for (int body : {1, 2, 4, 16, 64, 256}) {
+    tools::DynaprofOptions options;
+    options.functions = {"work"};
+    options.metrics = {papi::EventId::preset(papi::Preset::kTotCyc)};
+    tools::DynaprofSession session(sim::make_tight_call(20'000, body),
+                                   pmu::sim_x86(), options);
+    if (!session.run().ok()) return;
+    const auto& m = session.machine();
+    const std::uint64_t app = m.cycles() - m.overhead_cycles();
+    std::printf("%14d %14llu %14llu %9.1f%%\n", body,
+                static_cast<unsigned long long>(app),
+                static_cast<unsigned long long>(m.overhead_cycles()),
+                100.0 * static_cast<double>(m.overhead_cycles()) /
+                    static_cast<double>(m.cycles()));
+  }
+}
+
+void sampling_alternative() {
+  std::printf("\nstatistical-sampling alternative (overflow profiling of "
+              "the same\nworkload, threshold sweep):\n\n");
+  std::printf("%14s %12s %14s %10s\n", "threshold", "samples",
+              "probe cycles", "overhead");
+  // Thresholds well above the interrupt-handler cost (4500 cycles on
+  // sim-x86); below that the handler's own cycles retrigger overflow — a
+  // real interrupt-storm failure mode, but not the regime tools run in.
+  for (std::uint64_t threshold : {20'000ULL, 100'000ULL, 500'000ULL}) {
+    Rig rig(sim::make_tight_call(20'000, 2), pmu::sim_x86(), {});
+    papi::EventSet& set = rig.new_set();
+    (void)set.add_preset(papi::Preset::kTotCyc);
+    papi::ProfileBuffer buf(sim::kTextBase,
+                            rig.workload.program.size() *
+                                sim::kInstrBytes);
+    (void)set.profil(buf, papi::EventId::preset(papi::Preset::kTotCyc),
+                     threshold);
+    (void)set.start();
+    rig.machine->run();
+    (void)set.stop();
+    std::printf("%14llu %12llu %14llu %9.1f%%\n",
+                static_cast<unsigned long long>(threshold),
+                static_cast<unsigned long long>(buf.total_samples()),
+                static_cast<unsigned long long>(
+                    rig.machine->overhead_cycles()),
+                100.0 * rig.overhead_fraction());
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E9", "instrumentation granularity vs overhead "
+                      "(Section 4)");
+  probe_sweep();
+  sampling_alternative();
+  std::printf("\nshape: per-call probing of a tiny function costs a large"
+              " multiple of\nthe application itself; overflow-driven "
+              "sampling brings overhead down\nto single-digit percent at"
+              " equivalent insight.\n");
+  return 0;
+}

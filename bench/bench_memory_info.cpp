@@ -1,0 +1,77 @@
+// E11: the PAPI 3 memory-utilization extensions (Section 5's wish
+// list): node memory, per-process resident/peak, page accounting —
+// demonstrated on the host substrate (real /proc data) and the
+// simulated substrates (touched-page accounting), with a growth check
+// that the per-process numbers actually track allocations.
+#include <vector>
+
+#include "bench_util.h"
+#include "substrate/host_substrate.h"
+#include "tools/memprof.h"
+
+using namespace papirepro;
+using bench::Rig;
+
+namespace {
+
+void print_info(const char* label, const papi::MemoryInfo& info) {
+  std::printf("%-12s %14llu %14llu %14llu %14llu %10llu\n", label,
+              static_cast<unsigned long long>(info.total_bytes),
+              static_cast<unsigned long long>(info.available_bytes),
+              static_cast<unsigned long long>(info.process_resident_bytes),
+              static_cast<unsigned long long>(info.process_peak_bytes),
+              static_cast<unsigned long long>(info.page_faults));
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E11", "PAPI 3 memory utilization extensions (Section 5)");
+  std::printf("%-12s %14s %14s %14s %14s %10s\n", "substrate", "total",
+              "available", "resident", "peak", "pages");
+
+  papi::HostSubstrate host_substrate;
+  print_info("host", host_substrate.memory_info().value());
+
+  for (auto [n, label] :
+       {std::pair{1'000LL, "sim n=1k"}, {100'000LL, "sim n=100k"}}) {
+    Rig rig(sim::make_saxpy(n), pmu::sim_x86(), {});
+    rig.machine->run();
+    print_info(label, rig.library->memory_info().value());
+  }
+
+  // Growth check on the host: allocate 64 MiB, watch resident/peak move.
+  const auto before = host_substrate.memory_info().value();
+  std::vector<char> hog(64 * 1024 * 1024, 1);
+  for (std::size_t i = 0; i < hog.size(); i += 4096) hog[i] = 2;
+  const auto after = host_substrate.memory_info().value();
+  std::printf(
+      "\nhost growth check after touching 64 MiB: resident +%lld KiB, "
+      "peak +%lld KiB\n",
+      (static_cast<long long>(after.process_resident_bytes) -
+       static_cast<long long>(before.process_resident_bytes)) /
+          1024,
+      (static_cast<long long>(after.process_peak_bytes) -
+       static_cast<long long>(before.process_peak_bytes)) /
+          1024);
+  std::printf("shape: process-level numbers track allocations; simulated "
+              "substrates\nreport the machine's touched-page footprint.\n");
+
+  // "location of memory used by an object (e.g., array or structure)":
+  // per-object attribution of the naive matmul's cache traffic — the
+  // column-strided B array takes the blame.
+  std::printf("\nper-object memory profile (naive matmul, n=64, small "
+              "L1):\n\n");
+  sim::Workload w = sim::make_matmul(64);
+  sim::MachineConfig config = pmu::sim_x86().machine;
+  config.l1d = {.size_bytes = 8 * 1024, .line_bytes = 64,
+                .associativity = 2, .miss_latency = 8};
+  sim::Machine machine(w.program, config);
+  w.setup(machine);
+  tools::MemoryProfiler prof(machine, w.regions);
+  machine.run();
+  std::printf("%s", prof.report().c_str());
+  std::printf("\nshape: B (column-strided) carries the misses; A/C stream"
+              " cleanly.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// E3: "Test runs of the PAPI calibrate utility on this substrate have
+// shown that event counts converge to the expected value ... while
+// incurring only one to two percent overhead, as compared to up to 30
+// percent on other substrates that use direct counting."
+//
+// We reproduce both sides with the calibrate tool: direct-counting
+// substrates reading the counters at a realistic per-interval rate pay
+// tens of percent in system-call and cache-pollution cycles; the
+// sim-alpha DADD substrate estimates the same counts from ProfileMe
+// samples at ~1-2 % overhead, converging on long runs.
+#include "bench_util.h"
+#include "tools/calibrate.h"
+
+using namespace papirepro;
+
+namespace {
+
+void report(const char* mode, const pmu::PlatformDescription& platform,
+            const tools::CalibrationOptions& options, std::int64_t n) {
+  auto rows =
+      tools::calibrate_workload(sim::make_saxpy(n), platform, options);
+  if (!rows.ok() || rows.value().empty()) {
+    std::printf("%-26s %-12s (no measurable presets)\n", mode,
+                platform.name.c_str());
+    return;
+  }
+  // Report the FP_OPS row (the paper's calibrate target); platforms
+  // that cannot derive FP_OPS (sim-t3e has no FMA event) report their
+  // load count instead — overhead is what this table is about.
+  const tools::CalibrationRow* chosen = nullptr;
+  for (const tools::CalibrationRow& r : rows.value()) {
+    if (r.event == "PAPI_FP_OPS") chosen = &r;
+  }
+  if (chosen == nullptr) {
+    for (const tools::CalibrationRow& r : rows.value()) {
+      if (r.event == "PAPI_LD_INS") chosen = &r;
+    }
+  }
+  if (chosen == nullptr) chosen = &rows.value().front();
+  std::printf("%-26s %-12s %12.0f %12.0f %9.4f %9.2f%%  (%s)\n", mode,
+              platform.name.c_str(), chosen->expected, chosen->measured,
+              chosen->rel_error, 100.0 * chosen->overhead_fraction,
+              chosen->event.c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "E3", "direct-counting overhead vs sampling estimation (Section 4)");
+  std::printf("workload: saxpy(200000); FP_OPS calibration\n\n");
+  std::printf("%-26s %-12s %12s %12s %9s %10s\n", "mode", "substrate",
+              "expected", "measured", "rel_err", "overhead");
+
+  const std::int64_t n = 200'000;
+  tools::CalibrationOptions whole;  // one start/stop around the run
+
+  // Direct counting, coarse: cheap everywhere.
+  report("direct, whole-run", pmu::sim_x86(), whole, n);
+  report("direct, whole-run", pmu::sim_power3(), whole, n);
+
+  // Direct counting, fine-grained reads (the tight-instrumentation
+  // regime Section 4 calls excessive).
+  for (std::uint64_t interval : {50'000ULL, 20'000ULL, 10'000ULL}) {
+    tools::CalibrationOptions fine;
+    fine.read_interval_cycles = interval;
+    char label[48];
+    std::snprintf(label, sizeof(label), "direct, read every %lluc",
+                  static_cast<unsigned long long>(interval));
+    report(label, pmu::sim_x86(), fine, n);
+  }
+
+  // The register-level extreme: Cray T3E reads cost a few cycles, so
+  // even the finest-grained direct counting stays nearly free.
+  {
+    tools::CalibrationOptions fine;
+    fine.read_interval_cycles = 10'000;
+    report("direct, read every 10000c", pmu::sim_t3e(), fine, n);
+  }
+
+  // DADD-style sampling estimation on sim-alpha.
+  tools::CalibrationOptions est;
+  est.use_estimation = true;
+  report("sampled estimation", pmu::sim_alpha(), est, n);
+  report("sampled estimation", pmu::sim_alpha(), est, 5 * n);
+
+  std::printf(
+      "\nshape to reproduce: fine-grained direct counting reaches tens of\n"
+      "percent overhead (paper: 'up to 30 percent'), sampling stays at\n"
+      "~1-2%% with rel_err -> 0 as the run lengthens.\n");
+  return 0;
+}

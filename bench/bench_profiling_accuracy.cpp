@@ -1,0 +1,110 @@
+// E6: profiling attribution accuracy.  "On out-of-order processors, the
+// program counter may yield an address that is several instructions or
+// even basic blocks removed from the true address ... DCPI has very low
+// overhead and identifies the exact address of an instruction ... A
+// similar capability exists on the Itanium ... where Event Address
+// Registers (EARs) accurately identify the instruction and data
+// addresses."
+//
+// Profiles L1 D-cache misses of the pointer chase (whose misses all come
+// from one load instruction) on every platform and reports the fraction
+// of samples attributed to the correct instruction / source line /
+// function.
+#include "bench_util.h"
+#include "tools/vprof.h"
+
+using namespace papirepro;
+using bench::Rig;
+
+namespace {
+
+constexpr std::int64_t kNodes = 1024;
+constexpr std::int64_t kIters = 120'000;
+constexpr std::int64_t kLoadIndex = 3;  // the chase load instruction
+
+tools::AttributionAccuracy profile_interrupt(
+    const pmu::PlatformDescription& platform, bool prefer_precise,
+    const sim::Program** program_out) {
+  papi::SimSubstrateOptions options;
+  options.charge_costs = false;
+  Rig rig(sim::make_pointer_chase(kNodes, kIters, 17), platform, options);
+  papi::EventSet& set = rig.new_set();
+  (void)set.add_preset(papi::Preset::kL1Dcm);
+  papi::ProfileBuffer buf(sim::kTextBase,
+                          rig.workload.program.size() * sim::kInstrBytes);
+  (void)set.profil(buf, papi::EventId::preset(papi::Preset::kL1Dcm), 400,
+                   prefer_precise);
+  (void)set.start();
+  rig.machine->run();
+  (void)set.stop();
+  *program_out = nullptr;
+  return tools::attribution_accuracy(buf, rig.workload.program,
+                                     kLoadIndex);
+}
+
+/// sim-alpha path: DCPI-style profiling straight from the ProfileMe
+/// sample buffer (no overflow interrupts involved).
+tools::AttributionAccuracy profile_dcpi() {
+  papi::SimSubstrateOptions options;
+  options.charge_costs = false;
+  options.sample_period = 256;
+  Rig rig(sim::make_pointer_chase(kNodes, kIters, 17), pmu::sim_alpha(),
+          options);
+  (void)rig.substrate->set_estimation(true);
+  papi::EventSet& set = rig.new_set();
+  (void)set.add_named("PME_L1D_MISS");
+  (void)set.start();
+  rig.machine->run();
+
+  papi::ProfileBuffer buf(sim::kTextBase,
+                          rig.workload.program.size() * sim::kInstrBytes);
+  const pmu::ProfileMeEngine* engine = rig.substrate->sampling_engine();
+  if (engine != nullptr) {
+    for (const auto& s : engine->samples()) {
+      if (s.weights[0] > 0) buf.record(s.pc);  // samples that missed L1D
+    }
+  }
+  (void)set.stop();
+  return tools::attribution_accuracy(buf, rig.workload.program,
+                                     kLoadIndex);
+}
+
+void row(const char* platform, const char* mechanism,
+         const tools::AttributionAccuracy& acc) {
+  std::printf("%-12s %-22s %10llu %9.1f%% %9.1f%% %9.1f%%\n", platform,
+              mechanism, static_cast<unsigned long long>(acc.total_samples),
+              100 * acc.exact, 100 * acc.same_line,
+              100 * acc.same_function);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E6", "PC attribution: interrupt skid vs EAR/ProfileMe "
+                      "(Section 4)");
+  std::printf("profiling PAPI_L1_DCM of pointer_chase(%lld nodes, %lld "
+              "iters); the single\nchase load (instr %lld) causes every "
+              "miss.\n\n",
+              static_cast<long long>(kNodes),
+              static_cast<long long>(kIters),
+              static_cast<long long>(kLoadIndex));
+  std::printf("%-12s %-22s %10s %10s %10s %10s\n", "platform",
+              "mechanism", "samples", "exact", "same_line", "same_func");
+
+  const sim::Program* unused;
+  row("sim-x86", "interrupt (OoO skid)",
+      profile_interrupt(pmu::sim_x86(), true, &unused));
+  row("sim-power3", "interrupt (skid 2)",
+      profile_interrupt(pmu::sim_power3(), true, &unused));
+  row("sim-ia64", "interrupt, no EAR",
+      profile_interrupt(pmu::sim_ia64(), false, &unused));
+  row("sim-ia64", "EAR precise",
+      profile_interrupt(pmu::sim_ia64(), true, &unused));
+  row("sim-alpha", "ProfileMe samples", profile_dcpi());
+
+  std::printf(
+      "\nshape: out-of-order interrupts smear samples across the loop\n"
+      "('several instructions removed'); EAR and ProfileMe attribute\n"
+      "~100%% to the exact instruction.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E10: "One of the most popular features of PAPI has proven to be the
+// portable timing routines.  Using the lowest overhead and most accurate
+// timers available on a given platform..."  google-benchmark measures
+// the real nanosecond cost of each portable timer on the host substrate;
+// a companion table reports the *simulated-cycle* cost model of counter
+// reads per platform (the knob the overhead experiments rely on).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "substrate/host_substrate.h"
+
+using namespace papirepro;
+
+namespace {
+
+papi::HostSubstrate& host() {
+  static papi::HostSubstrate substrate;
+  return substrate;
+}
+
+void BM_RealUsec(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(host().real_usec());
+  }
+}
+BENCHMARK(BM_RealUsec);
+
+void BM_RealCycles(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(host().real_cycles());
+  }
+}
+BENCHMARK(BM_RealCycles);
+
+void BM_VirtUsec(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(host().virt_usec());
+  }
+}
+BENCHMARK(BM_VirtUsec);
+
+void BM_MemoryInfo(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(host().memory_info());
+  }
+}
+BENCHMARK(BM_MemoryInfo);
+
+void BM_SimTimerRead(benchmark::State& state) {
+  // Host-side cost of reading the simulated clock (library-call path).
+  sim::Workload w = sim::make_empty_loop(10);
+  sim::Machine machine(w.program, pmu::sim_x86().machine);
+  papi::SimSubstrate substrate(machine, pmu::sim_x86());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(substrate.real_usec());
+  }
+}
+BENCHMARK(BM_SimTimerRead);
+
+void cost_model_table() {
+  bench::header("E10", "portable timers and the substrate cost model");
+  std::printf("simulated-cycle costs per counter interface call (the\n"
+              "machine-dependent numbers behind E3/E9):\n\n");
+  std::printf("%-12s %12s %12s %12s %12s\n", "platform", "read",
+              "start/stop", "ovf handler", "per-sample");
+  for (const pmu::PlatformDescription* p : pmu::all_platforms()) {
+    std::printf("%-12s %12llu %12llu %12llu %12llu\n", p->name.c_str(),
+                static_cast<unsigned long long>(p->costs.read_cost_cycles),
+                static_cast<unsigned long long>(
+                    p->costs.start_stop_cost_cycles),
+                static_cast<unsigned long long>(
+                    p->costs.overflow_handler_cost_cycles),
+                static_cast<unsigned long long>(
+                    p->costs.sample_cost_cycles));
+  }
+  std::printf("\nhost timer costs (real ns/op) follow, via "
+              "google-benchmark:\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cost_model_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared helpers for the experiment harness binaries.  Each bench binary
+// regenerates one paper artifact (figure or quantified claim) as a
+// printed table; EXPERIMENTS.md records paper-vs-measured per id.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/eventset.h"
+#include "core/library.h"
+#include "sim/kernels.h"
+#include "substrate/sim_substrate.h"
+
+namespace papirepro::bench {
+
+/// Machine + substrate + library over a workload.
+struct Rig {
+  sim::Workload workload;
+  std::unique_ptr<sim::Machine> machine;
+  papi::SimSubstrate* substrate = nullptr;  // owned by library
+  std::unique_ptr<papi::Library> library;
+
+  Rig(sim::Workload w, const pmu::PlatformDescription& platform,
+      papi::SimSubstrateOptions options = {})
+      : workload(std::move(w)) {
+    machine = std::make_unique<sim::Machine>(workload.program,
+                                             platform.machine);
+    if (workload.setup) workload.setup(*machine);
+    auto sub = std::make_unique<papi::SimSubstrate>(*machine, platform,
+                                                    options);
+    substrate = sub.get();
+    library = std::make_unique<papi::Library>(std::move(sub));
+  }
+
+  papi::EventSet& new_set() {
+    auto handle = library->create_event_set();
+    return *library->event_set(handle.value()).value();
+  }
+
+  double overhead_fraction() const {
+    return machine->cycles() == 0
+               ? 0.0
+               : static_cast<double>(machine->overhead_cycles()) /
+                     static_cast<double>(machine->cycles());
+  }
+};
+
+inline void header(const char* id, const char* title) {
+  std::printf("\n==============================================================="
+              "=========\n");
+  std::printf("%s: %s\n", id, title);
+  std::printf("================================================================"
+              "========\n");
+}
+
+inline double rel_error(double measured, double expected) {
+  if (expected == 0) return measured == 0 ? 0.0 : 1.0;
+  return std::abs(measured - expected) / expected;
+}
+
+}  // namespace papirepro::bench

@@ -1,0 +1,72 @@
+// The canonical PAPI application-tuning story: use hardware counters to
+// see *why* a blocked matrix multiply beats the naive loop order.  Runs
+// both kernels over a sweep of block sizes and prints the cache events
+// and cycle counts side by side.
+#include <cstdio>
+#include <memory>
+
+#include "core/library.h"
+#include "sim/kernels.h"
+#include "substrate/sim_substrate.h"
+
+using namespace papirepro;
+
+namespace {
+
+struct Row {
+  const char* name;
+  long long cycles, l1_dcm, l2_tcm, fma;
+};
+
+Row measure(const sim::Workload& workload, const char* name) {
+  sim::Machine machine(workload.program, pmu::sim_x86().machine);
+  if (workload.setup) workload.setup(machine);
+  papi::SimSubstrateOptions options;
+  options.charge_costs = false;
+  papi::Library library(std::make_unique<papi::SimSubstrate>(
+      machine, pmu::sim_x86(), options));
+
+  auto handle = library.create_event_set();
+  papi::EventSet* set = library.event_set(handle.value()).value();
+  // 4 events, but L1_DCM/L2_TCM/FMA + cycles conflict on x86 counters:
+  // use multiplexing like a real tool would.
+  (void)set->enable_multiplex(/*slice_cycles=*/50'000);
+  (void)set->add_preset(papi::Preset::kTotCyc);
+  (void)set->add_preset(papi::Preset::kL1Dcm);
+  (void)set->add_preset(papi::Preset::kL2Tcm);
+  (void)set->add_preset(papi::Preset::kFmaIns);
+  (void)set->start();
+  machine.run();
+  long long v[4] = {};
+  (void)set->stop(v);
+  return Row{name, v[0], v[1], v[2], v[3]};
+}
+
+void print(const Row& r) {
+  std::printf("%-18s %14lld %12lld %12lld %12lld\n", r.name, r.cycles,
+              r.l1_dcm, r.l2_tcm, r.fma);
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t n = 96;
+  std::printf("cache tuning: %lldx%lld matmul on sim-x86 "
+              "(multiplexed counters)\n\n",
+              static_cast<long long>(n), static_cast<long long>(n));
+  std::printf("%-18s %14s %12s %12s %12s\n", "kernel", "PAPI_TOT_CYC",
+              "PAPI_L1_DCM", "PAPI_L2_TCM", "PAPI_FMA_INS");
+
+  print(measure(sim::make_matmul(n), "naive ijk"));
+  for (std::int64_t block : {4, 8, 16, 32}) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "blocked B=%lld",
+                  static_cast<long long>(block));
+    print(measure(sim::make_matmul_blocked(n, block), label));
+  }
+
+  std::printf(
+      "\nSame FMA work; blocking collapses the L1/L2 miss counts and the\n"
+      "cycle count follows - the measurement a PAPI user acts on.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// dynaprof in action: attach probes to the functions of a multi-phase
+// program without touching its "source", run it, and get per-function
+// hardware-counter and wallclock profiles.
+#include <cstdio>
+
+#include "tools/dynaprof.h"
+
+using namespace papirepro;
+
+int main() {
+  tools::DynaprofOptions options;
+  options.metrics = {papi::EventId::preset(papi::Preset::kTotCyc),
+                     papi::EventId::preset(papi::Preset::kFpOps)};
+
+  tools::DynaprofSession session(sim::make_multiphase(4, 30'000),
+                                 pmu::sim_x86(), options);
+  if (auto s = session.run(); !s.ok()) {
+    std::fprintf(stderr, "dynaprof: %s\n", s.message().data());
+    return 1;
+  }
+  std::printf("%s\n", session.report().c_str());
+  std::printf("probe overhead: %llu of %llu cycles (%.2f%%)\n",
+              static_cast<unsigned long long>(
+                  session.machine().overhead_cycles()),
+              static_cast<unsigned long long>(session.machine().cycles()),
+              100.0 *
+                  static_cast<double>(session.machine().overhead_cycles()) /
+                  static_cast<double>(session.machine().cycles()));
+  return 0;
+}

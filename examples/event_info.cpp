@@ -1,0 +1,94 @@
+// event_info: the papi_avail / papi_native_avail utilities in one — list
+// every preset a platform maps (with its derivation) and the platform's
+// full native event table with counter constraints or groups.
+//
+//   event_info [platform]     (default: all platforms, presets only)
+//   event_info sim-power3     (presets + natives + groups for one)
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/library.h"
+#include "sim/kernels.h"
+#include "substrate/preset_maps.h"
+#include "substrate/sim_substrate.h"
+
+using namespace papirepro;
+
+namespace {
+
+void print_presets(const pmu::PlatformDescription& platform) {
+  std::printf("\n%s — %s\n", platform.name.c_str(),
+              platform.vendor_interface.c_str());
+  std::printf("%u counters%s\n", platform.num_counters,
+              platform.group_constrained() ? " (group-constrained)" : "");
+  std::printf("%-14s %-10s %s\n", "preset", "derived", "realized as");
+  for (std::size_t i = 0; i < papi::kNumPresets; ++i) {
+    const auto preset = static_cast<papi::Preset>(i);
+    auto mapping = papi::map_preset(platform, preset);
+    if (!mapping.ok()) continue;
+    std::string expr;
+    for (const papi::MappingTerm& t : mapping.value().terms) {
+      const pmu::NativeEvent* ev = platform.find_event(t.native);
+      if (!expr.empty()) expr += t.coefficient > 0 ? " + " : " - ";
+      else if (t.coefficient < 0) expr += "-";
+      expr += ev != nullptr ? ev->name : "?";
+    }
+    std::printf("%-14s %-10s %s\n", papi::preset_name(preset).data(),
+                mapping.value().derived() ? "yes" : "no", expr.c_str());
+  }
+}
+
+void print_natives(const pmu::PlatformDescription& platform) {
+  std::printf("\nnative events:\n%-20s %-10s %s\n", "name",
+              "counters", "description");
+  for (const pmu::NativeEvent& e : platform.events) {
+    char mask[16];
+    if (e.counter_mask == 0) {
+      std::snprintf(mask, sizeof(mask), "sampled");
+    } else {
+      std::string bits;
+      for (std::uint32_t c = 0; c < platform.num_counters; ++c) {
+        if (e.counter_mask & (1u << c)) {
+          if (!bits.empty()) bits += ',';
+          bits += std::to_string(c);
+        }
+      }
+      std::snprintf(mask, sizeof(mask), "%s", bits.c_str());
+    }
+    std::printf("%-20s %-10s %s\n", e.name.c_str(), mask,
+                e.description.c_str());
+  }
+  if (platform.group_constrained()) {
+    std::printf("\ncounter groups (must be programmed as a unit):\n");
+    for (const pmu::CounterGroup& g : platform.groups) {
+      std::printf("  group %u '%s':", g.id, g.name.c_str());
+      for (std::size_t slot = 0; slot < g.slots.size(); ++slot) {
+        if (g.slots[slot] == pmu::kNoNativeEvent) continue;
+        const pmu::NativeEvent* ev = platform.find_event(g.slots[slot]);
+        std::printf(" [%zu]=%s", slot,
+                    ev != nullptr ? ev->name.c_str() : "?");
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    const pmu::PlatformDescription* platform = pmu::find_platform(argv[1]);
+    if (platform == nullptr) {
+      std::fprintf(stderr, "unknown platform '%s'\n", argv[1]);
+      return 1;
+    }
+    print_presets(*platform);
+    print_natives(*platform);
+    return 0;
+  }
+  for (const pmu::PlatformDescription* p : pmu::all_platforms()) {
+    print_presets(*p);
+  }
+  return 0;
+}

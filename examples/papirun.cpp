@@ -1,0 +1,92 @@
+// papirun CLI: "execute a program and easily collect basic timing and
+// hardware counter data" (Section 5).
+//
+//   papirun [--platform P] [--workload W] [--n N] [--events A,B,C]
+//           [--no-multiplex] [--estimation] [--list]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "pmu/platform.h"
+#include "sim/workload_registry.h"
+#include "tools/papirun.h"
+
+using namespace papirepro;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: papirun [options]\n"
+      "  --platform P     sim-x86 | sim-power3 | sim-ia64 | sim-alpha\n"
+      "  --workload W     workload name (see --list)\n"
+      "  --n N            workload size knob (0 = default)\n"
+      "  --events A,B,C   PAPI_* preset or native event names\n"
+      "  --no-multiplex   fail instead of multiplexing on conflicts\n"
+      "  --estimation     DADD-style count estimation (sim-alpha)\n"
+      "  --list           list platforms and workloads\n");
+}
+
+void list_targets() {
+  std::printf("platforms:\n");
+  for (const pmu::PlatformDescription* p : pmu::all_platforms()) {
+    std::printf("  %-12s %u counters  (%s)\n", p->name.c_str(),
+                p->num_counters, p->vendor_interface.c_str());
+  }
+  std::printf("workloads:\n");
+  for (std::string_view w : sim::workload_names()) {
+    std::printf("  %s\n", std::string(w).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::PapirunRequest request;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--platform") {
+      if (const char* v = next()) request.platform = v;
+    } else if (arg == "--workload") {
+      if (const char* v = next()) request.workload = v;
+    } else if (arg == "--n") {
+      if (const char* v = next()) request.n = std::atoll(v);
+    } else if (arg == "--events") {
+      const char* v = next();
+      if (v != nullptr) {
+        std::string list(v);
+        std::size_t pos = 0;
+        while (pos != std::string::npos) {
+          const std::size_t comma = list.find(',', pos);
+          request.events.push_back(
+              list.substr(pos, comma == std::string::npos ? comma
+                                                          : comma - pos));
+          pos = comma == std::string::npos ? comma : comma + 1;
+        }
+      }
+    } else if (arg == "--no-multiplex") {
+      request.allow_multiplex = false;
+    } else if (arg == "--estimation") {
+      request.use_estimation = true;
+    } else if (arg == "--list") {
+      list_targets();
+      return 0;
+    } else {
+      usage();
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+
+  auto result = tools::papirun(request);
+  if (!result.ok()) {
+    std::fprintf(stderr, "papirun: %s\n",
+                 std::string(to_string(result.error())).c_str());
+    return 1;
+  }
+  std::printf("%s", result.value().report.c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Per-rank measurement of a message-passing program — the scenario the
+// paper's tool ecosystem (TAU profiles per rank, Vampir timelines) was
+// built for.  Four simulated ranks run a ring exchange
+// (compute-then-communicate); each rank carries its own PAPI library
+// over its own substrate, exactly like one PAPI instance per MPI
+// process.  Rank 2 is given extra work to create the load imbalance a
+// per-rank profile exposes.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/library.h"
+#include "sim/comm.h"
+#include "substrate/sim_substrate.h"
+
+using namespace papirepro;
+
+int main() {
+  constexpr std::size_t kRanks = 4;
+  constexpr std::int64_t kIters = 40;
+
+  std::vector<sim::Workload> workloads;
+  std::vector<std::unique_ptr<sim::Machine>> machines;
+  std::vector<std::unique_ptr<papi::Library>> libraries;
+  std::vector<papi::EventSet*> sets;
+  std::vector<sim::Machine*> raw;
+
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    // The imbalance: rank 2 computes 4x the work per iteration.
+    const std::int64_t work = r == 2 ? 8'000 : 2'000;
+    workloads.push_back(
+        sim::make_ring_rank(r, kRanks, kIters, work, /*chunk_words=*/16));
+    machines.push_back(std::make_unique<sim::Machine>(
+        workloads.back().program, pmu::sim_x86().machine));
+    raw.push_back(machines.back().get());
+
+    papi::SimSubstrateOptions options;
+    options.charge_costs = false;
+    libraries.push_back(std::make_unique<papi::Library>(
+        std::make_unique<papi::SimSubstrate>(*machines.back(),
+                                             pmu::sim_x86(), options)));
+    auto handle = libraries.back()->create_event_set();
+    papi::EventSet* set =
+        libraries.back()->event_set(handle.value()).value();
+    (void)set->add_preset(papi::Preset::kTotCyc);
+    (void)set->add_preset(papi::Preset::kTotIns);
+    (void)set->add_preset(papi::Preset::kFpOps);
+    (void)set->start();
+    sets.push_back(set);
+  }
+
+  // Communication layer attaches after the substrates so counter state
+  // and mailbox handling co-exist on the probe path.
+  sim::CommWorld world(raw);
+  if (!world.run_lockstep(/*quantum=*/2'000)) {
+    std::fprintf(stderr, "ranks did not complete (deadlock?)\n");
+    return 1;
+  }
+
+  std::printf("per-rank profile of a 4-rank ring exchange "
+              "(rank 2 overloaded):\n\n");
+  std::printf("%5s %14s %14s %14s %10s %12s\n", "rank", "PAPI_TOT_CYC",
+              "PAPI_TOT_INS", "PAPI_FP_OPS", "msgs", "wait_retries");
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    std::vector<long long> v(3);
+    (void)sets[r]->stop(v);
+    std::printf("%5zu %14lld %14lld %14lld %10llu %12llu\n", r, v[0],
+                v[1], v[2],
+                static_cast<unsigned long long>(world.stats(r).sends +
+                                                world.stats(r).recvs),
+                static_cast<unsigned long long>(
+                    world.stats(r).wait_retries));
+  }
+  std::printf(
+      "\nThe profile tells the story a per-rank tool (TAU) would: every\n"
+      "rank does identical FLOPs except rank 2 (4x), and the others burn\n"
+      "their surplus as recv busy-wait retries — communication wait\n"
+      "visible in hardware counters.\n");
+  return 0;
+}

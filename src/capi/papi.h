@@ -1,0 +1,181 @@
+/* C binding for the PAPI reproduction.  PAPI is, first and foremost, a C
+ * specification; this header mirrors the classic PAPI 2/3 function
+ * surface so C code (and Fortran via the usual wrappers) can drive the
+ * library.  The global state model matches real PAPI: one library
+ * instance per process, integer EventSet handles.
+ *
+ * The one extension over the 2003 API is the simulator bootstrap
+ * (PAPIrepro_sim_*): real PAPI measured the host CPU, we measure a
+ * simulated one, so the C client must say which platform model and
+ * workload to bind.  PAPI_library_init() without a simulator binds the
+ * host substrate (timers and memory info work; counters return
+ * PAPI_ENOCNTR, as on an unpatched 2003 Linux kernel).
+ */
+#ifndef PAPIREPRO_CAPI_PAPI_H_
+#define PAPIREPRO_CAPI_PAPI_H_
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* ---- return codes (classic PAPI values) ---- */
+#define PAPI_OK 0
+#define PAPI_EINVAL (-1)
+#define PAPI_ENOMEM (-2)
+#define PAPI_ESYS (-3)
+#define PAPI_ESBSTR (-4)
+#define PAPI_ENOSUPP (-7)
+#define PAPI_ENOEVNT (-8)
+#define PAPI_ECNFLCT (-9)
+#define PAPI_ENOTRUN (-10)
+#define PAPI_EISRUN (-11)
+#define PAPI_ENOEVST (-12)
+#define PAPI_ENOTPRESET (-13)
+#define PAPI_ENOCNTR (-14)
+#define PAPI_EMISC (-15)
+#define PAPI_EPERM (-16)
+#define PAPI_ENOINIT (-17)
+
+#define PAPI_VER_CURRENT 0x03000000
+#define PAPI_NULL (-1)
+
+#define PAPI_MIN_STR_LEN 64
+#define PAPI_MAX_STR_LEN 128
+
+/* counting domains (PAPI_set_domain) */
+#define PAPI_DOM_USER 0x1
+#define PAPI_DOM_KERNEL 0x2
+#define PAPI_DOM_ALL (PAPI_DOM_USER | PAPI_DOM_KERNEL)
+
+/* ---- preset event codes (high bit set, index in low bits) ---- */
+#define PAPI_PRESET_MASK 0x80000000u
+#define PAPI_TOT_CYC (int)(PAPI_PRESET_MASK | 0)
+#define PAPI_TOT_INS (int)(PAPI_PRESET_MASK | 1)
+#define PAPI_FP_INS (int)(PAPI_PRESET_MASK | 2)
+#define PAPI_FP_OPS (int)(PAPI_PRESET_MASK | 3)
+#define PAPI_FMA_INS (int)(PAPI_PRESET_MASK | 4)
+#define PAPI_FDV_INS (int)(PAPI_PRESET_MASK | 5)
+#define PAPI_LD_INS (int)(PAPI_PRESET_MASK | 6)
+#define PAPI_SR_INS (int)(PAPI_PRESET_MASK | 7)
+#define PAPI_LST_INS (int)(PAPI_PRESET_MASK | 8)
+#define PAPI_L1_DCA (int)(PAPI_PRESET_MASK | 9)
+#define PAPI_L1_DCM (int)(PAPI_PRESET_MASK | 10)
+#define PAPI_L1_ICM (int)(PAPI_PRESET_MASK | 11)
+#define PAPI_L1_TCM (int)(PAPI_PRESET_MASK | 12)
+#define PAPI_L2_TCA (int)(PAPI_PRESET_MASK | 13)
+#define PAPI_L2_TCM (int)(PAPI_PRESET_MASK | 14)
+#define PAPI_TLB_DM (int)(PAPI_PRESET_MASK | 15)
+#define PAPI_TLB_IM (int)(PAPI_PRESET_MASK | 16)
+#define PAPI_TLB_TL (int)(PAPI_PRESET_MASK | 17)
+#define PAPI_BR_INS (int)(PAPI_PRESET_MASK | 18)
+#define PAPI_BR_TKN (int)(PAPI_PRESET_MASK | 19)
+#define PAPI_BR_MSP (int)(PAPI_PRESET_MASK | 20)
+#define PAPI_BR_PRC (int)(PAPI_PRESET_MASK | 21)
+#define PAPI_STL_CCY (int)(PAPI_PRESET_MASK | 22)
+
+/* ---- simulator bootstrap (reproduction extension) ---- */
+typedef struct PAPIrepro_sim PAPIrepro_sim_t;
+
+/* platform: "sim-x86" | "sim-power3" | "sim-ia64" | "sim-alpha";
+ * workload: see sim/workload_registry.h; n: problem-size knob (0 =
+ * default).  Returns NULL on unknown names. */
+PAPIrepro_sim_t* PAPIrepro_sim_create(const char* platform,
+                                      const char* workload, long long n);
+/* Runs up to max_instructions (<=0: to completion).  Returns retired
+ * instruction count. */
+long long PAPIrepro_sim_run(PAPIrepro_sim_t* sim,
+                            long long max_instructions);
+int PAPIrepro_sim_halted(const PAPIrepro_sim_t* sim);
+void PAPIrepro_sim_destroy(PAPIrepro_sim_t* sim);
+/* Binds the global PAPI library to this simulator's substrate.  Must be
+ * called before PAPI_library_init. */
+int PAPIrepro_bind_sim(PAPIrepro_sim_t* sim);
+/* Enables DADD-style count estimation from samples (sim-alpha only). */
+int PAPIrepro_set_estimation(int enable);
+
+/* ---- library ---- */
+int PAPI_library_init(int version);
+int PAPI_is_initialized(void);
+void PAPI_shutdown(void);
+const char* PAPI_strerror(int code);
+int PAPI_num_hwctrs(void);
+
+/* ---- event name space ---- */
+int PAPI_query_event(int event_code);
+int PAPI_event_name_to_code(const char* name, int* event_code);
+int PAPI_event_code_to_name(int event_code, char* out, int len);
+
+/* ---- low level: EventSets ---- */
+int PAPI_create_eventset(int* event_set);
+int PAPI_destroy_eventset(int* event_set);
+int PAPI_add_event(int event_set, int event_code);
+int PAPI_add_named_event(int event_set, const char* name);
+int PAPI_remove_event(int event_set, int event_code);
+int PAPI_num_events(int event_set);
+int PAPI_set_multiplex(int event_set);
+/* Set the counting domain of an event set (PAPI_DOM_*). */
+int PAPI_set_domain(int event_set, int domain);
+int PAPI_start(int event_set);
+int PAPI_stop(int event_set, long long* values);
+int PAPI_read(int event_set, long long* values);
+int PAPI_accum(int event_set, long long* values);
+int PAPI_reset(int event_set);
+
+/* ---- overflow dispatch ---- */
+typedef void (*PAPI_overflow_handler_t)(int event_set, void* address,
+                                        long long overflow_vector,
+                                        void* context);
+int PAPI_overflow(int event_set, int event_code, int threshold,
+                  int flags, PAPI_overflow_handler_t handler);
+
+/* ---- SVR4-style statistical profiling ---- */
+/* Buckets PC samples for `event_code` overflow every `threshold` counts
+ * into buf[0..bufsiz).  Pass threshold 0 to stop profiling.  Bucket i
+ * covers 4 bytes of text starting at offset + 4*i (scale 0x4000). */
+int PAPI_profil(unsigned int* buf, unsigned int bufsiz,
+                unsigned long long offset, unsigned int scale,
+                int event_set, int event_code, int threshold);
+
+/* event set states for PAPI_state */
+#define PAPI_STOPPED 0x1
+#define PAPI_RUNNING 0x2
+
+/* Lists the events in an event set: on input *number is the capacity of
+ * `events`; on output it is the member count (codes written up to the
+ * smaller of the two). */
+int PAPI_list_events(int event_set, int* events, int* number);
+/* Stores PAPI_STOPPED or PAPI_RUNNING into *status. */
+int PAPI_state(int event_set, int* status);
+
+/* ---- timers ---- */
+long long PAPI_get_real_usec(void);
+long long PAPI_get_real_cyc(void);
+long long PAPI_get_virt_usec(void);
+long long PAPI_get_virt_cyc(void);
+
+/* ---- high level ---- */
+int PAPI_num_counters(void);
+int PAPI_start_counters(int* events, int array_len);
+int PAPI_read_counters(long long* values, int array_len);
+int PAPI_accum_counters(long long* values, int array_len);
+int PAPI_stop_counters(long long* values, int array_len);
+int PAPI_flops(float* rtime, float* ptime, long long* flpops,
+               float* mflops);
+int PAPI_ipc(float* rtime, float* ptime, long long* ins, float* ipc);
+
+/* ---- PAPI 3 memory utilization extension ---- */
+typedef struct PAPI_mem_info {
+  long long total_bytes;
+  long long available_bytes;
+  long long process_resident_bytes;
+  long long process_peak_bytes;
+  long long page_size_bytes;
+  long long page_faults;
+} PAPI_mem_info_t;
+int PAPI_get_memory_info(PAPI_mem_info_t* info);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* PAPIREPRO_CAPI_PAPI_H_ */

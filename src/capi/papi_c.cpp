@@ -1,0 +1,496 @@
+// C bridge: global-state shim over the C++ library, mirroring real
+// PAPI's process-global model.  Not thread-safe by design parity with
+// PAPI 2 (thread support there required explicit PAPI_thread_init; our
+// simulated machines are single-threaded).
+#include "capi/papi.h"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/highlevel.h"
+#include "core/library.h"
+#include "sim/workload_registry.h"
+#include "substrate/host_substrate.h"
+#include "substrate/sim_substrate.h"
+
+namespace {
+
+using papirepro::Error;
+using papirepro::Status;
+namespace papi = papirepro::papi;
+namespace sim = papirepro::sim;
+namespace pmu = papirepro::pmu;
+
+int to_code(Status s) { return static_cast<int>(s.error()); }
+int to_code(Error e) { return static_cast<int>(e); }
+
+std::optional<papi::EventId> decode_event(int event_code) {
+  const auto code = static_cast<std::uint32_t>(event_code);
+  if (const auto p = papi::preset_from_code(code)) {
+    return papi::EventId::preset(*p);
+  }
+  return papi::EventId::native(code);
+}
+
+struct ProfilState {
+  std::unique_ptr<papi::ProfileBuffer> buffer;
+  unsigned int* user_buf = nullptr;
+  unsigned int bufsiz = 0;
+  int event_code = 0;
+};
+
+struct GlobalState {
+  std::unique_ptr<papi::Library> library;
+  std::unique_ptr<papi::HighLevel> high_level;
+  PAPIrepro_sim* bound_sim = nullptr;
+  std::map<int, PAPI_overflow_handler_t> overflow_handlers;
+  std::map<int, ProfilState> profil_states;  // keyed by event set
+};
+
+GlobalState& g() {
+  static GlobalState state;
+  return state;
+}
+
+void flush_profil(int event_set) {
+  auto it = g().profil_states.find(event_set);
+  if (it == g().profil_states.end() || it->second.user_buf == nullptr) {
+    return;
+  }
+  const auto& buckets = it->second.buffer->buckets();
+  for (unsigned int i = 0; i < it->second.bufsiz && i < buckets.size();
+       ++i) {
+    it->second.user_buf[i] = buckets[i];
+  }
+}
+
+}  // namespace
+
+struct PAPIrepro_sim {
+  sim::Workload workload;
+  std::unique_ptr<sim::Machine> machine;
+  const pmu::PlatformDescription* platform = nullptr;
+  papi::SimSubstrate* substrate = nullptr;  // owned by the Library
+};
+
+extern "C" {
+
+PAPIrepro_sim_t* PAPIrepro_sim_create(const char* platform,
+                                      const char* workload, long long n) {
+  if (platform == nullptr || workload == nullptr) return nullptr;
+  const pmu::PlatformDescription* p = pmu::find_platform(platform);
+  if (p == nullptr) return nullptr;
+  auto w = sim::make_workload(workload, n);
+  if (!w.has_value()) return nullptr;
+
+  auto* s = new PAPIrepro_sim;
+  s->platform = p;
+  s->workload = std::move(*w);
+  s->machine =
+      std::make_unique<sim::Machine>(s->workload.program, p->machine);
+  if (s->workload.setup) s->workload.setup(*s->machine);
+  return s;
+}
+
+long long PAPIrepro_sim_run(PAPIrepro_sim_t* s,
+                            long long max_instructions) {
+  if (s == nullptr || s->machine == nullptr) return 0;
+  const auto budget =
+      max_instructions <= 0
+          ? std::numeric_limits<std::uint64_t>::max()
+          : static_cast<std::uint64_t>(max_instructions);
+  return static_cast<long long>(s->machine->run(budget).instructions);
+}
+
+int PAPIrepro_sim_halted(const PAPIrepro_sim_t* s) {
+  return (s != nullptr && s->machine != nullptr && s->machine->halted())
+             ? 1
+             : 0;
+}
+
+void PAPIrepro_sim_destroy(PAPIrepro_sim_t* s) {
+  if (g().bound_sim == s) {
+    PAPI_shutdown();
+  }
+  delete s;
+}
+
+int PAPIrepro_bind_sim(PAPIrepro_sim_t* s) {
+  if (s == nullptr) return PAPI_EINVAL;
+  if (g().library != nullptr) return PAPI_EISRUN;
+  g().bound_sim = s;
+  return PAPI_OK;
+}
+
+int PAPIrepro_set_estimation(int enable) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  if (g().bound_sim == nullptr || g().bound_sim->substrate == nullptr) {
+    return PAPI_ENOSUPP;
+  }
+  return to_code(
+      g().bound_sim->substrate->set_estimation(enable != 0));
+}
+
+int PAPI_library_init(int version) {
+  if (version != PAPI_VER_CURRENT) return PAPI_EINVAL;
+  if (g().library != nullptr) return PAPI_VER_CURRENT;  // idempotent
+  std::unique_ptr<papi::Substrate> substrate;
+  if (g().bound_sim != nullptr) {
+    auto sub = std::make_unique<papi::SimSubstrate>(
+        *g().bound_sim->machine, *g().bound_sim->platform);
+    g().bound_sim->substrate = sub.get();
+    substrate = std::move(sub);
+  } else {
+    substrate = std::make_unique<papi::HostSubstrate>();
+  }
+  g().library = std::make_unique<papi::Library>(std::move(substrate));
+  g().high_level = std::make_unique<papi::HighLevel>(*g().library);
+  return PAPI_VER_CURRENT;
+}
+
+int PAPI_is_initialized(void) { return g().library != nullptr ? 1 : 0; }
+
+void PAPI_shutdown(void) {
+  g().high_level.reset();
+  g().overflow_handlers.clear();
+  g().profil_states.clear();
+  if (g().bound_sim != nullptr) g().bound_sim->substrate = nullptr;
+  g().library.reset();
+  g().bound_sim = nullptr;
+}
+
+const char* PAPI_strerror(int code) {
+  return papirepro::to_string(static_cast<Error>(code)).data();
+}
+
+int PAPI_num_hwctrs(void) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  return static_cast<int>(g().library->num_counters());
+}
+
+int PAPI_query_event(int event_code) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  const auto id = decode_event(event_code);
+  if (!id) return PAPI_ENOEVNT;
+  return g().library->query_event(*id) ? PAPI_OK : PAPI_ENOEVNT;
+}
+
+int PAPI_event_name_to_code(const char* name, int* event_code) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  if (name == nullptr || event_code == nullptr) return PAPI_EINVAL;
+  auto id = g().library->event_from_name(name);
+  if (!id.ok()) return to_code(id.error());
+  *event_code = static_cast<int>(id.value().code());
+  return PAPI_OK;
+}
+
+int PAPI_event_code_to_name(int event_code, char* out, int len) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  if (out == nullptr || len <= 0) return PAPI_EINVAL;
+  const auto id = decode_event(event_code);
+  if (!id) return PAPI_ENOEVNT;
+  auto name = g().library->event_name(*id);
+  if (!name.ok()) return to_code(name.error());
+  std::snprintf(out, static_cast<std::size_t>(len), "%s",
+                name.value().c_str());
+  return PAPI_OK;
+}
+
+int PAPI_create_eventset(int* event_set) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  if (event_set == nullptr) return PAPI_EINVAL;
+  auto handle = g().library->create_event_set();
+  if (!handle.ok()) return to_code(handle.error());
+  *event_set = handle.value();
+  return PAPI_OK;
+}
+
+int PAPI_destroy_eventset(int* event_set) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  if (event_set == nullptr) return PAPI_EINVAL;
+  const Status s = g().library->destroy_event_set(*event_set);
+  if (s.ok()) {
+    g().profil_states.erase(*event_set);
+    g().overflow_handlers.erase(*event_set);
+    *event_set = PAPI_NULL;
+  }
+  return to_code(s);
+}
+
+namespace {
+papirepro::Result<papi::EventSet*> lookup(int event_set) {
+  if (g().library == nullptr) return Error::kNoInit;
+  return g().library->event_set(event_set);
+}
+}  // namespace
+
+int PAPI_add_event(int event_set, int event_code) {
+  auto set = lookup(event_set);
+  if (!set.ok()) return to_code(set.error());
+  const auto id = decode_event(event_code);
+  if (!id) return PAPI_ENOEVNT;
+  return to_code(set.value()->add_event(*id));
+}
+
+int PAPI_add_named_event(int event_set, const char* name) {
+  auto set = lookup(event_set);
+  if (!set.ok()) return to_code(set.error());
+  if (name == nullptr) return PAPI_EINVAL;
+  return to_code(set.value()->add_named(name));
+}
+
+int PAPI_remove_event(int event_set, int event_code) {
+  auto set = lookup(event_set);
+  if (!set.ok()) return to_code(set.error());
+  const auto id = decode_event(event_code);
+  if (!id) return PAPI_ENOEVNT;
+  return to_code(set.value()->remove_event(*id));
+}
+
+int PAPI_num_events(int event_set) {
+  auto set = lookup(event_set);
+  if (!set.ok()) return to_code(set.error());
+  return static_cast<int>(set.value()->num_events());
+}
+
+int PAPI_set_multiplex(int event_set) {
+  auto set = lookup(event_set);
+  if (!set.ok()) return to_code(set.error());
+  return to_code(set.value()->enable_multiplex());
+}
+
+int PAPI_set_domain(int event_set, int domain) {
+  auto set = lookup(event_set);
+  if (!set.ok()) return to_code(set.error());
+  return to_code(
+      set.value()->set_domain(static_cast<std::uint32_t>(domain)));
+}
+
+int PAPI_start(int event_set) {
+  auto set = lookup(event_set);
+  if (!set.ok()) return to_code(set.error());
+  return to_code(set.value()->start());
+}
+
+int PAPI_stop(int event_set, long long* values) {
+  auto set = lookup(event_set);
+  if (!set.ok()) return to_code(set.error());
+  std::span<long long> out;
+  if (values != nullptr) {
+    out = {values, set.value()->num_events()};
+  }
+  const Status s = set.value()->stop(out);
+  if (s.ok()) flush_profil(event_set);
+  return to_code(s);
+}
+
+int PAPI_read(int event_set, long long* values) {
+  auto set = lookup(event_set);
+  if (!set.ok()) return to_code(set.error());
+  if (values == nullptr) return PAPI_EINVAL;
+  return to_code(
+      set.value()->read({values, set.value()->num_events()}));
+}
+
+int PAPI_accum(int event_set, long long* values) {
+  auto set = lookup(event_set);
+  if (!set.ok()) return to_code(set.error());
+  if (values == nullptr) return PAPI_EINVAL;
+  return to_code(
+      set.value()->accum({values, set.value()->num_events()}));
+}
+
+int PAPI_reset(int event_set) {
+  auto set = lookup(event_set);
+  if (!set.ok()) return to_code(set.error());
+  return to_code(set.value()->reset());
+}
+
+int PAPI_overflow(int event_set, int event_code, int threshold,
+                  int /*flags*/, PAPI_overflow_handler_t handler) {
+  auto set = lookup(event_set);
+  if (!set.ok()) return to_code(set.error());
+  const auto id = decode_event(event_code);
+  if (!id) return PAPI_ENOEVNT;
+  if (threshold == 0) {
+    return to_code(set.value()->clear_overflow(*id));
+  }
+  if (handler == nullptr || threshold < 0) return PAPI_EINVAL;
+  g().overflow_handlers[event_set] = handler;
+  return to_code(set.value()->set_overflow(
+      *id, static_cast<std::uint64_t>(threshold),
+      [event_set](papi::EventSet&, const papi::OverflowEvent& ev) {
+        auto it = g().overflow_handlers.find(event_set);
+        if (it == g().overflow_handlers.end()) return;
+        it->second(event_set,
+                   reinterpret_cast<void*>(ev.pc_observed),
+                   /*overflow_vector=*/1, nullptr);
+      }));
+}
+
+int PAPI_profil(unsigned int* buf, unsigned int bufsiz,
+                unsigned long long offset, unsigned int scale,
+                int event_set, int event_code, int threshold) {
+  auto set = lookup(event_set);
+  if (!set.ok()) return to_code(set.error());
+  const auto id = decode_event(event_code);
+  if (!id) return PAPI_ENOEVNT;
+  if (threshold == 0) {
+    flush_profil(event_set);
+    g().profil_states.erase(event_set);
+    return to_code(set.value()->profil_stop(*id));
+  }
+  if (buf == nullptr || bufsiz == 0 || threshold < 0) return PAPI_EINVAL;
+  if (scale == 0) scale = 0x4000;  // one bucket per 4-byte instruction
+
+  ProfilState state;
+  const std::uint64_t bytes_per_bucket = 0x10000u / scale;
+  state.buffer = std::make_unique<papi::ProfileBuffer>(
+      offset, static_cast<std::uint64_t>(bufsiz) * bytes_per_bucket, scale);
+  state.user_buf = buf;
+  state.bufsiz = bufsiz;
+  state.event_code = event_code;
+  const Status s = set.value()->profil(
+      *state.buffer, *id, static_cast<std::uint64_t>(threshold));
+  if (!s.ok()) return to_code(s);
+  g().profil_states[event_set] = std::move(state);
+  return PAPI_OK;
+}
+
+long long PAPI_get_real_usec(void) {
+  if (g().library == nullptr) return 0;
+  return static_cast<long long>(g().library->real_usec());
+}
+
+long long PAPI_get_real_cyc(void) {
+  if (g().library == nullptr) return 0;
+  return static_cast<long long>(g().library->real_cycles());
+}
+
+long long PAPI_get_virt_usec(void) {
+  if (g().library == nullptr) return 0;
+  return static_cast<long long>(g().library->virt_usec());
+}
+
+long long PAPI_get_virt_cyc(void) {
+  // Virtual time equals real time on the single-process simulated
+  // machines; the host substrate scales thread CPU-time to "cycles" the
+  // same way it reports them (nanosecond granularity).
+  if (g().library == nullptr) return 0;
+  return static_cast<long long>(g().library->virt_usec()) * 1000;
+}
+
+int PAPI_list_events(int event_set, int* events, int* number) {
+  auto set = lookup(event_set);
+  if (!set.ok()) return to_code(set.error());
+  if (number == nullptr) return PAPI_EINVAL;
+  const auto members = set.value()->events();
+  if (events != nullptr) {
+    const int cap = *number;
+    for (int i = 0; i < cap && i < static_cast<int>(members.size());
+         ++i) {
+      events[i] = static_cast<int>(members[i].code());
+    }
+  }
+  *number = static_cast<int>(members.size());
+  return PAPI_OK;
+}
+
+int PAPI_state(int event_set, int* status) {
+  auto set = lookup(event_set);
+  if (!set.ok()) return to_code(set.error());
+  if (status == nullptr) return PAPI_EINVAL;
+  *status = set.value()->running() ? PAPI_RUNNING : PAPI_STOPPED;
+  return PAPI_OK;
+}
+
+int PAPI_num_counters(void) { return PAPI_num_hwctrs(); }
+
+int PAPI_start_counters(int* events, int array_len) {
+  if (g().high_level == nullptr) return PAPI_ENOINIT;
+  if (events == nullptr || array_len <= 0) return PAPI_EINVAL;
+  std::vector<papi::EventId> ids;
+  ids.reserve(static_cast<std::size_t>(array_len));
+  for (int i = 0; i < array_len; ++i) {
+    const auto id = decode_event(events[i]);
+    if (!id) return PAPI_ENOEVNT;
+    ids.push_back(*id);
+  }
+  return to_code(g().high_level->start_counters(ids));
+}
+
+int PAPI_read_counters(long long* values, int array_len) {
+  if (g().high_level == nullptr) return PAPI_ENOINIT;
+  if (values == nullptr || array_len <= 0) return PAPI_EINVAL;
+  return to_code(g().high_level->read_counters(
+      {values, static_cast<std::size_t>(array_len)}));
+}
+
+int PAPI_accum_counters(long long* values, int array_len) {
+  if (g().high_level == nullptr) return PAPI_ENOINIT;
+  if (values == nullptr || array_len <= 0) return PAPI_EINVAL;
+  return to_code(g().high_level->accum_counters(
+      {values, static_cast<std::size_t>(array_len)}));
+}
+
+int PAPI_stop_counters(long long* values, int array_len) {
+  if (g().high_level == nullptr) return PAPI_ENOINIT;
+  if (values == nullptr || array_len <= 0) return PAPI_EINVAL;
+  return to_code(g().high_level->stop_counters(
+      {values, static_cast<std::size_t>(array_len)}));
+}
+
+int PAPI_flops(float* rtime, float* ptime, long long* flpops,
+               float* mflops) {
+  if (g().high_level == nullptr) return PAPI_ENOINIT;
+  if (rtime == nullptr || ptime == nullptr || flpops == nullptr ||
+      mflops == nullptr) {
+    return PAPI_EINVAL;
+  }
+  auto info = g().high_level->flops();
+  if (!info.ok()) return to_code(info.error());
+  *rtime = static_cast<float>(info.value().real_time_s);
+  *ptime = static_cast<float>(info.value().proc_time_s);
+  *flpops = info.value().flops;
+  *mflops = static_cast<float>(info.value().mflops);
+  return PAPI_OK;
+}
+
+int PAPI_ipc(float* rtime, float* ptime, long long* ins, float* ipc) {
+  if (g().high_level == nullptr) return PAPI_ENOINIT;
+  if (rtime == nullptr || ptime == nullptr || ins == nullptr ||
+      ipc == nullptr) {
+    return PAPI_EINVAL;
+  }
+  auto info = g().high_level->ipc();
+  if (!info.ok()) return to_code(info.error());
+  *rtime = static_cast<float>(info.value().real_time_s);
+  *ptime = static_cast<float>(info.value().proc_time_s);
+  *ins = info.value().instructions;
+  *ipc = static_cast<float>(info.value().ipc);
+  return PAPI_OK;
+}
+
+int PAPI_get_memory_info(PAPI_mem_info_t* info) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  if (info == nullptr) return PAPI_EINVAL;
+  auto mem = g().library->memory_info();
+  if (!mem.ok()) return to_code(mem.error());
+  info->total_bytes = static_cast<long long>(mem.value().total_bytes);
+  info->available_bytes =
+      static_cast<long long>(mem.value().available_bytes);
+  info->process_resident_bytes =
+      static_cast<long long>(mem.value().process_resident_bytes);
+  info->process_peak_bytes =
+      static_cast<long long>(mem.value().process_peak_bytes);
+  info->page_size_bytes =
+      static_cast<long long>(mem.value().page_size_bytes);
+  info->page_faults = static_cast<long long>(mem.value().page_faults);
+  return PAPI_OK;
+}
+
+}  // extern "C"

@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation used throughout the
+// simulator and sampling engines. Every stochastic component owns its own
+// generator seeded explicitly, so all experiments are bit-reproducible
+// (std::rand / random_device are never used).
+#pragma once
+
+#include <cstdint>
+
+namespace papirepro {
+
+/// SplitMix64: tiny, fast, statistically solid generator.  Used both as a
+/// generator in its own right and to seed Xoshiro256**.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — the workhorse generator for workload data and sampling.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Lemire-style rejection-free reduction is fine for simulation use.
+    return next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Geometric draw: number of failures before first success with
+  /// probability p per trial, capped at `cap`.  Used by the out-of-order
+  /// skid model.
+  constexpr std::uint32_t next_geometric(double p, std::uint32_t cap) noexcept {
+    std::uint32_t n = 0;
+    while (n < cap && next_double() >= p) ++n;
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace papirepro

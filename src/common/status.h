@@ -1,0 +1,121 @@
+// Error handling for the PAPI-style API.  The original PAPI is a C library
+// built on integer return codes; we keep that spirit (the C bridge maps
+// 1:1) but give the C++ layer a typed Error enum and a lightweight
+// Result<T> so call sites cannot ignore failures accidentally.
+#pragma once
+
+#include <cassert>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace papirepro {
+
+/// Error codes, mirroring the PAPI return-code vocabulary.
+enum class Error : int {
+  kOk = 0,            ///< PAPI_OK
+  kInvalid = -1,      ///< PAPI_EINVAL: invalid argument
+  kNoMemory = -2,     ///< PAPI_ENOMEM
+  kSystem = -3,       ///< PAPI_ESYS: substrate/OS failure
+  kSubstrate = -4,    ///< PAPI_ESBSTR: substrate cannot do this
+  kNoSupport = -7,    ///< PAPI_ENOSUPP: feature unavailable on platform
+  kNoEvent = -8,      ///< PAPI_ENOEVNT: preset not mapped on this platform
+  kConflict = -9,     ///< PAPI_ECNFLCT: events cannot be counted together
+  kNotRunning = -10,  ///< PAPI_ENOTRUN: eventset not running
+  kIsRunning = -11,   ///< PAPI_EISRUN: eventset already running
+  kNoEventSet = -12,  ///< PAPI_ENOEVST: no such eventset
+  kNotPreset = -13,   ///< PAPI_ENOTPRESET
+  kNoCounters = -14,  ///< PAPI_ENOCNTR: hardware has no counters
+  kMisc = -15,        ///< PAPI_EMISC
+  kPermission = -16,  ///< PAPI_EPERM
+  kNoInit = -17,      ///< PAPI_ENOINIT: library not initialized
+  kBufferFull = -18,  ///< sample/trace buffer exhausted
+  kComponentDisabled = -19,
+};
+
+/// Human-readable error string (mirrors PAPI_strerror).
+constexpr std::string_view to_string(Error e) noexcept {
+  switch (e) {
+    case Error::kOk: return "No error";
+    case Error::kInvalid: return "Invalid argument";
+    case Error::kNoMemory: return "Insufficient memory";
+    case Error::kSystem: return "A system or C library call failed";
+    case Error::kSubstrate: return "Substrate returned an error";
+    case Error::kNoSupport: return "Not supported by this substrate";
+    case Error::kNoEvent: return "Event does not exist on this platform";
+    case Error::kConflict: return "Event exists but cannot be counted "
+                                  "due to hardware resource conflicts";
+    case Error::kNotRunning: return "EventSet is currently not running";
+    case Error::kIsRunning: return "EventSet is currently counting";
+    case Error::kNoEventSet: return "No such EventSet";
+    case Error::kNotPreset: return "Event is not a valid preset";
+    case Error::kNoCounters: return "Hardware does not support counters";
+    case Error::kMisc: return "Unknown error";
+    case Error::kPermission: return "Permission-level does not permit this";
+    case Error::kNoInit: return "PAPI library has not been initialized";
+    case Error::kBufferFull: return "Sample or trace buffer is full";
+    case Error::kComponentDisabled: return "Component is disabled";
+  }
+  return "Unknown error";
+}
+
+/// Minimal expected-style result.  Holds either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : store_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : store_(error) {          // NOLINT(google-explicit-constructor)
+    assert(error != Error::kOk && "use a value for success");
+  }
+
+  bool ok() const noexcept { return std::holds_alternative<T>(store_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  Error error() const noexcept {
+    return ok() ? Error::kOk : std::get<Error>(store_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(store_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(store_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(store_));
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(store_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> store_;
+};
+
+/// Result<void> analogue: just an Error that must be looked at.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept : error_(Error::kOk) {}
+  Status(Error error) noexcept : error_(error) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const noexcept { return error_ == Error::kOk; }
+  explicit operator bool() const noexcept { return ok(); }
+  Error error() const noexcept { return error_; }
+  std::string_view message() const noexcept { return to_string(error_); }
+
+ private:
+  Error error_;
+};
+
+/// Propagate-on-error helper for Status-returning functions.
+#define PAPIREPRO_RETURN_IF_ERROR(expr)                       \
+  do {                                                        \
+    ::papirepro::Status papirepro_status_ = (expr);                  \
+    if (!papirepro_status_.ok()) return papirepro_status_.error();   \
+  } while (false)
+
+}  // namespace papirepro

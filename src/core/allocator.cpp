@@ -1,0 +1,86 @@
+#include "core/allocator.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <numeric>
+
+namespace papirepro::papi {
+namespace {
+
+/// Tries to find an augmenting path starting from event `e`.
+/// counter_owner[c] = event currently matched to counter c, or -1.
+bool augment(const AllocationInstance& inst, int e,
+             std::vector<int>& counter_owner,
+             std::vector<char>& visited) {
+  for (std::uint32_t c = 0; c < inst.num_counters; ++c) {
+    if ((inst.allowed[e] & (1u << c)) == 0 || visited[c]) continue;
+    visited[c] = 1;
+    if (counter_owner[c] < 0 ||
+        augment(inst, counter_owner[c], counter_owner, visited)) {
+      counter_owner[c] = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+AllocationResult run_in_order(const AllocationInstance& inst,
+                              const std::vector<int>& order) {
+  AllocationResult result;
+  result.assignment.assign(inst.allowed.size(),
+                           AllocationResult::kUnassigned);
+  std::vector<int> counter_owner(inst.num_counters, -1);
+  std::vector<char> visited(inst.num_counters, 0);
+  for (int e : order) {
+    std::fill(visited.begin(), visited.end(), 0);
+    if (augment(inst, e, counter_owner, visited)) ++result.mapped_count;
+  }
+  for (std::uint32_t c = 0; c < inst.num_counters; ++c) {
+    if (counter_owner[c] >= 0) {
+      result.assignment[counter_owner[c]] = static_cast<int>(c);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+AllocationResult solve_max_cardinality(const AllocationInstance& inst) {
+  assert(inst.num_counters <= 32);
+  std::vector<int> order(inst.allowed.size());
+  std::iota(order.begin(), order.end(), 0);
+  return run_in_order(inst, order);
+}
+
+AllocationResult solve_max_weight(const AllocationInstance& inst) {
+  assert(inst.num_counters <= 32);
+  std::vector<int> order(inst.allowed.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (!inst.priority.empty()) {
+    assert(inst.priority.size() == inst.allowed.size());
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return inst.priority[a] > inst.priority[b];
+    });
+  }
+  return run_in_order(inst, order);
+}
+
+AllocationResult solve_greedy_first_fit(const AllocationInstance& inst) {
+  AllocationResult result;
+  result.assignment.assign(inst.allowed.size(),
+                           AllocationResult::kUnassigned);
+  std::uint32_t used = 0;
+  for (std::size_t e = 0; e < inst.allowed.size(); ++e) {
+    const std::uint32_t free_allowed = inst.allowed[e] & ~used;
+    if (free_allowed == 0) continue;
+    const auto c = static_cast<std::uint32_t>(
+        std::countr_zero(free_allowed));
+    used |= 1u << c;
+    result.assignment[e] = static_cast<int>(c);
+    ++result.mapped_count;
+  }
+  return result;
+}
+
+}  // namespace papirepro::papi

@@ -1,0 +1,55 @@
+// Hardware-independent counter allocation.  Section 5 of the paper: "the
+// counter allocation problem may be cast in terms of the bipartite graph
+// matching problem ... A matching consists of a set of edges, no two of
+// which are adjacent to the same vertex ... Variations are to obtain a
+// maximum cardinality mapping if not all the events can be mapped, or a
+// maximum weight matching if some events have higher priority than
+// others."  This module is the hardware-independent half of the PAPI 3
+// split: it solves pure bipartite instances; the substrates translate
+// their constraint schemes (counter masks, POWER groups) into instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace papirepro::papi {
+
+/// A bipartite matching instance: events on the left, physical counters
+/// on the right, an edge wherever the event can be counted on the
+/// counter.
+struct AllocationInstance {
+  std::uint32_t num_counters = 0;
+  /// allowed[i] is the counter bitmask for event i.
+  std::vector<std::uint32_t> allowed;
+  /// Optional per-event priority (higher = more important); empty means
+  /// uniform.  Used by the max-weight variant.
+  std::vector<int> priority;
+};
+
+struct AllocationResult {
+  /// assignment[i] = physical counter for event i, or kUnassigned.
+  std::vector<int> assignment;
+  std::uint32_t mapped_count = 0;
+
+  static constexpr int kUnassigned = -1;
+  bool complete() const noexcept {
+    return mapped_count == assignment.size();
+  }
+};
+
+/// Optimal maximum-cardinality matching (Kuhn's augmenting-path
+/// algorithm; instances are small — events x counters <= 32 x 32).
+AllocationResult solve_max_cardinality(const AllocationInstance& instance);
+
+/// Maximum-weight matching for vertex-weighted events: processes events
+/// in descending priority order with augmenting paths.  Because matchable
+/// event subsets form a transversal matroid, this greedy-with-augmentation
+/// is exactly optimal.
+AllocationResult solve_max_weight(const AllocationInstance& instance);
+
+/// The naive baseline PAPI used before 2.3: first-fit without
+/// backtracking.  Fails on instances the optimal matcher solves —
+/// benchmarked in experiment E5.
+AllocationResult solve_greedy_first_fit(const AllocationInstance& instance);
+
+}  // namespace papirepro::papi

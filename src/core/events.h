@@ -1,0 +1,57 @@
+// Portable event identity: a PAPI event is either a preset (portable
+// name, mapped per platform) or a native event (platform namespace).
+// PresetMapping is the per-platform realization of a preset as a signed
+// linear combination of native events — PAPI's "derived events"
+// (e.g. PAPI_FP_OPS on sim-power3 = PM_FPU_INS - PM_FPU_CVT + PM_EXEC_FMA,
+// which both removes the rounding-instruction inflation and counts each
+// FMA as two operations).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/presets.h"
+#include "pmu/native_event.h"
+
+namespace papirepro::papi {
+
+struct EventId {
+  enum class Kind : std::uint8_t { kPreset, kNative };
+  Kind kind = Kind::kPreset;
+  std::uint32_t value = 0;  ///< Preset index or NativeEventCode
+
+  static constexpr EventId preset(Preset p) noexcept {
+    return {Kind::kPreset, static_cast<std::uint32_t>(p)};
+  }
+  static constexpr EventId native(pmu::NativeEventCode code) noexcept {
+    return {Kind::kNative, code};
+  }
+
+  bool is_preset() const noexcept { return kind == Kind::kPreset; }
+  Preset as_preset() const noexcept { return static_cast<Preset>(value); }
+  pmu::NativeEventCode as_native() const noexcept { return value; }
+
+  /// PAPI-style integer code (preset codes carry the high bit).
+  std::uint32_t code() const noexcept {
+    return is_preset() ? preset_code(as_preset()) : value;
+  }
+
+  friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+/// One term of a derived-event mapping.
+struct MappingTerm {
+  pmu::NativeEventCode native = pmu::kNoNativeEvent;
+  int coefficient = 1;  ///< +1 or -1 (PAPI derived add/sub); also used as
+                        ///< x2 where a platform needs FMA counted twice
+};
+
+/// How a preset is realized on one platform.
+struct PresetMapping {
+  Preset preset = Preset::kTotCyc;
+  std::vector<MappingTerm> terms;
+
+  bool derived() const noexcept { return terms.size() > 1; }
+};
+
+}  // namespace papirepro::papi

@@ -1,0 +1,426 @@
+#include "core/eventset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/library.h"
+
+namespace papirepro::papi {
+
+EventSet::EventSet(Library& library, int handle)
+    : library_(library), handle_(handle) {}
+
+int EventSet::find_entry(EventId id) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].id == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<EventId> EventSet::events() const {
+  std::vector<EventId> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.id);
+  return out;
+}
+
+Status EventSet::rebuild(
+    const std::vector<Entry>& candidate_entries,
+    const std::vector<pmu::NativeEventCode>& candidate_natives) {
+  if (multiplex_) {
+    auto plans = plan_multiplex(library_.substrate(), candidate_natives);
+    if (!plans.ok()) return plans.error();
+    mux_plans_ = std::move(plans.value());
+  } else if (!candidate_natives.empty()) {
+    auto assignment = library_.substrate().allocate(candidate_natives, {});
+    if (!assignment.ok()) return assignment.error();
+    assignment_ = std::move(assignment.value());
+  } else {
+    assignment_.clear();
+  }
+  entries_ = candidate_entries;
+  natives_ = candidate_natives;
+  return Error::kOk;
+}
+
+Status EventSet::add_event(EventId id) {
+  if (running()) return Error::kIsRunning;
+  if (find_entry(id) >= 0) return Error::kConflict;  // already present
+
+  // Resolve the event into native terms.
+  std::vector<MappingTerm> terms;
+  if (id.is_preset()) {
+    auto mapping = library_.substrate().preset_mapping(id.as_preset());
+    if (!mapping.ok()) return mapping.error();
+    terms = std::move(mapping.value().terms);
+  } else {
+    auto name = library_.substrate().native_name(id.as_native());
+    if (!name.ok()) return name.error();
+    terms = {{id.as_native(), 1}};
+  }
+
+  // Expand into the candidate native list, sharing natives already
+  // required by other member events.
+  std::vector<pmu::NativeEventCode> candidate_natives = natives_;
+  Entry entry{id, {}};
+  for (const MappingTerm& t : terms) {
+    auto it = std::find(candidate_natives.begin(), candidate_natives.end(),
+                        t.native);
+    if (it == candidate_natives.end()) {
+      candidate_natives.push_back(t.native);
+      it = candidate_natives.end() - 1;
+    }
+    entry.terms.push_back(
+        {static_cast<std::size_t>(it - candidate_natives.begin()),
+         t.coefficient});
+  }
+  std::vector<Entry> candidate_entries = entries_;
+  candidate_entries.push_back(std::move(entry));
+
+  return rebuild(candidate_entries, candidate_natives);
+}
+
+Status EventSet::add_named(std::string_view name) {
+  auto id = library_.event_from_name(name);
+  if (!id.ok()) return id.error();
+  return add_event(id.value());
+}
+
+Status EventSet::remove_event(EventId id) {
+  if (running()) return Error::kIsRunning;
+  const int pos = find_entry(id);
+  if (pos < 0) return Error::kNoEvent;
+
+  std::vector<Entry> candidate_entries = entries_;
+  candidate_entries.erase(candidate_entries.begin() + pos);
+
+  // Recompute the native list from scratch (drop now-unused natives).
+  std::vector<pmu::NativeEventCode> candidate_natives;
+  for (Entry& e : candidate_entries) {
+    for (TermRef& ref : e.terms) {
+      const pmu::NativeEventCode code = natives_[ref.native_index];
+      auto it = std::find(candidate_natives.begin(),
+                          candidate_natives.end(), code);
+      if (it == candidate_natives.end()) {
+        candidate_natives.push_back(code);
+        it = candidate_natives.end() - 1;
+      }
+      ref.native_index =
+          static_cast<std::size_t>(it - candidate_natives.begin());
+    }
+  }
+  overflow_configs_.erase(
+      std::remove_if(overflow_configs_.begin(), overflow_configs_.end(),
+                     [&](const OverflowConfig& c) { return c.id == id; }),
+      overflow_configs_.end());
+  return rebuild(candidate_entries, candidate_natives);
+}
+
+Status EventSet::enable_multiplex(std::uint64_t slice_cycles) {
+  if (running()) return Error::kIsRunning;
+  if (!library_.substrate().supports_multiplex()) return Error::kNoSupport;
+  if (slice_cycles == 0) return Error::kInvalid;
+  if (!overflow_configs_.empty()) return Error::kConflict;
+  multiplex_ = true;
+  mux_slice_cycles_ = slice_cycles;
+  return rebuild(entries_, natives_);
+}
+
+Status EventSet::program_mux_group(std::size_t g) {
+  const MuxGroupPlan& plan = mux_plans_[g];
+  std::vector<pmu::NativeEventCode> events;
+  events.reserve(plan.members.size());
+  for (std::size_t idx : plan.members) events.push_back(natives_[idx]);
+  return library_.substrate().program(events, plan.assignment);
+}
+
+Status EventSet::set_domain(std::uint32_t domain_mask) {
+  if (running()) return Error::kIsRunning;
+  if (!valid_domain(domain_mask)) return Error::kInvalid;
+  domain_mask_ = domain_mask;
+  return Error::kOk;
+}
+
+Status EventSet::program_and_arm() {
+  Substrate& sub = library_.substrate();
+  if (const Status s = sub.set_domain(domain_mask_);
+      !s.ok() && !(s.error() == Error::kNoSupport &&
+                   domain_mask_ == domain::kAll)) {
+    return s;
+  }
+  if (multiplex_) {
+    mux_state_.assign(mux_plans_.size(), {});
+    for (std::size_t g = 0; g < mux_plans_.size(); ++g) {
+      mux_state_[g].accum.assign(mux_plans_[g].members.size(), 0);
+    }
+    mux_current_ = 0;
+    PAPIREPRO_RETURN_IF_ERROR(program_mux_group(0));
+    return Error::kOk;
+  }
+  PAPIREPRO_RETURN_IF_ERROR(sub.program(natives_, assignment_));
+  for (const OverflowConfig& config : overflow_configs_) {
+    PAPIREPRO_RETURN_IF_ERROR(arm_overflow(config));
+  }
+  return Error::kOk;
+}
+
+Status EventSet::arm_overflow(const OverflowConfig& config) {
+  const int pos = find_entry(config.id);
+  assert(pos >= 0);
+  const Entry& entry = entries_[pos];
+  assert(entry.terms.size() == 1);
+  const auto event_index =
+      static_cast<std::uint32_t>(entry.terms.front().native_index);
+  ProfileBuffer* profile = config.profile;
+  const bool prefer_precise = config.prefer_precise;
+  EventId id = config.id;
+  const OverflowHandler* handler = &config.handler;
+  return library_.substrate().set_overflow(
+      event_index, config.threshold,
+      [this, profile, prefer_precise, id,
+       handler](const SubstrateOverflow& o) {
+        if (profile != nullptr) {
+          profile->record(prefer_precise && o.has_precise ? o.pc_precise
+                                                          : o.pc_observed);
+          return;
+        }
+        if (*handler) {
+          (*handler)(*this, OverflowEvent{.event = id,
+                                          .pc_observed = o.pc_observed,
+                                          .pc_precise = o.pc_precise,
+                                          .has_precise = o.has_precise,
+                                          .addr = o.addr});
+        }
+      });
+}
+
+Status EventSet::start() {
+  if (running()) return Error::kIsRunning;
+  if (entries_.empty()) return Error::kInvalid;
+  PAPIREPRO_RETURN_IF_ERROR(library_.notify_starting(this));
+
+  Substrate& sub = library_.substrate();
+  const Status programmed = program_and_arm();
+  if (!programmed.ok()) {
+    library_.notify_stopped(this);
+    return programmed;
+  }
+  PAPIREPRO_RETURN_IF_ERROR(sub.reset_counts());
+  const Status started = sub.start();
+  if (!started.ok()) {
+    library_.notify_stopped(this);
+    return started;
+  }
+  state_ = State::kRunning;
+
+  if (multiplex_) {
+    mux_window_start_ = mux_slice_start_ = sub.real_cycles();
+    auto timer = sub.add_timer(mux_slice_cycles_, [this] { rotate_mux(); });
+    if (!timer.ok()) {
+      (void)sub.stop();
+      state_ = State::kStopped;
+      library_.notify_stopped(this);
+      return timer.error();
+    }
+    mux_timer_id_ = timer.value();
+  }
+  return Error::kOk;
+}
+
+void EventSet::rotate_mux() {
+  if (!running() || mux_plans_.size() < 2) return;
+  Substrate& sub = library_.substrate();
+
+  // Close the current slice.
+  (void)sub.stop();
+  std::vector<std::uint64_t> raw(mux_plans_[mux_current_].members.size());
+  (void)sub.read(raw);
+  MuxGroupState& st = mux_state_[mux_current_];
+  for (std::size_t i = 0; i < raw.size(); ++i) st.accum[i] += raw[i];
+  st.active_cycles += sub.real_cycles() - mux_slice_start_;
+
+  // Open the next one.
+  mux_current_ = (mux_current_ + 1) % mux_plans_.size();
+  (void)program_mux_group(mux_current_);
+  (void)sub.reset_counts();
+  (void)sub.start();
+  mux_slice_start_ = sub.real_cycles();
+}
+
+Status EventSet::snapshot_raw(std::vector<std::uint64_t>& raw_out) {
+  Substrate& sub = library_.substrate();
+  raw_out.assign(natives_.size(), 0);
+
+  if (!multiplex_) {
+    return sub.read(raw_out);
+  }
+
+  const std::uint64_t now = sub.real_cycles();
+  std::vector<std::uint64_t> live;
+  if (running()) {
+    live.resize(mux_plans_[mux_current_].members.size());
+    PAPIREPRO_RETURN_IF_ERROR(sub.read(live));
+  }
+  const std::uint64_t window =
+      now > mux_window_start_ ? now - mux_window_start_ : 0;
+
+  for (std::size_t g = 0; g < mux_plans_.size(); ++g) {
+    const MuxGroupPlan& plan = mux_plans_[g];
+    const MuxGroupState& st = mux_state_[g];
+    std::uint64_t active = st.active_cycles;
+    for (std::size_t i = 0; i < plan.members.size(); ++i) {
+      std::uint64_t raw = st.accum[i];
+      if (running() && g == mux_current_) {
+        raw += live[i];  // current slice is still open
+      }
+      std::uint64_t active_g = active;
+      if (running() && g == mux_current_ && now > mux_slice_start_) {
+        active_g += now - mux_slice_start_;
+      }
+      // Scale the observed counts up by the fraction of the window this
+      // group was actually live — the estimation step whose convergence
+      // Section 2 warns about.
+      double scaled = static_cast<double>(raw);
+      if (active_g > 0 && window > 0) {
+        scaled *= static_cast<double>(window) /
+                  static_cast<double>(active_g);
+      }
+      raw_out[plan.members[i]] =
+          static_cast<std::uint64_t>(std::llround(scaled));
+    }
+  }
+  return Error::kOk;
+}
+
+void EventSet::compute_values(std::span<const std::uint64_t> raw,
+                              std::span<long long> out) const {
+  for (std::size_t i = 0; i < entries_.size() && i < out.size(); ++i) {
+    long long v = 0;
+    for (const TermRef& t : entries_[i].terms) {
+      v += static_cast<long long>(t.coefficient) *
+           static_cast<long long>(raw[t.native_index]);
+    }
+    out[i] = v;
+  }
+}
+
+Status EventSet::read(std::span<long long> out) {
+  if (out.size() < entries_.size()) return Error::kInvalid;
+  if (!running() && !stopped_raw_valid_) return Error::kNotRunning;
+  if (!running() && stopped_raw_valid_) {
+    compute_values(stopped_raw_, out);
+    return Error::kOk;
+  }
+  std::vector<std::uint64_t> raw;
+  PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(raw));
+  compute_values(raw, out);
+  return Error::kOk;
+}
+
+Status EventSet::accum(std::span<long long> inout) {
+  if (inout.size() < entries_.size()) return Error::kInvalid;
+  std::vector<long long> current(entries_.size());
+  PAPIREPRO_RETURN_IF_ERROR(read(current));
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    inout[i] += current[i];
+  }
+  return reset();
+}
+
+Status EventSet::reset() {
+  Substrate& sub = library_.substrate();
+  PAPIREPRO_RETURN_IF_ERROR(sub.reset_counts());
+  if (multiplex_) {
+    for (auto& st : mux_state_) {
+      std::fill(st.accum.begin(), st.accum.end(), 0ULL);
+      st.active_cycles = 0;
+    }
+    mux_window_start_ = mux_slice_start_ = sub.real_cycles();
+  }
+  stopped_raw_valid_ = false;
+  return Error::kOk;
+}
+
+Status EventSet::stop(std::span<long long> out) {
+  if (!running()) return Error::kNotRunning;
+  Substrate& sub = library_.substrate();
+
+  std::vector<std::uint64_t> raw;
+  if (multiplex_) {
+    // Close the final slice before the counters go away.
+    (void)sub.stop();
+    std::vector<std::uint64_t> live(
+        mux_plans_[mux_current_].members.size());
+    PAPIREPRO_RETURN_IF_ERROR(sub.read(live));
+    MuxGroupState& st = mux_state_[mux_current_];
+    for (std::size_t i = 0; i < live.size(); ++i) st.accum[i] += live[i];
+    st.active_cycles += sub.real_cycles() - mux_slice_start_;
+    if (mux_timer_id_ >= 0) {
+      (void)sub.cancel_timer(mux_timer_id_);
+      mux_timer_id_ = -1;
+    }
+    state_ = State::kStopped;
+    PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(raw));
+  } else {
+    PAPIREPRO_RETURN_IF_ERROR(sub.stop());
+    state_ = State::kStopped;
+    PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(raw));
+  }
+
+  stopped_raw_ = std::move(raw);
+  stopped_raw_valid_ = true;
+  library_.notify_stopped(this);
+  if (!out.empty()) {
+    if (out.size() < entries_.size()) return Error::kInvalid;
+    compute_values(stopped_raw_, out);
+  }
+  return Error::kOk;
+}
+
+Status EventSet::set_overflow(EventId id, std::uint64_t threshold,
+                              OverflowHandler handler) {
+  if (running()) return Error::kIsRunning;
+  if (multiplex_) return Error::kConflict;  // PAPI: no overflow while muxed
+  if (threshold == 0 || !handler) return Error::kInvalid;
+  const int pos = find_entry(id);
+  if (pos < 0) return Error::kNoEvent;
+  if (entries_[pos].terms.size() != 1 ||
+      entries_[pos].terms.front().coefficient != 1) {
+    return Error::kInvalid;  // overflow on derived events is not allowed
+  }
+  clear_overflow(id).ok();  // replace any prior config
+  overflow_configs_.push_back(
+      {id, threshold, std::move(handler), nullptr, true});
+  return Error::kOk;
+}
+
+Status EventSet::clear_overflow(EventId id) {
+  const auto before = overflow_configs_.size();
+  overflow_configs_.erase(
+      std::remove_if(overflow_configs_.begin(), overflow_configs_.end(),
+                     [&](const OverflowConfig& c) { return c.id == id; }),
+      overflow_configs_.end());
+  return before == overflow_configs_.size() ? Error::kNoEvent : Error::kOk;
+}
+
+Status EventSet::profil(ProfileBuffer& buffer, EventId id,
+                        std::uint64_t threshold, bool prefer_precise) {
+  if (running()) return Error::kIsRunning;
+  if (multiplex_) return Error::kConflict;
+  if (threshold == 0) return Error::kInvalid;
+  const int pos = find_entry(id);
+  if (pos < 0) return Error::kNoEvent;
+  if (entries_[pos].terms.size() != 1 ||
+      entries_[pos].terms.front().coefficient != 1) {
+    return Error::kInvalid;
+  }
+  clear_overflow(id).ok();
+  overflow_configs_.push_back(
+      {id, threshold, nullptr, &buffer, prefer_precise});
+  return Error::kOk;
+}
+
+Status EventSet::profil_stop(EventId id) { return clear_overflow(id); }
+
+}  // namespace papirepro::papi

@@ -1,0 +1,166 @@
+// EventSets: "PAPI manages events in user-defined sets called EventSets
+// ... managed explicitly by the user in the low-level interface."
+// An EventSet owns a list of preset/native events, expands them into the
+// unique native events they require (shared natives are counted once and
+// reused by every derived event that references them), allocates those
+// natives onto physical counters via the bipartite matcher, and controls
+// counting.  Multiplexing is *opt-in* (enable_multiplex) per the mailing
+// list decision recorded in Section 2: naive transparent multiplexing
+// could silently return unconverged estimates, so the user must operate
+// at the low level to turn it on.  Overlapping EventSets are not
+// supported (the PAPI 3 simplification): one EventSet runs per substrate
+// at a time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/events.h"
+#include "core/multiplex.h"
+#include "core/profile.h"
+#include "substrate/substrate.h"
+
+namespace papirepro::papi {
+
+class Library;
+
+/// Context passed to user overflow handlers.
+struct OverflowEvent {
+  EventId event;
+  /// PC as observed by the interrupt handler (skidded on out-of-order
+  /// platforms — "several instructions or even basic blocks removed").
+  std::uint64_t pc_observed = 0;
+  /// Hardware-assisted precise PC, when the platform provides one.
+  std::uint64_t pc_precise = 0;
+  bool has_precise = false;
+  std::uint64_t addr = 0;
+};
+
+class EventSet {
+ public:
+  enum class State : std::uint8_t { kStopped, kRunning };
+
+  using OverflowHandler = std::function<void(EventSet&, const OverflowEvent&)>;
+
+  EventSet(const EventSet&) = delete;
+  EventSet& operator=(const EventSet&) = delete;
+
+  int handle() const noexcept { return handle_; }
+  State state() const noexcept { return state_; }
+  bool running() const noexcept { return state_ == State::kRunning; }
+
+  // --- event membership ---
+  Status add_event(EventId id);
+  Status add_preset(Preset p) { return add_event(EventId::preset(p)); }
+  Status add_native(pmu::NativeEventCode c) {
+    return add_event(EventId::native(c));
+  }
+  /// Add by "PAPI_*" preset name or platform native name.
+  Status add_named(std::string_view name);
+  Status remove_event(EventId id);
+  std::size_t num_events() const noexcept { return entries_.size(); }
+  std::vector<EventId> events() const;
+
+  // --- multiplexing (explicitly enabled; see header comment) ---
+  Status enable_multiplex(std::uint64_t slice_cycles = kDefaultMuxSliceCycles);
+  bool multiplexed() const noexcept { return multiplex_; }
+  /// Number of time-sliced hardware groups (1 when not multiplexed).
+  std::size_t num_mux_groups() const noexcept {
+    return multiplex_ ? mux_plans_.size() : 1;
+  }
+
+  /// Counting domain for this set's counters (PAPI_set_domain):
+  /// domain::kUser excludes measurement-infrastructure cycles,
+  /// domain::kKernel isolates them, domain::kAll (default) counts both.
+  Status set_domain(std::uint32_t domain_mask);
+  std::uint32_t counting_domain() const noexcept { return domain_mask_; }
+
+  // --- counting control ---
+  Status start();
+  /// Stops counting; if `out` is non-empty it receives the final values.
+  Status stop(std::span<long long> out = {});
+  Status read(std::span<long long> out);
+  /// Adds current values into `inout` and resets the counters.
+  Status accum(std::span<long long> inout);
+  Status reset();
+
+  // --- overflow dispatch ---
+  /// Arms overflow on `id` (must be a non-derived member event; not
+  /// available while multiplexing).  `threshold` counts per interrupt.
+  Status set_overflow(EventId id, std::uint64_t threshold,
+                      OverflowHandler handler);
+  Status clear_overflow(EventId id);
+
+  // --- SVR4-compatible statistical profiling (PAPI_profil) ---
+  /// Histograms the PC observed at each overflow of `id` into `buffer`.
+  /// With `prefer_precise`, EAR-style precise addresses are used when the
+  /// hardware provides them; otherwise the skidded interrupt PC is
+  /// bucketed — the difference is experiment E6.
+  Status profil(ProfileBuffer& buffer, EventId id, std::uint64_t threshold,
+                bool prefer_precise = true);
+  Status profil_stop(EventId id);
+
+ private:
+  friend class Library;
+  EventSet(Library& library, int handle);
+
+  struct TermRef {
+    std::size_t native_index;
+    int coefficient;
+  };
+  struct Entry {
+    EventId id;
+    std::vector<TermRef> terms;
+  };
+  struct OverflowConfig {
+    EventId id;
+    std::uint64_t threshold;
+    OverflowHandler handler;
+    ProfileBuffer* profile = nullptr;  ///< non-null for profil()
+    bool prefer_precise = true;
+  };
+  struct MuxGroupState {
+    std::vector<std::uint64_t> accum;  ///< per member
+    std::uint64_t active_cycles = 0;
+  };
+
+  Status rebuild(const std::vector<Entry>& candidate_entries,
+                 const std::vector<pmu::NativeEventCode>& candidate_natives);
+  Status program_and_arm();
+  Status program_mux_group(std::size_t g);
+  void rotate_mux();
+  Status snapshot_raw(std::vector<std::uint64_t>& raw_out);
+  void compute_values(std::span<const std::uint64_t> raw,
+                      std::span<long long> out) const;
+  Status arm_overflow(const OverflowConfig& config);
+  int find_entry(EventId id) const;
+
+  Library& library_;
+  int handle_;
+  State state_ = State::kStopped;
+
+  std::vector<Entry> entries_;
+  std::vector<pmu::NativeEventCode> natives_;
+  std::vector<std::uint32_t> assignment_;  ///< non-mux allocation
+
+  std::uint32_t domain_mask_ = domain::kAll;
+  bool multiplex_ = false;
+  std::uint64_t mux_slice_cycles_ = kDefaultMuxSliceCycles;
+  std::vector<MuxGroupPlan> mux_plans_;
+  std::vector<MuxGroupState> mux_state_;
+  std::size_t mux_current_ = 0;
+  std::uint64_t mux_slice_start_ = 0;
+  std::uint64_t mux_window_start_ = 0;
+  int mux_timer_id_ = -1;
+
+  std::vector<OverflowConfig> overflow_configs_;
+  /// Raw native counts snapshotted at stop(), so read() after stop still
+  /// returns this set's values even if the substrate is reprogrammed.
+  std::vector<std::uint64_t> stopped_raw_;
+  bool stopped_raw_valid_ = false;
+};
+
+}  // namespace papirepro::papi

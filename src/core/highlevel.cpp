@@ -1,0 +1,154 @@
+#include "core/highlevel.h"
+
+#include <vector>
+
+namespace papirepro::papi {
+
+HighLevel::~HighLevel() { shutdown(); }
+
+void HighLevel::shutdown() {
+  for (int* handle : {&counters_set_, &rate_set_}) {
+    if (*handle < 0) continue;
+    if (auto set = library_.event_set(*handle); set.ok()) {
+      if (set.value()->running()) (void)set.value()->stop();
+    }
+    (void)library_.destroy_event_set(*handle);
+    *handle = -1;
+  }
+}
+
+Status HighLevel::start_counters(std::span<const EventId> events) {
+  if (events.empty()) return Error::kInvalid;
+  if (counters_set_ >= 0) return Error::kIsRunning;
+
+  auto handle = library_.create_event_set();
+  if (!handle.ok()) return handle.error();
+  auto set = library_.event_set(handle.value());
+  for (const EventId& id : events) {
+    const Status added = set.value()->add_event(id);
+    if (!added.ok()) {
+      (void)library_.destroy_event_set(handle.value());
+      return added;
+    }
+  }
+  const Status started = set.value()->start();
+  if (!started.ok()) {
+    (void)library_.destroy_event_set(handle.value());
+    return started;
+  }
+  counters_set_ = handle.value();
+  counters_len_ = events.size();
+  return Error::kOk;
+}
+
+Status HighLevel::read_counters(std::span<long long> values) {
+  if (counters_set_ < 0) return Error::kNotRunning;
+  auto set = library_.event_set(counters_set_);
+  if (!set.ok()) return set.error();
+  // PAPI_read_counters resets after reading.
+  std::vector<long long> scratch(counters_len_, 0);
+  PAPIREPRO_RETURN_IF_ERROR(set.value()->accum(scratch));
+  for (std::size_t i = 0; i < counters_len_ && i < values.size(); ++i) {
+    values[i] = scratch[i];
+  }
+  return Error::kOk;
+}
+
+Status HighLevel::accum_counters(std::span<long long> values) {
+  if (counters_set_ < 0) return Error::kNotRunning;
+  auto set = library_.event_set(counters_set_);
+  if (!set.ok()) return set.error();
+  return set.value()->accum(values);
+}
+
+Status HighLevel::stop_counters(std::span<long long> values) {
+  if (counters_set_ < 0) return Error::kNotRunning;
+  auto set = library_.event_set(counters_set_);
+  if (!set.ok()) return set.error();
+  PAPIREPRO_RETURN_IF_ERROR(set.value()->stop(values));
+  (void)library_.destroy_event_set(counters_set_);
+  counters_set_ = -1;
+  counters_len_ = 0;
+  return Error::kOk;
+}
+
+Status HighLevel::ensure_rate_set(bool want_ipc) {
+  if (rate_set_ >= 0 && rate_is_ipc_ == want_ipc) return Error::kOk;
+  if (rate_set_ >= 0) return Error::kConflict;  // flops/ipc are exclusive
+
+  auto handle = library_.create_event_set();
+  if (!handle.ok()) return handle.error();
+  auto set = library_.event_set(handle.value());
+  Status added = want_ipc
+                     ? set.value()->add_preset(Preset::kTotIns)
+                     : set.value()->add_preset(Preset::kFpOps);
+  if (added.ok() && want_ipc) {
+    added = set.value()->add_preset(Preset::kTotCyc);
+  }
+  if (added.ok()) added = set.value()->start();
+  if (!added.ok()) {
+    (void)library_.destroy_event_set(handle.value());
+    return added;
+  }
+  rate_set_ = handle.value();
+  rate_is_ipc_ = want_ipc;
+  rate_start_us_ = rate_last_us_ = library_.real_usec();
+  rate_start_virt_us_ = library_.virt_usec();
+  rate_last_value_ = 0;
+  rate_last_cycles_ = 0;
+  return Error::kOk;
+}
+
+Result<HighLevel::FlopsInfo> HighLevel::flops() {
+  const bool first = rate_set_ < 0;
+  PAPIREPRO_RETURN_IF_ERROR(ensure_rate_set(/*want_ipc=*/false));
+  if (first) return FlopsInfo{};
+
+  auto set = library_.event_set(rate_set_);
+  std::vector<long long> values(1, 0);
+  PAPIREPRO_RETURN_IF_ERROR(set.value()->read(values));
+
+  const std::uint64_t now = library_.real_usec();
+  FlopsInfo info;
+  info.real_time_s = static_cast<double>(now - rate_start_us_) * 1e-6;
+  info.proc_time_s =
+      static_cast<double>(library_.virt_usec() - rate_start_virt_us_) * 1e-6;
+  info.flops = values[0];
+  const double interval_s =
+      static_cast<double>(now - rate_last_us_) * 1e-6;
+  const long long delta = values[0] - rate_last_value_;
+  info.mflops = interval_s > 0
+                    ? static_cast<double>(delta) / interval_s * 1e-6
+                    : 0.0;
+  rate_last_us_ = now;
+  rate_last_value_ = values[0];
+  return info;
+}
+
+Result<HighLevel::IpcInfo> HighLevel::ipc() {
+  const bool first = rate_set_ < 0;
+  PAPIREPRO_RETURN_IF_ERROR(ensure_rate_set(/*want_ipc=*/true));
+  if (first) return IpcInfo{};
+
+  auto set = library_.event_set(rate_set_);
+  std::vector<long long> values(2, 0);
+  PAPIREPRO_RETURN_IF_ERROR(set.value()->read(values));
+
+  const std::uint64_t now = library_.real_usec();
+  IpcInfo info;
+  info.real_time_s = static_cast<double>(now - rate_start_us_) * 1e-6;
+  info.proc_time_s =
+      static_cast<double>(library_.virt_usec() - rate_start_virt_us_) * 1e-6;
+  info.instructions = values[0];
+  const long long dins = values[0] - rate_last_value_;
+  const long long dcyc = values[1] - rate_last_cycles_;
+  info.ipc = dcyc > 0 ? static_cast<double>(dins) /
+                            static_cast<double>(dcyc)
+                      : 0.0;
+  rate_last_us_ = now;
+  rate_last_value_ = values[0];
+  rate_last_cycles_ = values[1];
+  return info;
+}
+
+}  // namespace papirepro::papi

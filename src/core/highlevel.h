@@ -1,0 +1,78 @@
+// The PAPI high-level interface: "the ability to start, stop, and read
+// the counters for a specified list of events ... intended for the
+// acquisition of simple but accurate measurements by application
+// engineers", plus the PAPI_flops and PAPI_ipc convenience calls.
+// flops() is where normalization happens — "the PAPI flops call attempts
+// to return the expected number of floating point operations, which
+// sometimes entails multiplying the measured counts by a factor of two
+// to count floating-point multiply-add instructions as two floating
+// point operations and/or subtracting counts for miscellaneous types of
+// floating point instructions" — via the PAPI_FP_OPS derived mapping.
+#pragma once
+
+#include <span>
+
+#include "common/status.h"
+#include "core/library.h"
+
+namespace papirepro::papi {
+
+class HighLevel {
+ public:
+  explicit HighLevel(Library& library) : library_(library) {}
+  ~HighLevel();
+
+  HighLevel(const HighLevel&) = delete;
+  HighLevel& operator=(const HighLevel&) = delete;
+
+  /// Number of counters available to the high level.
+  int num_counters() const noexcept {
+    return static_cast<int>(library_.num_counters());
+  }
+
+  Status start_counters(std::span<const EventId> events);
+  Status read_counters(std::span<long long> values);
+  /// Adds into `values` instead of overwriting.
+  Status accum_counters(std::span<long long> values);
+  Status stop_counters(std::span<long long> values);
+
+  struct FlopsInfo {
+    double real_time_s = 0;  ///< wall time since the first flops() call
+    double proc_time_s = 0;  ///< process time since the first flops() call
+    long long flops = 0;     ///< normalized FLOPs since the first call
+    double mflops = 0;       ///< rate over the interval since the last call
+  };
+  /// First call starts counting and returns zeros; subsequent calls
+  /// report totals and the incremental MFLOP/s rate.
+  Result<FlopsInfo> flops();
+
+  struct IpcInfo {
+    double real_time_s = 0;
+    double proc_time_s = 0;
+    long long instructions = 0;
+    double ipc = 0;  ///< instructions per cycle over the last interval
+  };
+  Result<IpcInfo> ipc();
+
+  /// Tears down the hidden EventSets (also done by the destructor).
+  void shutdown();
+
+ private:
+  Status ensure_rate_set(bool want_ipc);
+
+  Library& library_;
+  int counters_set_ = -1;
+  std::size_t counters_len_ = 0;
+
+  // flops()/ipc() share one hidden rate EventSet (they are mutually
+  // exclusive, as in PAPI).
+  int rate_set_ = -1;
+  bool rate_is_ipc_ = false;
+  std::uint64_t rate_start_us_ = 0;
+  std::uint64_t rate_start_virt_us_ = 0;
+  std::uint64_t rate_last_us_ = 0;
+  long long rate_last_value_ = 0;
+  long long rate_last_cycles_ = 0;
+};
+
+}  // namespace papirepro::papi

@@ -1,0 +1,100 @@
+#include "core/library.h"
+
+#include <cassert>
+
+#include "substrate/preset_maps.h"
+
+namespace papirepro::papi {
+
+Library::Library(std::unique_ptr<Substrate> substrate)
+    : substrate_(std::move(substrate)) {
+  assert(substrate_ != nullptr);
+}
+
+Library::~Library() {
+  if (running_ != nullptr) {
+    (void)running_->stop();
+  }
+}
+
+bool Library::query_event(EventId id) const {
+  if (id.is_preset()) {
+    return substrate_->preset_mapping(id.as_preset()).ok();
+  }
+  return substrate_->native_name(id.as_native()).ok();
+}
+
+Result<std::string> Library::event_name(EventId id) const {
+  if (id.is_preset()) {
+    if (!query_event(id)) return Error::kNoEvent;
+    return std::string(preset_name(id.as_preset()));
+  }
+  return substrate_->native_name(id.as_native());
+}
+
+Result<std::string> Library::event_description(EventId id) const {
+  if (id.is_preset()) {
+    if (!query_event(id)) return Error::kNoEvent;
+    return std::string(preset_description(id.as_preset()));
+  }
+  const pmu::PlatformDescription* platform = substrate_->platform();
+  if (platform == nullptr) return Error::kNoEvent;
+  const pmu::NativeEvent* ev = platform->find_event(id.as_native());
+  if (ev == nullptr) return Error::kNoEvent;
+  return ev->description;
+}
+
+Result<EventId> Library::event_from_name(std::string_view name) const {
+  if (const auto preset = preset_from_name(name)) {
+    const EventId id = EventId::preset(*preset);
+    if (!query_event(id)) return Error::kNoEvent;
+    return id;
+  }
+  auto native = substrate_->native_by_name(name);
+  if (!native.ok()) return native.error();
+  return EventId::native(native.value());
+}
+
+std::vector<Preset> Library::available_presets() const {
+  std::vector<Preset> out;
+  for (std::size_t i = 0; i < kNumPresets; ++i) {
+    const auto p = static_cast<Preset>(i);
+    if (substrate_->preset_mapping(p).ok()) out.push_back(p);
+  }
+  return out;
+}
+
+Result<int> Library::create_event_set() {
+  const int handle = next_handle_++;
+  sets_.emplace(handle,
+                std::unique_ptr<EventSet>(new EventSet(*this, handle)));
+  return handle;
+}
+
+Result<EventSet*> Library::event_set(int handle) {
+  const auto it = sets_.find(handle);
+  if (it == sets_.end()) return Error::kNoEventSet;
+  return it->second.get();
+}
+
+Status Library::destroy_event_set(int handle) {
+  const auto it = sets_.find(handle);
+  if (it == sets_.end()) return Error::kNoEventSet;
+  if (it->second->running()) return Error::kIsRunning;
+  sets_.erase(it);
+  return Error::kOk;
+}
+
+Status Library::notify_starting(EventSet* set) {
+  // Overlapping EventSets were removed in PAPI 3: only one set may drive
+  // the substrate's counters at a time.
+  if (running_ != nullptr && running_ != set) return Error::kIsRunning;
+  running_ = set;
+  return Error::kOk;
+}
+
+void Library::notify_stopped(EventSet* set) {
+  if (running_ == set) running_ = nullptr;
+}
+
+}  // namespace papirepro::papi

@@ -1,0 +1,74 @@
+// The library front door (PAPI_library_init and friends).  Owns the
+// substrate, the EventSets (by integer handle, so the C bridge is
+// trivial), the event-name namespace, and the one-running-EventSet rule
+// (PAPI 3 dropped overlapping EventSets "to reduce memory usage and
+// runtime overhead and simplify the code").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/eventset.h"
+#include "core/memory_info.h"
+#include "substrate/substrate.h"
+
+namespace papirepro::papi {
+
+class Library {
+ public:
+  /// Version handshake, PAPI-style: callers pass the version they were
+  /// compiled against.
+  static constexpr int kVersion = 0x03000000;  // 3.0.0
+
+  explicit Library(std::unique_ptr<Substrate> substrate);
+  ~Library();
+
+  Library(const Library&) = delete;
+  Library& operator=(const Library&) = delete;
+
+  Substrate& substrate() noexcept { return *substrate_; }
+  const Substrate& substrate() const noexcept { return *substrate_; }
+
+  // --- event namespace ---
+  bool query_event(EventId id) const;
+  Result<std::string> event_name(EventId id) const;
+  Result<std::string> event_description(EventId id) const;
+  /// Accepts "PAPI_*" preset names and platform native names.
+  Result<EventId> event_from_name(std::string_view name) const;
+  std::vector<Preset> available_presets() const;
+  std::uint32_t num_counters() const noexcept {
+    return substrate_->num_counters();
+  }
+
+  // --- EventSets ---
+  Result<int> create_event_set();
+  Result<EventSet*> event_set(int handle);
+  Status destroy_event_set(int handle);
+  std::size_t num_event_sets() const noexcept { return sets_.size(); }
+
+  // --- timers ("the most popular feature") ---
+  std::uint64_t real_usec() const { return substrate_->real_usec(); }
+  std::uint64_t real_cycles() const { return substrate_->real_cycles(); }
+  std::uint64_t virt_usec() const { return substrate_->virt_usec(); }
+
+  // --- PAPI 3 memory utilization extension ---
+  Result<MemoryInfo> memory_info() const {
+    return substrate_->memory_info();
+  }
+
+ private:
+  friend class EventSet;
+  /// One-running-EventSet enforcement.
+  Status notify_starting(EventSet* set);
+  void notify_stopped(EventSet* set);
+
+  std::unique_ptr<Substrate> substrate_;
+  std::unordered_map<int, std::unique_ptr<EventSet>> sets_;
+  int next_handle_ = 1;
+  EventSet* running_ = nullptr;
+};
+
+}  // namespace papirepro::papi

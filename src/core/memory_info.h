@@ -1,0 +1,21 @@
+// Memory-utilization extensions planned for PAPI version 3 (Section 5):
+// "memory available on a node, total memory available/used
+// (high-water-mark), memory used by process/thread, ...".  Substrates
+// fill in what they can: the host substrate reads /proc, the simulated
+// substrates report the machine's touched-page accounting.
+#pragma once
+
+#include <cstdint>
+
+namespace papirepro::papi {
+
+struct MemoryInfo {
+  std::uint64_t total_bytes = 0;      ///< memory available on the node
+  std::uint64_t available_bytes = 0;  ///< currently available
+  std::uint64_t process_resident_bytes = 0;  ///< used by this process
+  std::uint64_t process_peak_bytes = 0;      ///< high-water mark
+  std::uint64_t page_size_bytes = 0;
+  std::uint64_t page_faults = 0;  ///< major+minor where known
+};
+
+}  // namespace papirepro::papi

@@ -1,0 +1,87 @@
+#include "core/multiplex.h"
+
+#include <algorithm>
+
+#include "core/allocator.h"
+
+namespace papirepro::papi {
+
+Result<std::vector<MuxGroupPlan>> plan_multiplex(
+    const Substrate& substrate,
+    std::span<const pmu::NativeEventCode> natives) {
+  std::vector<std::size_t> remaining(natives.size());
+  for (std::size_t i = 0; i < remaining.size(); ++i) remaining[i] = i;
+
+  std::vector<MuxGroupPlan> plans;
+  while (!remaining.empty()) {
+    std::vector<pmu::NativeEventCode> subset;
+    subset.reserve(remaining.size());
+    for (std::size_t idx : remaining) subset.push_back(natives[idx]);
+
+    // First try the whole remainder at once (common fast path), then
+    // fall back to the max-cardinality matching to pick the largest
+    // placeable subset.
+    std::vector<std::size_t> chosen_members;
+    std::vector<std::uint32_t> chosen_assignment;
+    if (auto whole = substrate.allocate(subset, {}); whole.ok()) {
+      chosen_members = remaining;
+      chosen_assignment = std::move(whole.value());
+    } else {
+      const pmu::PlatformDescription* platform = substrate.platform();
+      if (platform != nullptr && platform->group_constrained()) {
+        // Pick the group covering the most of the remaining events.
+        const pmu::CounterGroup* best = nullptr;
+        std::size_t best_cover = 0;
+        for (const pmu::CounterGroup& g : platform->groups) {
+          std::size_t cover = 0;
+          for (std::size_t idx : remaining) {
+            if (std::find(g.slots.begin(), g.slots.end(), natives[idx]) !=
+                g.slots.end()) {
+              ++cover;
+            }
+          }
+          if (cover > best_cover) {
+            best_cover = cover;
+            best = &g;
+          }
+        }
+        if (best == nullptr) return Error::kConflict;
+        for (std::size_t idx : remaining) {
+          const auto it =
+              std::find(best->slots.begin(), best->slots.end(), natives[idx]);
+          if (it != best->slots.end()) {
+            chosen_members.push_back(idx);
+            chosen_assignment.push_back(
+                static_cast<std::uint32_t>(it - best->slots.begin()));
+          }
+        }
+      } else if (auto inst = substrate.translate_allocation(subset, {});
+                 !inst.ok()) {
+        return inst.error();
+      } else {
+        const AllocationResult solved = solve_max_cardinality(inst.value());
+        if (solved.mapped_count == 0) return Error::kConflict;
+        for (std::size_t i = 0; i < remaining.size(); ++i) {
+          if (solved.assignment[i] != AllocationResult::kUnassigned) {
+            chosen_members.push_back(remaining[i]);
+            chosen_assignment.push_back(
+                static_cast<std::uint32_t>(solved.assignment[i]));
+          }
+        }
+      }
+    }
+
+    std::vector<std::size_t> next_remaining;
+    for (std::size_t idx : remaining) {
+      if (std::find(chosen_members.begin(), chosen_members.end(), idx) ==
+          chosen_members.end()) {
+        next_remaining.push_back(idx);
+      }
+    }
+    plans.push_back({std::move(chosen_members), std::move(chosen_assignment)});
+    remaining = std::move(next_remaining);
+  }
+  return plans;
+}
+
+}  // namespace papirepro::papi

@@ -1,0 +1,24 @@
+// Counting-mode options (PAPI_set_domain / PAPI_set_opt territory).
+// The domain controls which execution contexts a counter observes:
+// user-level application work, or the "kernel" work the measurement
+// infrastructure itself induces (counter-read system calls, overflow
+// handler execution, ProfileMe bookkeeping).  Real PAPI defaults to
+// PAPI_DOM_USER; we default to kAll so raw experiments see total machine
+// activity, and expose the user-only mode for the perturbation studies.
+#pragma once
+
+#include <cstdint>
+
+namespace papirepro::papi {
+
+namespace domain {
+inline constexpr std::uint32_t kUser = 0x1;
+inline constexpr std::uint32_t kKernel = 0x2;
+inline constexpr std::uint32_t kAll = kUser | kKernel;
+}  // namespace domain
+
+constexpr bool valid_domain(std::uint32_t mask) noexcept {
+  return mask != 0 && (mask & ~domain::kAll) == 0;
+}
+
+}  // namespace papirepro::papi

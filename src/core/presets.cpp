@@ -1,0 +1,56 @@
+#include "core/presets.h"
+
+#include <array>
+
+namespace papirepro::papi {
+namespace {
+
+struct PresetInfo {
+  std::string_view name;
+  std::string_view description;
+};
+
+constexpr std::array<PresetInfo, kNumPresets> kPresetTable = {{
+    {"PAPI_TOT_CYC", "Total cycles"},
+    {"PAPI_TOT_INS", "Instructions completed"},
+    {"PAPI_FP_INS", "Floating point instructions"},
+    {"PAPI_FP_OPS", "Floating point operations (FMA counts as 2)"},
+    {"PAPI_FMA_INS", "Fused multiply-add instructions"},
+    {"PAPI_FDV_INS", "Floating point divide instructions"},
+    {"PAPI_LD_INS", "Load instructions"},
+    {"PAPI_SR_INS", "Store instructions"},
+    {"PAPI_LST_INS", "Load/store instructions completed"},
+    {"PAPI_L1_DCA", "L1 data cache accesses"},
+    {"PAPI_L1_DCM", "L1 data cache misses"},
+    {"PAPI_L1_ICM", "L1 instruction cache misses"},
+    {"PAPI_L1_TCM", "L1 total cache misses"},
+    {"PAPI_L2_TCA", "L2 total cache accesses"},
+    {"PAPI_L2_TCM", "L2 total cache misses"},
+    {"PAPI_TLB_DM", "Data TLB misses"},
+    {"PAPI_TLB_IM", "Instruction TLB misses"},
+    {"PAPI_TLB_TL", "Total TLB misses"},
+    {"PAPI_BR_INS", "Conditional branch instructions"},
+    {"PAPI_BR_TKN", "Conditional branches taken"},
+    {"PAPI_BR_MSP", "Conditional branches mispredicted"},
+    {"PAPI_BR_PRC", "Conditional branches correctly predicted"},
+    {"PAPI_STL_CCY", "Cycles stalled (no instruction completion)"},
+}};
+
+}  // namespace
+
+std::string_view preset_name(Preset p) noexcept {
+  return kPresetTable[static_cast<std::size_t>(p)].name;
+}
+
+std::string_view preset_description(Preset p) noexcept {
+  return kPresetTable[static_cast<std::size_t>(p)].description;
+}
+
+std::optional<Preset> preset_from_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kPresetTable.size(); ++i) {
+    if (kPresetTable[i].name == name) return static_cast<Preset>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace papirepro::papi

@@ -1,0 +1,68 @@
+// The PAPI standard preset events: "a standard set of events deemed most
+// relevant for application performance tuning."  Each substrate maps as
+// many of these as possible onto its native events (possibly as derived
+// add/subtract combinations) and reports Error::kNoEvent for the rest —
+// the availability matrix differs per platform exactly as in real PAPI.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace papirepro::papi {
+
+enum class Preset : std::uint32_t {
+  kTotCyc = 0,  ///< PAPI_TOT_CYC: total cycles
+  kTotIns,      ///< PAPI_TOT_INS: instructions completed
+  kFpIns,       ///< PAPI_FP_INS: floating point instructions
+  kFpOps,       ///< PAPI_FP_OPS: floating point operations (FMA = 2)
+  kFmaIns,      ///< PAPI_FMA_INS: fused multiply-add instructions
+  kFdvIns,      ///< PAPI_FDV_INS: FP divide instructions
+  kLdIns,       ///< PAPI_LD_INS: load instructions
+  kSrIns,       ///< PAPI_SR_INS: store instructions
+  kLstIns,      ///< PAPI_LST_INS: loads + stores
+  kL1Dca,       ///< PAPI_L1_DCA: L1 data cache accesses
+  kL1Dcm,       ///< PAPI_L1_DCM: L1 data cache misses
+  kL1Icm,       ///< PAPI_L1_ICM: L1 instruction cache misses
+  kL1Tcm,       ///< PAPI_L1_TCM: L1 total cache misses (derived)
+  kL2Tca,       ///< PAPI_L2_TCA: L2 total accesses
+  kL2Tcm,       ///< PAPI_L2_TCM: L2 total misses
+  kTlbDm,       ///< PAPI_TLB_DM: data TLB misses
+  kTlbIm,       ///< PAPI_TLB_IM: instruction TLB misses
+  kTlbTl,       ///< PAPI_TLB_TL: total TLB misses (derived)
+  kBrIns,       ///< PAPI_BR_INS: conditional branch instructions
+  kBrTkn,       ///< PAPI_BR_TKN: taken branches
+  kBrMsp,       ///< PAPI_BR_MSP: mispredicted branches
+  kBrPrc,       ///< PAPI_BR_PRC: correctly predicted branches (derived)
+  kStlCcy,      ///< PAPI_STL_CCY: cycles with no instruction completion
+  kCount,       // sentinel
+};
+
+inline constexpr std::size_t kNumPresets =
+    static_cast<std::size_t>(Preset::kCount);
+
+/// PAPI encodes presets with the high bit set; we keep the convention so
+/// the C API's integer codes look familiar.
+inline constexpr std::uint32_t kPresetCodeBase = 0x80000000u;
+
+constexpr std::uint32_t preset_code(Preset p) noexcept {
+  return kPresetCodeBase | static_cast<std::uint32_t>(p);
+}
+
+constexpr std::optional<Preset> preset_from_code(std::uint32_t code) noexcept {
+  if ((code & kPresetCodeBase) == 0) return std::nullopt;
+  const std::uint32_t idx = code & ~kPresetCodeBase;
+  if (idx >= kNumPresets) return std::nullopt;
+  return static_cast<Preset>(idx);
+}
+
+/// Canonical "PAPI_*" name.
+std::string_view preset_name(Preset p) noexcept;
+
+/// Short description, as printed by the avail utility.
+std::string_view preset_description(Preset p) noexcept;
+
+/// Parses "PAPI_TOT_CYC"-style names.
+std::optional<Preset> preset_from_name(std::string_view name) noexcept;
+
+}  // namespace papirepro::papi

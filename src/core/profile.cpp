@@ -1,0 +1,47 @@
+#include "core/profile.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace papirepro::papi {
+
+ProfileBuffer::ProfileBuffer(std::uint64_t text_base,
+                             std::uint64_t span_bytes, std::uint32_t scale)
+    : text_base_(text_base), span_bytes_(span_bytes), scale_(scale) {
+  assert(scale > 0 && scale <= 0x10000);
+  // SVR4 profil: bucket_index = (pc - base) * scale / 0x10000 / 2 for
+  // 16-bit buckets.  We use the byte-granularity form: bytes per bucket
+  // = 0x10000 / scale.
+  bytes_per_bucket_ = 0x10000u / scale_;
+  if (bytes_per_bucket_ == 0) bytes_per_bucket_ = 1;
+  const std::uint64_t n =
+      (span_bytes + bytes_per_bucket_ - 1) / bytes_per_bucket_;
+  buckets_.assign(static_cast<std::size_t>(n), 0);
+}
+
+void ProfileBuffer::record(std::uint64_t pc) {
+  ++total_;
+  const std::int64_t b = bucket_of(pc);
+  if (b < 0) {
+    ++out_of_range_;
+    return;
+  }
+  ++buckets_[static_cast<std::size_t>(b)];
+}
+
+std::uint64_t ProfileBuffer::bucket_address(std::size_t i) const noexcept {
+  return text_base_ + i * bytes_per_bucket_;
+}
+
+std::int64_t ProfileBuffer::bucket_of(std::uint64_t pc) const noexcept {
+  if (pc < text_base_ || pc >= text_base_ + span_bytes_) return -1;
+  return static_cast<std::int64_t>((pc - text_base_) / bytes_per_bucket_);
+}
+
+void ProfileBuffer::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0u);
+  total_ = 0;
+  out_of_range_ = 0;
+}
+
+}  // namespace papirepro::papi

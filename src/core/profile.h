@@ -1,0 +1,57 @@
+// SVR4-compatible statistical profiling buffer (PAPI_profil).  "The
+// current PAPI code implements statistical profiling over aggregate
+// counting by generating an interrupt on counter overflow of a threshold
+// and sampling the program counter."  The buffer is a bucket histogram
+// over a text-address range; each overflow hashes the observed PC into a
+// bucket.  Attribution accuracy is whatever the delivered PC is —
+// skidded on out-of-order platforms, exact with EAR/ProfileMe support —
+// which is precisely what experiment E6 measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace papirepro::papi {
+
+class ProfileBuffer {
+ public:
+  /// Buckets cover [text_base, text_base + span_bytes); `scale` follows
+  /// the SVR4 profil convention: 0x10000 maps one bucket per byte,
+  /// 0x8000 one bucket per 2 bytes, etc.  We default to one bucket per
+  /// 4-byte instruction.
+  ProfileBuffer(std::uint64_t text_base, std::uint64_t span_bytes,
+                std::uint32_t scale = 0x4000);
+
+  void record(std::uint64_t pc);
+
+  std::uint64_t text_base() const noexcept { return text_base_; }
+  std::uint64_t span_bytes() const noexcept { return span_bytes_; }
+  std::uint32_t scale() const noexcept { return scale_; }
+  std::size_t num_buckets() const noexcept { return buckets_.size(); }
+  const std::vector<std::uint32_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  std::uint64_t total_samples() const noexcept { return total_; }
+  std::uint64_t out_of_range_samples() const noexcept {
+    return out_of_range_;
+  }
+
+  /// Address of the first byte covered by bucket `i`.
+  std::uint64_t bucket_address(std::size_t i) const noexcept;
+  /// Bucket index covering `pc`, or -1 when out of range.
+  std::int64_t bucket_of(std::uint64_t pc) const noexcept;
+
+  void reset();
+
+ private:
+  std::uint64_t text_base_;
+  std::uint64_t span_bytes_;
+  std::uint32_t scale_;
+  std::uint64_t bytes_per_bucket_;
+  std::vector<std::uint32_t> buckets_;
+  std::uint64_t total_ = 0;
+  std::uint64_t out_of_range_ = 0;
+};
+
+}  // namespace papirepro::papi

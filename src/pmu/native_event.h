@@ -1,0 +1,50 @@
+// Native hardware event descriptors.  Each simulated platform exposes its
+// own native event namespace — its counters count *these*, and the PAPI
+// preset table maps portable preset names onto them (or reports
+// Error::kNoEvent where a platform has no equivalent, exactly as the real
+// PAPI substrates do).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event.h"
+
+namespace papirepro::pmu {
+
+using NativeEventCode = std::uint32_t;
+inline constexpr NativeEventCode kNoNativeEvent = 0xffffffff;
+
+/// One term of a native event definition: the counter increments by
+/// `multiplier` each time `signal` fires (times the signal weight).
+struct SignalTerm {
+  sim::SimEvent signal;
+  std::uint32_t multiplier = 1;
+};
+
+/// A native event: a named combination of architectural signals plus the
+/// constraints on which physical counters can count it.  Quirks live
+/// here: sim-power3's PM_FPU_INS includes the kFpCvt signal (the
+/// "rounding instructions" discrepancy); platforms differ in whether an
+/// FMA increments their FP-operation event by 1 or 2.
+struct NativeEvent {
+  NativeEventCode code = kNoNativeEvent;
+  std::string name;
+  std::string description;
+  std::vector<SignalTerm> terms;
+  /// Bit i set => countable on physical counter i.  Ignored on
+  /// group-constrained platforms (the group fixes the counter).
+  std::uint32_t counter_mask = 0;
+};
+
+/// POWER-style counter group: a fixed assignment of native events to
+/// counters that must be programmed as a unit.  slots[i] is the event on
+/// physical counter i, or kNoNativeEvent for an idle counter.
+struct CounterGroup {
+  std::uint32_t id = 0;
+  std::string name;
+  std::vector<NativeEventCode> slots;
+};
+
+}  // namespace papirepro::pmu

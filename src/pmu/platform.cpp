@@ -1,0 +1,37 @@
+#include "pmu/platform.h"
+
+#include <algorithm>
+
+namespace papirepro::pmu {
+
+const NativeEvent* PlatformDescription::find_event(
+    NativeEventCode code) const noexcept {
+  for (const auto& e : events) {
+    if (e.code == code) return &e;
+  }
+  return nullptr;
+}
+
+const NativeEvent* PlatformDescription::find_event(
+    std::string_view name_) const noexcept {
+  for (const auto& e : events) {
+    if (e.name == name_) return &e;
+  }
+  return nullptr;
+}
+
+const std::vector<const PlatformDescription*>& all_platforms() {
+  static const std::vector<const PlatformDescription*> platforms = {
+      &sim_x86(), &sim_power3(), &sim_ia64(), &sim_alpha(), &sim_t3e()};
+  return platforms;
+}
+
+const PlatformDescription* find_platform(std::string_view name) {
+  const auto& ps = all_platforms();
+  const auto it = std::find_if(ps.begin(), ps.end(), [&](const auto* p) {
+    return p->name == name;
+  });
+  return it == ps.end() ? nullptr : *it;
+}
+
+}  // namespace papirepro::pmu

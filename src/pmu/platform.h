@@ -1,0 +1,79 @@
+// Platform descriptions: everything machine-dependent about a simulated
+// counter architecture — counter file width, native event table,
+// allocation constraints (masks or groups), sampling capabilities
+// (EAR / ProfileMe), interrupt skid, and the substrate cost model
+// (simulated cycles per counter-interface call).  The four platforms
+// mirror the four interface styles the paper discusses:
+//
+//   sim-x86     Linux/x86 kernel-patch style: 4 counters with
+//               per-counter event constraints, out-of-order skid,
+//               moderately expensive system calls.
+//   sim-power3  IBM pmtoolkit style: 8 counters allocated in fixed
+//               groups; FP-instruction event includes convert/rounding
+//               instructions (the Section 4 discrepancy).
+//   sim-ia64    Itanium style: 4 counters plus Event Address Registers
+//               that capture precise instruction/data addresses.
+//   sim-alpha   Alpha/Tru64 DCPI/DADD style: only 2 counters but a
+//               ProfileMe engine that randomly samples in-flight
+//               instructions, supports precise profiling and
+//               estimating aggregate counts from samples at 1-2 %
+//               overhead.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pmu/native_event.h"
+#include "sim/machine.h"
+#include "sim/skid.h"
+
+namespace papirepro::pmu {
+
+struct SamplingCaps {
+  bool has_ear = false;        ///< precise event address registers
+  bool has_profileme = false;  ///< random in-flight instruction sampling
+};
+
+/// Substrate cost model, in simulated cycles.  These reproduce the
+/// overhead findings: reads are system calls that also pollute the data
+/// cache; overflow interrupts cost handler cycles.
+struct CostModel {
+  std::uint64_t read_cost_cycles = 2500;
+  std::uint64_t start_stop_cost_cycles = 3500;
+  std::uint64_t overflow_handler_cost_cycles = 4000;
+  std::uint32_t read_pollute_lines = 32;
+  /// ProfileMe per-sample retirement cost (tiny: hardware-assisted).
+  std::uint64_t sample_cost_cycles = 15;
+};
+
+struct PlatformDescription {
+  std::string name;
+  std::string vendor_interface;  ///< which 2003 interface style it mirrors
+  std::uint32_t num_counters = 4;
+  std::vector<NativeEvent> events;
+  /// Non-empty => group-constrained platform: a programming must pick one
+  /// group, and every requested event must occupy its slot in that group.
+  std::vector<CounterGroup> groups;
+  SamplingCaps sampling;
+  sim::SkidModel skid = sim::SkidModel::precise();
+  CostModel costs;
+  sim::MachineConfig machine;
+
+  bool group_constrained() const noexcept { return !groups.empty(); }
+
+  const NativeEvent* find_event(NativeEventCode code) const noexcept;
+  const NativeEvent* find_event(std::string_view name) const noexcept;
+};
+
+/// Built-in platforms (static lifetime, thread-safe initialization).
+const PlatformDescription& sim_x86();
+const PlatformDescription& sim_power3();
+const PlatformDescription& sim_ia64();
+const PlatformDescription& sim_alpha();
+const PlatformDescription& sim_t3e();
+
+const std::vector<const PlatformDescription*>& all_platforms();
+const PlatformDescription* find_platform(std::string_view name);
+
+}  // namespace papirepro::pmu

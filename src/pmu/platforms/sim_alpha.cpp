@@ -1,0 +1,86 @@
+// sim-alpha: models the Alpha/Tru64 DCPI-DADD substrate.  Only two
+// aggregate counters with a handful of events — the paper notes the
+// original Tru64 aggregate interface "included only a handful of events"
+// — but a ProfileMe engine that randomly samples in-flight instructions,
+// records their precise PC and event state, and lets the substrate both
+// profile with exact addresses and *estimate aggregate counts from
+// samples* at one-to-two-percent overhead (the DADD measurement in
+// Section 4).
+#include "pmu/platform.h"
+
+using papirepro::sim::SimEvent;
+
+namespace papirepro::pmu {
+namespace {
+
+PlatformDescription make() {
+  PlatformDescription p;
+  p.name = "sim-alpha";
+  p.vendor_interface = "Tru64 DCPI / DADD (ProfileMe)";
+  p.num_counters = 2;
+  p.sampling = {.has_profileme = true};
+  p.skid = sim::SkidModel::out_of_order(/*p=*/0.25, /*cap=*/32, /*min=*/4);
+  p.costs = {.read_cost_cycles = 2000,
+             .start_stop_cost_cycles = 3000,
+             .overflow_handler_cost_cycles = 4200,
+             .read_pollute_lines = 32,
+             .sample_cost_cycles = 12};
+
+  std::uint32_t code = 0x400;
+  auto ev = [&](std::string name, std::string desc,
+                std::vector<SignalTerm> terms) {
+    p.events.push_back({code++, std::move(name), std::move(desc),
+                        std::move(terms), 0b11});
+  };
+
+  ev("CYCLES", "Processor cycles", {{SimEvent::kCycles, 1}});
+  ev("RETIRED_INSTRUCTIONS", "Instructions retired",
+     {{SimEvent::kInstructions, 1}});
+  ev("RETIRED_FP", "FP operate instructions retired",
+     {{SimEvent::kFpAdd, 1},
+      {SimEvent::kFpMul, 1},
+      {SimEvent::kFpFma, 1},
+      {SimEvent::kFpDiv, 1},
+      {SimEvent::kFpSqrt, 1}});
+  ev("BCACHE_MISSES", "Board cache (L2) misses",
+     {{SimEvent::kL2Miss, 1}});
+
+  // ProfileMe events: the DADD extension HP made for PAPI ("To make all
+  // the ProfileMe events available through PAPI ... Hewlett-Packard
+  // engineers extended the Alpha's DCPI interface").  counter_mask 0:
+  // not countable on the aggregate counters — serviced exclusively by
+  // sample extrapolation when the substrate's estimation mode is on.
+  auto pme = [&](std::string name, std::string desc,
+                 std::vector<SignalTerm> terms) {
+    p.events.push_back({code++, std::move(name), std::move(desc),
+                        std::move(terms), 0});
+  };
+  pme("PME_RETIRED_FP", "Sampled FP operate instructions",
+      {{SimEvent::kFpAdd, 1},
+       {SimEvent::kFpMul, 1},
+       {SimEvent::kFpFma, 1},
+       {SimEvent::kFpDiv, 1},
+       {SimEvent::kFpSqrt, 1}});
+  pme("PME_FMA", "Sampled fused multiply-adds", {{SimEvent::kFpFma, 1}});
+  pme("PME_L1D_MISS", "Sampled L1 D-cache misses",
+      {{SimEvent::kL1DMiss, 1}});
+  pme("PME_DTLB_MISS", "Sampled data TLB misses",
+      {{SimEvent::kDTlbMiss, 1}});
+  pme("PME_RETIRED_LOADS", "Sampled loads", {{SimEvent::kLoadIns, 1}});
+  pme("PME_RETIRED_STORES", "Sampled stores", {{SimEvent::kStoreIns, 1}});
+  pme("PME_BR_MISPRED", "Sampled branch mispredictions",
+      {{SimEvent::kBrMispred, 1}});
+  pme("PME_BR_RETIRED", "Sampled conditional branches",
+      {{SimEvent::kBrIns, 1}});
+
+  return p;
+}
+
+}  // namespace
+
+const PlatformDescription& sim_alpha() {
+  static const PlatformDescription p = make();
+  return p;
+}
+
+}  // namespace papirepro::pmu

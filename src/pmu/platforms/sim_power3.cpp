@@ -1,0 +1,107 @@
+// sim-power3: models the IBM pmtoolkit/AIX substrate.  Eight physical
+// counters that must be programmed as a *group* (a fixed assignment of
+// events to counters), and the Section 4 quirk: the FP-instruction event
+// PM_FPU_INS also counts the double<->single convert ("extra rounding")
+// instructions, and counts an FMA as one instruction — so raw counts
+// disagree with expected FLOPs until the PAPI high level normalizes them.
+#include "pmu/platform.h"
+
+using papirepro::sim::SimEvent;
+
+namespace papirepro::pmu {
+namespace {
+
+PlatformDescription make() {
+  PlatformDescription p;
+  p.name = "sim-power3";
+  p.vendor_interface = "IBM pmtoolkit (AIX)";
+  p.num_counters = 8;
+  p.sampling = {};
+  p.skid = sim::SkidModel::fixed_skid(2);  // modestly pipelined, in-order-ish
+  p.costs = {.read_cost_cycles = 1800,
+             .start_stop_cost_cycles = 2600,
+             .overflow_handler_cost_cycles = 3500,
+             .read_pollute_lines = 24,
+             .sample_cost_cycles = 0};
+  p.machine.frequency_ghz = 0.375;  // 375 MHz POWER3-II
+
+  std::uint32_t code = 0x200;
+  auto ev = [&](std::string name, std::string desc,
+                std::vector<SignalTerm> terms) {
+    // Counter masks are irrelevant on a group-constrained platform; the
+    // group slot decides the counter.
+    p.events.push_back({code, std::move(name), std::move(desc),
+                        std::move(terms), 0xff});
+    return code++;
+  };
+
+  const auto cyc = ev("PM_CYC", "Processor cycles", {{SimEvent::kCycles, 1}});
+  const auto inst =
+      ev("PM_INST_CMPL", "Instructions completed",
+         {{SimEvent::kInstructions, 1}});
+  // The discrepancy: converts count as FP instructions, FMA counts once.
+  const auto fpu_ins =
+      ev("PM_FPU_INS", "FPU instructions (includes FP converts/rounds)",
+         {{SimEvent::kFpAdd, 1},
+          {SimEvent::kFpMul, 1},
+          {SimEvent::kFpFma, 1},
+          {SimEvent::kFpDiv, 1},
+          {SimEvent::kFpSqrt, 1},
+          {SimEvent::kFpCvt, 1}});
+  const auto fma =
+      ev("PM_EXEC_FMA", "Fused multiply-adds executed",
+         {{SimEvent::kFpFma, 1}});
+  const auto cvt =
+      ev("PM_FPU_CVT", "FP precision converts (rounding instructions)",
+         {{SimEvent::kFpCvt, 1}});
+  const auto fdiv =
+      ev("PM_FPU_DIV", "FP divides", {{SimEvent::kFpDiv, 1}});
+  const auto ld = ev("PM_LD_CMPL", "Loads completed",
+                     {{SimEvent::kLoadIns, 1}});
+  const auto st = ev("PM_ST_CMPL", "Stores completed",
+                     {{SimEvent::kStoreIns, 1}});
+  const auto dc_acc = ev("PM_DC_ACCESS", "L1 D-cache accesses",
+                         {{SimEvent::kL1DAccess, 1}});
+  const auto dc_miss = ev("PM_DC_MISS", "L1 D-cache misses",
+                          {{SimEvent::kL1DMiss, 1}});
+  const auto ic_miss = ev("PM_IC_MISS", "L1 I-cache misses",
+                          {{SimEvent::kL1IMiss, 1}});
+  const auto l2_miss = ev("PM_L2_MISS", "L2 cache misses",
+                          {{SimEvent::kL2Miss, 1}});
+  const auto dtlb = ev("PM_DTLB_MISS", "Data TLB misses",
+                       {{SimEvent::kDTlbMiss, 1}});
+  const auto itlb = ev("PM_ITLB_MISS", "Instruction TLB misses",
+                       {{SimEvent::kITlbMiss, 1}});
+  const auto br = ev("PM_BR_CMPL", "Conditional branches completed",
+                     {{SimEvent::kBrIns, 1}});
+  const auto br_msp = ev("PM_BR_MPRED", "Branches mispredicted",
+                         {{SimEvent::kBrMispred, 1}});
+  const auto br_tkn = ev("PM_BR_TAKEN", "Branches taken",
+                         {{SimEvent::kBrTaken, 1}});
+  const auto stall = ev("PM_STALL_CYC", "Stall cycles",
+                        {{SimEvent::kStallCycles, 1}});
+
+  const auto none = kNoNativeEvent;
+  auto group = [&](std::uint32_t id, std::string name,
+                   std::vector<NativeEventCode> slots) {
+    slots.resize(p.num_counters, none);
+    p.groups.push_back({id, std::move(name), std::move(slots)});
+  };
+
+  group(0, "basic", {cyc, inst, fpu_ins, fma, ld, st, br, br_msp});
+  group(1, "cache", {cyc, inst, dc_acc, dc_miss, l2_miss, ic_miss, ld, st});
+  group(2, "tlb", {cyc, inst, dtlb, itlb, dc_miss, l2_miss, none, none});
+  group(3, "fp", {cyc, inst, fpu_ins, fma, cvt, fdiv, stall, none});
+  group(4, "branch", {cyc, inst, br, br_msp, br_tkn, stall, none, none});
+
+  return p;
+}
+
+}  // namespace
+
+const PlatformDescription& sim_power3() {
+  static const PlatformDescription p = make();
+  return p;
+}
+
+}  // namespace papirepro::pmu

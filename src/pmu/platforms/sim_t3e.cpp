@@ -1,0 +1,76 @@
+// sim-t3e: models the Cray T3E substrate.  The paper singles it out as
+// the platform whose counter interface is plain "register level
+// operations" — no system call, so reads cost a handful of cycles and
+// pollute nothing.  The 21164-style PMU is small (3 counters) and
+// strictly in-order (precise interrupts), with a thin event list and no
+// sampling assists; the E3/E9 overhead experiments use it as the
+// cheap-read extreme.
+#include "pmu/platform.h"
+
+using papirepro::sim::SimEvent;
+
+namespace papirepro::pmu {
+namespace {
+
+constexpr std::uint32_t kAll3 = 0b111;
+
+PlatformDescription make() {
+  PlatformDescription p;
+  p.name = "sim-t3e";
+  p.vendor_interface = "Cray T3E register-level access (Alpha 21164)";
+  p.num_counters = 3;
+  p.sampling = {};
+  p.skid = sim::SkidModel::precise();  // in-order core
+  p.costs = {.read_cost_cycles = 6,   // a couple of register moves
+             .start_stop_cost_cycles = 10,
+             .overflow_handler_cost_cycles = 2500,
+             .read_pollute_lines = 0,
+             .sample_cost_cycles = 0};
+  p.machine.frequency_ghz = 0.45;  // 450 MHz EV5
+
+  std::uint32_t code = 0x500;
+  auto ev = [&](std::string name, std::string desc,
+                std::vector<SignalTerm> terms, std::uint32_t mask) {
+    p.events.push_back({code++, std::move(name), std::move(desc),
+                        std::move(terms), mask});
+  };
+
+  // 21164 style: counter 0 counts cycles or issues, counter 1/2 take the
+  // configurable events.
+  ev("EV5_CYCLES", "Machine cycles", {{SimEvent::kCycles, 1}}, 0b001);
+  ev("EV5_ISSUES", "Instructions issued",
+     {{SimEvent::kInstructions, 1}}, kAll3);
+  ev("EV5_FLOPS", "FP operate instructions",
+     {{SimEvent::kFpAdd, 1},
+      {SimEvent::kFpMul, 1},
+      {SimEvent::kFpFma, 1},
+      {SimEvent::kFpDiv, 1},
+      {SimEvent::kFpSqrt, 1}},
+     0b110);
+  ev("EV5_LOADS", "Load instructions", {{SimEvent::kLoadIns, 1}}, 0b110);
+  ev("EV5_STORES", "Store instructions", {{SimEvent::kStoreIns, 1}},
+     0b110);
+  ev("EV5_DCACHE_MISS", "D-cache misses", {{SimEvent::kL1DMiss, 1}},
+     0b110);
+  ev("EV5_ICACHE_MISS", "I-cache misses", {{SimEvent::kL1IMiss, 1}},
+     0b110);
+  ev("EV5_SCACHE_MISS", "Secondary cache misses",
+     {{SimEvent::kL2Miss, 1}}, 0b100);
+  ev("EV5_BRANCHES", "Conditional branches", {{SimEvent::kBrIns, 1}},
+     0b110);
+  ev("EV5_BRANCH_MISPR", "Branch mispredictions",
+     {{SimEvent::kBrMispred, 1}}, 0b100);
+  ev("EV5_DTB_MISS", "Data TB misses", {{SimEvent::kDTlbMiss, 1}},
+     0b110);
+
+  return p;
+}
+
+}  // namespace
+
+const PlatformDescription& sim_t3e() {
+  static const PlatformDescription p = make();
+  return p;
+}
+
+}  // namespace papirepro::pmu

@@ -1,0 +1,95 @@
+// sim-x86: models the Linux/x86 kernel-patch substrate.  Four physical
+// counters with per-counter event constraints (cache events on the low
+// counters, FP/branch events on the high counters, L2 on counter 0
+// only), deep out-of-order skid on overflow interrupts, and a
+// system-call cost per counter access — the substrate style whose direct
+// counting overhead the paper measured at up to 30 %.
+#include "pmu/platform.h"
+
+using papirepro::sim::SimEvent;
+
+namespace papirepro::pmu {
+namespace {
+
+constexpr std::uint32_t kAll = 0b1111;
+constexpr std::uint32_t kLow = 0b0011;   // counters 0,1
+constexpr std::uint32_t kHigh = 0b1100;  // counters 2,3
+
+PlatformDescription make() {
+  PlatformDescription p;
+  p.name = "sim-x86";
+  p.vendor_interface = "Linux/x86 kernel patch (perfctr-style)";
+  p.num_counters = 4;
+  p.sampling = {};  // no hardware sampling assist
+  p.skid = sim::SkidModel::out_of_order(/*p=*/0.3, /*cap=*/24, /*min=*/3);
+  p.costs = {.read_cost_cycles = 2500,
+             .start_stop_cost_cycles = 3800,
+             .overflow_handler_cost_cycles = 4500,
+             .read_pollute_lines = 48,
+             .sample_cost_cycles = 0};
+
+  std::uint32_t code = 0x100;
+  auto ev = [&](std::string name, std::string desc,
+                std::vector<SignalTerm> terms, std::uint32_t mask) {
+    p.events.push_back({code++, std::move(name), std::move(desc),
+                        std::move(terms), mask});
+  };
+
+  ev("CPU_CLK_UNHALTED", "Unhalted core cycles",
+     {{SimEvent::kCycles, 1}}, kAll);
+  ev("INST_RETIRED", "Instructions retired",
+     {{SimEvent::kInstructions, 1}}, kAll);
+  // FMA retires as ONE floating point operation natively; the PAPI
+  // high-level flops call multiplies FMA contributions by two.
+  ev("FP_OPS_RETIRED", "Floating point operations retired",
+     {{SimEvent::kFpAdd, 1},
+      {SimEvent::kFpMul, 1},
+      {SimEvent::kFpFma, 1},
+      {SimEvent::kFpDiv, 1},
+      {SimEvent::kFpSqrt, 1}},
+     kHigh);
+  ev("FP_FMA_RETIRED", "Fused multiply-adds retired",
+     {{SimEvent::kFpFma, 1}}, kHigh);
+  ev("FP_INS_RETIRED", "All floating point instructions (incl. moves)",
+     {{SimEvent::kFpAdd, 1},
+      {SimEvent::kFpMul, 1},
+      {SimEvent::kFpFma, 1},
+      {SimEvent::kFpDiv, 1},
+      {SimEvent::kFpSqrt, 1},
+      {SimEvent::kFpCvt, 1},
+      {SimEvent::kFpMove, 1}},
+     kHigh);
+  ev("DATA_MEM_REFS", "Loads + stores retired",
+     {{SimEvent::kLoadIns, 1}, {SimEvent::kStoreIns, 1}}, kLow);
+  ev("LD_RETIRED", "Loads retired", {{SimEvent::kLoadIns, 1}}, kLow);
+  ev("ST_RETIRED", "Stores retired", {{SimEvent::kStoreIns, 1}}, kLow);
+  ev("L1D_ACCESS", "L1 data cache accesses",
+     {{SimEvent::kL1DAccess, 1}}, kLow);
+  ev("L1D_MISS", "L1 data cache misses", {{SimEvent::kL1DMiss, 1}}, kLow);
+  ev("L1I_MISS", "L1 instruction cache misses",
+     {{SimEvent::kL1IMiss, 1}}, kLow);
+  ev("L2_ACCESS", "L2 cache accesses", {{SimEvent::kL2Access, 1}}, 0b0001);
+  ev("L2_MISS", "L2 cache misses", {{SimEvent::kL2Miss, 1}}, 0b0001);
+  ev("DTLB_MISS", "Data TLB misses", {{SimEvent::kDTlbMiss, 1}}, 0b0110);
+  ev("ITLB_MISS", "Instruction TLB misses",
+     {{SimEvent::kITlbMiss, 1}}, 0b0110);
+  ev("BR_INS_RETIRED", "Conditional branches retired",
+     {{SimEvent::kBrIns, 1}}, kHigh);
+  ev("BR_TAKEN_RETIRED", "Taken branches retired",
+     {{SimEvent::kBrTaken, 1}}, kHigh);
+  ev("BR_MISP_RETIRED", "Mispredicted branches retired",
+     {{SimEvent::kBrMispred, 1}}, kHigh);
+  ev("RESOURCE_STALLS", "Stall cycles",
+     {{SimEvent::kStallCycles, 1}}, kAll);
+
+  return p;
+}
+
+}  // namespace
+
+const PlatformDescription& sim_x86() {
+  static const PlatformDescription p = make();
+  return p;
+}
+
+}  // namespace papirepro::pmu

@@ -1,0 +1,135 @@
+#include "pmu/sampling.h"
+
+#include <cassert>
+
+namespace papirepro::pmu {
+
+ProfileMeEngine::ProfileMeEngine(sim::Machine& machine,
+                                 std::span<const sim::SimEvent> tracked,
+                                 std::uint64_t period_mean,
+                                 std::uint64_t seed,
+                                 std::uint64_t sample_cost_cycles)
+    : machine_(machine),
+      period_mean_(period_mean),
+      sample_cost_cycles_(sample_cost_cycles),
+      rng_(seed) {
+  assert(period_mean > 0);
+  assert(tracked.size() <= kMaxTracked);
+  num_tracked_ = tracked.size();
+  tracked_of_signal_.fill(-1);
+  for (std::size_t i = 0; i < num_tracked_; ++i) {
+    tracked_[i] = tracked[i];
+    tracked_of_signal_[static_cast<std::size_t>(tracked[i])] =
+        static_cast<int>(i);
+  }
+  countdown_ = draw_gap();
+  machine_.add_listener(this);
+}
+
+ProfileMeEngine::~ProfileMeEngine() { machine_.remove_listener(this); }
+
+void ProfileMeEngine::start() { enabled_ = true; }
+
+void ProfileMeEngine::stop() {
+  finalize_instruction();
+  enabled_ = false;
+}
+
+std::uint64_t ProfileMeEngine::draw_gap() {
+  // Randomized interval in [period/2, 3*period/2): mean = period, enough
+  // jitter to avoid lock-step with loop bodies (the classic sampling
+  // aliasing hazard).
+  const std::uint64_t half = period_mean_ / 2;
+  return half + rng_.next_below(period_mean_ == 1 ? 1 : period_mean_) + 1;
+}
+
+void ProfileMeEngine::begin_instruction(const sim::EventContext& ctx) {
+  finalize_instruction();
+  have_current_ = true;
+  current_seq_ = ctx.seq;
+  ++instructions_;
+  if (countdown_ > 0) --countdown_;
+  current_selected_ = countdown_ == 0;
+  if (current_selected_) {
+    countdown_ = draw_gap();
+    current_ = Sample{.pc = ctx.pc};
+  }
+}
+
+void ProfileMeEngine::finalize_instruction() {
+  if (!have_current_ || !current_selected_) {
+    have_current_ = false;
+    return;
+  }
+  have_current_ = false;
+  current_selected_ = false;
+  samples_.push_back(current_);
+  for (std::size_t i = 0; i < num_tracked_; ++i) {
+    sampled_weight_sums_[i] += current_.weights[i];
+  }
+  if (sample_cost_cycles_ > 0) {
+    // The charge raises a cycle event that would re-enter on_event and
+    // be mistaken for a new instruction; guard against observing our own
+    // bookkeeping cost.
+    in_self_charge_ = true;
+    machine_.charge_cycles(sample_cost_cycles_);
+    in_self_charge_ = false;
+  }
+}
+
+void ProfileMeEngine::on_event(sim::SimEvent event, std::uint64_t weight,
+                               const sim::EventContext& ctx) {
+  if (!enabled_ || in_self_charge_) return;
+  if (!have_current_ || ctx.seq != current_seq_) begin_instruction(ctx);
+  if (!current_selected_) return;
+  if (ctx.has_addr && !current_.has_addr) {
+    current_.addr = ctx.addr;
+    current_.has_addr = true;
+  }
+  const int t = tracked_of_signal_[static_cast<std::size_t>(event)];
+  if (t >= 0) {
+    current_.weights[static_cast<std::size_t>(t)] +=
+        static_cast<std::uint32_t>(weight);
+  }
+}
+
+double ProfileMeEngine::estimate(std::size_t tracked_index) const {
+  assert(tracked_index < num_tracked_);
+  if (samples_.empty()) return 0.0;
+  // Two expansion factors:
+  //  - self-normalizing (observed instructions / observed samples) is
+  //    the better estimator once there are enough samples, because it
+  //    corrects for any drift in the realized sampling rate;
+  //  - below that, the ratio estimator's small-sample bias (E[1/M] >
+  //    1/E[M]) dominates, so use the fixed inverse inclusion
+  //    probability — the configured mean gap — which is unbiased for a
+  //    continuously running sampling stream.
+  constexpr std::size_t kSelfNormalizeThreshold = 200;
+  const double expansion =
+      samples_.size() >= kSelfNormalizeThreshold
+          ? static_cast<double>(instructions_) /
+                static_cast<double>(samples_.size())
+          : static_cast<double>(period_mean_) + 0.5;
+  return static_cast<double>(sampled_weight_sums_[tracked_index]) *
+         expansion;
+}
+
+std::uint64_t ProfileMeEngine::sampled_weight(
+    std::size_t tracked_index) const {
+  assert(tracked_index < num_tracked_);
+  return sampled_weight_sums_[tracked_index];
+}
+
+void ProfileMeEngine::reset() {
+  instructions_ = 0;
+  samples_.clear();
+  sampled_weight_sums_.fill(0);
+  have_current_ = false;
+  current_selected_ = false;
+  // Deliberately keep the in-flight countdown: resets delimit counting
+  // windows (multiplex slices), and the sampling stream must stay
+  // stationary across them — redrawing would leave the early part of
+  // every window unsampleable and bias window estimates low.
+}
+
+}  // namespace papirepro::pmu

@@ -1,0 +1,103 @@
+// ProfileMe-style hardware sampling engine (Alpha 21264 / DCPI / DADD).
+// "With hardware sampling, an in-flight instruction is selected at random
+// and information about its state is recorded ... The sampling results
+// provide a histogram of the profiling data ... In addition, aggregate
+// event counts can be estimated from sampling data with lower overhead
+// than direct counting." (Section 4.)
+//
+// The engine listens on the machine's signal bus, groups signals by
+// retirement index, randomly selects instructions at a configured mean
+// period, records each selected instruction's precise PC/address and the
+// weights of a small set of tracked signals, and charges the (tiny)
+// per-sample hardware cost.  Aggregate counts are estimated by inverse
+// sampling probability.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/event.h"
+#include "sim/machine.h"
+
+namespace papirepro::pmu {
+
+class ProfileMeEngine final : public sim::EventListener {
+ public:
+  static constexpr std::size_t kMaxTracked = 8;
+
+  struct Sample {
+    std::uint64_t pc = 0;
+    std::uint64_t addr = 0;
+    bool has_addr = false;
+    /// Weight of tracked signal i for the sampled instruction.
+    std::array<std::uint32_t, kMaxTracked> weights{};
+  };
+
+  /// `period_mean` is the mean instruction gap between samples;
+  /// `sample_cost_cycles` is charged to the machine per sample taken.
+  ProfileMeEngine(sim::Machine& machine,
+                  std::span<const sim::SimEvent> tracked,
+                  std::uint64_t period_mean, std::uint64_t seed,
+                  std::uint64_t sample_cost_cycles);
+  ~ProfileMeEngine() override;
+
+  ProfileMeEngine(const ProfileMeEngine&) = delete;
+  ProfileMeEngine& operator=(const ProfileMeEngine&) = delete;
+
+  void start();
+  void stop();
+
+  std::uint64_t instructions_observed() const noexcept {
+    return instructions_;
+  }
+  std::uint64_t samples_taken() const noexcept { return samples_.size(); }
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+  std::span<const sim::SimEvent> tracked() const noexcept {
+    return {tracked_.data(), num_tracked_};
+  }
+
+  /// Estimated aggregate count of tracked signal `tracked_index` over the
+  /// observed window: sampled weight scaled by the empirical inverse
+  /// sampling fraction (self-normalizing; converges as samples grow).
+  double estimate(std::size_t tracked_index) const;
+
+  /// Exact sampled weight sum (before expansion), for tests.
+  std::uint64_t sampled_weight(std::size_t tracked_index) const;
+
+  void reset();
+
+  // sim::EventListener
+  void on_event(sim::SimEvent event, std::uint64_t weight,
+                const sim::EventContext& ctx) override;
+
+ private:
+  void begin_instruction(const sim::EventContext& ctx);
+  void finalize_instruction();
+  std::uint64_t draw_gap();
+
+  sim::Machine& machine_;
+  std::array<sim::SimEvent, kMaxTracked> tracked_{};
+  std::size_t num_tracked_ = 0;
+  /// tracked index per signal, or -1.
+  std::array<int, sim::kNumSimEvents> tracked_of_signal_{};
+  std::uint64_t period_mean_;
+  std::uint64_t sample_cost_cycles_;
+  Xoshiro256 rng_;
+
+  bool enabled_ = false;
+  bool in_self_charge_ = false;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t countdown_ = 0;
+  bool have_current_ = false;
+  bool current_selected_ = false;
+  std::uint64_t current_seq_ = 0;
+  Sample current_{};
+  std::vector<Sample> samples_;
+  std::array<std::uint64_t, kMaxTracked> sampled_weight_sums_{};
+};
+
+}  // namespace papirepro::pmu

@@ -1,0 +1,21 @@
+#include "sim/branch_predictor.h"
+
+namespace papirepro::sim {
+
+bool BranchPredictor::predict_and_train(std::uint64_t pc, bool taken) {
+  ++stats_.conditional;
+  if (taken) ++stats_.taken;
+
+  std::uint8_t& counter = table_[index(pc)];
+  const bool predicted_taken = counter >= 2;
+
+  if (taken && counter < 3) ++counter;
+  if (!taken && counter > 0) --counter;
+  history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+
+  const bool correct = predicted_taken == taken;
+  if (!correct) ++stats_.mispredicted;
+  return correct;
+}
+
+}  // namespace papirepro::sim

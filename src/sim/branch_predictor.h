@@ -1,0 +1,51 @@
+// Gshare-style branch direction predictor: a table of 2-bit saturating
+// counters indexed by PC xor global history.  Drives PAPI_BR_MSP /
+// PAPI_BR_PRC and the mispredict-penalty cycles of the machine model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace papirepro::sim {
+
+struct BranchPredictorConfig {
+  std::uint32_t table_bits = 12;       ///< 4096-entry pattern table
+  std::uint32_t history_bits = 8;
+  std::uint32_t mispredict_penalty = 12;
+};
+
+struct BranchStats {
+  std::uint64_t conditional = 0;
+  std::uint64_t taken = 0;
+  std::uint64_t mispredicted = 0;
+};
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const BranchPredictorConfig& config)
+      : config_(config),
+        table_(std::size_t{1} << config.table_bits, 1 /* weakly not-taken */),
+        history_mask_((1u << config.history_bits) - 1) {}
+
+  /// Predicts and trains on a conditional branch at `pc` whose actual
+  /// outcome is `taken`.  Returns true if the prediction was correct.
+  bool predict_and_train(std::uint64_t pc, bool taken);
+
+  const BranchStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+  const BranchPredictorConfig& config() const noexcept { return config_; }
+
+ private:
+  std::size_t index(std::uint64_t pc) const noexcept {
+    return static_cast<std::size_t>((pc >> 2) ^ history_) &
+           (table_.size() - 1);
+  }
+
+  BranchPredictorConfig config_;
+  std::vector<std::uint8_t> table_;
+  std::uint32_t history_ = 0;
+  std::uint32_t history_mask_;
+  BranchStats stats_;
+};
+
+}  // namespace papirepro::sim

@@ -1,0 +1,52 @@
+#include "sim/cache.h"
+
+#include <cassert>
+
+namespace papirepro::sim {
+
+Cache::Cache(const CacheConfig& config)
+    : config_(config), sets_(config.num_sets()) {
+  assert(sets_ > 0 && "cache too small for line size / associativity");
+  assert((sets_ & (sets_ - 1)) == 0 && "set count must be a power of two");
+  ways_.resize(sets_ * config_.associativity);
+}
+
+bool Cache::access(std::uint64_t addr) {
+  ++stats_.accesses;
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Way* base = &ways_[set * config_.associativity];
+
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = ++stamp_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+
+  ++stats_.misses;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = ++stamp_;
+  return false;
+}
+
+void Cache::pollute(std::uint32_t lines) {
+  // Round-robin invalidation: cheap, deterministic, and spread across
+  // sets the way kernel-entry cache pollution is in practice.
+  for (std::uint32_t i = 0; i < lines && !ways_.empty(); ++i) {
+    ways_[pollute_cursor_].valid = false;
+    pollute_cursor_ = (pollute_cursor_ + config_.associativity) %
+                      static_cast<std::uint32_t>(ways_.size());
+    if (i % sets_ == sets_ - 1) ++pollute_cursor_;  // shift to next way
+  }
+}
+
+}  // namespace papirepro::sim

@@ -1,0 +1,83 @@
+// Multi-rank execution and message passing.  The paper's tool ecosystem
+// exists for "parallel and threaded and/or message-passing programs"
+// (TAU, Vampir correlating event rates with communication); this module
+// provides the substrate for that scenario: N simulated machines
+// ("ranks", distributed memory like MPI processes) interleaved in
+// lockstep, exchanging messages through a mailbox layer driven by probe
+// instructions.
+//
+// Communication ABI (probe-id based, so no ISA changes):
+//   send to rank d:    probe(kSendBase + d)  with r24 = buffer address,
+//                                                 r25 = word count
+//   recv from rank s:  probe(kRecvBase + s)  with r24 = buffer address,
+//                                                 r25 = max words
+// Sends are non-blocking (message queued); receives busy-wait: if no
+// message is pending, the probe handler rewinds the PC so the rank
+// re-executes the recv probe — the wait burns real simulated cycles,
+// which is exactly what a counter-based tool observes during
+// communication phases.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "sim/kernels.h"
+#include "sim/machine.h"
+
+namespace papirepro::sim {
+
+class CommWorld {
+ public:
+  static constexpr std::int64_t kSendBase = 2000;
+  static constexpr std::int64_t kRecvBase = 3000;
+  /// Register convention for the communication ABI.
+  static constexpr int kAddrReg = 24;
+  static constexpr int kCountReg = 25;
+
+  struct RankStats {
+    std::uint64_t sends = 0;
+    std::uint64_t recvs = 0;
+    std::uint64_t words_sent = 0;
+    /// Instructions spent re-executing a recv probe while waiting.
+    std::uint64_t wait_retries = 0;
+  };
+
+  /// Installs the communication probe handlers on every rank (chaining
+  /// any handler already present for non-comm probe ids).
+  explicit CommWorld(std::vector<Machine*> ranks);
+
+  std::size_t num_ranks() const noexcept { return ranks_.size(); }
+  const RankStats& stats(std::size_t rank) const {
+    return stats_.at(rank);
+  }
+
+  /// Runs all ranks round-robin in quanta of `quantum` instructions
+  /// until every rank halts or `max_rounds` scheduler rounds elapse.
+  /// Returns true if all ranks halted (false = budget exhausted, e.g. a
+  /// deadlocked recv).
+  bool run_lockstep(std::uint64_t quantum = 1'000,
+                    std::uint64_t max_rounds = 1'000'000);
+
+ private:
+  void on_probe(std::size_t rank, std::int64_t id, Machine& machine);
+
+  std::vector<Machine*> ranks_;
+  std::vector<RankStats> stats_;
+  std::vector<Machine::ProbeHandler> chained_;
+  /// mailboxes_[dest][src] = queue of pending messages.
+  std::map<std::pair<std::size_t, std::size_t>,
+           std::deque<std::vector<std::int64_t>>>
+      mailboxes_;
+};
+
+/// Builds the program one rank of a ring-exchange benchmark runs:
+/// `iters` rounds of (compute `work` FMAs on a local array; send a
+/// `chunk_words` message to the right neighbour; receive from the left).
+/// The classic compute/communicate alternation Vampir-style views show.
+Workload make_ring_rank(std::size_t rank, std::size_t nranks,
+                        std::int64_t iters, std::int64_t work,
+                        std::int64_t chunk_words);
+
+}  // namespace papirepro::sim

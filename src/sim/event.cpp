@@ -1,0 +1,36 @@
+#include "sim/event.h"
+
+namespace papirepro::sim {
+
+std::string_view sim_event_name(SimEvent e) noexcept {
+  switch (e) {
+    case SimEvent::kCycles: return "CYCLES";
+    case SimEvent::kInstructions: return "INSTRUCTIONS";
+    case SimEvent::kIntIns: return "INT_INS";
+    case SimEvent::kFpAdd: return "FP_ADD";
+    case SimEvent::kFpMul: return "FP_MUL";
+    case SimEvent::kFpFma: return "FP_FMA";
+    case SimEvent::kFpDiv: return "FP_DIV";
+    case SimEvent::kFpSqrt: return "FP_SQRT";
+    case SimEvent::kFpCvt: return "FP_CVT";
+    case SimEvent::kFpMove: return "FP_MOVE";
+    case SimEvent::kLoadIns: return "LOAD_INS";
+    case SimEvent::kStoreIns: return "STORE_INS";
+    case SimEvent::kL1DAccess: return "L1D_ACCESS";
+    case SimEvent::kL1DMiss: return "L1D_MISS";
+    case SimEvent::kL1IAccess: return "L1I_ACCESS";
+    case SimEvent::kL1IMiss: return "L1I_MISS";
+    case SimEvent::kL2Access: return "L2_ACCESS";
+    case SimEvent::kL2Miss: return "L2_MISS";
+    case SimEvent::kDTlbMiss: return "DTLB_MISS";
+    case SimEvent::kITlbMiss: return "ITLB_MISS";
+    case SimEvent::kBrIns: return "BR_INS";
+    case SimEvent::kBrTaken: return "BR_TAKEN";
+    case SimEvent::kBrMispred: return "BR_MISPRED";
+    case SimEvent::kStallCycles: return "STALL_CYCLES";
+    case SimEvent::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace papirepro::sim

@@ -1,0 +1,86 @@
+#include "sim/isa.h"
+
+#include <sstream>
+
+namespace papirepro::sim {
+
+std::string_view opcode_name(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kProbe: return "probe";
+    case Opcode::kLi: return "li";
+    case Opcode::kMov: return "mov";
+    case Opcode::kAdd: return "add";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDivi: return "divi";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShli: return "shli";
+    case Opcode::kShri: return "shri";
+    case Opcode::kSlt: return "slt";
+    case Opcode::kFLi: return "fli";
+    case Opcode::kFMov: return "fmov";
+    case Opcode::kFAdd: return "fadd";
+    case Opcode::kFSub: return "fsub";
+    case Opcode::kFMul: return "fmul";
+    case Opcode::kFMadd: return "fmadd";
+    case Opcode::kFDiv: return "fdiv";
+    case Opcode::kFSqrt: return "fsqrt";
+    case Opcode::kFCvtDS: return "fcvt.d.s";
+    case Opcode::kFCvtSD: return "fcvt.s.d";
+    case Opcode::kFNeg: return "fneg";
+    case Opcode::kLoad: return "ld";
+    case Opcode::kStore: return "st";
+    case Opcode::kFLoad: return "fld";
+    case Opcode::kFStore: return "fst";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kBlt: return "blt";
+    case Opcode::kBge: return "bge";
+    case Opcode::kJump: return "j";
+    case Opcode::kCall: return "call";
+    case Opcode::kRet: return "ret";
+  }
+  return "?";
+}
+
+std::string disassemble(const Instruction& ins) {
+  std::ostringstream os;
+  os << opcode_name(ins.op);
+  switch (op_class(ins.op)) {
+    case OpClass::kNop:
+    case OpClass::kHalt:
+    case OpClass::kRet:
+      break;
+    case OpClass::kProbe:
+      os << " #" << ins.imm;
+      break;
+    case OpClass::kLoad:
+      os << " r" << int(ins.rd) << ", " << ins.imm << "(r" << int(ins.rs1)
+         << ")";
+      break;
+    case OpClass::kStore:
+      os << " r" << int(ins.rs2) << ", " << ins.imm << "(r" << int(ins.rs1)
+         << ")";
+      break;
+    case OpClass::kBranch:
+      os << " r" << int(ins.rs1) << ", r" << int(ins.rs2) << ", @"
+         << ins.target;
+      break;
+    case OpClass::kJump:
+    case OpClass::kCall:
+      os << " @" << ins.target;
+      break;
+    default:
+      os << " r" << int(ins.rd) << ", r" << int(ins.rs1) << ", r"
+         << int(ins.rs2) << ", imm=" << ins.imm;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace papirepro::sim

@@ -1,0 +1,192 @@
+// Instruction-set definition for the simulated processor that stands in
+// for the paper's 2003-era hardware (x86, POWER3, Itanium, Alpha).  The
+// machine is a 64-bit register machine: 32 integer registers, 32 floating
+// point registers, byte-addressed memory, label-resolved control flow.
+//
+// The ISA is deliberately small but covers every event class the paper's
+// claims depend on: integer/FP arithmetic (including fused multiply-add
+// and the double<->single *convert/rounding* instructions behind the
+// POWER3 FP-count discrepancy), loads/stores (cache + TLB events),
+// branches (prediction events), calls/returns (function-level profiling),
+// and probe instructions (dynaprof instrumentation points).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace papirepro::sim {
+
+inline constexpr int kNumIntRegs = 32;
+inline constexpr int kNumFpRegs = 32;
+
+/// Base virtual address of the text segment.  Instruction i lives at
+/// kTextBase + 4*i, giving profilers realistic-looking addresses.
+inline constexpr std::uint64_t kTextBase = 0x400000;
+inline constexpr std::uint64_t kInstrBytes = 4;
+
+enum class Opcode : std::uint8_t {
+  kNop,
+  kHalt,
+  /// Instrumentation probe: transfers control to the host probe handler
+  /// (dynaprof).  imm carries the probe id.
+  kProbe,
+
+  // --- integer ---
+  kLi,    ///< rd = imm
+  kMov,   ///< rd = rs1
+  kAdd,   ///< rd = rs1 + rs2
+  kAddi,  ///< rd = rs1 + imm
+  kSub,   ///< rd = rs1 - rs2
+  kMul,   ///< rd = rs1 * rs2
+  kDivi,  ///< rd = rs1 / imm (imm != 0)
+  kAnd,   ///< rd = rs1 & rs2
+  kOr,    ///< rd = rs1 | rs2
+  kXor,   ///< rd = rs1 ^ rs2
+  kShli,  ///< rd = rs1 << imm
+  kShri,  ///< rd = rs1 >> imm (logical)
+  kSlt,   ///< rd = (rs1 < rs2) ? 1 : 0
+
+  // --- floating point (double precision unless noted) ---
+  kFLi,    ///< fd = bit_cast<double>(imm)
+  kFMov,   ///< fd = fs1
+  kFAdd,   ///< fd = fs1 + fs2
+  kFSub,   ///< fd = fs1 - fs2
+  kFMul,   ///< fd = fs1 * fs2
+  kFMadd,  ///< fd = fd + fs1 * fs2   (fused multiply-add: 1 instruction,
+           ///                         2 floating point operations)
+  kFDiv,   ///< fd = fs1 / fs2
+  kFSqrt,  ///< fd = sqrt(fs1)
+  kFCvtDS, ///< fd = (double)(float)fs1  — round to single: the "extra
+           ///   rounding instruction" POWER3 counted as an FP instruction
+  kFCvtSD, ///< fd = widen(fs1) (single to double; same rounding class)
+  kFNeg,   ///< fd = -fs1
+
+  // --- memory (8-byte words) ---
+  kLoad,   ///< rd = mem64[rs1 + imm]
+  kStore,  ///< mem64[rs1 + imm] = rs2
+  kFLoad,  ///< fd = memf64[rs1 + imm]
+  kFStore, ///< memf64[rs1 + imm] = fs2
+
+  // --- control flow (target = absolute instruction index) ---
+  kBeq,   ///< if (rs1 == rs2) goto target
+  kBne,   ///< if (rs1 != rs2) goto target
+  kBlt,   ///< if (rs1 <  rs2) goto target
+  kBge,   ///< if (rs1 >= rs2) goto target
+  kJump,  ///< goto target
+  kCall,  ///< push return address; goto target (function entry)
+  kRet,   ///< pop return address
+};
+
+/// Which functional class an opcode belongs to; drives event generation.
+enum class OpClass : std::uint8_t {
+  kNop,
+  kIntAlu,
+  kIntMul,
+  kIntDiv,
+  kFpAdd,
+  kFpMul,
+  kFpFma,
+  kFpDiv,
+  kFpSqrt,
+  kFpCvt,
+  kFpMove,
+  kLoad,
+  kStore,
+  kBranch,
+  kJump,
+  kCall,
+  kRet,
+  kProbe,
+  kHalt,
+};
+
+constexpr OpClass op_class(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kNop: return OpClass::kNop;
+    case Opcode::kHalt: return OpClass::kHalt;
+    case Opcode::kProbe: return OpClass::kProbe;
+    case Opcode::kLi:
+    case Opcode::kMov:
+    case Opcode::kAdd:
+    case Opcode::kAddi:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShli:
+    case Opcode::kShri:
+    case Opcode::kSlt: return OpClass::kIntAlu;
+    case Opcode::kMul: return OpClass::kIntMul;
+    case Opcode::kDivi: return OpClass::kIntDiv;
+    case Opcode::kFLi:
+    case Opcode::kFMov:
+    case Opcode::kFNeg: return OpClass::kFpMove;
+    case Opcode::kFAdd:
+    case Opcode::kFSub: return OpClass::kFpAdd;
+    case Opcode::kFMul: return OpClass::kFpMul;
+    case Opcode::kFMadd: return OpClass::kFpFma;
+    case Opcode::kFDiv: return OpClass::kFpDiv;
+    case Opcode::kFSqrt: return OpClass::kFpSqrt;
+    case Opcode::kFCvtDS:
+    case Opcode::kFCvtSD: return OpClass::kFpCvt;
+    case Opcode::kLoad:
+    case Opcode::kFLoad: return OpClass::kLoad;
+    case Opcode::kStore:
+    case Opcode::kFStore: return OpClass::kStore;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge: return OpClass::kBranch;
+    case Opcode::kJump: return OpClass::kJump;
+    case Opcode::kCall: return OpClass::kCall;
+    case Opcode::kRet: return OpClass::kRet;
+  }
+  return OpClass::kNop;
+}
+
+constexpr bool is_conditional_branch(Opcode op) noexcept {
+  return op_class(op) == OpClass::kBranch;
+}
+
+constexpr bool is_fp_arith(OpClass c) noexcept {
+  switch (c) {
+    case OpClass::kFpAdd:
+    case OpClass::kFpMul:
+    case OpClass::kFpFma:
+    case OpClass::kFpDiv:
+    case OpClass::kFpSqrt:
+    case OpClass::kFpCvt: return true;
+    default: return false;
+  }
+}
+
+std::string_view opcode_name(Opcode op) noexcept;
+
+/// One decoded instruction.  `target` is an absolute instruction index,
+/// resolved by the assembler from labels.  `line` is source-line debug
+/// info used by the vprof-style source correlation tool.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int64_t imm = 0;
+  std::int32_t target = -1;
+  std::uint32_t line = 0;
+};
+
+/// Virtual address of instruction index `idx`.
+constexpr std::uint64_t instr_address(std::int64_t idx) noexcept {
+  return kTextBase + static_cast<std::uint64_t>(idx) * kInstrBytes;
+}
+
+/// Inverse of instr_address.
+constexpr std::int64_t address_to_index(std::uint64_t addr) noexcept {
+  return static_cast<std::int64_t>((addr - kTextBase) / kInstrBytes);
+}
+
+/// Disassemble for diagnostics/tests.
+std::string disassemble(const Instruction& ins);
+
+}  // namespace papirepro::sim

@@ -1,0 +1,212 @@
+// The simulated processor.  Executes an assembled Program against the
+// memory/cache/TLB/branch-predictor models, raises architectural event
+// signals to subscribed listeners (the PMU models), fires cycle timers
+// (the multiplexing time-slicer, perfometer sampling), delivers counter
+// overflow interrupts with a configurable out-of-order attribution skid,
+// and lets instrumentation charge overhead cycles and cache pollution —
+// everything needed to reproduce the paper's accuracy and overhead
+// findings deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/branch_predictor.h"
+#include "sim/cache.h"
+#include "sim/event.h"
+#include "sim/isa.h"
+#include "sim/memory.h"
+#include "sim/program.h"
+#include "sim/skid.h"
+#include "sim/tlb.h"
+
+namespace papirepro::sim {
+
+struct MachineConfig {
+  CacheConfig l1i{.size_bytes = 16 * 1024, .line_bytes = 64,
+                  .associativity = 2, .miss_latency = 8};
+  CacheConfig l1d{.size_bytes = 32 * 1024, .line_bytes = 64,
+                  .associativity = 4, .miss_latency = 8};
+  CacheConfig l2{.size_bytes = 512 * 1024, .line_bytes = 64,
+                 .associativity = 8, .miss_latency = 80};
+  TlbConfig dtlb{.entries = 64, .page_bits = 12, .miss_latency = 30};
+  TlbConfig itlb{.entries = 32, .page_bits = 12, .miss_latency = 30};
+  BranchPredictorConfig branch{};
+
+  // Extra cycles beyond the 1-cycle base, per instruction class.
+  std::uint32_t int_mul_latency = 2;
+  std::uint32_t int_div_latency = 12;
+  std::uint32_t fp_add_latency = 2;
+  std::uint32_t fp_mul_latency = 3;
+  std::uint32_t fp_fma_latency = 3;
+  std::uint32_t fp_div_latency = 18;
+  std::uint32_t fp_sqrt_latency = 24;
+  std::uint32_t fp_cvt_latency = 2;
+
+  /// PC-attribution behaviour of overflow interrupts (see skid.h).
+  SkidModel skid = SkidModel::precise();
+
+  /// Clock frequency used to convert cycles to microseconds for the
+  /// simulated-time PAPI timers.
+  double frequency_ghz = 1.0;
+
+  std::uint64_t seed = 0x9a5c3f1e2b4d6870ULL;
+};
+
+/// Delivered with an overflow interrupt.
+struct InterruptContext {
+  std::uint64_t pc_requested = 0;  ///< precise PC of the causing instruction
+  std::uint64_t pc_delivered = 0;  ///< PC observed by the handler (skidded)
+  std::uint64_t retired = 0;
+  std::uint64_t cycles = 0;
+};
+
+struct RunResult {
+  bool halted = false;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+};
+
+class Machine {
+ public:
+  using ProbeHandler = std::function<void(std::int64_t probe_id, Machine&)>;
+  using TimerCallback = std::function<void(Machine&)>;
+  using InterruptHandler = std::function<void(const InterruptContext&)>;
+
+  /// The machine owns its program image (loaded into "text memory"), so
+  /// callers may pass temporaries.
+  Machine(Program program, const MachineConfig& config);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // --- architectural state ---
+  std::int64_t int_reg(int r) const { return iregs_.at(r); }
+  void set_int_reg(int r, std::int64_t v) { iregs_.at(r) = v; }
+  double fp_reg(int r) const { return fregs_.at(r); }
+  void set_fp_reg(int r, double v) { fregs_.at(r) = v; }
+  Memory& memory() noexcept { return memory_; }
+  const Memory& memory() const noexcept { return memory_; }
+
+  std::uint64_t pc_address() const noexcept { return instr_address(pc_); }
+  void set_pc_index(std::int32_t idx) noexcept { pc_ = idx; }
+  bool halted() const noexcept { return halted_; }
+
+  // --- counters / stats ---
+  std::uint64_t cycles() const noexcept { return cycles_; }
+  std::uint64_t retired() const noexcept { return retired_; }
+  /// Cycles injected by instrumentation via charge_cycles().
+  std::uint64_t overhead_cycles() const noexcept { return overhead_cycles_; }
+  double seconds() const noexcept {
+    return static_cast<double>(cycles_) / (config_.frequency_ghz * 1e9);
+  }
+  std::uint64_t microseconds() const noexcept {
+    return static_cast<std::uint64_t>(
+        static_cast<double>(cycles_) / (config_.frequency_ghz * 1e3));
+  }
+
+  const Cache& l1i() const noexcept { return l1i_; }
+  const Cache& l1d() const noexcept { return l1d_; }
+  const Cache& l2() const noexcept { return l2_; }
+  const Tlb& dtlb() const noexcept { return dtlb_; }
+  const Tlb& itlb() const noexcept { return itlb_; }
+  const BranchPredictor& branch_predictor() const noexcept { return bp_; }
+  const MachineConfig& config() const noexcept { return config_; }
+  const Program& program() const noexcept { return program_; }
+
+  // --- instrumentation hooks ---
+  void add_listener(EventListener* listener);
+  void remove_listener(EventListener* listener);
+
+  void set_probe_handler(ProbeHandler handler) {
+    probe_handler_ = std::move(handler);
+  }
+  /// Current probe handler (empty if none) — lets tools chain handlers.
+  const ProbeHandler& probe_handler() const noexcept {
+    return probe_handler_;
+  }
+
+  /// Registers a periodic timer firing every `period_cycles`.  Returns a
+  /// timer id usable with cancel_timer().  Used by the multiplexing
+  /// time-slicer and by perfometer's sampling interval.
+  int add_cycle_timer(std::uint64_t period_cycles, TimerCallback callback);
+  void cancel_timer(int id);
+
+  /// Schedules an interrupt `delay_instructions` retirements in the
+  /// future (0 = immediately after the current instruction), recording
+  /// `pc_requested` as the precise cause.  The PMU draws the delay from
+  /// the platform skid model.
+  void schedule_interrupt(std::uint32_t delay_instructions,
+                          std::uint64_t pc_requested,
+                          InterruptHandler handler);
+
+  /// Charges instrumentation overhead: advances the cycle clock (visible
+  /// to all cycle counters, as in real hardware) and optionally pollutes
+  /// the data cache — the two overhead sources Section 4 names for
+  /// counter-read system calls.
+  void charge_cycles(std::uint64_t n, std::uint32_t pollute_lines = 0);
+
+  /// Skid RNG, exposed so the PMU can draw delivery delays from the
+  /// machine-owned deterministic stream.
+  Xoshiro256& skid_rng() noexcept { return rng_; }
+
+  // --- execution ---
+  /// Runs until HALT or until `max_instructions` retire.
+  RunResult run(std::uint64_t max_instructions =
+                    std::numeric_limits<std::uint64_t>::max());
+
+  /// Executes exactly one instruction (test hook).
+  void step();
+
+ private:
+  struct Timer {
+    int id;
+    std::uint64_t period;
+    std::uint64_t next_deadline;
+    TimerCallback callback;
+    bool cancelled;
+  };
+  struct PendingInterrupt {
+    std::uint64_t deliver_at_retired;
+    std::uint64_t pc_requested;
+    InterruptHandler handler;
+  };
+
+  void emit(SimEvent e, std::uint64_t weight, const EventContext& ctx);
+  std::uint32_t data_access(std::uint64_t addr, const EventContext& ctx);
+  std::uint32_t fetch(const EventContext& ctx);
+  void fire_timers();
+  void deliver_interrupts(std::uint64_t pc_delivered);
+
+  Program program_;
+  MachineConfig config_;
+  Memory memory_;
+  Cache l1i_, l1d_, l2_;
+  Tlb dtlb_, itlb_;
+  BranchPredictor bp_;
+  Xoshiro256 rng_;
+
+  std::vector<std::int64_t> iregs_;
+  std::vector<double> fregs_;
+  std::vector<std::int32_t> call_stack_;
+  std::int32_t pc_ = 0;
+  bool halted_ = false;
+
+  std::uint64_t cycles_ = 0;
+  std::uint64_t retired_ = 0;
+  std::uint64_t overhead_cycles_ = 0;
+
+  std::vector<EventListener*> listeners_;
+  ProbeHandler probe_handler_;
+  std::vector<Timer> timers_;
+  std::uint64_t next_timer_deadline_ =
+      std::numeric_limits<std::uint64_t>::max();
+  int next_timer_id_ = 0;
+  std::vector<PendingInterrupt> pending_interrupts_;
+  bool in_handler_ = false;
+};
+
+}  // namespace papirepro::sim

@@ -1,0 +1,50 @@
+// Sparse, paged byte-addressable memory for the simulated machine.
+// Pages are allocated on first touch; the page count feeds the simulated
+// process-memory statistics behind the PAPI 3 memory-utilization
+// extensions (resident size, high-water mark).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace papirepro::sim {
+
+inline constexpr std::uint64_t kPageBits = 12;  // 4 KiB pages
+inline constexpr std::uint64_t kPageSize = 1ULL << kPageBits;
+inline constexpr std::uint64_t kPageMask = kPageSize - 1;
+
+class Memory {
+ public:
+  std::int64_t read_i64(std::uint64_t addr) const;
+  void write_i64(std::uint64_t addr, std::int64_t value);
+
+  double read_f64(std::uint64_t addr) const {
+    return std::bit_cast<double>(read_i64(addr));
+  }
+  void write_f64(std::uint64_t addr, double value) {
+    write_i64(addr, std::bit_cast<std::int64_t>(value));
+  }
+
+  /// Number of distinct pages ever touched (high-water mark in pages).
+  std::uint64_t pages_touched() const noexcept { return pages_.size(); }
+  std::uint64_t bytes_touched() const noexcept {
+    return pages_.size() * kPageSize;
+  }
+
+  static constexpr std::uint64_t page_of(std::uint64_t addr) noexcept {
+    return addr >> kPageBits;
+  }
+
+ private:
+  struct Page {
+    std::int64_t words[kPageSize / 8] = {};
+  };
+  Page& page(std::uint64_t page_index);
+  const Page* find_page(std::uint64_t page_index) const;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace papirepro::sim

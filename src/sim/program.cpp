@@ -1,0 +1,125 @@
+#include "sim/program.h"
+
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+namespace papirepro::sim {
+
+const Function* Program::function_at(std::int64_t idx) const noexcept {
+  for (const auto& f : functions_) {
+    if (f.contains(idx)) return &f;
+  }
+  return nullptr;
+}
+
+const Function* Program::find_function(std::string_view name) const noexcept {
+  for (const auto& f : functions_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::uint32_t Program::line_of(std::int64_t idx) const {
+  return code_.at(idx).line;
+}
+
+std::string Program::dump() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    for (const auto& f : functions_) {
+      if (f.entry == static_cast<std::int32_t>(i)) {
+        os << f.name << ":\n";
+      }
+    }
+    os << "  " << i << ": " << disassemble(code_[i]) << "\n";
+  }
+  return os.str();
+}
+
+Program Program::from_parts(std::vector<Instruction> code,
+                            std::vector<Function> functions) {
+  Program p;
+  p.code_ = std::move(code);
+  p.functions_ = std::move(functions);
+  p.entry_ = 0;
+  for (const auto& f : p.functions_) {
+    if (f.name == "main") p.entry_ = f.entry;
+  }
+  return p;
+}
+
+std::uint8_t ProgramBuilder::u8(int r) {
+  assert(r >= 0 && r < kNumIntRegs);
+  return static_cast<std::uint8_t>(r);
+}
+
+void ProgramBuilder::emit(Instruction ins) {
+  ins.line = line_;
+  code_.push_back(ins);
+}
+
+void ProgramBuilder::bind(Label label) {
+  assert(label >= 0 &&
+         static_cast<std::size_t>(label) < label_targets_.size());
+  assert(label_targets_[label] == -1 && "label bound twice");
+  label_targets_[label] = next_index();
+}
+
+void ProgramBuilder::begin_function(std::string name) {
+  assert(!in_function_ && "nested functions are not supported");
+  in_function_ = true;
+  functions_.push_back({std::move(name), next_index(), next_index()});
+}
+
+void ProgramBuilder::end_function() {
+  assert(in_function_);
+  in_function_ = false;
+  functions_.back().end = next_index();
+}
+
+void ProgramBuilder::fli(int fd, double value) {
+  emit({.op = Opcode::kFLi, .rd = u8(fd),
+        .imm = std::bit_cast<std::int64_t>(value)});
+}
+
+void ProgramBuilder::branch(Opcode op, int rs1, int rs2, Label l) {
+  fixups_.emplace_back(next_index(), l);
+  emit({.op = op, .rs1 = u8(rs1), .rs2 = u8(rs2), .target = -1});
+}
+
+void ProgramBuilder::call(std::string_view function) {
+  call_fixups_.emplace_back(next_index(), std::string(function));
+  emit({.op = Opcode::kCall, .target = -1});
+}
+
+Program ProgramBuilder::build() && {
+  assert(!in_function_ && "end_function() missing");
+  for (auto [idx, label] : fixups_) {
+    const std::int32_t target = label_targets_.at(label);
+    assert(target >= 0 && "unbound label");
+    code_[idx].target = target;
+  }
+  for (auto& [idx, name] : call_fixups_) {
+    std::int32_t target = -1;
+    for (const auto& f : functions_) {
+      if (f.name == name) {
+        target = f.entry;
+        break;
+      }
+    }
+    assert(target >= 0 && "call to unknown function");
+    code_[idx].target = target;
+  }
+
+  Program p;
+  p.code_ = std::move(code_);
+  p.functions_ = std::move(functions_);
+  p.entry_ = 0;
+  for (const auto& f : p.functions_) {
+    if (f.name == "main") p.entry_ = f.entry;
+  }
+  return p;
+}
+
+}  // namespace papirepro::sim

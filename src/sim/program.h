@@ -1,0 +1,207 @@
+// Program representation and a small assembler.  Programs carry function
+// boundaries and source-line debug info so that the profiling tools
+// (PAPI_profil buckets, dynaprof, the vprof-style source correlator) can
+// attribute events to program structure exactly the way the paper's tools
+// attribute them to routines and statements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/isa.h"
+
+namespace papirepro::sim {
+
+/// A contiguous range of instructions with a name; the unit dynaprof
+/// instruments and function-level profiles report on.
+struct Function {
+  std::string name;
+  std::int32_t entry = 0;  ///< first instruction index
+  std::int32_t end = 0;    ///< one past the last instruction index
+
+  bool contains(std::int64_t idx) const noexcept {
+    return idx >= entry && idx < end;
+  }
+};
+
+/// An assembled program: instructions plus symbol/debug metadata.
+class Program {
+ public:
+  const std::vector<Instruction>& code() const noexcept { return code_; }
+  const std::vector<Function>& functions() const noexcept {
+    return functions_;
+  }
+  std::size_t size() const noexcept { return code_.size(); }
+  bool empty() const noexcept { return code_.empty(); }
+
+  const Instruction& at(std::int64_t idx) const { return code_.at(idx); }
+
+  /// Function containing instruction `idx`, or nullptr.
+  const Function* function_at(std::int64_t idx) const noexcept;
+
+  /// Function by name, or nullptr.
+  const Function* find_function(std::string_view name) const noexcept;
+
+  /// Index of the entry instruction (label "main" if defined, else 0).
+  std::int32_t entry() const noexcept { return entry_; }
+
+  /// Source line recorded for instruction `idx` (0 when unknown).
+  std::uint32_t line_of(std::int64_t idx) const;
+
+  /// Full-text disassembly (tests / debugging).
+  std::string dump() const;
+
+  /// Assembles a program directly from resolved parts (all branch/call
+  /// targets must already be absolute indices).  Used by program
+  /// rewriters such as the dynaprof instrumenter.
+  static Program from_parts(std::vector<Instruction> code,
+                            std::vector<Function> functions);
+
+ private:
+  friend class ProgramBuilder;
+  std::vector<Instruction> code_;
+  std::vector<Function> functions_;
+  std::int32_t entry_ = 0;
+};
+
+/// Assembler with label fixups.  Usage:
+///
+///   ProgramBuilder b;
+///   b.begin_function("main");
+///   auto loop = b.new_label();
+///   b.li(1, 0);
+///   b.bind(loop);
+///   ... body ...
+///   b.blt(1, 2, loop);
+///   b.halt();
+///   b.end_function();
+///   Program p = std::move(b).build();
+class ProgramBuilder {
+ public:
+  using Label = std::int32_t;
+
+  Label new_label() {
+    label_targets_.push_back(-1);
+    return static_cast<Label>(label_targets_.size() - 1);
+  }
+
+  /// Binds `label` to the next emitted instruction.
+  void bind(Label label);
+
+  /// Sets the source line attached to subsequently emitted instructions.
+  void set_line(std::uint32_t line) noexcept { line_ = line; }
+
+  void begin_function(std::string name);
+  void end_function();
+
+  // --- emission helpers (thin wrappers over emit()) ---
+  void nop() { emit({Opcode::kNop}); }
+  void halt() { emit({Opcode::kHalt}); }
+  void probe(std::int64_t id) { emit({.op = Opcode::kProbe, .imm = id}); }
+
+  void li(int rd, std::int64_t imm) {
+    emit({.op = Opcode::kLi, .rd = u8(rd), .imm = imm});
+  }
+  void mov(int rd, int rs1) {
+    emit({.op = Opcode::kMov, .rd = u8(rd), .rs1 = u8(rs1)});
+  }
+  void add(int rd, int rs1, int rs2) { rrr(Opcode::kAdd, rd, rs1, rs2); }
+  void addi(int rd, int rs1, std::int64_t imm) {
+    emit({.op = Opcode::kAddi, .rd = u8(rd), .rs1 = u8(rs1), .imm = imm});
+  }
+  void sub(int rd, int rs1, int rs2) { rrr(Opcode::kSub, rd, rs1, rs2); }
+  void mul(int rd, int rs1, int rs2) { rrr(Opcode::kMul, rd, rs1, rs2); }
+  void divi(int rd, int rs1, std::int64_t imm) {
+    emit({.op = Opcode::kDivi, .rd = u8(rd), .rs1 = u8(rs1), .imm = imm});
+  }
+  void and_(int rd, int rs1, int rs2) { rrr(Opcode::kAnd, rd, rs1, rs2); }
+  void or_(int rd, int rs1, int rs2) { rrr(Opcode::kOr, rd, rs1, rs2); }
+  void xor_(int rd, int rs1, int rs2) { rrr(Opcode::kXor, rd, rs1, rs2); }
+  void shli(int rd, int rs1, std::int64_t imm) {
+    emit({.op = Opcode::kShli, .rd = u8(rd), .rs1 = u8(rs1), .imm = imm});
+  }
+  void shri(int rd, int rs1, std::int64_t imm) {
+    emit({.op = Opcode::kShri, .rd = u8(rd), .rs1 = u8(rs1), .imm = imm});
+  }
+  void slt(int rd, int rs1, int rs2) { rrr(Opcode::kSlt, rd, rs1, rs2); }
+
+  void fli(int fd, double value);
+  void fmov(int fd, int fs1) {
+    emit({.op = Opcode::kFMov, .rd = u8(fd), .rs1 = u8(fs1)});
+  }
+  void fadd(int fd, int fs1, int fs2) { rrr(Opcode::kFAdd, fd, fs1, fs2); }
+  void fsub(int fd, int fs1, int fs2) { rrr(Opcode::kFSub, fd, fs1, fs2); }
+  void fmul(int fd, int fs1, int fs2) { rrr(Opcode::kFMul, fd, fs1, fs2); }
+  void fmadd(int fd, int fs1, int fs2) { rrr(Opcode::kFMadd, fd, fs1, fs2); }
+  void fdiv(int fd, int fs1, int fs2) { rrr(Opcode::kFDiv, fd, fs1, fs2); }
+  void fsqrt(int fd, int fs1) {
+    emit({.op = Opcode::kFSqrt, .rd = u8(fd), .rs1 = u8(fs1)});
+  }
+  void fcvt_ds(int fd, int fs1) {
+    emit({.op = Opcode::kFCvtDS, .rd = u8(fd), .rs1 = u8(fs1)});
+  }
+  void fcvt_sd(int fd, int fs1) {
+    emit({.op = Opcode::kFCvtSD, .rd = u8(fd), .rs1 = u8(fs1)});
+  }
+  void fneg(int fd, int fs1) {
+    emit({.op = Opcode::kFNeg, .rd = u8(fd), .rs1 = u8(fs1)});
+  }
+
+  void load(int rd, int rs1, std::int64_t offset) {
+    emit({.op = Opcode::kLoad, .rd = u8(rd), .rs1 = u8(rs1), .imm = offset});
+  }
+  void store(int rs2, int rs1, std::int64_t offset) {
+    emit({.op = Opcode::kStore, .rs1 = u8(rs1), .rs2 = u8(rs2),
+          .imm = offset});
+  }
+  void fload(int fd, int rs1, std::int64_t offset) {
+    emit({.op = Opcode::kFLoad, .rd = u8(fd), .rs1 = u8(rs1), .imm = offset});
+  }
+  void fstore(int fs2, int rs1, std::int64_t offset) {
+    emit({.op = Opcode::kFStore, .rs1 = u8(rs1), .rs2 = u8(fs2),
+          .imm = offset});
+  }
+
+  void beq(int rs1, int rs2, Label l) { branch(Opcode::kBeq, rs1, rs2, l); }
+  void bne(int rs1, int rs2, Label l) { branch(Opcode::kBne, rs1, rs2, l); }
+  void blt(int rs1, int rs2, Label l) { branch(Opcode::kBlt, rs1, rs2, l); }
+  void bge(int rs1, int rs2, Label l) { branch(Opcode::kBge, rs1, rs2, l); }
+  void jump(Label l) { branch(Opcode::kJump, 0, 0, l); }
+
+  /// Call a function by name; the name must exist by build() time.
+  void call(std::string_view function);
+  void ret() { emit({Opcode::kRet}); }
+
+  std::int32_t next_index() const noexcept {
+    return static_cast<std::int32_t>(code_.size());
+  }
+
+  /// Resolve labels/calls and produce the program.  Aborts (assert) on
+  /// unresolved labels — an unresolved label is a harness bug, not a
+  /// runtime condition.
+  Program build() &&;
+
+ private:
+  static std::uint8_t u8(int r);
+  void emit(Instruction ins);
+  void rrr(Opcode op, int rd, int rs1, int rs2) {
+    emit({.op = op, .rd = u8(rd), .rs1 = u8(rs1), .rs2 = u8(rs2)});
+  }
+  void branch(Opcode op, int rs1, int rs2, Label l);
+
+  std::vector<Instruction> code_;
+  std::vector<Function> functions_;
+  std::vector<std::int32_t> label_targets_;
+  /// (instruction index, label) pairs awaiting resolution.
+  std::vector<std::pair<std::int32_t, Label>> fixups_;
+  /// (instruction index, callee name) pairs awaiting resolution.
+  std::vector<std::pair<std::int32_t, std::string>> call_fixups_;
+  std::uint32_t line_ = 0;
+  bool in_function_ = false;
+};
+
+}  // namespace papirepro::sim

@@ -1,0 +1,51 @@
+// Interrupt-attribution skid model.  Section 4 of the paper: "On
+// out-of-order processors, the program counter may yield an address that
+// is several instructions or even basic blocks removed from the true
+// address of the instruction that caused the overflow event."  Counter
+// overflow interrupts are delivered this many retired instructions late;
+// the profiled PC is whatever is retiring at delivery time.  EAR /
+// ProfileMe platforms bypass the skid by latching the precise address at
+// event time.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace papirepro::sim {
+
+struct SkidModel {
+  enum class Kind : std::uint8_t {
+    kPrecise,    ///< delivery at the causing instruction (in-order/EAR)
+    kFixed,      ///< constant skid (simple pipelined core)
+    kGeometric,  ///< out-of-order: geometric tail, occasionally very long
+  };
+
+  Kind kind = Kind::kPrecise;
+  std::uint32_t fixed = 0;      ///< skid for kFixed
+  double p = 0.35;              ///< per-instruction stop probability
+  std::uint32_t cap = 24;       ///< max skid for kGeometric
+  std::uint32_t min = 2;        ///< min skid for kGeometric
+
+  /// Number of additional instructions to retire before the interrupt is
+  /// delivered.
+  std::uint32_t draw(Xoshiro256& rng) const noexcept {
+    switch (kind) {
+      case Kind::kPrecise: return 0;
+      case Kind::kFixed: return fixed;
+      case Kind::kGeometric: return min + rng.next_geometric(p, cap - min);
+    }
+    return 0;
+  }
+
+  static SkidModel precise() noexcept { return {}; }
+  static SkidModel fixed_skid(std::uint32_t n) noexcept {
+    return {.kind = Kind::kFixed, .fixed = n};
+  }
+  static SkidModel out_of_order(double p = 0.35, std::uint32_t cap = 24,
+                                std::uint32_t min = 2) noexcept {
+    return {.kind = Kind::kGeometric, .p = p, .cap = cap, .min = min};
+  }
+};
+
+}  // namespace papirepro::sim

@@ -1,0 +1,33 @@
+#include "sim/tlb.h"
+
+namespace papirepro::sim {
+
+bool Tlb::access(std::uint64_t addr) {
+  ++stats_.accesses;
+  const std::uint64_t vpn = addr >> config_.page_bits;
+
+  Slot* victim = &slots_.front();
+  for (auto& slot : slots_) {
+    if (slot.valid && slot.vpn == vpn) {
+      slot.lru = ++stamp_;
+      return true;
+    }
+    if (!slot.valid) {
+      victim = &slot;
+    } else if (victim->valid && slot.lru < victim->lru) {
+      victim = &slot;
+    }
+  }
+
+  ++stats_.misses;
+  victim->valid = true;
+  victim->vpn = vpn;
+  victim->lru = ++stamp_;
+  return false;
+}
+
+void Tlb::flush() {
+  for (auto& slot : slots_) slot.valid = false;
+}
+
+}  // namespace papirepro::sim

@@ -1,0 +1,49 @@
+// Fully-associative translation lookaside buffer with LRU replacement.
+// Drives the PAPI_TLB_DM / PAPI_TLB_IM preset events.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace papirepro::sim {
+
+struct TlbConfig {
+  std::uint32_t entries = 64;
+  std::uint32_t page_bits = 12;  ///< 4 KiB pages by default
+  std::uint32_t miss_latency = 30;
+};
+
+struct TlbStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+};
+
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& config) : config_(config) {
+    slots_.resize(config.entries);
+  }
+
+  /// Translates `addr`; returns true on TLB hit.
+  bool access(std::uint64_t addr);
+
+  void flush();
+
+  const TlbStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+  const TlbConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Slot {
+    std::uint64_t vpn = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+  };
+
+  TlbConfig config_;
+  std::vector<Slot> slots_;
+  std::uint64_t stamp_ = 0;
+  TlbStats stats_;
+};
+
+}  // namespace papirepro::sim

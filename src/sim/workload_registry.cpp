@@ -1,0 +1,38 @@
+#include "sim/workload_registry.h"
+
+namespace papirepro::sim {
+
+std::vector<std::string_view> workload_names() {
+  return {"saxpy",         "matmul",     "matmul_blocked", "stream",
+          "pointer_chase", "branchy",    "fcvt_mixed",     "multiphase",
+          "tight_call",    "empty_loop", "stencil2d",      "reduction",
+          "random_access"};
+}
+
+std::optional<Workload> make_workload(std::string_view name,
+                                      std::int64_t n) {
+  if (name == "saxpy") return make_saxpy(n > 0 ? n : 10'000);
+  if (name == "matmul") return make_matmul(n > 0 ? n : 48);
+  if (name == "matmul_blocked") {
+    const std::int64_t size = n > 0 ? n : 48;
+    const std::int64_t block = size % 8 == 0 ? 8 : 1;
+    return make_matmul_blocked(size, block);
+  }
+  if (name == "stream") return make_stream_triad(n > 0 ? n : 10'000);
+  if (name == "pointer_chase") {
+    return make_pointer_chase(4096, n > 0 ? n : 50'000, /*seed=*/1234);
+  }
+  if (name == "branchy") return make_branchy(n > 0 ? n : 20'000, 99);
+  if (name == "fcvt_mixed") return make_fcvt_mixed(n > 0 ? n : 10'000);
+  if (name == "multiphase") return make_multiphase(n > 0 ? n : 8, 4'000);
+  if (name == "tight_call") return make_tight_call(n > 0 ? n : 20'000, 4);
+  if (name == "empty_loop") return make_empty_loop(n > 0 ? n : 100'000);
+  if (name == "stencil2d") return make_stencil2d(n > 0 ? n : 64, 2);
+  if (name == "reduction") return make_reduction(n > 0 ? n : 50'000);
+  if (name == "random_access") {
+    return make_random_access(1 << 16, n > 0 ? n : 50'000);
+  }
+  return std::nullopt;
+}
+
+}  // namespace papirepro::sim

@@ -1,0 +1,24 @@
+// Name-based workload construction, used by the papirun utility, the C
+// API's simulator bootstrap, and the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "sim/kernels.h"
+
+namespace papirepro::sim {
+
+/// Known workload names (see kernels.h for semantics):
+///   saxpy, matmul, matmul_blocked, stream, pointer_chase, branchy,
+///   fcvt_mixed, multiphase, tight_call, empty_loop
+std::vector<std::string_view> workload_names();
+
+/// Builds `name` with a problem-size knob `n` (kernel-specific meaning;
+/// 0 picks a sensible default).  nullopt for unknown names.
+std::optional<Workload> make_workload(std::string_view name,
+                                      std::int64_t n = 0);
+
+}  // namespace papirepro::sim

@@ -1,0 +1,52 @@
+// Host substrate: runs on the real machine this library is compiled for.
+// Counter access is unavailable (the 2003 Linux substrate needed a kernel
+// patch; this container has none), so event programming returns
+// Error::kNoCounters — but the portable timers and the PAPI 3 memory
+// utilization extensions are fully functional, backed by clock_gettime,
+// the TSC where available, getrusage, and /proc.  This mirrors how PAPI
+// degraded gracefully on unpatched systems, and it is what the timer
+// benchmarks (E10) measure real nanosecond overheads against.
+#pragma once
+
+#include "substrate/substrate.h"
+
+namespace papirepro::papi {
+
+class HostSubstrate final : public Substrate {
+ public:
+  HostSubstrate();
+
+  std::string_view name() const noexcept override { return "host"; }
+  std::uint32_t num_counters() const noexcept override { return 0; }
+
+  Result<PresetMapping> preset_mapping(Preset preset) const override;
+  Result<pmu::NativeEventCode> native_by_name(
+      std::string_view event_name) const override;
+  Result<std::string> native_name(
+      pmu::NativeEventCode code) const override;
+
+  Result<AllocationInstance> translate_allocation(
+      std::span<const pmu::NativeEventCode> events,
+      std::span<const int> priorities) const override;
+
+  Status program(std::span<const pmu::NativeEventCode> events,
+                 std::span<const std::uint32_t> assignment) override;
+  Status start() override;
+  Status stop() override;
+  Status read(std::span<std::uint64_t> out) override;
+  Status reset_counts() override;
+  Status set_overflow(std::uint32_t event_index, std::uint64_t threshold,
+                      OverflowCallback callback) override;
+  Status clear_overflow(std::uint32_t event_index) override;
+
+  std::uint64_t real_usec() const override;
+  std::uint64_t real_cycles() const override;
+  std::uint64_t virt_usec() const override;
+
+  Result<MemoryInfo> memory_info() const override;
+
+ private:
+  std::uint64_t epoch_ns_ = 0;
+};
+
+}  // namespace papirepro::papi

@@ -1,0 +1,286 @@
+#include "substrate/perf_event_substrate.h"
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace papirepro::papi {
+namespace {
+
+/// Native event codes pack (perf type << 16) | perf config.
+constexpr pmu::NativeEventCode pack(std::uint32_t type,
+                                    std::uint32_t config) {
+  return (type << 16) | config;
+}
+constexpr std::uint32_t type_of(pmu::NativeEventCode code) {
+  return code >> 16;
+}
+constexpr std::uint32_t config_of(pmu::NativeEventCode code) {
+  return code & 0xffff;
+}
+
+struct PerfEventDef {
+  pmu::NativeEventCode code;
+  const char* name;
+};
+
+constexpr PerfEventDef kPerfEvents[] = {
+    {pack(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES),
+     "PERF_COUNT_HW_CPU_CYCLES"},
+    {pack(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS),
+     "PERF_COUNT_HW_INSTRUCTIONS"},
+    {pack(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES),
+     "PERF_COUNT_HW_CACHE_REFERENCES"},
+    {pack(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES),
+     "PERF_COUNT_HW_CACHE_MISSES"},
+    {pack(PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_INSTRUCTIONS),
+     "PERF_COUNT_HW_BRANCH_INSTRUCTIONS"},
+    {pack(PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES),
+     "PERF_COUNT_HW_BRANCH_MISSES"},
+    {pack(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK),
+     "PERF_COUNT_SW_TASK_CLOCK"},
+    {pack(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS),
+     "PERF_COUNT_SW_PAGE_FAULTS"},
+    {pack(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES),
+     "PERF_COUNT_SW_CONTEXT_SWITCHES"},
+    {pack(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CPU_MIGRATIONS),
+     "PERF_COUNT_SW_CPU_MIGRATIONS"},
+    {pack(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS_MIN),
+     "PERF_COUNT_SW_PAGE_FAULTS_MIN"},
+    {pack(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS_MAJ),
+     "PERF_COUNT_SW_PAGE_FAULTS_MAJ"},
+};
+
+int open_event(pmu::NativeEventCode code, bool disabled) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type_of(code);
+  attr.size = sizeof(attr);
+  attr.config = config_of(code);
+  attr.disabled = disabled ? 1 : 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+std::uint64_t clock_ns(clockid_t id) {
+  timespec ts{};
+  clock_gettime(id, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+PerfEventSubstrate::PerfEventSubstrate()
+    : epoch_ns_(clock_ns(CLOCK_MONOTONIC)) {
+  // Probe: software events tell us perf exists at all; a hardware event
+  // tells us whether paranoid/capabilities permit real counters.
+  int fd = open_event(pack(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK),
+                      /*disabled=*/true);
+  if (fd >= 0) {
+    available_ = true;
+    close(fd);
+  }
+  fd = open_event(pack(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES),
+                  /*disabled=*/true);
+  if (fd >= 0) {
+    hw_available_ = true;
+    close(fd);
+  }
+}
+
+PerfEventSubstrate::~PerfEventSubstrate() { close_all(); }
+
+void PerfEventSubstrate::close_all() {
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+  fds_.clear();
+}
+
+Result<PresetMapping> PerfEventSubstrate::preset_mapping(
+    Preset preset) const {
+  auto single = [&](std::uint32_t config) -> Result<PresetMapping> {
+    PresetMapping m;
+    m.preset = preset;
+    m.terms = {{pack(PERF_TYPE_HARDWARE, config), 1}};
+    return m;
+  };
+  switch (preset) {
+    case Preset::kTotCyc: return single(PERF_COUNT_HW_CPU_CYCLES);
+    case Preset::kTotIns: return single(PERF_COUNT_HW_INSTRUCTIONS);
+    case Preset::kL2Tca: return single(PERF_COUNT_HW_CACHE_REFERENCES);
+    case Preset::kL2Tcm: return single(PERF_COUNT_HW_CACHE_MISSES);
+    case Preset::kBrIns:
+      return single(PERF_COUNT_HW_BRANCH_INSTRUCTIONS);
+    case Preset::kBrMsp: return single(PERF_COUNT_HW_BRANCH_MISSES);
+    case Preset::kBrPrc: {
+      PresetMapping m;
+      m.preset = preset;
+      m.terms = {
+          {pack(PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_INSTRUCTIONS), 1},
+          {pack(PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES), -1}};
+      return m;
+    }
+    default:
+      return Error::kNoEvent;
+  }
+}
+
+Result<pmu::NativeEventCode> PerfEventSubstrate::native_by_name(
+    std::string_view event_name) const {
+  for (const PerfEventDef& def : kPerfEvents) {
+    if (event_name == def.name) return def.code;
+  }
+  return Error::kNoEvent;
+}
+
+Result<std::string> PerfEventSubstrate::native_name(
+    pmu::NativeEventCode code) const {
+  for (const PerfEventDef& def : kPerfEvents) {
+    if (code == def.code) return std::string(def.name);
+  }
+  return Error::kNoEvent;
+}
+
+Result<AllocationInstance> PerfEventSubstrate::translate_allocation(
+    std::span<const pmu::NativeEventCode> events,
+    std::span<const int> priorities) const {
+  // The kernel schedules events onto physical counters itself (and
+  // multiplexes on conflict), so the bipartite instance is fully
+  // permissive.
+  AllocationInstance inst;
+  inst.num_counters = kMaxEvents;
+  inst.priority.assign(priorities.begin(), priorities.end());
+  for (const auto code : events) {
+    if (!native_name(code).ok()) return Error::kNoEvent;
+    inst.allowed.push_back((1u << kMaxEvents) - 1);
+  }
+  return inst;
+}
+
+Status PerfEventSubstrate::program(
+    std::span<const pmu::NativeEventCode> events,
+    std::span<const std::uint32_t> assignment) {
+  if (!available_) return Error::kSystem;
+  if (running_) return Error::kIsRunning;
+  if (events.size() != assignment.size()) return Error::kInvalid;
+  if (events.size() > kMaxEvents) return Error::kConflict;
+
+  close_all();
+  fds_.reserve(events.size());
+  for (const auto code : events) {
+    const int fd = open_event(code, /*disabled=*/true);
+    if (fd < 0) {
+      const Status status = errno == EACCES || errno == EPERM
+                                ? Error::kPermission
+                                : Error::kNoCounters;
+      close_all();
+      return status;
+    }
+    fds_.push_back(fd);
+  }
+  return Error::kOk;
+}
+
+Status PerfEventSubstrate::start() {
+  if (!available_) return Error::kSystem;
+  if (running_) return Error::kIsRunning;
+  if (fds_.empty()) return Error::kInvalid;
+  for (int fd : fds_) {
+    if (ioctl(fd, PERF_EVENT_IOC_RESET, 0) != 0 ||
+        ioctl(fd, PERF_EVENT_IOC_ENABLE, 0) != 0) {
+      return Error::kSystem;
+    }
+  }
+  running_ = true;
+  return Error::kOk;
+}
+
+Status PerfEventSubstrate::stop() {
+  if (!running_) return Error::kNotRunning;
+  for (int fd : fds_) {
+    (void)ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+  running_ = false;
+  return Error::kOk;
+}
+
+Status PerfEventSubstrate::read(std::span<std::uint64_t> out) {
+  if (fds_.empty()) return Error::kInvalid;
+  if (out.size() < fds_.size()) return Error::kInvalid;
+  for (std::size_t i = 0; i < fds_.size(); ++i) {
+    struct {
+      std::uint64_t value;
+      std::uint64_t time_enabled;
+      std::uint64_t time_running;
+    } data{};
+    if (::read(fds_[i], &data, sizeof(data)) != sizeof(data)) {
+      return Error::kSystem;
+    }
+    // Kernel-side multiplexing: scale by the duty cycle, exactly the
+    // estimation core/multiplex performs for the simulated substrates.
+    std::uint64_t value = data.value;
+    if (data.time_running > 0 && data.time_running < data.time_enabled) {
+      value = static_cast<std::uint64_t>(
+          static_cast<double>(value) *
+          static_cast<double>(data.time_enabled) /
+          static_cast<double>(data.time_running));
+    }
+    out[i] = value;
+  }
+  return Error::kOk;
+}
+
+Status PerfEventSubstrate::reset_counts() {
+  for (int fd : fds_) {
+    if (ioctl(fd, PERF_EVENT_IOC_RESET, 0) != 0) return Error::kSystem;
+  }
+  return Error::kOk;
+}
+
+std::uint64_t PerfEventSubstrate::real_usec() const {
+  return (clock_ns(CLOCK_MONOTONIC) - epoch_ns_) / 1000;
+}
+
+std::uint64_t PerfEventSubstrate::real_cycles() const {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  return clock_ns(CLOCK_MONOTONIC);
+#endif
+}
+
+std::uint64_t PerfEventSubstrate::virt_usec() const {
+  return clock_ns(CLOCK_THREAD_CPUTIME_ID) / 1000;
+}
+
+Result<MemoryInfo> PerfEventSubstrate::memory_info() const {
+  MemoryInfo info;
+  info.page_size_bytes = static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    info.process_peak_bytes =
+        static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+    info.process_resident_bytes = info.process_peak_bytes;
+    info.page_faults =
+        static_cast<std::uint64_t>(usage.ru_minflt + usage.ru_majflt);
+  }
+  return info;
+}
+
+}  // namespace papirepro::papi

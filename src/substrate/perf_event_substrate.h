@@ -1,0 +1,83 @@
+// Substrate over the Linux perf_event interface — the kernel counter
+// API that eventually absorbed the out-of-tree patches the paper
+// describes ("it is encouraging to see that the required kernel
+// modifications are being incorporated into the standard release of some
+// operating systems").  This is the one substrate that measures the
+// *real* host CPU.
+//
+// Scope: counting mode only (no overflow/signal profiling), one fd per
+// event, kernel-side multiplexing with TIME_ENABLED/TIME_RUNNING
+// scaling — the same estimate-from-duty-cycle idea as core/multiplex,
+// done by the scheduler.  Hardware events require perf_event_paranoid
+// permissions; software events (task-clock, page-faults, context
+// switches) work nearly everywhere, so the substrate degrades exactly
+// the way PAPI did on unpatched kernels: present, honest about what it
+// cannot count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "substrate/substrate.h"
+
+namespace papirepro::papi {
+
+class PerfEventSubstrate final : public Substrate {
+ public:
+  PerfEventSubstrate();
+  ~PerfEventSubstrate() override;
+
+  /// False when the kernel refuses even software events (no perf at
+  /// all — e.g. seccomp'd container); everything then returns kSystem.
+  bool available() const noexcept { return available_; }
+  /// True when hardware events (cycles, instructions) are permitted.
+  bool hardware_available() const noexcept { return hw_available_; }
+
+  std::string_view name() const noexcept override { return "perf_event"; }
+  std::uint32_t num_counters() const noexcept override {
+    return kMaxEvents;
+  }
+
+  Result<PresetMapping> preset_mapping(Preset preset) const override;
+  Result<pmu::NativeEventCode> native_by_name(
+      std::string_view event_name) const override;
+  Result<std::string> native_name(
+      pmu::NativeEventCode code) const override;
+
+  Result<AllocationInstance> translate_allocation(
+      std::span<const pmu::NativeEventCode> events,
+      std::span<const int> priorities) const override;
+
+  Status program(std::span<const pmu::NativeEventCode> events,
+                 std::span<const std::uint32_t> assignment) override;
+  Status start() override;
+  Status stop() override;
+  /// Values scaled by time_enabled/time_running (kernel multiplexing).
+  Status read(std::span<std::uint64_t> out) override;
+  Status reset_counts() override;
+  Status set_overflow(std::uint32_t, std::uint64_t,
+                      OverflowCallback) override {
+    return Error::kNoSupport;
+  }
+  Status clear_overflow(std::uint32_t) override {
+    return Error::kNoSupport;
+  }
+
+  std::uint64_t real_usec() const override;
+  std::uint64_t real_cycles() const override;
+  std::uint64_t virt_usec() const override;
+  Result<MemoryInfo> memory_info() const override;
+
+  static constexpr std::uint32_t kMaxEvents = 16;
+
+ private:
+  void close_all();
+
+  bool available_ = false;
+  bool hw_available_ = false;
+  bool running_ = false;
+  std::vector<int> fds_;
+  std::uint64_t epoch_ns_ = 0;
+};
+
+}  // namespace papirepro::papi

@@ -1,0 +1,196 @@
+#include "substrate/preset_maps.h"
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace papirepro::papi {
+namespace {
+
+struct NamedTerm {
+  std::string_view native_name;
+  int coefficient;
+};
+
+struct NamedMapping {
+  Preset preset;
+  std::vector<NamedTerm> terms;
+};
+
+using Table = std::vector<NamedMapping>;
+
+const Table& x86_table() {
+  static const Table t = {
+      {Preset::kTotCyc, {{"CPU_CLK_UNHALTED", 1}}},
+      {Preset::kTotIns, {{"INST_RETIRED", 1}}},
+      {Preset::kFpIns, {{"FP_INS_RETIRED", 1}}},
+      // FMA retires as one FP_OPS count natively; adding FP_FMA_RETIRED
+      // once more yields the normalized "FMA counts as two" semantics.
+      {Preset::kFpOps, {{"FP_OPS_RETIRED", 1}, {"FP_FMA_RETIRED", 1}}},
+      {Preset::kFmaIns, {{"FP_FMA_RETIRED", 1}}},
+      {Preset::kLdIns, {{"LD_RETIRED", 1}}},
+      {Preset::kSrIns, {{"ST_RETIRED", 1}}},
+      {Preset::kLstIns, {{"DATA_MEM_REFS", 1}}},
+      {Preset::kL1Dca, {{"L1D_ACCESS", 1}}},
+      {Preset::kL1Dcm, {{"L1D_MISS", 1}}},
+      {Preset::kL1Icm, {{"L1I_MISS", 1}}},
+      {Preset::kL1Tcm, {{"L1D_MISS", 1}, {"L1I_MISS", 1}}},
+      {Preset::kL2Tca, {{"L2_ACCESS", 1}}},
+      {Preset::kL2Tcm, {{"L2_MISS", 1}}},
+      {Preset::kTlbDm, {{"DTLB_MISS", 1}}},
+      {Preset::kTlbIm, {{"ITLB_MISS", 1}}},
+      {Preset::kTlbTl, {{"DTLB_MISS", 1}, {"ITLB_MISS", 1}}},
+      {Preset::kBrIns, {{"BR_INS_RETIRED", 1}}},
+      {Preset::kBrTkn, {{"BR_TAKEN_RETIRED", 1}}},
+      {Preset::kBrMsp, {{"BR_MISP_RETIRED", 1}}},
+      {Preset::kBrPrc, {{"BR_INS_RETIRED", 1}, {"BR_MISP_RETIRED", -1}}},
+      {Preset::kStlCcy, {{"RESOURCE_STALLS", 1}}},
+  };
+  return t;
+}
+
+const Table& power3_table() {
+  static const Table t = {
+      {Preset::kTotCyc, {{"PM_CYC", 1}}},
+      {Preset::kTotIns, {{"PM_INST_CMPL", 1}}},
+      // Raw FP instructions: includes the convert/rounding instructions —
+      // the low level "does not attempt any normalization or calibration
+      // of counter data but simply reports the counts given by the
+      // hardware".
+      {Preset::kFpIns, {{"PM_FPU_INS", 1}}},
+      // The normalized operation count subtracts the converts and adds
+      // FMA once more (PM_FPU_INS counts an FMA as one instruction).
+      {Preset::kFpOps,
+       {{"PM_FPU_INS", 1}, {"PM_FPU_CVT", -1}, {"PM_EXEC_FMA", 1}}},
+      {Preset::kFmaIns, {{"PM_EXEC_FMA", 1}}},
+      {Preset::kFdvIns, {{"PM_FPU_DIV", 1}}},
+      {Preset::kLdIns, {{"PM_LD_CMPL", 1}}},
+      {Preset::kSrIns, {{"PM_ST_CMPL", 1}}},
+      {Preset::kLstIns, {{"PM_LD_CMPL", 1}, {"PM_ST_CMPL", 1}}},
+      {Preset::kL1Dca, {{"PM_DC_ACCESS", 1}}},
+      {Preset::kL1Dcm, {{"PM_DC_MISS", 1}}},
+      {Preset::kL1Icm, {{"PM_IC_MISS", 1}}},
+      {Preset::kL1Tcm, {{"PM_DC_MISS", 1}, {"PM_IC_MISS", 1}}},
+      {Preset::kL2Tcm, {{"PM_L2_MISS", 1}}},
+      {Preset::kTlbDm, {{"PM_DTLB_MISS", 1}}},
+      {Preset::kTlbIm, {{"PM_ITLB_MISS", 1}}},
+      {Preset::kTlbTl, {{"PM_DTLB_MISS", 1}, {"PM_ITLB_MISS", 1}}},
+      {Preset::kBrIns, {{"PM_BR_CMPL", 1}}},
+      {Preset::kBrTkn, {{"PM_BR_TAKEN", 1}}},
+      {Preset::kBrMsp, {{"PM_BR_MPRED", 1}}},
+      {Preset::kBrPrc, {{"PM_BR_CMPL", 1}, {"PM_BR_MPRED", -1}}},
+      {Preset::kStlCcy, {{"PM_STALL_CYC", 1}}},
+  };
+  return t;
+}
+
+const Table& ia64_table() {
+  static const Table t = {
+      {Preset::kTotCyc, {{"CPU_CYCLES", 1}}},
+      {Preset::kTotIns, {{"IA64_INST_RETIRED", 1}}},
+      {Preset::kFpOps, {{"FP_OPS_RETIRED", 1}, {"FP_FMA_RETIRED", 1}}},
+      {Preset::kFmaIns, {{"FP_FMA_RETIRED", 1}}},
+      {Preset::kLdIns, {{"LOADS_RETIRED", 1}}},
+      {Preset::kSrIns, {{"STORES_RETIRED", 1}}},
+      {Preset::kLstIns, {{"LOADS_RETIRED", 1}, {"STORES_RETIRED", 1}}},
+      {Preset::kL1Dca, {{"L1D_READS", 1}}},
+      {Preset::kL1Dcm, {{"L1D_READ_MISSES", 1}}},
+      {Preset::kL1Icm, {{"L1I_MISSES", 1}}},
+      {Preset::kL1Tcm, {{"L1D_READ_MISSES", 1}, {"L1I_MISSES", 1}}},
+      {Preset::kL2Tca, {{"L2_REFERENCES", 1}}},
+      {Preset::kL2Tcm, {{"L2_MISSES", 1}}},
+      {Preset::kTlbDm, {{"DTLB_MISSES", 1}}},
+      {Preset::kTlbIm, {{"ITLB_MISSES", 1}}},
+      {Preset::kTlbTl, {{"DTLB_MISSES", 1}, {"ITLB_MISSES", 1}}},
+      {Preset::kBrIns, {{"BR_RETIRED", 1}}},
+      {Preset::kBrMsp, {{"BR_MISPRED_DETAIL", 1}}},
+      {Preset::kBrPrc, {{"BR_RETIRED", 1}, {"BR_MISPRED_DETAIL", -1}}},
+      {Preset::kStlCcy, {{"BACK_END_BUBBLE", 1}}},
+  };
+  return t;
+}
+
+const Table& alpha_table() {
+  static const Table t = {
+      {Preset::kTotCyc, {{"CYCLES", 1}}},
+      {Preset::kTotIns, {{"RETIRED_INSTRUCTIONS", 1}}},
+      {Preset::kL2Tcm, {{"BCACHE_MISSES", 1}}},
+      // Everything below is ProfileMe-only: countable solely with the
+      // substrate's sampling-estimation mode enabled.
+      {Preset::kFpOps, {{"PME_RETIRED_FP", 1}, {"PME_FMA", 1}}},
+      {Preset::kFmaIns, {{"PME_FMA", 1}}},
+      {Preset::kL1Dcm, {{"PME_L1D_MISS", 1}}},
+      {Preset::kTlbDm, {{"PME_DTLB_MISS", 1}}},
+      {Preset::kLdIns, {{"PME_RETIRED_LOADS", 1}}},
+      {Preset::kSrIns, {{"PME_RETIRED_STORES", 1}}},
+      {Preset::kLstIns,
+       {{"PME_RETIRED_LOADS", 1}, {"PME_RETIRED_STORES", 1}}},
+      {Preset::kBrIns, {{"PME_BR_RETIRED", 1}}},
+      {Preset::kBrMsp, {{"PME_BR_MISPRED", 1}}},
+  };
+  return t;
+}
+
+const Table& t3e_table() {
+  static const Table t = {
+      {Preset::kTotCyc, {{"EV5_CYCLES", 1}}},
+      {Preset::kTotIns, {{"EV5_ISSUES", 1}}},
+      // EV5_FLOPS counts an FMA once; no separate FMA event exists, so
+      // the normalized PAPI_FP_OPS cannot be built and only the raw
+      // instruction count maps (a genuine T3E-era limitation).
+      {Preset::kFpIns, {{"EV5_FLOPS", 1}}},
+      {Preset::kLdIns, {{"EV5_LOADS", 1}}},
+      {Preset::kSrIns, {{"EV5_STORES", 1}}},
+      {Preset::kLstIns, {{"EV5_LOADS", 1}, {"EV5_STORES", 1}}},
+      {Preset::kL1Dcm, {{"EV5_DCACHE_MISS", 1}}},
+      {Preset::kL1Icm, {{"EV5_ICACHE_MISS", 1}}},
+      {Preset::kL1Tcm, {{"EV5_DCACHE_MISS", 1}, {"EV5_ICACHE_MISS", 1}}},
+      {Preset::kL2Tcm, {{"EV5_SCACHE_MISS", 1}}},
+      {Preset::kTlbDm, {{"EV5_DTB_MISS", 1}}},
+      {Preset::kBrIns, {{"EV5_BRANCHES", 1}}},
+      {Preset::kBrMsp, {{"EV5_BRANCH_MISPR", 1}}},
+      {Preset::kBrPrc, {{"EV5_BRANCHES", 1}, {"EV5_BRANCH_MISPR", -1}}},
+  };
+  return t;
+}
+
+const Table* table_for(const pmu::PlatformDescription& platform) {
+  if (platform.name == "sim-x86") return &x86_table();
+  if (platform.name == "sim-power3") return &power3_table();
+  if (platform.name == "sim-ia64") return &ia64_table();
+  if (platform.name == "sim-alpha") return &alpha_table();
+  if (platform.name == "sim-t3e") return &t3e_table();
+  return nullptr;
+}
+
+}  // namespace
+
+Result<PresetMapping> map_preset(const pmu::PlatformDescription& platform,
+                                 Preset preset) {
+  const Table* table = table_for(platform);
+  if (table == nullptr) return Error::kSubstrate;
+  for (const NamedMapping& m : *table) {
+    if (m.preset != preset) continue;
+    PresetMapping out;
+    out.preset = preset;
+    for (const NamedTerm& t : m.terms) {
+      const pmu::NativeEvent* ev = platform.find_event(t.native_name);
+      if (ev == nullptr) return Error::kSubstrate;  // table/platform skew
+      out.terms.push_back({ev->code, t.coefficient});
+    }
+    return out;
+  }
+  return Error::kNoEvent;
+}
+
+std::vector<Preset> available_presets(
+    const pmu::PlatformDescription& platform) {
+  std::vector<Preset> out;
+  for (std::size_t i = 0; i < kNumPresets; ++i) {
+    const auto p = static_cast<Preset>(i);
+    if (map_preset(platform, p).ok()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace papirepro::papi

@@ -1,0 +1,23 @@
+// Per-platform preset-to-native mapping tables: "For each platform, the
+// reference implementation attempts to map as many of the PAPI standard
+// events as possible to native events on that platform."  Mappings may
+// be derived (signed combinations of natives); presets a platform cannot
+// express are simply absent, and queries return Error::kNoEvent.
+#pragma once
+
+#include "common/status.h"
+#include "core/events.h"
+#include "pmu/platform.h"
+
+namespace papirepro::papi {
+
+/// Realization of `preset` on `platform`, resolving native names to
+/// codes.  Error::kNoEvent when the platform has no mapping.
+Result<PresetMapping> map_preset(const pmu::PlatformDescription& platform,
+                                 Preset preset);
+
+/// All presets available on `platform` (the "avail" utility's table).
+std::vector<Preset> available_presets(
+    const pmu::PlatformDescription& platform);
+
+}  // namespace papirepro::papi

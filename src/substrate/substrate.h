@@ -1,0 +1,129 @@
+// The substrate interface: "The machine-dependent part of the
+// implementation, called the substrate, is all that needs to be
+// rewritten to port PAPI to a new architecture."  Everything above this
+// interface (EventSets, multiplexing, overflow dispatch, profiling, the
+// high-level calls) is portable; everything below it is one of the
+// platform models (or the host).
+//
+// The allocation split (Section 5 / PAPI 3 plan) lives here too: the
+// substrate translates its counter-constraint scheme into a pure
+// bipartite AllocationInstance (translate_allocation), and the portable
+// core solves it (core/allocator) — "the hardware-independent portion
+// solving the graph matching problem and the hardware-dependent problem
+// translating the counter scheme on a particular platform into the graph
+// matching problem."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/allocator.h"
+#include "core/events.h"
+#include "core/memory_info.h"
+#include "core/options.h"
+#include "pmu/platform.h"
+
+namespace papirepro::papi {
+
+/// Overflow notification from the substrate: event index within the
+/// programmed list, the PC a handler would observe (already skidded on
+/// out-of-order platforms), and the precise PC where hardware assists
+/// (EAR / ProfileMe) provide one.
+struct SubstrateOverflow {
+  std::uint32_t event_index = 0;
+  std::uint64_t pc_observed = 0;
+  std::uint64_t pc_precise = 0;
+  bool has_precise = false;
+  std::uint64_t addr = 0;
+};
+
+class Substrate {
+ public:
+  using OverflowCallback = std::function<void(const SubstrateOverflow&)>;
+  using TimerCallback = std::function<void()>;
+
+  virtual ~Substrate() = default;
+
+  // --- identity ---
+  virtual std::string_view name() const noexcept = 0;
+  virtual std::uint32_t num_counters() const noexcept = 0;
+  /// Platform description for simulated substrates, nullptr on host.
+  virtual const pmu::PlatformDescription* platform() const noexcept {
+    return nullptr;
+  }
+
+  // --- event namespace ---
+  /// Realization of `preset` on this platform (Error::kNoEvent if
+  /// unmapped).
+  virtual Result<PresetMapping> preset_mapping(Preset preset) const = 0;
+  virtual Result<pmu::NativeEventCode> native_by_name(
+      std::string_view name) const = 0;
+  virtual Result<std::string> native_name(
+      pmu::NativeEventCode code) const = 0;
+
+  // --- counter allocation (hardware-dependent half) ---
+  /// Translates the platform constraint scheme for `events` into a pure
+  /// bipartite instance.  Group-constrained platforms return one
+  /// instance per candidate group via the `group_choices` out-param
+  /// semantics below: the default implementation handles mask platforms;
+  /// group platforms override allocate() directly.
+  virtual Result<AllocationInstance> translate_allocation(
+      std::span<const pmu::NativeEventCode> events,
+      std::span<const int> priorities) const = 0;
+
+  /// Full allocation: returns the physical counter per event, or
+  /// Error::kConflict when no complete assignment exists.
+  virtual Result<std::vector<std::uint32_t>> allocate(
+      std::span<const pmu::NativeEventCode> events,
+      std::span<const int> priorities) const;
+
+  // --- counter control (host substrate returns kNoCounters) ---
+  virtual Status program(std::span<const pmu::NativeEventCode> events,
+                         std::span<const std::uint32_t> assignment) = 0;
+  virtual Status start() = 0;
+  virtual Status stop() = 0;
+  /// Values in programmed-event order.
+  virtual Status read(std::span<std::uint64_t> out) = 0;
+  virtual Status reset_counts() = 0;
+  virtual Status set_overflow(std::uint32_t event_index,
+                              std::uint64_t threshold,
+                              OverflowCallback callback) = 0;
+  virtual Status clear_overflow(std::uint32_t event_index) = 0;
+
+  /// Counting domain applied to every programmed counter (PAPI
+  /// PAPI_set_domain): domain::kUser counts only application context,
+  /// domain::kKernel only measurement-infrastructure context, kAll both.
+  /// Takes effect at the next program().
+  virtual Status set_domain(std::uint32_t /*domain_mask*/) {
+    return Error::kNoSupport;
+  }
+
+  // --- sampling-based count estimation (PAPI 3 option; sim-alpha) ---
+  virtual bool supports_estimation() const noexcept { return false; }
+  /// When enabled, events that cannot be placed on physical counters are
+  /// serviced from ProfileMe sample extrapolation.
+  virtual Status set_estimation(bool /*enabled*/) {
+    return Error::kNoSupport;
+  }
+
+  // --- timers (the "most popular feature") ---
+  virtual std::uint64_t real_usec() const = 0;
+  virtual std::uint64_t real_cycles() const = 0;
+  /// Process-virtual time; equals real time on the simulated machines.
+  virtual std::uint64_t virt_usec() const = 0;
+
+  // --- multiplexing timer service ---
+  virtual bool supports_multiplex() const noexcept { return false; }
+  virtual Result<int> add_timer(std::uint64_t period_cycles,
+                                TimerCallback callback);
+  virtual Status cancel_timer(int id);
+
+  // --- memory utilization (PAPI 3 extension) ---
+  virtual Result<MemoryInfo> memory_info() const = 0;
+};
+
+}  // namespace papirepro::papi

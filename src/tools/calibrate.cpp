@@ -1,0 +1,110 @@
+#include "tools/calibrate.h"
+
+#include <cmath>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+
+#include "core/library.h"
+#include "substrate/sim_substrate.h"
+
+namespace papirepro::tools {
+namespace {
+
+struct Check {
+  papi::Preset preset;
+  std::optional<std::uint64_t> sim::ExpectedCounts::*field;
+};
+
+constexpr Check kChecks[] = {
+    {papi::Preset::kFpOps, &sim::ExpectedCounts::flops},
+    {papi::Preset::kFmaIns, &sim::ExpectedCounts::fp_fma},
+    {papi::Preset::kLdIns, &sim::ExpectedCounts::loads},
+    {papi::Preset::kSrIns, &sim::ExpectedCounts::stores},
+    {papi::Preset::kBrIns, &sim::ExpectedCounts::branches},
+};
+
+}  // namespace
+
+Result<std::vector<CalibrationRow>> calibrate_workload(
+    const sim::Workload& workload,
+    const pmu::PlatformDescription& platform,
+    const CalibrationOptions& options) {
+  std::vector<CalibrationRow> rows;
+
+  for (const Check& check : kChecks) {
+    const auto expected = workload.expected.*check.field;
+    if (!expected.has_value()) continue;
+
+    // Fresh machine per preset: runs must be independent and identical.
+    sim::Machine machine(workload.program, platform.machine);
+    if (workload.setup) workload.setup(machine);
+
+    auto substrate_ptr =
+        std::make_unique<papi::SimSubstrate>(machine, platform);
+    papi::SimSubstrate* substrate = substrate_ptr.get();
+    papi::Library library(std::move(substrate_ptr));
+    if (options.use_estimation) {
+      PAPIREPRO_RETURN_IF_ERROR(substrate->set_estimation(true));
+    }
+
+    auto handle = library.create_event_set();
+    if (!handle.ok()) return handle.error();
+    auto set = library.event_set(handle.value());
+    const Status added = set.value()->add_preset(check.preset);
+    if (!added.ok()) continue;  // preset unavailable on this platform
+
+    long long scratch = 0;
+    if (options.read_interval_cycles > 0) {
+      auto timer = substrate->add_timer(
+          options.read_interval_cycles,
+          [&set, &scratch] { (void)set.value()->read({&scratch, 1}); });
+      if (!timer.ok()) return timer.error();
+    }
+
+    PAPIREPRO_RETURN_IF_ERROR(set.value()->start());
+    machine.run(options.max_instructions == 0
+                    ? std::numeric_limits<std::uint64_t>::max()
+                    : options.max_instructions);
+    long long value = 0;
+    PAPIREPRO_RETURN_IF_ERROR(set.value()->stop({&value, 1}));
+
+    CalibrationRow row;
+    row.kernel = workload.name;
+    row.event = std::string(papi::preset_name(check.preset));
+    row.expected = static_cast<double>(*expected);
+    row.measured = static_cast<double>(value);
+    row.rel_error = row.expected > 0
+                        ? std::abs(row.measured - row.expected) /
+                              row.expected
+                        : std::abs(row.measured);
+    row.overhead_cycles = machine.overhead_cycles();
+    row.overhead_fraction =
+        machine.cycles() > 0
+            ? static_cast<double>(row.overhead_cycles) /
+                  static_cast<double>(machine.cycles())
+            : 0.0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string render_calibration(const std::vector<CalibrationRow>& rows) {
+  std::ostringstream os;
+  os << std::left << std::setw(16) << "kernel" << std::setw(14) << "event"
+     << std::right << std::setw(14) << "expected" << std::setw(14)
+     << "measured" << std::setw(12) << "rel_err" << std::setw(12)
+     << "ovh_cyc" << std::setw(10) << "ovh_%" << "\n";
+  for (const CalibrationRow& r : rows) {
+    os << std::left << std::setw(16) << r.kernel << std::setw(14)
+       << r.event << std::right << std::fixed << std::setprecision(0)
+       << std::setw(14) << r.expected << std::setw(14) << r.measured
+       << std::setprecision(5) << std::setw(12) << r.rel_error
+       << std::setprecision(0) << std::setw(12)
+       << static_cast<double>(r.overhead_cycles) << std::setprecision(2)
+       << std::setw(10) << r.overhead_fraction * 100 << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace papirepro::tools

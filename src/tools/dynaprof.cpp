@@ -1,0 +1,202 @@
+#include "tools/dynaprof.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+#include "substrate/sim_substrate.h"
+
+namespace papirepro::tools {
+
+sim::Program instrument_program(const sim::Program& program,
+                                const std::vector<std::string>& functions) {
+  const auto& old_code = program.code();
+  const auto& old_funcs = program.functions();
+
+  auto instrumented = [&](std::size_t func_idx) {
+    if (functions.empty()) return true;
+    return std::find(functions.begin(), functions.end(),
+                     old_funcs[func_idx].name) != functions.end();
+  };
+
+  // Pass 1: emit, recording where each old instruction lands.  When a
+  // probe is inserted at a site, the old instruction maps to the probe
+  // so that calls and branches reach the probe first.
+  std::vector<sim::Instruction> new_code;
+  new_code.reserve(old_code.size() + 2 * old_funcs.size() + 4);
+  std::vector<std::int32_t> new_index_of(old_code.size() + 1, -1);
+
+  for (std::size_t i = 0; i < old_code.size(); ++i) {
+    new_index_of[i] = static_cast<std::int32_t>(new_code.size());
+    // Entry probes.
+    for (std::size_t f = 0; f < old_funcs.size(); ++f) {
+      if (old_funcs[f].entry == static_cast<std::int32_t>(i) &&
+          instrumented(f)) {
+        sim::Instruction probe{.op = sim::Opcode::kProbe,
+                               .imm = entry_probe_id(f)};
+        probe.line = old_code[i].line;
+        new_code.push_back(probe);
+      }
+    }
+    // Exit probes: before every ret/halt of an instrumented function.
+    const sim::Opcode op = old_code[i].op;
+    if (op == sim::Opcode::kRet || op == sim::Opcode::kHalt) {
+      for (std::size_t f = 0; f < old_funcs.size(); ++f) {
+        if (old_funcs[f].contains(static_cast<std::int64_t>(i)) &&
+            instrumented(f)) {
+          sim::Instruction probe{.op = sim::Opcode::kProbe,
+                                 .imm = exit_probe_id(f)};
+          probe.line = old_code[i].line;
+          new_code.push_back(probe);
+        }
+      }
+    }
+    new_code.push_back(old_code[i]);
+  }
+  new_index_of[old_code.size()] = static_cast<std::int32_t>(new_code.size());
+
+  // Pass 2: retarget branches and calls.
+  for (sim::Instruction& ins : new_code) {
+    if (ins.target >= 0) {
+      ins.target = new_index_of[ins.target];
+    }
+  }
+
+  // Rebuild function boundary records.
+  std::vector<sim::Function> new_funcs;
+  new_funcs.reserve(old_funcs.size());
+  for (const sim::Function& f : old_funcs) {
+    new_funcs.push_back(
+        {f.name, new_index_of[f.entry], new_index_of[f.end]});
+  }
+  return sim::Program::from_parts(std::move(new_code),
+                                  std::move(new_funcs));
+}
+
+DynaprofSession::DynaprofSession(const sim::Workload& workload,
+                                 const pmu::PlatformDescription& platform,
+                                 DynaprofOptions options)
+    : workload_(workload),
+      platform_(platform),
+      options_(std::move(options)) {}
+
+Status DynaprofSession::run() {
+  instrumented_ = instrument_program(workload_.program, options_.functions);
+  machine_ = std::make_unique<sim::Machine>(instrumented_,
+                                            platform_.machine);
+  if (workload_.setup) workload_.setup(*machine_);
+
+  library_ = std::make_unique<papi::Library>(
+      std::make_unique<papi::SimSubstrate>(*machine_, platform_));
+  auto handle = library_->create_event_set();
+  if (!handle.ok()) return handle.error();
+  auto set = library_->event_set(handle.value());
+  if (!set.ok()) return set.error();
+  set_ = set.value();
+  for (const papi::EventId& id : options_.metrics) {
+    PAPIREPRO_RETURN_IF_ERROR(set_->add_event(id));
+  }
+
+  results_.clear();
+  results_.resize(instrumented_.functions().size());
+  for (std::size_t f = 0; f < results_.size(); ++f) {
+    results_[f].name = instrumented_.functions()[f].name;
+    results_[f].inclusive.assign(options_.metrics.size(), 0);
+    results_[f].exclusive.assign(options_.metrics.size(), 0);
+  }
+
+  attached_ = options_.attach_after_instructions == 0;
+  machine_->set_probe_handler(
+      [this](std::int64_t id, sim::Machine& m) {
+        if (!attached_) {
+          // Not yet attached: the probe retires but costs nothing and
+          // collects nothing (the Dyninst "attach later" mode).
+          if (m.retired() >= options_.attach_after_instructions) {
+            attached_ = true;
+          } else {
+            return;
+          }
+        }
+        on_probe(id);
+      });
+
+  PAPIREPRO_RETURN_IF_ERROR(set_->start());
+  machine_->run();
+  std::vector<long long> final_values(options_.metrics.size());
+  PAPIREPRO_RETURN_IF_ERROR(set_->stop(final_values));
+  return Error::kOk;
+}
+
+void DynaprofSession::on_probe(std::int64_t probe_id) {
+  const auto func = static_cast<std::size_t>(probe_id / 2);
+  const bool is_entry = probe_id % 2 == 0;
+  assert(func < results_.size());
+
+  std::vector<long long> now(options_.metrics.size(), 0);
+  if (set_ != nullptr && !options_.metrics.empty()) {
+    (void)set_->read(now);  // the PAPI probe: a real counter read
+  }
+  const std::uint64_t wall = library_->real_usec();
+
+  if (is_entry) {
+    stack_.push_back({func, now, wall,
+                      std::vector<long long>(options_.metrics.size(), 0),
+                      0});
+    return;
+  }
+
+  if (stack_.empty() || stack_.back().function_index != func) {
+    return;  // unbalanced probe (exit without entry); ignore
+  }
+  Frame frame = std::move(stack_.back());
+  stack_.pop_back();
+
+  FunctionStats& stats = results_[func];
+  ++stats.calls;
+  std::vector<long long> inclusive(options_.metrics.size());
+  for (std::size_t m = 0; m < options_.metrics.size(); ++m) {
+    inclusive[m] = now[m] - frame.values_at_entry[m];
+    stats.inclusive[m] += inclusive[m];
+    stats.exclusive[m] += inclusive[m] - frame.child_accum[m];
+  }
+  const std::uint64_t wall_incl = wall - frame.wall_at_entry;
+  stats.wall_usec_inclusive += wall_incl;
+
+  if (!stack_.empty()) {
+    Frame& parent = stack_.back();
+    for (std::size_t m = 0; m < options_.metrics.size(); ++m) {
+      parent.child_accum[m] += inclusive[m];
+    }
+    parent.wall_child_accum += wall_incl;
+  }
+}
+
+std::string DynaprofSession::report() const {
+  std::ostringstream os;
+  os << "dynaprof report (platform " << platform_.name << ")\n";
+  os << std::left << std::setw(16) << "function" << std::right
+     << std::setw(10) << "calls";
+  for (const papi::EventId& id : options_.metrics) {
+    auto name = library_ != nullptr ? library_->event_name(id)
+                                    : Result<std::string>(Error::kNoInit);
+    os << std::setw(16) << (name.ok() ? name.value() : "metric")
+       << std::setw(16) << "(exclusive)";
+  }
+  if (options_.wallclock) os << std::setw(12) << "wall_us";
+  os << "\n";
+  for (const FunctionStats& f : results_) {
+    if (f.calls == 0) continue;
+    os << std::left << std::setw(16) << f.name << std::right
+       << std::setw(10) << f.calls;
+    for (std::size_t m = 0; m < options_.metrics.size(); ++m) {
+      os << std::setw(16) << f.inclusive[m] << std::setw(16)
+         << f.exclusive[m];
+    }
+    if (options_.wallclock) os << std::setw(12) << f.wall_usec_inclusive;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace papirepro::tools

@@ -1,0 +1,112 @@
+// dynaprof: the paper's dynamic-instrumentation tool.  "Dynaprof inserts
+// instrumentation in the form of probes ... a PAPI probe for collecting
+// hardware counter data and a wallclock probe for measuring elapsed
+// time."  Real dynaprof patched running executables with DyninstAPI; we
+// patch simulated Programs: instrument_program() rewrites the
+// instruction stream with kProbe instructions at the entry and exits of
+// selected functions (retargeting every branch/call across the
+// insertions — the same job Dyninst's relocation does), and
+// DynaprofSession drives the run, maintaining a shadow call stack to
+// produce per-function inclusive/exclusive metric totals.
+//
+// Every probe firing reads the counters through the normal substrate
+// path, so instrumentation overhead (counter-read system calls, cache
+// pollution) lands on the measured program exactly as Section 4
+// describes — experiment E9 sweeps it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/library.h"
+#include "sim/kernels.h"
+#include "sim/program.h"
+
+namespace papirepro::tools {
+
+/// Probe id convention: function i gets entry probe 2*i, exit probe
+/// 2*i + 1 (indices into the instrumented program's function table).
+constexpr std::int64_t entry_probe_id(std::size_t function_index) {
+  return static_cast<std::int64_t>(2 * function_index);
+}
+constexpr std::int64_t exit_probe_id(std::size_t function_index) {
+  return static_cast<std::int64_t>(2 * function_index + 1);
+}
+
+/// Rewrites `program`, inserting entry/exit probes around every function
+/// whose name appears in `functions` (all functions when empty).
+/// Branch targets, call targets, and function boundary records are
+/// remapped across the insertions.
+sim::Program instrument_program(const sim::Program& program,
+                                const std::vector<std::string>& functions);
+
+struct DynaprofOptions {
+  /// Functions to instrument; empty = all.
+  std::vector<std::string> functions;
+  /// Metrics to collect per function (the "papi probe").
+  std::vector<papi::EventId> metrics = {
+      papi::EventId::preset(papi::Preset::kTotCyc)};
+  /// Also collect wallclock elapsed time (the "wallclock probe").
+  bool wallclock = true;
+  /// Attach-to-running-process mode ("attach to a running executable"):
+  /// probes stay inert until this many instructions have retired, so
+  /// collection starts mid-run without restarting the application.
+  std::uint64_t attach_after_instructions = 0;
+};
+
+struct FunctionStats {
+  std::string name;
+  std::uint64_t calls = 0;
+  /// Parallel to DynaprofOptions::metrics.
+  std::vector<long long> inclusive;
+  std::vector<long long> exclusive;
+  std::uint64_t wall_usec_inclusive = 0;
+};
+
+class DynaprofSession {
+ public:
+  DynaprofSession(const sim::Workload& workload,
+                  const pmu::PlatformDescription& platform,
+                  DynaprofOptions options);
+
+  /// Instruments, runs to completion, and collects per-function stats.
+  Status run();
+
+  /// Detaches mid-session (probes become inert again); counts already
+  /// collected are kept.  Callable from probe context.
+  void detach() { attached_ = false; }
+  bool attached() const noexcept { return attached_; }
+
+  const std::vector<FunctionStats>& results() const noexcept {
+    return results_;
+  }
+  const sim::Machine& machine() const noexcept { return *machine_; }
+  /// Formatted per-function table (dynaprof's report output).
+  std::string report() const;
+
+ private:
+  void on_probe(std::int64_t probe_id);
+
+  sim::Workload workload_;
+  const pmu::PlatformDescription& platform_;
+  DynaprofOptions options_;
+  sim::Program instrumented_;
+  std::unique_ptr<sim::Machine> machine_;
+  std::unique_ptr<papi::Library> library_;
+  papi::EventSet* set_ = nullptr;
+
+  struct Frame {
+    std::size_t function_index;
+    std::vector<long long> values_at_entry;
+    std::uint64_t wall_at_entry;
+    std::vector<long long> child_accum;
+    std::uint64_t wall_child_accum = 0;
+  };
+  std::vector<Frame> stack_;
+  std::vector<FunctionStats> results_;
+  bool attached_ = true;
+};
+
+}  // namespace papirepro::tools

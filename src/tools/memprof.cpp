@@ -1,0 +1,92 @@
+#include "tools/memprof.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace papirepro::tools {
+
+MemoryProfiler::MemoryProfiler(sim::Machine& machine,
+                               std::vector<sim::MemoryRegion> regions)
+    : machine_(machine) {
+  stats_.reserve(regions.size() + 1);
+  for (auto& r : regions) stats_.push_back({std::move(r)});
+  stats_.push_back({{"<other>", 0, 0}});
+  machine_.add_listener(this);
+}
+
+MemoryProfiler::~MemoryProfiler() { machine_.remove_listener(this); }
+
+int MemoryProfiler::region_of(std::uint64_t addr) const noexcept {
+  if (last_region_ >= 0 &&
+      stats_[last_region_].region.contains(addr)) {
+    return last_region_;
+  }
+  for (std::size_t i = 0; i + 1 < stats_.size(); ++i) {
+    if (stats_[i].region.contains(addr)) {
+      last_region_ = static_cast<int>(i);
+      return last_region_;
+    }
+  }
+  return static_cast<int>(stats_.size()) - 1;  // <other>
+}
+
+void MemoryProfiler::on_event(sim::SimEvent event, std::uint64_t weight,
+                              const sim::EventContext& ctx) {
+  if (!ctx.has_addr) return;
+  RegionStats* rs = nullptr;
+  switch (event) {
+    case sim::SimEvent::kL1DAccess:
+      rs = &stats_[region_of(ctx.addr)];
+      rs->accesses += weight;
+      break;
+    case sim::SimEvent::kL1DMiss:
+      rs = &stats_[region_of(ctx.addr)];
+      rs->l1_misses += weight;
+      break;
+    case sim::SimEvent::kL2Miss:
+      rs = &stats_[region_of(ctx.addr)];
+      rs->l2_misses += weight;
+      break;
+    case sim::SimEvent::kDTlbMiss:
+      rs = &stats_[region_of(ctx.addr)];
+      rs->tlb_misses += weight;
+      break;
+    default:
+      break;
+  }
+}
+
+const RegionStats* MemoryProfiler::find(std::string_view name) const
+    noexcept {
+  for (const RegionStats& rs : stats_) {
+    if (rs.region.name == name) return &rs;
+  }
+  return nullptr;
+}
+
+std::string MemoryProfiler::report() const {
+  std::ostringstream os;
+  os << std::left << std::setw(12) << "object" << std::right
+     << std::setw(12) << "bytes" << std::setw(14) << "accesses"
+     << std::setw(12) << "L1_miss" << std::setw(12) << "L2_miss"
+     << std::setw(12) << "TLB_miss" << std::setw(12) << "L1 rate"
+     << "\n";
+  for (const RegionStats& rs : stats_) {
+    if (rs.accesses == 0 && rs.region.name == "<other>") continue;
+    os << std::left << std::setw(12) << rs.region.name << std::right
+       << std::setw(12) << rs.region.bytes << std::setw(14)
+       << rs.accesses << std::setw(12) << rs.l1_misses << std::setw(12)
+       << rs.l2_misses << std::setw(12) << rs.tlb_misses << std::setw(11)
+       << std::fixed << std::setprecision(2) << 100.0 * rs.l1_miss_rate()
+       << "%\n";
+  }
+  return os.str();
+}
+
+void MemoryProfiler::reset() {
+  for (RegionStats& rs : stats_) {
+    rs.accesses = rs.l1_misses = rs.l2_misses = rs.tlb_misses = 0;
+  }
+}
+
+}  // namespace papirepro::tools

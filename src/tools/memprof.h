@@ -1,0 +1,67 @@
+// Per-object memory profiling: the last of the PAPI 3 memory-utilization
+// wishes in Section 5 — "location of memory used by an object (e.g.,
+// array or structure)".  A MemoryProfiler subscribes to the machine's
+// data-memory signals and attributes accesses, cache misses, and TLB
+// misses to the workload's named data objects, answering "which array is
+// missing" rather than just "how many misses happened".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event.h"
+#include "sim/kernels.h"
+#include "sim/machine.h"
+
+namespace papirepro::tools {
+
+struct RegionStats {
+  sim::MemoryRegion region;
+  std::uint64_t accesses = 0;   ///< L1D accesses
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t tlb_misses = 0;
+
+  double l1_miss_rate() const noexcept {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(l1_misses) /
+                               static_cast<double>(accesses);
+  }
+};
+
+class MemoryProfiler final : public sim::EventListener {
+ public:
+  /// Attributes data-memory events to `regions`; anything outside lands
+  /// in the synthetic "<other>" bucket.
+  MemoryProfiler(sim::Machine& machine,
+                 std::vector<sim::MemoryRegion> regions);
+  ~MemoryProfiler() override;
+
+  MemoryProfiler(const MemoryProfiler&) = delete;
+  MemoryProfiler& operator=(const MemoryProfiler&) = delete;
+
+  /// Per-region stats in registration order; the final entry is the
+  /// "<other>" bucket.
+  const std::vector<RegionStats>& stats() const noexcept { return stats_; }
+  const RegionStats* find(std::string_view name) const noexcept;
+
+  /// Formatted per-object table.
+  std::string report() const;
+
+  void reset();
+
+  // sim::EventListener
+  void on_event(sim::SimEvent event, std::uint64_t weight,
+                const sim::EventContext& ctx) override;
+
+ private:
+  int region_of(std::uint64_t addr) const noexcept;
+
+  sim::Machine& machine_;
+  std::vector<RegionStats> stats_;
+  /// Cache of the last hit region (memory access streams are runs).
+  mutable int last_region_ = -1;
+};
+
+}  // namespace papirepro::tools

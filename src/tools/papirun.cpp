@@ -1,0 +1,92 @@
+#include "tools/papirun.h"
+
+#include <iomanip>
+#include <memory>
+#include <sstream>
+
+#include "core/library.h"
+#include "sim/workload_registry.h"
+#include "substrate/sim_substrate.h"
+
+namespace papirepro::tools {
+
+Result<PapirunResult> papirun(const PapirunRequest& request) {
+  const pmu::PlatformDescription* platform =
+      pmu::find_platform(request.platform);
+  if (platform == nullptr) return Error::kInvalid;
+  auto workload = sim::make_workload(request.workload, request.n);
+  if (!workload.has_value()) return Error::kInvalid;
+
+  sim::Machine machine(workload->program, platform->machine);
+  if (workload->setup) workload->setup(machine);
+
+  auto substrate_ptr =
+      std::make_unique<papi::SimSubstrate>(machine, *platform);
+  papi::SimSubstrate* substrate = substrate_ptr.get();
+  papi::Library library(std::move(substrate_ptr));
+  if (request.use_estimation) {
+    PAPIREPRO_RETURN_IF_ERROR(substrate->set_estimation(true));
+  }
+
+  const bool defaulted = request.events.empty();
+  std::vector<std::string> names = request.events;
+  if (defaulted) {
+    names = {"PAPI_TOT_CYC", "PAPI_TOT_INS"};
+    if (library.query_event(papi::EventId::preset(papi::Preset::kFpOps))) {
+      names.push_back("PAPI_FP_OPS");
+    }
+  }
+
+  auto handle = library.create_event_set();
+  if (!handle.ok()) return handle.error();
+  papi::EventSet* set = library.event_set(handle.value()).value();
+
+  PapirunResult result;
+  std::vector<std::string> added_names;
+  for (const std::string& name : names) {
+    Status added = set->add_named(name);
+    if (added.error() == Error::kConflict && request.allow_multiplex &&
+        !set->multiplexed()) {
+      // More events than counters: turn on multiplexing (explicitly, per
+      // the PAPI rule) and retry.
+      PAPIREPRO_RETURN_IF_ERROR(set->enable_multiplex());
+      result.multiplexed = true;
+      added = set->add_named(name);
+    }
+    if (!added.ok()) {
+      // A default event the platform cannot count (e.g. sampled-only
+      // PAPI_FP_OPS on sim-alpha without estimation) is simply dropped;
+      // events the user asked for by name fail loudly.
+      if (defaulted && added.error() == Error::kConflict) continue;
+      return added.error();
+    }
+    added_names.push_back(name);
+  }
+  names = std::move(added_names);
+
+  const std::uint64_t start_us = library.real_usec();
+  PAPIREPRO_RETURN_IF_ERROR(set->start());
+  machine.run();
+  std::vector<long long> values(set->num_events(), 0);
+  PAPIREPRO_RETURN_IF_ERROR(set->stop(values));
+  result.real_usec = library.real_usec() - start_us;
+  result.cycles = machine.cycles();
+  result.instructions = machine.retired();
+  result.multiplexed = set->multiplexed();
+
+  std::ostringstream os;
+  os << "papirun: " << request.workload << " on " << platform->name
+     << (result.multiplexed ? " (multiplexed)" : "") << "\n";
+  os << "  real time: " << result.real_usec << " us, cycles: "
+     << result.cycles << ", instructions: " << result.instructions
+     << "\n";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    result.counts.emplace_back(names[i], values[i]);
+    os << "  " << std::left << std::setw(18) << names[i] << std::right
+       << std::setw(16) << values[i] << "\n";
+  }
+  result.report = os.str();
+  return result;
+}
+
+}  // namespace papirepro::tools

@@ -1,0 +1,39 @@
+// papirun: "a papirun utility that will allow users to execute a program
+// and easily collect basic timing and hardware counter data is under
+// development" (Section 5).  We finish the thought: run a named workload
+// on a named platform, count a list of events (multiplexing
+// automatically when they exceed the hardware counters, which papirun
+// enables deliberately — it is a low-level consumer), and print a report
+// with timing from the portable timers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace papirepro::tools {
+
+struct PapirunRequest {
+  std::string platform = "sim-x86";
+  std::string workload = "matmul";
+  std::int64_t n = 0;  ///< workload size knob (0 = default)
+  /// Event names ("PAPI_*" or native); empty = a basic default set.
+  std::vector<std::string> events;
+  bool allow_multiplex = true;
+  bool use_estimation = false;  ///< sim-alpha DADD mode
+};
+
+struct PapirunResult {
+  std::string report;  ///< formatted table
+  std::vector<std::pair<std::string, long long>> counts;
+  std::uint64_t real_usec = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  bool multiplexed = false;
+};
+
+Result<PapirunResult> papirun(const PapirunRequest& request);
+
+}  // namespace papirepro::tools

@@ -1,0 +1,151 @@
+#include "tools/tracer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace papirepro::tools {
+
+EventTracer::EventTracer(papi::Library& library,
+                         std::vector<papi::EventId> metrics,
+                         std::uint64_t interval_cycles,
+                         sim::Machine* machine, std::int64_t marker_base)
+    : library_(library),
+      metrics_(std::move(metrics)),
+      interval_cycles_(interval_cycles),
+      machine_(machine),
+      marker_base_(marker_base) {}
+
+Status EventTracer::start() {
+  if (running_) return Error::kIsRunning;
+  if (metrics_.empty() || interval_cycles_ == 0) return Error::kInvalid;
+  if (!library_.substrate().supports_multiplex()) {
+    return Error::kNoSupport;  // needs the cycle-timer service
+  }
+
+  auto handle = library_.create_event_set();
+  if (!handle.ok()) return handle.error();
+  set_handle_ = handle.value();
+  papi::EventSet* set = library_.event_set(set_handle_).value();
+  for (const papi::EventId& id : metrics_) {
+    Status added = set->add_event(id);
+    if (added.error() == Error::kConflict && !set->multiplexed()) {
+      PAPIREPRO_RETURN_IF_ERROR(set->enable_multiplex());
+      added = set->add_event(id);
+    }
+    if (!added.ok()) {
+      (void)library_.destroy_event_set(set_handle_);
+      set_handle_ = -1;
+      return added;
+    }
+  }
+  PAPIREPRO_RETURN_IF_ERROR(set->start());
+
+  intervals_.clear();
+  markers_.clear();
+  last_usec_ = library_.real_usec();
+  last_values_.assign(metrics_.size(), 0);
+  auto timer =
+      library_.substrate().add_timer(interval_cycles_, [this] { sample(); });
+  if (!timer.ok()) {
+    (void)set->stop();
+    return timer.error();
+  }
+  timer_id_ = timer.value();
+
+  if (machine_ != nullptr) {
+    saved_probe_handler_ = machine_->probe_handler();
+    machine_->set_probe_handler(
+        [this](std::int64_t id, sim::Machine& m) {
+          if (id >= marker_base_) {
+            markers_.push_back({library_.real_usec(), id - marker_base_});
+          }
+          if (saved_probe_handler_) saved_probe_handler_(id, m);
+        });
+  }
+  running_ = true;
+  return Error::kOk;
+}
+
+void EventTracer::sample() {
+  if (!running_) return;
+  auto set = library_.event_set(set_handle_);
+  if (!set.ok()) return;
+  std::vector<long long> values(metrics_.size());
+  if (!set.value()->read(values).ok()) return;
+  const std::uint64_t now = library_.real_usec();
+  Interval iv;
+  iv.start_usec = last_usec_;
+  iv.end_usec = now;
+  iv.deltas.resize(metrics_.size());
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    iv.deltas[i] = values[i] - last_values_[i];
+  }
+  intervals_.push_back(std::move(iv));
+  last_usec_ = now;
+  last_values_ = std::move(values);
+}
+
+Status EventTracer::stop() {
+  if (!running_) return Error::kNotRunning;
+  sample();  // close the final interval
+  (void)library_.substrate().cancel_timer(timer_id_);
+  timer_id_ = -1;
+  if (machine_ != nullptr) {
+    machine_->set_probe_handler(saved_probe_handler_);
+    saved_probe_handler_ = nullptr;
+  }
+  if (auto set = library_.event_set(set_handle_); set.ok()) {
+    (void)set.value()->stop();
+    (void)library_.destroy_event_set(set_handle_);
+  }
+  set_handle_ = -1;
+  running_ = false;
+  return Error::kOk;
+}
+
+std::string EventTracer::render_timeline() const {
+  std::ostringstream os;
+  os << std::left << std::setw(22) << "interval (us)";
+  for (const papi::EventId& id : metrics_) {
+    auto name = library_.event_name(id);
+    os << std::right << std::setw(14)
+       << (name.ok() ? name.value() : std::string("metric"));
+  }
+  os << "\n";
+  std::size_t marker_cursor = 0;
+  for (const Interval& iv : intervals_) {
+    while (marker_cursor < markers_.size() &&
+           markers_[marker_cursor].usec <= iv.end_usec) {
+      os << "  -- marker " << markers_[marker_cursor].id << " @ "
+         << markers_[marker_cursor].usec << " us --\n";
+      ++marker_cursor;
+    }
+    std::ostringstream range;
+    range << "[" << iv.start_usec << ", " << iv.end_usec << ")";
+    os << std::left << std::setw(22) << range.str();
+    for (long long d : iv.deltas) {
+      os << std::right << std::setw(14) << d;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string EventTracer::to_csv() const {
+  std::ostringstream os;
+  os << "start_usec,end_usec";
+  for (const papi::EventId& id : metrics_) {
+    auto name = library_.event_name(id);
+    os << ',' << (name.ok() ? name.value() : std::string("metric"));
+  }
+  os << "\n";
+  for (const Interval& iv : intervals_) {
+    os << iv.start_usec << ',' << iv.end_usec;
+    for (long long d : iv.deltas) os << ',' << d;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace papirepro::tools

@@ -1,0 +1,126 @@
+#include "tools/vprof.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace papirepro::tools {
+namespace {
+
+/// Instruction index for bucket i, or -1 when outside the program.
+std::int64_t bucket_instruction(const papi::ProfileBuffer& buffer,
+                                const sim::Program& program,
+                                std::size_t bucket) {
+  const std::uint64_t addr = buffer.bucket_address(bucket);
+  if (addr < sim::kTextBase) return -1;
+  const std::int64_t idx = sim::address_to_index(addr);
+  if (idx < 0 || static_cast<std::size_t>(idx) >= program.size()) return -1;
+  return idx;
+}
+
+}  // namespace
+
+std::vector<LineProfile> correlate_lines(const papi::ProfileBuffer& buffer,
+                                         const sim::Program& program) {
+  std::map<std::uint32_t, std::uint64_t> by_line;
+  std::uint64_t in_range = 0;
+  for (std::size_t b = 0; b < buffer.num_buckets(); ++b) {
+    const std::uint32_t n = buffer.buckets()[b];
+    if (n == 0) continue;
+    const std::int64_t idx = bucket_instruction(buffer, program, b);
+    if (idx < 0) continue;
+    by_line[program.line_of(idx)] += n;
+    in_range += n;
+  }
+  std::vector<LineProfile> out;
+  out.reserve(by_line.size());
+  for (const auto& [line, samples] : by_line) {
+    out.push_back({line, samples,
+                   in_range > 0 ? static_cast<double>(samples) /
+                                      static_cast<double>(in_range)
+                                : 0.0});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.samples > b.samples;
+  });
+  return out;
+}
+
+std::vector<FunctionProfile> correlate_functions(
+    const papi::ProfileBuffer& buffer, const sim::Program& program) {
+  std::map<std::string, std::uint64_t> by_func;
+  std::uint64_t in_range = 0;
+  for (std::size_t b = 0; b < buffer.num_buckets(); ++b) {
+    const std::uint32_t n = buffer.buckets()[b];
+    if (n == 0) continue;
+    const std::int64_t idx = bucket_instruction(buffer, program, b);
+    if (idx < 0) continue;
+    const sim::Function* f = program.function_at(idx);
+    by_func[f != nullptr ? f->name : "<unknown>"] += n;
+    in_range += n;
+  }
+  std::vector<FunctionProfile> out;
+  out.reserve(by_func.size());
+  for (const auto& [name, samples] : by_func) {
+    out.push_back({name, samples,
+                   in_range > 0 ? static_cast<double>(samples) /
+                                      static_cast<double>(in_range)
+                                : 0.0});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.samples > b.samples;
+  });
+  return out;
+}
+
+AttributionAccuracy attribution_accuracy(const papi::ProfileBuffer& buffer,
+                                         const sim::Program& program,
+                                         std::int64_t expected_index) {
+  AttributionAccuracy acc;
+  const std::uint32_t expected_line = program.line_of(expected_index);
+  const sim::Function* expected_func = program.function_at(expected_index);
+
+  std::uint64_t exact = 0, same_line = 0, same_func = 0, total = 0;
+  for (std::size_t b = 0; b < buffer.num_buckets(); ++b) {
+    const std::uint32_t n = buffer.buckets()[b];
+    if (n == 0) continue;
+    total += n;
+    const std::int64_t idx = bucket_instruction(buffer, program, b);
+    if (idx < 0) continue;
+    if (idx == expected_index) exact += n;
+    if (program.line_of(idx) == expected_line) same_line += n;
+    const sim::Function* f = program.function_at(idx);
+    if (f != nullptr && f == expected_func) same_func += n;
+  }
+  total += buffer.out_of_range_samples();
+  acc.total_samples = total;
+  if (total > 0) {
+    acc.exact = static_cast<double>(exact) / static_cast<double>(total);
+    acc.same_line =
+        static_cast<double>(same_line) / static_cast<double>(total);
+    acc.same_function =
+        static_cast<double>(same_func) / static_cast<double>(total);
+  }
+  return acc;
+}
+
+std::string render_annotated(const papi::ProfileBuffer& buffer,
+                             const sim::Program& program,
+                             std::uint64_t min_samples) {
+  std::ostringstream os;
+  os << std::setw(10) << "samples" << "  " << "instruction\n";
+  for (std::size_t b = 0; b < buffer.num_buckets(); ++b) {
+    const std::uint32_t n = buffer.buckets()[b];
+    if (n < min_samples) continue;
+    const std::int64_t idx = bucket_instruction(buffer, program, b);
+    if (idx < 0) continue;
+    const sim::Function* f = program.function_at(idx);
+    os << std::setw(10) << n << "  " << (f != nullptr ? f->name : "?")
+       << "+" << idx << ": " << sim::disassemble(program.at(idx))
+       << "  (line " << program.line_of(idx) << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace papirepro::tools

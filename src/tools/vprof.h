@@ -1,0 +1,57 @@
+// VProf-style source correlation: "This routine can be used by end-user
+// tools such as VProf to collect profiling data which can then be
+// correlated with application source code."  Takes a PAPI_profil bucket
+// histogram and the program's debug info and aggregates samples per
+// source line and per function — also the measurement instrument for
+// experiment E6 (what fraction of samples lands on the correct
+// line/function under skidded vs precise attribution).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/profile.h"
+#include "sim/program.h"
+
+namespace papirepro::tools {
+
+struct LineProfile {
+  std::uint32_t line = 0;
+  std::uint64_t samples = 0;
+  double fraction = 0;  ///< of in-range samples
+};
+
+struct FunctionProfile {
+  std::string name;
+  std::uint64_t samples = 0;
+  double fraction = 0;
+};
+
+/// Aggregates profil buckets per source line, descending by samples.
+std::vector<LineProfile> correlate_lines(const papi::ProfileBuffer& buffer,
+                                         const sim::Program& program);
+
+/// Aggregates profil buckets per function, descending by samples.
+std::vector<FunctionProfile> correlate_functions(
+    const papi::ProfileBuffer& buffer, const sim::Program& program);
+
+/// Fraction of samples attributed to instruction index `expected_index`
+/// exactly / within the same source line / within the same function —
+/// the three attribution-accuracy granularities of experiment E6.
+struct AttributionAccuracy {
+  double exact = 0;
+  double same_line = 0;
+  double same_function = 0;
+  std::uint64_t total_samples = 0;
+};
+AttributionAccuracy attribution_accuracy(const papi::ProfileBuffer& buffer,
+                                         const sim::Program& program,
+                                         std::int64_t expected_index);
+
+/// Annotated listing: per-instruction sample counts next to disassembly.
+std::string render_annotated(const papi::ProfileBuffer& buffer,
+                             const sim::Program& program,
+                             std::uint64_t min_samples = 1);
+
+}  // namespace papirepro::tools

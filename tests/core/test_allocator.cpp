@@ -1,0 +1,191 @@
+#include "core/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.h"
+
+namespace papirepro::papi {
+namespace {
+
+AllocationInstance inst(std::uint32_t counters,
+                        std::vector<std::uint32_t> allowed,
+                        std::vector<int> prio = {}) {
+  return {counters, std::move(allowed), std::move(prio)};
+}
+
+bool valid(const AllocationInstance& in, const AllocationResult& r) {
+  std::uint32_t used = 0;
+  for (std::size_t e = 0; e < in.allowed.size(); ++e) {
+    const int c = r.assignment[e];
+    if (c == AllocationResult::kUnassigned) continue;
+    if ((in.allowed[e] & (1u << c)) == 0) return false;
+    if (used & (1u << c)) return false;
+    used |= 1u << c;
+  }
+  return true;
+}
+
+/// Exhaustive optimum for small instances (oracle).
+std::uint32_t brute_force_max(const AllocationInstance& in) {
+  const std::size_t n = in.allowed.size();
+  std::uint32_t best = 0;
+  std::uint32_t used = 0;
+  auto dfs = [&](auto&& self, std::size_t e, std::uint32_t mapped) -> void {
+    best = std::max(best, mapped);
+    if (e == n) return;
+    self(self, e + 1, mapped);  // leave e unmapped
+    for (std::uint32_t c = 0; c < in.num_counters; ++c) {
+      if ((in.allowed[e] & (1u << c)) && !(used & (1u << c))) {
+        used |= 1u << c;
+        self(self, e + 1, mapped + 1);
+        used &= ~(1u << c);
+      }
+    }
+  };
+  dfs(dfs, 0, 0);
+  return best;
+}
+
+TEST(Allocator, TrivialCompleteAssignment) {
+  const auto in = inst(2, {0b01, 0b10});
+  const AllocationResult r = solve_max_cardinality(in);
+  EXPECT_TRUE(r.complete());
+  EXPECT_TRUE(valid(in, r));
+}
+
+TEST(Allocator, AugmentingPathBeatsGreedy) {
+  // Event 0 can use {0,1}; event 1 only {0}.  Greedy first-fit places
+  // event 0 on counter 0, then fails event 1.  The optimal matcher
+  // reroutes event 0 to counter 1.
+  const auto in = inst(2, {0b11, 0b01});
+  const AllocationResult greedy = solve_greedy_first_fit(in);
+  EXPECT_EQ(greedy.mapped_count, 1u);
+  const AllocationResult optimal = solve_max_cardinality(in);
+  EXPECT_TRUE(optimal.complete());
+  EXPECT_EQ(optimal.assignment[0], 1);
+  EXPECT_EQ(optimal.assignment[1], 0);
+}
+
+TEST(Allocator, DeepAugmentingChain) {
+  // Chain: e0:{0,1} e1:{1,2} e2:{2,3} e3:{3} forces full reshuffle when
+  // processed in a hostile order.
+  const auto in = inst(4, {0b0011, 0b0110, 0b1100, 0b1000});
+  const AllocationResult r = solve_max_cardinality(in);
+  EXPECT_TRUE(r.complete());
+  EXPECT_TRUE(valid(in, r));
+}
+
+TEST(Allocator, InfeasibleReportsPartial) {
+  // Three events all restricted to the same single counter.
+  const auto in = inst(2, {0b01, 0b01, 0b01});
+  const AllocationResult r = solve_max_cardinality(in);
+  EXPECT_EQ(r.mapped_count, 1u);
+  EXPECT_FALSE(r.complete());
+  EXPECT_TRUE(valid(in, r));
+}
+
+TEST(Allocator, EmptyMaskEventNeverMapped) {
+  const auto in = inst(4, {0b1111, 0});
+  const AllocationResult r = solve_max_cardinality(in);
+  EXPECT_EQ(r.mapped_count, 1u);
+  EXPECT_EQ(r.assignment[1], AllocationResult::kUnassigned);
+}
+
+TEST(Allocator, MaxWeightPrefersHighPriority) {
+  // Two events want the same single counter: the heavier one wins.
+  const auto in = inst(1, {0b1, 0b1}, {1, 10});
+  const AllocationResult r = solve_max_weight(in);
+  EXPECT_EQ(r.assignment[0], AllocationResult::kUnassigned);
+  EXPECT_EQ(r.assignment[1], 0);
+}
+
+TEST(Allocator, MaxWeightStillMaximumCardinalityWhenPossible) {
+  const auto in = inst(2, {0b11, 0b01}, {10, 1});
+  const AllocationResult r = solve_max_weight(in);
+  EXPECT_TRUE(r.complete());
+}
+
+TEST(Allocator, ZeroEvents) {
+  const auto in = inst(4, {});
+  const AllocationResult r = solve_max_cardinality(in);
+  EXPECT_EQ(r.mapped_count, 0u);
+  EXPECT_TRUE(r.complete());
+}
+
+// Property sweep: the optimal matcher equals the brute-force optimum and
+// always beats-or-ties greedy, on randomized instances.
+class AllocatorProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(AllocatorProperty, OptimalMatchesBruteForce) {
+  const auto [num_events, num_counters, seed] = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  const std::uint32_t full = (1u << num_counters) - 1;
+
+  for (int trial = 0; trial < 40; ++trial) {
+    AllocationInstance in;
+    in.num_counters = static_cast<std::uint32_t>(num_counters);
+    for (int e = 0; e < num_events; ++e) {
+      in.allowed.push_back(static_cast<std::uint32_t>(rng.next()) & full);
+    }
+    const AllocationResult optimal = solve_max_cardinality(in);
+    const AllocationResult greedy = solve_greedy_first_fit(in);
+    EXPECT_TRUE(valid(in, optimal));
+    EXPECT_TRUE(valid(in, greedy));
+    EXPECT_EQ(optimal.mapped_count, brute_force_max(in));
+    EXPECT_GE(optimal.mapped_count, greedy.mapped_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, AllocatorProperty,
+    ::testing::Combine(::testing::Values(2, 4, 6, 8),
+                       ::testing::Values(2, 4, 6),
+                       ::testing::Values(1, 2, 3)));
+
+// Max-weight property: total mapped weight is optimal (checked against
+// brute force over subsets).
+TEST(AllocatorProperty, MaxWeightIsOptimalOnRandomInstances) {
+  Xoshiro256 rng(424242);
+  for (int trial = 0; trial < 60; ++trial) {
+    AllocationInstance in;
+    in.num_counters = 4;
+    const int n = 2 + static_cast<int>(rng.next_below(5));
+    for (int e = 0; e < n; ++e) {
+      in.allowed.push_back(static_cast<std::uint32_t>(rng.next()) & 0xF);
+      in.priority.push_back(static_cast<int>(rng.next_below(100)));
+    }
+
+    const AllocationResult r = solve_max_weight(in);
+    EXPECT_TRUE(valid(in, r));
+    long long got = 0;
+    for (int e = 0; e < n; ++e) {
+      if (r.assignment[e] != AllocationResult::kUnassigned) {
+        got += in.priority[e];
+      }
+    }
+
+    // Brute force best weight.
+    long long best = 0;
+    std::uint32_t used = 0;
+    auto dfs = [&](auto&& self, int e, long long w) -> void {
+      best = std::max(best, w);
+      if (e == n) return;
+      self(self, e + 1, w);
+      for (std::uint32_t c = 0; c < 4; ++c) {
+        if ((in.allowed[e] & (1u << c)) && !(used & (1u << c))) {
+          used |= 1u << c;
+          self(self, e + 1, w + in.priority[e]);
+          used &= ~(1u << c);
+        }
+      }
+    };
+    dfs(dfs, 0, 0);
+    EXPECT_EQ(got, best) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace papirepro::papi

@@ -1,0 +1,124 @@
+// Counting-domain tests: user-domain counters must exclude the cycles
+// the measurement infrastructure itself injects (read system calls,
+// overflow handlers), kernel-domain counters must isolate them, and the
+// two must add up to the all-domain view.
+#include <gtest/gtest.h>
+
+#include "core/eventset.h"
+#include "core/options.h"
+#include "test_util.h"
+
+namespace papirepro::papi {
+namespace {
+
+using papirepro::test::SimFixture;
+
+/// Runs saxpy with periodic counter reads (instrumentation overhead) and
+/// returns the TOT_CYC reading under `mask`.
+long long cycles_in_domain(std::uint32_t mask, std::uint64_t* machine_cycles,
+                           std::uint64_t* overhead_cycles) {
+  SimFixture f(sim::make_saxpy(20'000), pmu::sim_x86());
+  EventSet& set = f.new_set();
+  EXPECT_TRUE(set.add_preset(Preset::kTotCyc).ok());
+  EXPECT_TRUE(set.set_domain(mask).ok());
+  // Periodic reads inject kernel-context cycles while counting runs.
+  long long scratch = 0;
+  auto timer = f.substrate->add_timer(5'000, [&] {
+    (void)f.library->event_set(set.handle()).value()->read({&scratch, 1});
+  });
+  EXPECT_TRUE(timer.ok());
+  EXPECT_TRUE(set.start().ok());
+  f.machine->run();
+  long long v = 0;
+  EXPECT_TRUE(set.stop({&v, 1}).ok());
+  if (machine_cycles != nullptr) *machine_cycles = f.machine->cycles();
+  if (overhead_cycles != nullptr) {
+    *overhead_cycles = f.machine->overhead_cycles();
+  }
+  return v;
+}
+
+TEST(Domain, UserDomainExcludesInstrumentationCycles) {
+  std::uint64_t machine_cycles = 0, overhead = 0;
+  const long long all =
+      cycles_in_domain(domain::kAll, &machine_cycles, &overhead);
+  const long long user = cycles_in_domain(domain::kUser, nullptr, nullptr);
+  const long long kernel =
+      cycles_in_domain(domain::kKernel, nullptr, nullptr);
+
+  EXPECT_GT(overhead, 0u);
+  // Identical deterministic runs: the three views decompose exactly.
+  EXPECT_EQ(all, user + kernel);
+  EXPECT_GT(kernel, 0);
+  // Some overhead (the start cost, the post-stop read) falls outside the
+  // counting window, so the kernel-domain count is a lower bound.
+  EXPECT_LE(static_cast<std::uint64_t>(kernel), overhead);
+  EXPECT_LT(user, all);
+}
+
+TEST(Domain, NonCycleEventsUnaffectedByUserDomain) {
+  SimFixture f(sim::make_saxpy(5'000), pmu::sim_x86());
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.add_preset(Preset::kFmaIns).ok());
+  ASSERT_TRUE(set.set_domain(domain::kUser).ok());
+  ASSERT_TRUE(set.start().ok());
+  f.machine->run();
+  long long v = 0;
+  ASSERT_TRUE(set.stop({&v, 1}).ok());
+  EXPECT_EQ(v, 5'000);  // FMAs only ever retire in user context
+}
+
+TEST(Domain, KernelOnlyCounterSeesNothingWithoutInstrumentation) {
+  papi::SimSubstrateOptions options;
+  options.charge_costs = false;  // no reads, no overhead
+  SimFixture f(sim::make_saxpy(5'000), pmu::sim_x86(), options);
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.add_preset(Preset::kTotCyc).ok());
+  ASSERT_TRUE(set.set_domain(domain::kKernel).ok());
+  ASSERT_TRUE(set.start().ok());
+  f.machine->run();
+  long long v = 0;
+  ASSERT_TRUE(set.stop({&v, 1}).ok());
+  EXPECT_EQ(v, 0);
+}
+
+TEST(Domain, ValidationAndStateRules) {
+  SimFixture f(sim::make_saxpy(100), pmu::sim_x86());
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.add_preset(Preset::kTotCyc).ok());
+  EXPECT_EQ(set.set_domain(0).error(), Error::kInvalid);
+  EXPECT_EQ(set.set_domain(0xff).error(), Error::kInvalid);
+  EXPECT_EQ(set.counting_domain(), domain::kAll);
+  ASSERT_TRUE(set.set_domain(domain::kUser).ok());
+  EXPECT_EQ(set.counting_domain(), domain::kUser);
+  ASSERT_TRUE(set.start().ok());
+  EXPECT_EQ(set.set_domain(domain::kAll).error(), Error::kIsRunning);
+  ASSERT_TRUE(set.stop().ok());
+}
+
+TEST(Domain, PerSetDomainsAreIndependent) {
+  SimFixture f(sim::make_saxpy(10'000), pmu::sim_x86());
+  EventSet& user_set = f.new_set();
+  EventSet& all_set = f.new_set();
+  ASSERT_TRUE(user_set.add_preset(Preset::kTotCyc).ok());
+  ASSERT_TRUE(all_set.add_preset(Preset::kTotCyc).ok());
+  ASSERT_TRUE(user_set.set_domain(domain::kUser).ok());
+
+  // Run the first half under the user set (with a read injecting
+  // overhead), the rest under the all set.
+  ASSERT_TRUE(user_set.start().ok());
+  f.machine->run(10'000);
+  long long mid = 0;
+  ASSERT_TRUE(user_set.read({&mid, 1}).ok());  // charges kernel cycles
+  long long user_v = 0;
+  ASSERT_TRUE(user_set.stop({&user_v, 1}).ok());
+  ASSERT_TRUE(all_set.start().ok());
+  f.machine->run();
+  long long all_v = 0;
+  ASSERT_TRUE(all_set.stop({&all_v, 1}).ok());
+  EXPECT_GT(user_v, 0);
+  EXPECT_GT(all_v, 0);
+}
+
+}  // namespace
+}  // namespace papirepro::papi

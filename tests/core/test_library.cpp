@@ -1,0 +1,109 @@
+#include "core/library.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace papirepro::papi {
+namespace {
+
+using papirepro::test::SimFixture;
+
+TEST(Library, EventNameRoundTrips) {
+  SimFixture f(sim::make_saxpy(10), pmu::sim_x86());
+  // Preset by name.
+  auto id = f.library->event_from_name("PAPI_TOT_CYC");
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(id.value().is_preset());
+  EXPECT_EQ(f.library->event_name(id.value()).value(), "PAPI_TOT_CYC");
+  // Native by name.
+  auto native = f.library->event_from_name("L1D_MISS");
+  ASSERT_TRUE(native.ok());
+  EXPECT_FALSE(native.value().is_preset());
+  EXPECT_EQ(f.library->event_name(native.value()).value(), "L1D_MISS");
+  // Unknown.
+  EXPECT_EQ(f.library->event_from_name("PAPI_BOGUS").error(),
+            Error::kNoEvent);
+}
+
+TEST(Library, UnmappedPresetNameRejected) {
+  // PAPI_FDV_INS exists as a preset but is unmapped on sim-x86: looking
+  // it up by name must fail the platform query, not return a dangling id.
+  SimFixture f(sim::make_saxpy(10), pmu::sim_x86());
+  EXPECT_EQ(f.library->event_from_name("PAPI_FDV_INS").error(),
+            Error::kNoEvent);
+  EXPECT_FALSE(
+      f.library->query_event(EventId::preset(Preset::kFdvIns)));
+}
+
+TEST(Library, EventDescriptions) {
+  SimFixture f(sim::make_saxpy(10), pmu::sim_x86());
+  auto preset_desc =
+      f.library->event_description(EventId::preset(Preset::kTotCyc));
+  ASSERT_TRUE(preset_desc.ok());
+  EXPECT_FALSE(preset_desc.value().empty());
+  const auto native = f.library->event_from_name("L1D_MISS").value();
+  auto native_desc = f.library->event_description(native);
+  ASSERT_TRUE(native_desc.ok());
+  EXPECT_NE(native_desc.value().find("L1"), std::string::npos);
+}
+
+TEST(Library, HandleLifecycle) {
+  SimFixture f(sim::make_saxpy(10), pmu::sim_x86());
+  auto h1 = f.library->create_event_set();
+  auto h2 = f.library->create_event_set();
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  EXPECT_NE(h1.value(), h2.value());
+  EXPECT_EQ(f.library->num_event_sets(), 2u);
+  EXPECT_TRUE(f.library->destroy_event_set(h1.value()).ok());
+  EXPECT_EQ(f.library->num_event_sets(), 1u);
+  EXPECT_EQ(f.library->event_set(h1.value()).error(), Error::kNoEventSet);
+  EXPECT_EQ(f.library->destroy_event_set(h1.value()).error(),
+            Error::kNoEventSet);
+  EXPECT_TRUE(f.library->event_set(h2.value()).ok());
+}
+
+TEST(Library, AvailablePresetsConsistentWithQuery) {
+  for (const pmu::PlatformDescription* p : pmu::all_platforms()) {
+    SimFixture f(sim::make_saxpy(10), *p);
+    const auto available = f.library->available_presets();
+    EXPECT_FALSE(available.empty()) << p->name;
+    for (Preset preset : available) {
+      EXPECT_TRUE(f.library->query_event(EventId::preset(preset)))
+          << p->name << " " << preset_name(preset);
+    }
+  }
+}
+
+TEST(Library, DestructorStopsRunningSet) {
+  // A Library torn down mid-count must stop the hardware cleanly.
+  sim::Workload w = sim::make_saxpy(1'000);
+  sim::Machine machine(w.program, pmu::sim_x86().machine);
+  w.setup(machine);
+  {
+    auto library = std::make_unique<Library>(
+        std::make_unique<SimSubstrate>(machine, pmu::sim_x86()));
+    auto handle = library->create_event_set();
+    EventSet* set = library->event_set(handle.value()).value();
+    ASSERT_TRUE(set->add_preset(Preset::kTotIns).ok());
+    ASSERT_TRUE(set->start().ok());
+    // library destroyed while running
+  }
+  machine.run();  // must not crash into a dangling listener
+  SUCCEED();
+}
+
+TEST(Library, TimerPassthroughs) {
+  SimFixture f(sim::make_empty_loop(10'000), pmu::sim_power3());
+  EXPECT_EQ(f.library->real_cycles(), 0u);
+  f.machine->run();
+  EXPECT_EQ(f.library->real_cycles(), f.machine->cycles());
+  EXPECT_EQ(f.library->virt_usec(), f.library->real_usec());
+  auto mem = f.library->memory_info();
+  ASSERT_TRUE(mem.ok());
+  EXPECT_GT(mem.value().total_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace papirepro::papi

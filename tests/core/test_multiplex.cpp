@@ -1,0 +1,221 @@
+#include "core/multiplex.h"
+
+#include <gtest/gtest.h>
+
+#include "core/eventset.h"
+#include "substrate/host_substrate.h"
+#include "test_util.h"
+
+namespace papirepro::papi {
+namespace {
+
+using papirepro::test::SimFixture;
+
+TEST(Multiplex, MustBeExplicitlyEnabled) {
+  // The Section 2 decision: no transparent multiplexing.  Adding more
+  // events than fit fails unless enable_multiplex() was called.
+  SimFixture f(sim::make_saxpy(1000), pmu::sim_x86());
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.add_named("L1D_MISS").ok());
+  ASSERT_TRUE(set.add_named("L1D_ACCESS").ok());
+  EXPECT_EQ(set.add_named("LD_RETIRED").error(), Error::kConflict);
+  ASSERT_TRUE(set.enable_multiplex().ok());
+  EXPECT_TRUE(set.multiplexed());
+  EXPECT_TRUE(set.add_named("LD_RETIRED").ok());
+  EXPECT_GE(set.num_mux_groups(), 2u);
+}
+
+TEST(Multiplex, PlanCoversAllEventsOnce) {
+  SimFixture f(sim::make_saxpy(1000), pmu::sim_x86());
+  const auto& p = pmu::sim_x86();
+  std::vector<pmu::NativeEventCode> natives;
+  for (const char* name : {"L1D_MISS", "L1D_ACCESS", "LD_RETIRED",
+                           "ST_RETIRED", "FP_OPS_RETIRED",
+                           "BR_INS_RETIRED", "L2_MISS", "DTLB_MISS"}) {
+    natives.push_back(p.find_event(name)->code);
+  }
+  auto plans = plan_multiplex(*f.substrate, natives);
+  ASSERT_TRUE(plans.ok());
+  std::vector<int> seen(natives.size(), 0);
+  for (const MuxGroupPlan& g : plans.value()) {
+    EXPECT_LE(g.members.size(), p.num_counters);
+    EXPECT_EQ(g.members.size(), g.assignment.size());
+    for (std::size_t idx : g.members) ++seen[idx];
+  }
+  for (std::size_t i = 0; i < natives.size(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "event " << i;
+  }
+}
+
+TEST(Multiplex, EstimatesConvergeOnLongRun) {
+  // 6 FP/branch/memory events on 4 counters over a long saxpy: estimates
+  // must land within a few percent of truth.
+  SimFixture f(sim::make_saxpy(400'000), pmu::sim_x86(),
+               {.charge_costs = false});
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.enable_multiplex(/*slice_cycles=*/20'000).ok());
+  for (const char* name :
+       {"PAPI_FMA_INS", "PAPI_LD_INS", "PAPI_SR_INS", "PAPI_TOT_INS",
+        "PAPI_BR_INS", "PAPI_L1_DCA"}) {
+    ASSERT_TRUE(set.add_named(name).ok()) << name;
+  }
+  ASSERT_TRUE(set.start().ok());
+  f.machine->run();
+  std::vector<long long> v(set.num_events());
+  ASSERT_TRUE(set.stop(v).ok());
+
+  const double n = 400'000;
+  EXPECT_NEAR(static_cast<double>(v[0]), n, 0.06 * n);        // FMA
+  EXPECT_NEAR(static_cast<double>(v[1]), 2 * n, 0.06 * 2 * n);  // LD
+  EXPECT_NEAR(static_cast<double>(v[2]), n, 0.06 * n);        // SR
+  EXPECT_NEAR(static_cast<double>(v[4]), n, 0.06 * n);        // BR
+}
+
+TEST(Multiplex, ShortRunEstimatesDoNotConverge) {
+  // The erroneous-results hazard: a run shorter than one full rotation
+  // leaves some groups with zero active time -> zero estimates.
+  SimFixture f(sim::make_saxpy(2'000), pmu::sim_x86(),
+               {.charge_costs = false});
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.enable_multiplex(/*slice_cycles=*/1'000'000).ok());
+  for (const char* name : {"PAPI_FMA_INS", "PAPI_LD_INS", "PAPI_SR_INS",
+                           "PAPI_L1_DCM", "PAPI_L1_DCA", "PAPI_TOT_INS"}) {
+    ASSERT_TRUE(set.add_named(name).ok());
+  }
+  ASSERT_TRUE(set.start().ok());
+  f.machine->run();
+  std::vector<long long> v(set.num_events());
+  ASSERT_TRUE(set.stop(v).ok());
+  // At least one event was never scheduled onto the hardware.
+  bool some_zero = false;
+  for (long long x : v) some_zero |= (x == 0);
+  EXPECT_TRUE(some_zero);
+}
+
+TEST(Multiplex, TwentyFiveMetricsTauStyle) {
+  // "If TAU is configured with the multiple counters option, then up to
+  // 25 metrics may be specified" — count 20+ presets at once on 4
+  // hardware counters.
+  SimFixture f(sim::make_matmul(48), pmu::sim_x86(),
+               {.charge_costs = false});
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.enable_multiplex(/*slice_cycles=*/30'000).ok());
+  int added = 0;
+  for (Preset p : f.library->available_presets()) {
+    if (set.add_preset(p).ok()) ++added;
+  }
+  EXPECT_GE(added, 20);
+  ASSERT_TRUE(set.start().ok());
+  f.machine->run();
+  std::vector<long long> v(set.num_events());
+  ASSERT_TRUE(set.stop(v).ok());
+  // FMA estimate (PAPI_FMA_INS) within 15% of n^3.
+  const auto events = set.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i] == EventId::preset(Preset::kFmaIns)) {
+      EXPECT_NEAR(static_cast<double>(v[i]), 48.0 * 48 * 48,
+                  0.15 * 48 * 48 * 48);
+    }
+    if (events[i] == EventId::preset(Preset::kTotIns)) {
+      EXPECT_NEAR(static_cast<double>(v[i]),
+                  static_cast<double>(f.machine->retired()),
+                  0.10 * static_cast<double>(f.machine->retired()));
+    }
+  }
+}
+
+TEST(Multiplex, RemoveEventReplansGroups) {
+  SimFixture f(sim::make_saxpy(200'000), pmu::sim_x86(),
+               {.charge_costs = false});
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.enable_multiplex(20'000).ok());
+  ASSERT_TRUE(set.add_named("L1D_MISS").ok());
+  ASSERT_TRUE(set.add_named("L1D_ACCESS").ok());
+  ASSERT_TRUE(set.add_named("LD_RETIRED").ok());
+  EXPECT_GE(set.num_mux_groups(), 2u);
+  // Dropping one event lets the remaining two co-schedule again.
+  ASSERT_TRUE(
+      set.remove_event(f.library->event_from_name("LD_RETIRED").value())
+          .ok());
+  EXPECT_EQ(set.num_mux_groups(), 1u);
+  ASSERT_TRUE(set.start().ok());
+  f.machine->run();
+  std::vector<long long> v(2);
+  ASSERT_TRUE(set.stop(v).ok());
+  // One group = exact hardware counts again (no estimation error).
+  EXPECT_EQ(v[1], 600'000);  // L1D accesses: 3 per iteration
+}
+
+TEST(Multiplex, OverflowIncompatibleWithMultiplex) {
+  SimFixture f(sim::make_saxpy(1000), pmu::sim_x86());
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.add_preset(Preset::kTotIns).ok());
+  ASSERT_TRUE(set.enable_multiplex().ok());
+  EXPECT_EQ(set.set_overflow(EventId::preset(Preset::kTotIns), 1000,
+                             [](EventSet&, const OverflowEvent&) {})
+                .error(),
+            Error::kConflict);
+  // And the reverse: overflow first, then multiplex.
+  EventSet& set2 = f.new_set();
+  ASSERT_TRUE(set2.add_preset(Preset::kTotIns).ok());
+  ASSERT_TRUE(set2.set_overflow(EventId::preset(Preset::kTotIns), 1000,
+                                [](EventSet&, const OverflowEvent&) {})
+                  .ok());
+  EXPECT_EQ(set2.enable_multiplex().error(), Error::kConflict);
+}
+
+TEST(Multiplex, GroupPlatformMultiplexesAcrossGroups) {
+  // power3: PM_FPU_INS (fp group) and PM_DC_MISS (cache group) conflict
+  // directly but multiplex fine.
+  SimFixture f(sim::make_saxpy(300'000), pmu::sim_power3(),
+               {.charge_costs = false});
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.enable_multiplex(/*slice_cycles=*/20'000).ok());
+  ASSERT_TRUE(set.add_named("PM_FPU_INS").ok());
+  ASSERT_TRUE(set.add_named("PM_DC_MISS").ok());
+  EXPECT_EQ(set.num_mux_groups(), 2u);
+  ASSERT_TRUE(set.start().ok());
+  f.machine->run();
+  std::vector<long long> v(2);
+  ASSERT_TRUE(set.stop(v).ok());
+  EXPECT_NEAR(static_cast<double>(v[0]), 300'000.0, 0.08 * 300'000);
+  EXPECT_GT(v[1], 0);
+}
+
+TEST(Multiplex, ComposesWithSampledEstimationOnAlpha) {
+  // Cross-feature: sim-alpha has 2 aggregate counters plus sampled PME
+  // events.  Multiplexing must time-slice the aggregate pairs while the
+  // sampled events count continuously in their own slots.
+  SimFixture f(sim::make_saxpy(400'000), pmu::sim_alpha(),
+               {.charge_costs = false});
+  ASSERT_TRUE(f.substrate->set_estimation(true).ok());
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.enable_multiplex(20'000).ok());
+  // 3 aggregate events (2 counters) + 2 sampled: needs both mechanisms.
+  ASSERT_TRUE(set.add_named("CYCLES").ok());
+  ASSERT_TRUE(set.add_named("RETIRED_INSTRUCTIONS").ok());
+  ASSERT_TRUE(set.add_named("RETIRED_FP").ok());
+  ASSERT_TRUE(set.add_named("PME_FMA").ok());
+  ASSERT_TRUE(set.add_named("PME_RETIRED_LOADS").ok());
+  EXPECT_GE(set.num_mux_groups(), 2u);
+  ASSERT_TRUE(set.start().ok());
+  f.machine->run();
+  std::vector<long long> v(5);
+  ASSERT_TRUE(set.stop(v).ok());
+  // Aggregate (multiplex-estimated) and sampled (ProfileMe-estimated)
+  // views of the same quantity agree within tolerance.
+  EXPECT_NEAR(static_cast<double>(v[2]), 400'000.0, 40'000.0);  // RETIRED_FP
+  EXPECT_NEAR(static_cast<double>(v[3]), 400'000.0, 40'000.0);  // PME_FMA
+  EXPECT_NEAR(static_cast<double>(v[4]), 800'000.0, 80'000.0);  // loads
+}
+
+TEST(Multiplex, MultiplexNotSupportedOnHost) {
+  auto library = std::make_unique<Library>(
+      std::make_unique<HostSubstrate>());
+  auto handle = library->create_event_set();
+  EventSet* set = library->event_set(handle.value()).value();
+  EXPECT_EQ(set->enable_multiplex().error(), Error::kNoSupport);
+}
+
+}  // namespace
+}  // namespace papirepro::papi

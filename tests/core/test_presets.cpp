@@ -1,0 +1,49 @@
+#include "core/presets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace papirepro::papi {
+namespace {
+
+TEST(Presets, NamesRoundTrip) {
+  for (std::size_t i = 0; i < kNumPresets; ++i) {
+    const auto p = static_cast<Preset>(i);
+    const auto back = preset_from_name(preset_name(p));
+    ASSERT_TRUE(back.has_value()) << preset_name(p);
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_FALSE(preset_from_name("PAPI_NOPE").has_value());
+}
+
+TEST(Presets, NamesAreUniqueAndPapiPrefixed) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kNumPresets; ++i) {
+    const auto name = preset_name(static_cast<Preset>(i));
+    EXPECT_TRUE(name.starts_with("PAPI_")) << name;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate " << name;
+  }
+}
+
+TEST(Presets, CodesCarryHighBit) {
+  const std::uint32_t code = preset_code(Preset::kFpOps);
+  EXPECT_NE(code & kPresetCodeBase, 0u);
+  const auto back = preset_from_code(code);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, Preset::kFpOps);
+}
+
+TEST(Presets, CodeDecodingRejectsJunk) {
+  EXPECT_FALSE(preset_from_code(0x1234).has_value());  // no high bit
+  EXPECT_FALSE(preset_from_code(kPresetCodeBase | 9999).has_value());
+}
+
+TEST(Presets, DescriptionsNonEmpty) {
+  for (std::size_t i = 0; i < kNumPresets; ++i) {
+    EXPECT_FALSE(preset_description(static_cast<Preset>(i)).empty());
+  }
+}
+
+}  // namespace
+}  // namespace papirepro::papi

@@ -1,0 +1,70 @@
+#include "core/profile.h"
+
+#include <gtest/gtest.h>
+
+namespace papirepro::papi {
+namespace {
+
+TEST(ProfileBuffer, DefaultScaleOneBucketPerInstruction) {
+  ProfileBuffer buf(0x400000, 400);  // 100 instructions
+  EXPECT_EQ(buf.num_buckets(), 100u);
+  EXPECT_EQ(buf.bucket_address(0), 0x400000u);
+  EXPECT_EQ(buf.bucket_address(1), 0x400004u);
+}
+
+TEST(ProfileBuffer, RecordBucketsPc) {
+  ProfileBuffer buf(0x400000, 64);
+  buf.record(0x400000);
+  buf.record(0x400004);
+  buf.record(0x400004);
+  EXPECT_EQ(buf.buckets()[0], 1u);
+  EXPECT_EQ(buf.buckets()[1], 2u);
+  EXPECT_EQ(buf.total_samples(), 3u);
+  EXPECT_EQ(buf.out_of_range_samples(), 0u);
+}
+
+TEST(ProfileBuffer, OutOfRangeCounted) {
+  ProfileBuffer buf(0x400000, 64);
+  buf.record(0x3fffff);          // below base
+  buf.record(0x400000 + 64);     // one past the end
+  EXPECT_EQ(buf.total_samples(), 2u);
+  EXPECT_EQ(buf.out_of_range_samples(), 2u);
+}
+
+TEST(ProfileBuffer, Svr4ScaleHalvesBucketCount) {
+  // scale 0x2000 => 8 bytes (2 instructions) per bucket.
+  ProfileBuffer buf(0x400000, 64, 0x2000);
+  EXPECT_EQ(buf.num_buckets(), 8u);
+  buf.record(0x400000);
+  buf.record(0x400004);  // same bucket
+  EXPECT_EQ(buf.buckets()[0], 2u);
+}
+
+TEST(ProfileBuffer, FullByteScale) {
+  // scale 0x10000 => one bucket per byte.
+  ProfileBuffer buf(0x1000, 16, 0x10000);
+  EXPECT_EQ(buf.num_buckets(), 16u);
+  buf.record(0x1003);
+  EXPECT_EQ(buf.buckets()[3], 1u);
+}
+
+TEST(ProfileBuffer, BucketOf) {
+  ProfileBuffer buf(0x400000, 400);
+  EXPECT_EQ(buf.bucket_of(0x400000), 0);
+  EXPECT_EQ(buf.bucket_of(0x400007), 1);
+  EXPECT_EQ(buf.bucket_of(0x3fffff), -1);
+  EXPECT_EQ(buf.bucket_of(0x400000 + 400), -1);
+}
+
+TEST(ProfileBuffer, Reset) {
+  ProfileBuffer buf(0x400000, 64);
+  buf.record(0x400000);
+  buf.record(0x500000);
+  buf.reset();
+  EXPECT_EQ(buf.total_samples(), 0u);
+  EXPECT_EQ(buf.out_of_range_samples(), 0u);
+  EXPECT_EQ(buf.buckets()[0], 0u);
+}
+
+}  // namespace
+}  // namespace papirepro::papi

@@ -1,0 +1,69 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace papirepro {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.error(), Error::kOk);
+}
+
+TEST(Status, CarriesError) {
+  Status s(Error::kConflict);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error(), Error::kConflict);
+  EXPECT_NE(s.message().find("conflict"), std::string_view::npos);
+}
+
+TEST(Status, EveryErrorHasAMessage) {
+  for (int code = 0; code >= -19; --code) {
+    const auto e = static_cast<Error>(code);
+    EXPECT_FALSE(to_string(e).empty());
+  }
+}
+
+TEST(ResultT, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.error(), Error::kOk);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultT, HoldsError) {
+  Result<int> r(Error::kNoEvent);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Error::kNoEvent);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultT, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(ResultT, ReturnIfErrorMacroPropagates) {
+  auto fails = []() -> Status { return Error::kSystem; };
+  auto wrapper = [&]() -> Status {
+    PAPIREPRO_RETURN_IF_ERROR(fails());
+    return Error::kOk;
+  };
+  EXPECT_EQ(wrapper().error(), Error::kSystem);
+
+  auto result_wrapper = [&]() -> Result<int> {
+    PAPIREPRO_RETURN_IF_ERROR(fails());
+    return 1;
+  };
+  EXPECT_EQ(result_wrapper().error(), Error::kSystem);
+}
+
+}  // namespace
+}  // namespace papirepro

@@ -1,0 +1,120 @@
+// E1 (Fig. 1): the same portable code measures the same workload on
+// every substrate — the whole point of PAPI.  Deterministic event
+// classes (FP operations, loads, stores) must agree *exactly* across
+// platforms, because they depend only on the instruction stream, while
+// microarchitectural events (cache misses, mispredictions) may differ.
+#include <gtest/gtest.h>
+
+#include "core/highlevel.h"
+#include "test_util.h"
+
+namespace papirepro::papi {
+namespace {
+
+using papirepro::test::SimFixture;
+
+struct PlatformCase {
+  const pmu::PlatformDescription* platform;
+  bool needs_estimation;
+};
+
+std::vector<PlatformCase> counting_platforms() {
+  return {{&pmu::sim_x86(), false},
+          {&pmu::sim_power3(), false},
+          {&pmu::sim_ia64(), false},
+          {&pmu::sim_alpha(), true}};
+}
+
+long long measure_fp_ops(const PlatformCase& pc, std::int64_t n) {
+  SimFixture f(sim::make_saxpy(n), *pc.platform, {.charge_costs = false});
+  if (pc.needs_estimation) {
+    EXPECT_TRUE(f.substrate->set_estimation(true).ok());
+  }
+  EventSet& set = f.new_set();
+  EXPECT_TRUE(set.add_preset(Preset::kFpOps).ok());
+  EXPECT_TRUE(set.start().ok());
+  f.machine->run();
+  long long v = 0;
+  EXPECT_TRUE(set.stop({&v, 1}).ok());
+  return v;
+}
+
+TEST(Portability, FpOpsAgreesAcrossAllSubstrates) {
+  const std::int64_t n = 150'000;
+  for (const PlatformCase& pc : counting_platforms()) {
+    const long long v = measure_fp_ops(pc, n);
+    if (pc.needs_estimation) {
+      // Sampled estimate: within a few percent.
+      EXPECT_NEAR(static_cast<double>(v), 2.0 * n, 0.10 * 2 * n)
+          << pc.platform->name;
+    } else {
+      EXPECT_EQ(v, 2 * n) << pc.platform->name;
+    }
+  }
+}
+
+TEST(Portability, SameApiSameEventListEveryPlatform) {
+  // One loop of portable code, four platforms (the papirun E1 shape).
+  for (const PlatformCase& pc : counting_platforms()) {
+    if (pc.needs_estimation) continue;  // alpha's aggregate set is thin
+    SimFixture f(sim::make_stream_triad(20'000), *pc.platform,
+                 {.charge_costs = false});
+    EventSet& set = f.new_set();
+    ASSERT_TRUE(set.add_preset(Preset::kTotIns).ok()) << pc.platform->name;
+    ASSERT_TRUE(set.add_preset(Preset::kLdIns).ok()) << pc.platform->name;
+    ASSERT_TRUE(set.add_preset(Preset::kSrIns).ok()) << pc.platform->name;
+    ASSERT_TRUE(set.start().ok());
+    f.machine->run();
+    std::vector<long long> v(3);
+    ASSERT_TRUE(set.stop(v).ok());
+    EXPECT_EQ(v[1], 40'000) << pc.platform->name;
+    EXPECT_EQ(v[2], 20'000) << pc.platform->name;
+  }
+}
+
+TEST(Portability, TimersWorkTheSameEverywhere) {
+  for (const PlatformCase& pc : counting_platforms()) {
+    SimFixture f(sim::make_empty_loop(100'000), *pc.platform);
+    const auto t0 = f.library->real_usec();
+    const auto c0 = f.library->real_cycles();
+    f.machine->run();
+    EXPECT_GT(f.library->real_usec(), t0) << pc.platform->name;
+    EXPECT_GT(f.library->real_cycles(), c0) << pc.platform->name;
+  }
+}
+
+TEST(Portability, FlopsCallPortableAcrossPlatforms) {
+  // PAPI_flops returns normalized FLOPs on every substrate that maps
+  // PAPI_FP_OPS, despite different native FP counting quirks.
+  const std::int64_t n = 60'000;
+  for (const pmu::PlatformDescription* p :
+       {&pmu::sim_x86(), &pmu::sim_power3(), &pmu::sim_ia64()}) {
+    SimFixture f(sim::make_saxpy(n), *p, {.charge_costs = false});
+    HighLevel hl(*f.library);
+    ASSERT_TRUE(hl.flops().ok()) << p->name;
+    f.machine->run();
+    EXPECT_EQ(hl.flops().value().flops, 2 * n) << p->name;
+  }
+}
+
+TEST(Portability, MicroarchEventsDifferButAreSane) {
+  // Cache misses vary across platforms (different skid/latency configs
+  // share cache geometry here, so expect equality of accesses but allow
+  // any positive misses).
+  for (const PlatformCase& pc : counting_platforms()) {
+    if (pc.needs_estimation) continue;
+    SimFixture f(sim::make_pointer_chase(2048, 40'000, 9), *pc.platform,
+                 {.charge_costs = false});
+    EventSet& set = f.new_set();
+    ASSERT_TRUE(set.add_preset(Preset::kL1Dcm).ok()) << pc.platform->name;
+    ASSERT_TRUE(set.start().ok());
+    f.machine->run();
+    long long misses = 0;
+    ASSERT_TRUE(set.stop({&misses, 1}).ok());
+    EXPECT_GT(misses, 10'000) << pc.platform->name;
+    EXPECT_LE(misses, 40'000 + 100) << pc.platform->name;
+  }
+}
+
+}  // namespace
+}  // namespace papirepro::papi

@@ -1,0 +1,127 @@
+// Property sweep: for every (kernel, platform) pair, the deterministic
+// preset counts measured through the full PAPI stack equal the kernel's
+// analytic expectations — the "micro-benchmarks for which the expected
+// counts are known" methodology, parameterized.
+#include <gtest/gtest.h>
+
+#include "core/eventset.h"
+#include "sim/workload_registry.h"
+#include "test_util.h"
+
+namespace papirepro::papi {
+namespace {
+
+using papirepro::test::SimFixture;
+
+struct CountCase {
+  const char* kernel;
+  std::int64_t n;
+  const char* platform;
+};
+
+void PrintTo(const CountCase& c, std::ostream* os) {
+  *os << c.kernel << "/" << c.n << "@" << c.platform;
+}
+
+class ExactCounts : public ::testing::TestWithParam<CountCase> {};
+
+TEST_P(ExactCounts, MeasuredEqualsExpected) {
+  const CountCase& param = GetParam();
+  const auto* platform = pmu::find_platform(param.platform);
+  ASSERT_NE(platform, nullptr);
+  auto workload = sim::make_workload(param.kernel, param.n);
+  ASSERT_TRUE(workload.has_value());
+
+  struct Check {
+    Preset preset;
+    std::optional<std::uint64_t> expected;
+  };
+  const std::vector<Check> checks = {
+      {Preset::kFpOps, workload->expected.flops},
+      {Preset::kFmaIns, workload->expected.fp_fma},
+      {Preset::kLdIns, workload->expected.loads},
+      {Preset::kSrIns, workload->expected.stores},
+      {Preset::kBrIns, workload->expected.branches},
+  };
+
+  for (const Check& check : checks) {
+    if (!check.expected.has_value()) continue;
+    SimFixture f(*workload, *platform, {.charge_costs = false});
+    EventSet& set = f.new_set();
+    if (!set.add_preset(check.preset).ok()) continue;  // not mapped here
+    ASSERT_TRUE(set.start().ok());
+    f.machine->run();
+    long long v = 0;
+    ASSERT_TRUE(set.stop({&v, 1}).ok());
+    EXPECT_EQ(static_cast<std::uint64_t>(v), *check.expected)
+        << preset_name(check.preset) << " on " << param.platform;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsTimesPlatforms, ExactCounts,
+    ::testing::Values(
+        CountCase{"saxpy", 2'000, "sim-x86"},
+        CountCase{"saxpy", 2'000, "sim-power3"},
+        CountCase{"saxpy", 2'000, "sim-ia64"},
+        CountCase{"stream", 3'000, "sim-x86"},
+        CountCase{"stream", 3'000, "sim-power3"},
+        CountCase{"stream", 3'000, "sim-ia64"},
+        CountCase{"matmul", 12, "sim-x86"},
+        CountCase{"matmul", 12, "sim-power3"},
+        CountCase{"matmul", 12, "sim-ia64"},
+        CountCase{"matmul_blocked", 16, "sim-x86"},
+        CountCase{"fcvt_mixed", 2'000, "sim-x86"},
+        CountCase{"fcvt_mixed", 2'000, "sim-power3"},
+        CountCase{"branchy", 4'000, "sim-x86"},
+        CountCase{"branchy", 4'000, "sim-ia64"},
+        CountCase{"pointer_chase", 5'000, "sim-x86"},
+        CountCase{"tight_call", 1'000, "sim-power3"},
+        CountCase{"multiphase", 2, "sim-x86"},
+        CountCase{"empty_loop", 10'000, "sim-ia64"},
+        CountCase{"stencil2d", 24, "sim-x86"},
+        CountCase{"stencil2d", 24, "sim-power3"},
+        CountCase{"stencil2d", 24, "sim-t3e"},
+        CountCase{"reduction", 5'000, "sim-ia64"},
+        CountCase{"reduction", 5'000, "sim-t3e"},
+        CountCase{"random_access", 3'000, "sim-x86"},
+        CountCase{"random_access", 3'000, "sim-power3"}));
+
+// The same sweep through the *multiplexed* path on a long run: estimates
+// must land within 8%.
+class MuxCounts : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MuxCounts, EstimatesNearTruthOnLongRuns) {
+  const auto* platform = pmu::find_platform(GetParam());
+  ASSERT_NE(platform, nullptr);
+  const std::int64_t n = 300'000;
+  auto workload = sim::make_workload("saxpy", n);
+  SimFixture f(*workload, *platform, {.charge_costs = false});
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.enable_multiplex(20'000).ok());
+  int idx_fma = -1, added = 0;
+  for (Preset p : {Preset::kFmaIns, Preset::kLdIns, Preset::kSrIns,
+                   Preset::kTotIns, Preset::kTotCyc, Preset::kL1Dca,
+                   Preset::kBrIns}) {
+    if (set.add_preset(p).ok()) {
+      if (p == Preset::kFmaIns) idx_fma = added;
+      ++added;
+    }
+  }
+  ASSERT_GE(added, 4);
+  ASSERT_GE(idx_fma, 0);
+  ASSERT_TRUE(set.start().ok());
+  f.machine->run();
+  std::vector<long long> v(added);
+  ASSERT_TRUE(set.stop(v).ok());
+  EXPECT_NEAR(static_cast<double>(v[idx_fma]), static_cast<double>(n),
+              0.08 * static_cast<double>(n))
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, MuxCounts,
+                         ::testing::Values("sim-x86", "sim-power3",
+                                           "sim-ia64"));
+
+}  // namespace
+}  // namespace papirepro::papi

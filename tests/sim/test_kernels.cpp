@@ -1,0 +1,266 @@
+#include "sim/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace papirepro::sim {
+namespace {
+
+using papirepro::test::SignalCounter;
+
+struct RunCounts {
+  std::uint64_t fp_add, fp_mul, fp_fma, fp_cvt, loads, stores, branches;
+  std::uint64_t instructions;
+};
+
+RunCounts run_and_count(const Workload& w, Machine& m) {
+  SignalCounter c(m);
+  m.run();
+  EXPECT_TRUE(m.halted()) << w.name << " did not halt";
+  return {c[SimEvent::kFpAdd],  c[SimEvent::kFpMul],
+          c[SimEvent::kFpFma],  c[SimEvent::kFpCvt],
+          c[SimEvent::kLoadIns], c[SimEvent::kStoreIns],
+          c[SimEvent::kBrIns],  c[SimEvent::kInstructions]};
+}
+
+RunCounts run_and_count(const Workload& w) {
+  Machine m(w.program, {});
+  if (w.setup) w.setup(m);
+  return run_and_count(w, m);
+}
+
+void expect_matches(const Workload& w, const RunCounts& c) {
+  if (w.expected.fp_add) EXPECT_EQ(c.fp_add, *w.expected.fp_add) << w.name;
+  if (w.expected.fp_mul) EXPECT_EQ(c.fp_mul, *w.expected.fp_mul) << w.name;
+  if (w.expected.fp_fma) EXPECT_EQ(c.fp_fma, *w.expected.fp_fma) << w.name;
+  if (w.expected.fp_cvt) EXPECT_EQ(c.fp_cvt, *w.expected.fp_cvt) << w.name;
+  if (w.expected.loads) EXPECT_EQ(c.loads, *w.expected.loads) << w.name;
+  if (w.expected.stores) EXPECT_EQ(c.stores, *w.expected.stores) << w.name;
+  if (w.expected.branches) {
+    EXPECT_EQ(c.branches, *w.expected.branches) << w.name;
+  }
+}
+
+TEST(Kernels, SaxpyCountsAndValues) {
+  const Workload w = make_saxpy(100);
+  Machine m(w.program, {});
+  w.setup(m);
+  const RunCounts c = run_and_count(w, m);
+  expect_matches(w, c);
+  // y[i] = 1.0 + 2.5 * (0.5 * i)
+  EXPECT_DOUBLE_EQ(m.memory().read_f64(0x24000000 + 8 * 10),
+                   1.0 + 2.5 * 5.0);
+}
+
+TEST(Kernels, MatmulCountsAndValues) {
+  const std::int64_t n = 6;
+  const Workload w = make_matmul(n);
+  Machine m(w.program, {});
+  w.setup(m);
+  const RunCounts c = run_and_count(w, m);
+  expect_matches(w, c);
+
+  // Cross-check C[2][3] against a host-side reference.
+  auto a = [&](std::int64_t i, std::int64_t k) {
+    return 1.0 + static_cast<double>((i * n + k) % 7);
+  };
+  auto bmat = [&](std::int64_t k, std::int64_t j) {
+    return 2.0 - static_cast<double>((k * n + j) % 5);
+  };
+  double want = 0;
+  for (std::int64_t k = 0; k < n; ++k) want += a(2, k) * bmat(k, 3);
+  EXPECT_DOUBLE_EQ(m.memory().read_f64(0x18000000 + 8 * (2 * n + 3)),
+                   want);
+}
+
+TEST(Kernels, BlockedMatmulMatchesNaiveResult) {
+  const std::int64_t n = 8;
+  const Workload naive = make_matmul(n);
+  const Workload blocked = make_matmul_blocked(n, 4);
+
+  Machine m1(naive.program, {});
+  naive.setup(m1);
+  m1.run();
+  Machine m2(blocked.program, {});
+  blocked.setup(m2);
+  m2.run();
+
+  for (std::int64_t i = 0; i < n * n; ++i) {
+    EXPECT_DOUBLE_EQ(m1.memory().read_f64(0x18000000 + 8 * i),
+                     m2.memory().read_f64(0x18000000 + 8 * i))
+        << "C[" << i << "] differs";
+  }
+}
+
+TEST(Kernels, BlockedMatmulCounts) {
+  const Workload w = make_matmul_blocked(8, 4);
+  expect_matches(w, run_and_count(w));
+}
+
+TEST(Kernels, BlockedMatmulHasFewerMissesThanNaive) {
+  // The canonical PAPI tuning story: same FLOPs, fewer cache misses.
+  const std::int64_t n = 64;
+  const Workload naive = make_matmul(n);
+  const Workload blocked = make_matmul_blocked(n, 8);
+
+  MachineConfig small;
+  small.l1d = {.size_bytes = 8 * 1024, .line_bytes = 64,
+               .associativity = 2, .miss_latency = 8};
+
+  Machine m1(naive.program, small);
+  naive.setup(m1);
+  SignalCounter c1(m1);
+  m1.run();
+
+  Machine m2(blocked.program, small);
+  blocked.setup(m2);
+  SignalCounter c2(m2);
+  m2.run();
+
+  EXPECT_EQ(c1[SimEvent::kFpFma], c2[SimEvent::kFpFma]);
+  EXPECT_LT(c2[SimEvent::kL1DMiss], c1[SimEvent::kL1DMiss] / 2)
+      << "blocking should cut L1 misses substantially";
+}
+
+TEST(Kernels, StreamTriadCountsAndValues) {
+  const Workload w = make_stream_triad(64);
+  Machine m(w.program, {});
+  w.setup(m);
+  const RunCounts c = run_and_count(w, m);
+  expect_matches(w, c);
+  // a[5] = b[5] + 3*c[5] = 5 + 3/(1+5)
+  EXPECT_DOUBLE_EQ(m.memory().read_f64(0x20000000 + 8 * 5),
+                   5.0 + 3.0 * (1.0 / 6.0));
+}
+
+TEST(Kernels, PointerChaseVisitsWholeCycle) {
+  const Workload w = make_pointer_chase(64, 64, /*seed=*/5);
+  Machine m(w.program, {});
+  w.setup(m);
+  const RunCounts c = run_and_count(w, m);
+  expect_matches(w, c);
+  // After exactly `nodes` hops of a single-cycle permutation we are back
+  // at the start node.
+  Machine m2(w.program, {});
+  w.setup(m2);
+  m2.run(3);  // li r4, li r2, li r1(start address)
+  EXPECT_EQ(m.int_reg(1), m2.int_reg(1));
+  EXPECT_GT(c.loads, 0u);
+}
+
+TEST(Kernels, PointerChaseDeterministicPerSeed) {
+  const Workload w1 = make_pointer_chase(128, 1000, 42);
+  const Workload w2 = make_pointer_chase(128, 1000, 42);
+  Machine m1(w1.program, {}), m2(w2.program, {});
+  w1.setup(m1);
+  w2.setup(m2);
+  m1.run();
+  m2.run();
+  EXPECT_EQ(m1.int_reg(1), m2.int_reg(1));
+  EXPECT_EQ(m1.cycles(), m2.cycles());
+}
+
+TEST(Kernels, BranchyCounts) {
+  const Workload w = make_branchy(500, 7);
+  expect_matches(w, run_and_count(w));
+}
+
+TEST(Kernels, BranchyHasHighMispredictRate) {
+  const Workload w = make_branchy(20000, 3);
+  Machine m(w.program, {});
+  w.setup(m);
+  SignalCounter c(m);
+  m.run();
+  // The data-dependent branch is a coin flip; the loop branch is
+  // predictable.  Expect a sizable mispredict fraction overall.
+  const double rate = static_cast<double>(c[SimEvent::kBrMispred]) /
+                      static_cast<double>(c[SimEvent::kBrIns]);
+  EXPECT_GT(rate, 0.15);
+}
+
+TEST(Kernels, FcvtMixedCounts) {
+  const Workload w = make_fcvt_mixed(300);
+  expect_matches(w, run_and_count(w));
+}
+
+TEST(Kernels, MultiphaseCounts) {
+  const Workload w = make_multiphase(3, 500);
+  expect_matches(w, run_and_count(w));
+}
+
+TEST(Kernels, TightCallCounts) {
+  const Workload w = make_tight_call(200, 4);
+  expect_matches(w, run_and_count(w));
+}
+
+TEST(Kernels, EmptyLoopCounts) {
+  const Workload w = make_empty_loop(1000);
+  expect_matches(w, run_and_count(w));
+}
+
+TEST(Kernels, Stencil2dCountsAndValues) {
+  const std::int64_t n = 8;
+  const Workload w = make_stencil2d(n, 1);
+  Machine m(w.program, {});
+  w.setup(m);
+  const RunCounts c = run_and_count(w, m);
+  expect_matches(w, c);
+  // Host-side reference for out[3][4].
+  auto in = [&](std::int64_t i, std::int64_t j) {
+    return static_cast<double>((i * n + j) % 11) * 0.5;
+  };
+  const double want =
+      0.25 * (in(2, 4) + in(4, 4) + in(3, 3) + in(3, 5));
+  EXPECT_DOUBLE_EQ(m.memory().read_f64(0x14000000 + 8 * (3 * n + 4)),
+                   want);
+}
+
+TEST(Kernels, Stencil2dMultiSweepScalesCounts) {
+  const Workload w1 = make_stencil2d(16, 1);
+  const Workload w3 = make_stencil2d(16, 3);
+  EXPECT_EQ(*w3.expected.flops, 3 * *w1.expected.flops);
+  expect_matches(w3, run_and_count(w3));
+}
+
+TEST(Kernels, ReductionCountsAndValue) {
+  const std::int64_t n = 1000;
+  const Workload w = make_reduction(n);
+  Machine m(w.program, {});
+  w.setup(m);
+  const RunCounts c = run_and_count(w, m);
+  expect_matches(w, c);
+  // sum of 0.5*i for i in [0, n)
+  EXPECT_DOUBLE_EQ(m.fp_reg(0),
+                   0.5 * static_cast<double>(n) *
+                       static_cast<double>(n - 1) / 2.0);
+}
+
+TEST(Kernels, RandomAccessCounts) {
+  const Workload w = make_random_access(1 << 12, 5'000);
+  expect_matches(w, run_and_count(w));
+}
+
+TEST(Kernels, RandomAccessStressesTlbAndCache) {
+  // A 64K-word (512 KiB) table walked randomly: most accesses miss the
+  // 64-entry TLB and the 32 KiB L1.
+  const Workload w = make_random_access(1 << 16, 20'000);
+  Machine m(w.program, {});
+  SignalCounter c(m);
+  m.run();
+  EXPECT_GT(c[SimEvent::kDTlbMiss], 10'000u);
+  EXPECT_GT(c[SimEvent::kL1DMiss], 15'000u);
+}
+
+TEST(Kernels, RandomAccessDeterministic) {
+  const Workload a = make_random_access(1 << 10, 10'000);
+  const Workload b = make_random_access(1 << 10, 10'000);
+  Machine ma(a.program, {}), mb(b.program, {});
+  ma.run();
+  mb.run();
+  EXPECT_EQ(ma.cycles(), mb.cycles());
+  EXPECT_EQ(ma.int_reg(5), mb.int_reg(5));  // identical LCG stream
+}
+
+}  // namespace
+}  // namespace papirepro::sim

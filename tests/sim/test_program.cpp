@@ -1,0 +1,110 @@
+#include "sim/program.h"
+
+#include <gtest/gtest.h>
+
+namespace papirepro::sim {
+namespace {
+
+Program tiny_loop() {
+  ProgramBuilder b;
+  b.begin_function("main");
+  b.li(1, 0);
+  b.li(2, 3);
+  auto loop = b.new_label();
+  b.bind(loop);
+  b.addi(1, 1, 1);
+  b.blt(1, 2, loop);
+  b.halt();
+  b.end_function();
+  return std::move(b).build();
+}
+
+TEST(ProgramBuilder, ResolvesBackwardLabels) {
+  const Program p = tiny_loop();
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_EQ(p.at(3).op, Opcode::kBlt);
+  EXPECT_EQ(p.at(3).target, 2);  // loop bound at instruction 2
+}
+
+TEST(ProgramBuilder, ResolvesForwardLabels) {
+  ProgramBuilder b;
+  b.begin_function("main");
+  auto skip = b.new_label();
+  b.li(1, 1);
+  b.beq(1, 1, skip);
+  b.li(2, 99);  // skipped
+  b.bind(skip);
+  b.halt();
+  b.end_function();
+  const Program p = std::move(b).build();
+  EXPECT_EQ(p.at(1).target, 3);
+}
+
+TEST(ProgramBuilder, ResolvesCallsByName) {
+  ProgramBuilder b;
+  b.begin_function("callee");
+  b.nop();
+  b.ret();
+  b.end_function();
+  b.begin_function("main");
+  b.call("callee");
+  b.halt();
+  b.end_function();
+  const Program p = std::move(b).build();
+  EXPECT_EQ(p.at(2).op, Opcode::kCall);
+  EXPECT_EQ(p.at(2).target, 0);
+  EXPECT_EQ(p.entry(), 2);  // main, not the first function
+}
+
+TEST(Program, FunctionLookup) {
+  const Program p = tiny_loop();
+  const Function* f = p.function_at(2);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->name, "main");
+  EXPECT_EQ(p.find_function("main"), f);
+  EXPECT_EQ(p.find_function("nope"), nullptr);
+  EXPECT_EQ(p.function_at(999), nullptr);
+}
+
+TEST(Program, LineDebugInfo) {
+  ProgramBuilder b;
+  b.begin_function("main");
+  b.set_line(10);
+  b.nop();
+  b.set_line(20);
+  b.nop();
+  b.halt();
+  b.end_function();
+  const Program p = std::move(b).build();
+  EXPECT_EQ(p.line_of(0), 10u);
+  EXPECT_EQ(p.line_of(1), 20u);
+  EXPECT_EQ(p.line_of(2), 20u);
+}
+
+TEST(Program, FromPartsPicksMainEntry) {
+  std::vector<Instruction> code = {{.op = Opcode::kNop},
+                                   {.op = Opcode::kHalt}};
+  std::vector<Function> funcs = {{"aux", 0, 1}, {"main", 1, 2}};
+  const Program p = Program::from_parts(code, funcs);
+  EXPECT_EQ(p.entry(), 1);
+}
+
+TEST(Program, DumpContainsFunctionsAndInstructions) {
+  const Program p = tiny_loop();
+  const std::string d = p.dump();
+  EXPECT_NE(d.find("main:"), std::string::npos);
+  EXPECT_NE(d.find("blt"), std::string::npos);
+}
+
+TEST(ProgramBuilder, FliRoundTripsDoubles) {
+  ProgramBuilder b;
+  b.begin_function("main");
+  b.fli(3, 2.718281828);
+  b.halt();
+  b.end_function();
+  const Program p = std::move(b).build();
+  EXPECT_EQ(p.at(0).op, Opcode::kFLi);
+}
+
+}  // namespace
+}  // namespace papirepro::sim

@@ -1,0 +1,59 @@
+// Property checks on workload memory-region metadata: regions must not
+// overlap, and (for kernels that declare them) all data traffic must
+// fall inside the declared objects — the contract the per-object memory
+// profiler depends on.
+#include <gtest/gtest.h>
+
+#include "sim/workload_registry.h"
+#include "test_util.h"
+#include "tools/memprof.h"
+
+namespace papirepro::sim {
+namespace {
+
+class RegionContract : public ::testing::TestWithParam<std::string_view> {
+};
+
+TEST_P(RegionContract, RegionsAreDisjoint) {
+  auto w = make_workload(GetParam(), 0);
+  ASSERT_TRUE(w.has_value());
+  for (std::size_t i = 0; i < w->regions.size(); ++i) {
+    EXPECT_GT(w->regions[i].bytes, 0u) << w->regions[i].name;
+    for (std::size_t j = i + 1; j < w->regions.size(); ++j) {
+      const MemoryRegion& a = w->regions[i];
+      const MemoryRegion& b = w->regions[j];
+      const bool overlap =
+          a.base < b.base + b.bytes && b.base < a.base + a.bytes;
+      EXPECT_FALSE(overlap) << a.name << " overlaps " << b.name;
+    }
+  }
+}
+
+TEST_P(RegionContract, AllDataTrafficInsideDeclaredObjects) {
+  auto w = make_workload(GetParam(), 0);
+  ASSERT_TRUE(w.has_value());
+  if (w->regions.empty()) GTEST_SKIP() << "kernel declares no regions";
+  Machine m(w->program, {});
+  if (w->setup) w->setup(m);
+  tools::MemoryProfiler prof(m, w->regions);
+  ASSERT_TRUE(m.run(50'000'000).halted);
+  const tools::RegionStats* other = prof.find("<other>");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->accesses, 0u)
+      << GetParam() << " touches memory outside its declared objects";
+  // And the declared objects saw the kernel's loads+stores.
+  std::uint64_t total = 0;
+  for (const tools::RegionStats& rs : prof.stats()) total += rs.accesses;
+  if (w->expected.loads && w->expected.stores) {
+    EXPECT_EQ(total, *w->expected.loads + *w->expected.stores);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, RegionContract,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace papirepro::sim

@@ -1,0 +1,66 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace papirepro {
+namespace {
+
+TEST(SplitMix64, DeterministicForSameSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DiffersAcrossSeeds) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, DoubleMeanNearHalf) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, GeometricRespectsCap) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(rng.next_geometric(0.1, 5), 5u);
+  }
+}
+
+TEST(Xoshiro256, GeometricMeanMatchesTheory) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_geometric(0.5, 1000);
+  // Mean of geometric (failures before success), p=0.5: (1-p)/p = 1.
+  EXPECT_NEAR(sum / kN, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace papirepro

@@ -1,0 +1,54 @@
+#include "sim/skid.h"
+
+#include <gtest/gtest.h>
+
+namespace papirepro::sim {
+namespace {
+
+TEST(Skid, PreciseDrawsZero) {
+  Xoshiro256 rng(1);
+  const SkidModel model = SkidModel::precise();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(model.draw(rng), 0u);
+}
+
+TEST(Skid, FixedDrawsConstant) {
+  Xoshiro256 rng(2);
+  const SkidModel model = SkidModel::fixed_skid(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(model.draw(rng), 7u);
+}
+
+TEST(Skid, GeometricRespectsBounds) {
+  Xoshiro256 rng(3);
+  const SkidModel model = SkidModel::out_of_order(0.3, 24, 3);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint32_t d = model.draw(rng);
+    EXPECT_GE(d, 3u);
+    EXPECT_LE(d, 24u);
+  }
+}
+
+TEST(Skid, GeometricMeanNearTheory) {
+  Xoshiro256 rng(4);
+  const SkidModel model = SkidModel::out_of_order(0.5, 1000, 0);
+  double sum = 0;
+  constexpr int kN = 50'000;
+  for (int i = 0; i < kN; ++i) sum += model.draw(rng);
+  // Geometric failures-before-success with p=0.5: mean 1.
+  EXPECT_NEAR(sum / kN, 1.0, 0.05);
+}
+
+TEST(Skid, DeeperWindowsDrawLargerSkids) {
+  Xoshiro256 rng_a(5), rng_b(5);
+  const SkidModel shallow = SkidModel::out_of_order(0.5, 8, 1);
+  const SkidModel deep = SkidModel::out_of_order(0.1, 64, 8);
+  double mean_shallow = 0, mean_deep = 0;
+  constexpr int kN = 20'000;
+  for (int i = 0; i < kN; ++i) {
+    mean_shallow += shallow.draw(rng_a);
+    mean_deep += deep.draw(rng_b);
+  }
+  EXPECT_GT(mean_deep / kN, 3 * (mean_shallow / kN));
+}
+
+}  // namespace
+}  // namespace papirepro::sim

@@ -1,0 +1,48 @@
+#include "sim/tlb.h"
+
+#include <gtest/gtest.h>
+
+namespace papirepro::sim {
+namespace {
+
+TEST(Tlb, MissThenHitSamePage) {
+  Tlb t({.entries = 4, .page_bits = 12, .miss_latency = 30});
+  EXPECT_FALSE(t.access(0x1000));
+  EXPECT_TRUE(t.access(0x1ff8));  // same 4K page
+  EXPECT_TRUE(t.access(0x1000));
+  EXPECT_EQ(t.stats().misses, 1u);
+  EXPECT_EQ(t.stats().accesses, 3u);
+}
+
+TEST(Tlb, LruEvictionWhenFull) {
+  Tlb t({.entries = 2, .page_bits = 12, .miss_latency = 30});
+  t.access(0x0000);
+  t.access(0x1000);
+  t.access(0x2000);  // evicts page 0
+  EXPECT_FALSE(t.access(0x0000));
+  EXPECT_TRUE(t.access(0x2000));
+}
+
+TEST(Tlb, FlushDropsEverything) {
+  Tlb t({.entries = 4, .page_bits = 12, .miss_latency = 30});
+  t.access(0x1000);
+  t.flush();
+  EXPECT_FALSE(t.access(0x1000));
+}
+
+TEST(Tlb, LargeStrideAlwaysMisses) {
+  Tlb t({.entries = 8, .page_bits = 12, .miss_latency = 30});
+  for (std::uint64_t a = 0; a < 64 * 4096; a += 4096) t.access(a);
+  EXPECT_EQ(t.stats().misses, t.stats().accesses);
+}
+
+TEST(Tlb, ResetStats) {
+  Tlb t({.entries = 4, .page_bits = 12, .miss_latency = 30});
+  t.access(0x1000);
+  t.reset_stats();
+  EXPECT_EQ(t.stats().accesses, 0u);
+  EXPECT_EQ(t.stats().misses, 0u);
+}
+
+}  // namespace
+}  // namespace papirepro::sim

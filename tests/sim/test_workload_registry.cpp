@@ -1,0 +1,45 @@
+#include "sim/workload_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace papirepro::sim {
+namespace {
+
+TEST(WorkloadRegistry, EveryListedNameBuildsAndRuns) {
+  for (std::string_view name : workload_names()) {
+    auto w = make_workload(name, 0);
+    ASSERT_TRUE(w.has_value()) << name;
+    Machine m(w->program, {});
+    if (w->setup) w->setup(m);
+    const RunResult r = m.run(20'000'000);
+    EXPECT_TRUE(r.halted) << name << " did not halt";
+    EXPECT_GT(r.instructions, 0u) << name;
+  }
+}
+
+TEST(WorkloadRegistry, UnknownNameRejected) {
+  EXPECT_FALSE(make_workload("quicksort3000").has_value());
+}
+
+TEST(WorkloadRegistry, SizeKnobScalesWork) {
+  auto small = make_workload("saxpy", 100);
+  auto large = make_workload("saxpy", 1000);
+  Machine ms(small->program, {});
+  small->setup(ms);
+  Machine ml(large->program, {});
+  large->setup(ml);
+  ms.run();
+  ml.run();
+  EXPECT_GT(ml.retired(), 5 * ms.retired());
+}
+
+TEST(WorkloadRegistry, BlockedMatmulHandlesIndivisibleSizes) {
+  auto w = make_workload("matmul_blocked", 10);  // 10 % 8 != 0 -> block 1
+  ASSERT_TRUE(w.has_value());
+  Machine m(w->program, {});
+  w->setup(m);
+  EXPECT_TRUE(m.run(50'000'000).halted);
+}
+
+}  // namespace
+}  // namespace papirepro::sim

@@ -1,0 +1,66 @@
+#include "substrate/host_substrate.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace papirepro::papi {
+namespace {
+
+TEST(HostSubstrate, CountersUnavailable) {
+  HostSubstrate sub;
+  EXPECT_EQ(sub.num_counters(), 0u);
+  EXPECT_EQ(sub.start().error(), Error::kNoCounters);
+  EXPECT_EQ(sub.program({}, {}).error(), Error::kNoCounters);
+  EXPECT_EQ(sub.preset_mapping(Preset::kTotCyc).error(), Error::kNoEvent);
+  EXPECT_FALSE(sub.supports_multiplex());
+  EXPECT_FALSE(sub.supports_estimation());
+}
+
+TEST(HostSubstrate, RealTimersAdvanceMonotonically) {
+  HostSubstrate sub;
+  const auto t0 = sub.real_usec();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const auto t1 = sub.real_usec();
+  EXPECT_GT(t1, t0);
+  EXPECT_GE(t1 - t0, 1500u);  // at least ~1.5ms elapsed
+}
+
+TEST(HostSubstrate, CycleTimerAdvances) {
+  HostSubstrate sub;
+  const auto c0 = sub.real_cycles();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_GT(sub.real_cycles(), c0);
+}
+
+TEST(HostSubstrate, VirtualTimeAdvancesUnderCpuWork) {
+  HostSubstrate sub;
+  const auto v0 = sub.virt_usec();
+  volatile double x = 1.0;
+  for (int i = 0; i < 2'000'000; ++i) x = x * 1.0000001 + 0.5;
+  EXPECT_GT(sub.virt_usec(), v0);
+}
+
+TEST(HostSubstrate, MemoryInfoPopulated) {
+  HostSubstrate sub;
+  auto info = sub.memory_info();
+  ASSERT_TRUE(info.ok());
+  EXPECT_GT(info.value().total_bytes, 0u);
+  EXPECT_GT(info.value().process_resident_bytes, 0u);
+  EXPECT_GE(info.value().process_peak_bytes,
+            info.value().process_resident_bytes / 2);
+  EXPECT_GT(info.value().page_size_bytes, 0u);
+}
+
+TEST(HostSubstrate, PeakGrowsWithAllocation) {
+  HostSubstrate sub;
+  const auto before = sub.memory_info().value().process_peak_bytes;
+  std::vector<char> hog(32 * 1024 * 1024, 1);
+  // Touch to force residency.
+  for (std::size_t i = 0; i < hog.size(); i += 4096) hog[i] = 2;
+  const auto after = sub.memory_info().value().process_peak_bytes;
+  EXPECT_GE(after, before + 16 * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace papirepro::papi

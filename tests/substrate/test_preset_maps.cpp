@@ -1,0 +1,79 @@
+#include "substrate/preset_maps.h"
+
+#include <gtest/gtest.h>
+
+namespace papirepro::papi {
+namespace {
+
+TEST(PresetMaps, EveryPlatformMapsTheBasics) {
+  for (const pmu::PlatformDescription* p : pmu::all_platforms()) {
+    EXPECT_TRUE(map_preset(*p, Preset::kTotCyc).ok()) << p->name;
+    EXPECT_TRUE(map_preset(*p, Preset::kTotIns).ok()) << p->name;
+  }
+}
+
+TEST(PresetMaps, AvailabilityDiffersAcrossPlatforms) {
+  // The availability matrix is platform-specific, as in real PAPI.
+  const auto x86 = available_presets(pmu::sim_x86());
+  const auto power3 = available_presets(pmu::sim_power3());
+  const auto ia64 = available_presets(pmu::sim_ia64());
+  const auto alpha = available_presets(pmu::sim_alpha());
+
+  EXPECT_GT(x86.size(), 15u);
+  EXPECT_GT(power3.size(), 15u);
+  EXPECT_GT(ia64.size(), 15u);
+  // Alpha's aggregate interface is deliberately thin.
+  EXPECT_LT(alpha.size(), x86.size());
+
+  // PAPI_FDV_INS exists on power3 but not on x86.
+  EXPECT_FALSE(map_preset(pmu::sim_x86(), Preset::kFdvIns).ok());
+  EXPECT_TRUE(map_preset(pmu::sim_power3(), Preset::kFdvIns).ok());
+  // PAPI_FP_INS exists on x86/power3 but not on ia64.
+  EXPECT_FALSE(map_preset(pmu::sim_ia64(), Preset::kFpIns).ok());
+}
+
+TEST(PresetMaps, AllMappedTermsResolveToRealNatives) {
+  for (const pmu::PlatformDescription* p : pmu::all_platforms()) {
+    for (Preset preset : available_presets(*p)) {
+      const auto mapping = map_preset(*p, preset);
+      ASSERT_TRUE(mapping.ok());
+      EXPECT_FALSE(mapping.value().terms.empty());
+      for (const MappingTerm& t : mapping.value().terms) {
+        EXPECT_NE(p->find_event(t.native), nullptr)
+            << p->name << " " << preset_name(preset);
+        EXPECT_TRUE(t.coefficient == 1 || t.coefficient == -1);
+      }
+    }
+  }
+}
+
+TEST(PresetMaps, FpOpsIsDerivedOnPower3) {
+  // PM_FPU_INS - PM_FPU_CVT + PM_EXEC_FMA: the normalization recipe.
+  const auto mapping = map_preset(pmu::sim_power3(), Preset::kFpOps);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(mapping.value().terms.size(), 3u);
+  EXPECT_TRUE(mapping.value().derived());
+  int negative_terms = 0;
+  for (const MappingTerm& t : mapping.value().terms) {
+    if (t.coefficient < 0) ++negative_terms;
+  }
+  EXPECT_EQ(negative_terms, 1);
+}
+
+TEST(PresetMaps, FpOpsAddsFmaTwiceOnX86) {
+  const auto mapping = map_preset(pmu::sim_x86(), Preset::kFpOps);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(mapping.value().terms.size(), 2u);
+  for (const MappingTerm& t : mapping.value().terms) {
+    EXPECT_EQ(t.coefficient, 1);
+  }
+}
+
+TEST(PresetMaps, UnknownPlatformRejected) {
+  pmu::PlatformDescription fake;
+  fake.name = "sim-vax";
+  EXPECT_EQ(map_preset(fake, Preset::kTotCyc).error(), Error::kSubstrate);
+}
+
+}  // namespace
+}  // namespace papirepro::papi

@@ -1,0 +1,101 @@
+// End-to-end tests of the Cray T3E substrate: register-level read costs,
+// 3-counter allocation pressure, precise in-order attribution.
+#include <gtest/gtest.h>
+
+#include "core/eventset.h"
+#include "core/profile.h"
+#include "test_util.h"
+#include "tools/vprof.h"
+
+namespace papirepro::papi {
+namespace {
+
+using papirepro::test::SimFixture;
+
+TEST(T3e, CountsExactly) {
+  SimFixture f(sim::make_saxpy(5'000), pmu::sim_t3e(),
+               {.charge_costs = false});
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.add_preset(Preset::kTotIns).ok());
+  ASSERT_TRUE(set.add_preset(Preset::kLdIns).ok());
+  ASSERT_TRUE(set.add_preset(Preset::kL1Dcm).ok());
+  ASSERT_TRUE(set.start().ok());
+  f.machine->run();
+  std::vector<long long> v(3);
+  ASSERT_TRUE(set.stop(v).ok());
+  EXPECT_EQ(v[0], static_cast<long long>(f.machine->retired()));
+  EXPECT_EQ(v[1], 10'000);
+  EXPECT_GT(v[2], 0);
+}
+
+TEST(T3e, ReadsAreNearlyFree) {
+  SimFixture f(sim::make_saxpy(50'000), pmu::sim_t3e());
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.add_preset(Preset::kTotIns).ok());
+  // Read aggressively: every 1000 cycles.
+  long long scratch = 0;
+  auto timer = f.substrate->add_timer(1'000, [&] {
+    (void)f.library->event_set(set.handle()).value()->read({&scratch, 1});
+  });
+  ASSERT_TRUE(timer.ok());
+  ASSERT_TRUE(set.start().ok());
+  f.machine->run();
+  ASSERT_TRUE(set.stop().ok());
+  // Register-level access: even 1kHz-per-kcycle reading stays ~1%.
+  EXPECT_LT(static_cast<double>(f.machine->overhead_cycles()) /
+                static_cast<double>(f.machine->cycles()),
+            0.02);
+}
+
+TEST(T3e, ThreeCounterAllocationPressure) {
+  SimFixture f(sim::make_saxpy(100), pmu::sim_t3e());
+  EventSet& set = f.new_set();
+  // EV5_CYCLES only on counter 0; two more events fill the machine.
+  ASSERT_TRUE(set.add_preset(Preset::kTotCyc).ok());
+  ASSERT_TRUE(set.add_preset(Preset::kLdIns).ok());
+  ASSERT_TRUE(set.add_preset(Preset::kSrIns).ok());
+  // A fourth event cannot fit without multiplexing.
+  EXPECT_EQ(set.add_preset(Preset::kBrIns).error(), Error::kConflict);
+  ASSERT_TRUE(set.enable_multiplex().ok());
+  EXPECT_TRUE(set.add_preset(Preset::kBrIns).ok());
+}
+
+TEST(T3e, ScacheMissOnlyOnCounter2) {
+  SimFixture f(sim::make_saxpy(100), pmu::sim_t3e());
+  auto code = f.substrate->native_by_name("EV5_SCACHE_MISS");
+  ASSERT_TRUE(code.ok());
+  const pmu::NativeEventCode events[] = {code.value()};
+  auto assignment = f.substrate->allocate(events, {});
+  ASSERT_TRUE(assignment.ok());
+  EXPECT_EQ(assignment.value()[0], 2u);
+}
+
+TEST(T3e, InOrderAttributionIsExact) {
+  SimFixture f(sim::make_pointer_chase(512, 50'000, 7), pmu::sim_t3e(),
+               {.charge_costs = false});
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.add_preset(Preset::kL1Dcm).ok());
+  ProfileBuffer buf(sim::kTextBase,
+                    f.workload.program.size() * sim::kInstrBytes);
+  ASSERT_TRUE(
+      set.profil(buf, EventId::preset(Preset::kL1Dcm), 300).ok());
+  ASSERT_TRUE(set.start().ok());
+  f.machine->run();
+  ASSERT_TRUE(set.stop().ok());
+  const auto acc =
+      tools::attribution_accuracy(buf, f.workload.program, 3);
+  ASSERT_GT(acc.total_samples, 20u);
+  EXPECT_GT(acc.exact, 0.99);  // precise skid model: no smear
+}
+
+TEST(T3e, NoNormalizedFpOps) {
+  // EV5 has no FMA event, so the platform genuinely cannot express the
+  // normalized PAPI_FP_OPS — only the raw instruction count maps.
+  SimFixture f(sim::make_saxpy(100), pmu::sim_t3e());
+  EXPECT_FALSE(
+      f.library->query_event(EventId::preset(Preset::kFpOps)));
+  EXPECT_TRUE(f.library->query_event(EventId::preset(Preset::kFpIns)));
+}
+
+}  // namespace
+}  // namespace papirepro::papi

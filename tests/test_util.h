@@ -1,0 +1,66 @@
+// Shared test helpers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "core/library.h"
+#include "sim/event.h"
+#include "sim/kernels.h"
+#include "sim/machine.h"
+#include "substrate/sim_substrate.h"
+
+namespace papirepro::test {
+
+/// Machine + substrate + library bundle over a workload: the common
+/// setup of every end-to-end test.
+struct SimFixture {
+  sim::Workload workload;
+  std::unique_ptr<sim::Machine> machine;
+  papi::SimSubstrate* substrate = nullptr;  // owned by library
+  std::unique_ptr<papi::Library> library;
+
+  SimFixture(sim::Workload w, const pmu::PlatformDescription& platform,
+             const papi::SimSubstrateOptions& options = {})
+      : workload(std::move(w)) {
+    machine = std::make_unique<sim::Machine>(workload.program,
+                                             platform.machine);
+    if (workload.setup) workload.setup(*machine);
+    auto sub = std::make_unique<papi::SimSubstrate>(*machine, platform,
+                                                    options);
+    substrate = sub.get();
+    library = std::make_unique<papi::Library>(std::move(sub));
+  }
+
+  papi::EventSet& new_set() {
+    auto handle = library->create_event_set();
+    return *library->event_set(handle.value()).value();
+  }
+};
+
+/// Counts every architectural signal — an oracle PMU with unlimited
+/// counters and zero cost.
+class SignalCounter final : public sim::EventListener {
+ public:
+  explicit SignalCounter(sim::Machine& machine) : machine_(machine) {
+    machine_.add_listener(this);
+  }
+  ~SignalCounter() override { machine_.remove_listener(this); }
+
+  void on_event(sim::SimEvent event, std::uint64_t weight,
+                const sim::EventContext&) override {
+    counts_[static_cast<std::size_t>(event)] += weight;
+  }
+
+  std::uint64_t operator[](sim::SimEvent e) const {
+    return counts_[static_cast<std::size_t>(e)];
+  }
+
+ private:
+  sim::Machine& machine_;
+  std::array<std::uint64_t, sim::kNumSimEvents> counts_{};
+};
+
+}  // namespace papirepro::test

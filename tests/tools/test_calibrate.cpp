@@ -1,0 +1,98 @@
+#include "tools/calibrate.h"
+
+#include <gtest/gtest.h>
+
+namespace papirepro::tools {
+namespace {
+
+TEST(Calibrate, DirectCountsAreExactOnX86) {
+  auto rows = calibrate_workload(sim::make_saxpy(10'000), pmu::sim_x86());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_GE(rows.value().size(), 4u);  // FpOps, FmaIns, Ld, Sr, Br
+  for (const CalibrationRow& r : rows.value()) {
+    EXPECT_DOUBLE_EQ(r.measured, r.expected) << r.event;
+    EXPECT_DOUBLE_EQ(r.rel_error, 0.0) << r.event;
+  }
+}
+
+TEST(Calibrate, WholeRunInstrumentationOverheadIsSmall) {
+  auto rows = calibrate_workload(sim::make_saxpy(100'000), pmu::sim_x86());
+  ASSERT_TRUE(rows.ok());
+  for (const CalibrationRow& r : rows.value()) {
+    // One start/stop pair + one read: negligible on a long run.
+    EXPECT_LT(r.overhead_fraction, 0.02) << r.event;
+  }
+}
+
+TEST(Calibrate, FineGrainedReadsInflateOverhead) {
+  CalibrationOptions fine;
+  fine.read_interval_cycles = 10'000;
+  auto coarse_rows =
+      calibrate_workload(sim::make_saxpy(100'000), pmu::sim_x86());
+  auto fine_rows =
+      calibrate_workload(sim::make_saxpy(100'000), pmu::sim_x86(), fine);
+  ASSERT_TRUE(coarse_rows.ok());
+  ASSERT_TRUE(fine_rows.ok());
+  EXPECT_GT(fine_rows.value()[0].overhead_fraction,
+            5 * coarse_rows.value()[0].overhead_fraction);
+  // Direct counting stays exact even under heavy reading.
+  EXPECT_DOUBLE_EQ(fine_rows.value()[0].rel_error, 0.0);
+}
+
+TEST(Calibrate, EstimationConvergesOnAlpha) {
+  CalibrationOptions options;
+  options.use_estimation = true;
+  auto rows = calibrate_workload(sim::make_saxpy(300'000),
+                                 pmu::sim_alpha(), options);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_FALSE(rows.value().empty());
+  for (const CalibrationRow& r : rows.value()) {
+    EXPECT_LT(r.rel_error, 0.12) << r.event << " did not converge";
+    // The DADD finding: sampling costs only one-to-two percent.
+    EXPECT_LT(r.overhead_fraction, 0.03) << r.event;
+  }
+}
+
+TEST(Calibrate, EstimationDivergesOnShortRun) {
+  CalibrationOptions options;
+  options.use_estimation = true;
+  auto rows = calibrate_workload(sim::make_saxpy(300), pmu::sim_alpha(),
+                                 options);
+  ASSERT_TRUE(rows.ok());
+  bool some_large_error = false;
+  for (const CalibrationRow& r : rows.value()) {
+    if (r.rel_error > 0.10) some_large_error = true;
+  }
+  EXPECT_TRUE(some_large_error)
+      << "short-run estimates should not have converged";
+}
+
+TEST(Calibrate, SkipsUnavailablePresets) {
+  // Alpha without estimation can only calibrate what its 2 aggregate
+  // counters express: most checks are skipped, not errored.
+  auto rows =
+      calibrate_workload(sim::make_saxpy(10'000), pmu::sim_alpha());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows.value().empty());
+}
+
+TEST(Calibrate, RenderTable) {
+  auto rows = calibrate_workload(sim::make_saxpy(1'000), pmu::sim_x86());
+  ASSERT_TRUE(rows.ok());
+  const std::string table = render_calibration(rows.value());
+  EXPECT_NE(table.find("PAPI_FP_OPS"), std::string::npos);
+  EXPECT_NE(table.find("saxpy"), std::string::npos);
+  EXPECT_NE(table.find("rel_err"), std::string::npos);
+}
+
+TEST(Calibrate, MatmulExactOnPower3) {
+  auto rows =
+      calibrate_workload(sim::make_matmul(16), pmu::sim_power3());
+  ASSERT_TRUE(rows.ok());
+  for (const CalibrationRow& r : rows.value()) {
+    EXPECT_DOUBLE_EQ(r.rel_error, 0.0) << r.event;
+  }
+}
+
+}  // namespace
+}  // namespace papirepro::tools

@@ -1,0 +1,170 @@
+#include "tools/dynaprof.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace papirepro::tools {
+namespace {
+
+TEST(Instrumenter, InsertsEntryAndExitProbes) {
+  const sim::Workload w = sim::make_tight_call(10, 2);
+  const sim::Program instrumented =
+      instrument_program(w.program, {"work"});
+  // Original work: 2 fmadds + ret (3 instructions). Instrumented adds
+  // entry + exit probes.
+  const sim::Function* work = instrumented.find_function("work");
+  ASSERT_NE(work, nullptr);
+  EXPECT_EQ(instrumented.at(work->entry).op, sim::Opcode::kProbe);
+  EXPECT_EQ(instrumented.size(), w.program.size() + 2);
+}
+
+TEST(Instrumenter, InstrumentedProgramComputesSameResult) {
+  const sim::Workload w = sim::make_matmul(8);
+  const sim::Program instrumented = instrument_program(w.program, {});
+
+  sim::Machine plain(w.program, {});
+  w.setup(plain);
+  plain.run();
+  sim::Machine probed(instrumented, {});
+  w.setup(probed);
+  probed.run();
+  EXPECT_TRUE(probed.halted());
+  for (std::int64_t i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(plain.memory().read_f64(0x18000000 + 8 * i),
+                     probed.memory().read_f64(0x18000000 + 8 * i));
+  }
+}
+
+TEST(Instrumenter, BranchTargetsRemappedAcrossInsertions) {
+  const sim::Workload w = sim::make_tight_call(100, 1);
+  const sim::Program instrumented = instrument_program(w.program, {});
+  sim::Machine m(instrumented, {});
+  m.run();
+  EXPECT_TRUE(m.halted());  // would loop forever / trap on bad targets
+}
+
+TEST(Instrumenter, CallsHitEntryProbe) {
+  const sim::Workload w = sim::make_tight_call(5, 1);
+  const sim::Program instrumented =
+      instrument_program(w.program, {"work"});
+  sim::Machine m(instrumented, {});
+  int entries = 0, exits = 0;
+  m.set_probe_handler([&](std::int64_t id, sim::Machine&) {
+    if (id % 2 == 0) ++entries;
+    else ++exits;
+  });
+  m.run();
+  EXPECT_EQ(entries, 5);
+  EXPECT_EQ(exits, 5);
+}
+
+TEST(Dynaprof, PerFunctionMetrics) {
+  DynaprofOptions options;
+  options.functions = {"work", "main"};
+  options.metrics = {papi::EventId::preset(papi::Preset::kFmaIns),
+                     papi::EventId::preset(papi::Preset::kTotCyc)};
+  DynaprofSession session(sim::make_tight_call(50, 4), pmu::sim_x86(),
+                          options);
+  ASSERT_TRUE(session.run().ok());
+
+  const FunctionStats* work = nullptr;
+  const FunctionStats* main_fn = nullptr;
+  for (const FunctionStats& fs : session.results()) {
+    if (fs.name == "work") work = &fs;
+    if (fs.name == "main") main_fn = &fs;
+  }
+  ASSERT_NE(work, nullptr);
+  ASSERT_NE(main_fn, nullptr);
+  EXPECT_EQ(work->calls, 50u);
+  EXPECT_EQ(main_fn->calls, 1u);
+  // All 200 FMAs belong to work, inclusively and exclusively.
+  EXPECT_EQ(work->inclusive[0], 200);
+  EXPECT_EQ(work->exclusive[0], 200);
+  // main's inclusive FMA count covers its child; exclusive is zero.
+  EXPECT_EQ(main_fn->inclusive[0], 200);
+  EXPECT_EQ(main_fn->exclusive[0], 0);
+  // Cycles: work exclusive <= work inclusive <= main inclusive.
+  EXPECT_LE(work->exclusive[1], work->inclusive[1]);
+  EXPECT_LE(work->inclusive[1], main_fn->inclusive[1]);
+}
+
+TEST(Dynaprof, MultiphaseAttributesPhases) {
+  DynaprofOptions options;
+  options.metrics = {papi::EventId::preset(papi::Preset::kFmaIns)};
+  DynaprofSession session(sim::make_multiphase(4, 1000), pmu::sim_x86(),
+                          options);
+  ASSERT_TRUE(session.run().ok());
+  for (const FunctionStats& fs : session.results()) {
+    if (fs.name == "phase_fp") {
+      EXPECT_EQ(fs.calls, 4u);
+      EXPECT_EQ(fs.inclusive[0], 16'000);  // 4 reps * 1000 * 4 FMAs
+    }
+    if (fs.name == "phase_mem") {
+      EXPECT_EQ(fs.inclusive[0], 0);
+    }
+  }
+}
+
+TEST(Dynaprof, ProbeOverheadShowsUpInMachine) {
+  // Probing a tiny hot function at every call is the pathological case
+  // from Section 4: overhead must be substantial.
+  DynaprofOptions options;
+  options.functions = {"work"};
+  options.metrics = {papi::EventId::preset(papi::Preset::kTotCyc)};
+  DynaprofSession session(sim::make_tight_call(2000, 2), pmu::sim_x86(),
+                          options);
+  ASSERT_TRUE(session.run().ok());
+  const auto& m = session.machine();
+  const double frac = static_cast<double>(m.overhead_cycles()) /
+                      static_cast<double>(m.cycles());
+  EXPECT_GT(frac, 0.5);  // reads dominate a 2-FMA function
+}
+
+TEST(Dynaprof, AttachMidRunSkipsEarlyCalls) {
+  // Attach after roughly half the run: only the later calls are
+  // profiled — "attach to a running executable ... without requiring
+  // any source code changes or recompilation or even restarting".
+  DynaprofOptions options;
+  options.functions = {"work"};
+  options.metrics = {papi::EventId::preset(papi::Preset::kFmaIns)};
+  // tight_call(100, 2): each call is ~5 instructions incl. loop.
+  options.attach_after_instructions = 300;
+  DynaprofSession session(sim::make_tight_call(100, 2), pmu::sim_x86(),
+                          options);
+  ASSERT_TRUE(session.run().ok());
+  const FunctionStats* work = nullptr;
+  for (const FunctionStats& fs : session.results()) {
+    if (fs.name == "work") work = &fs;
+  }
+  ASSERT_NE(work, nullptr);
+  EXPECT_GT(work->calls, 10u);
+  EXPECT_LT(work->calls, 90u);  // early calls were not profiled
+  EXPECT_EQ(work->inclusive[0], static_cast<long long>(2 * work->calls));
+}
+
+TEST(Dynaprof, AttachZeroProfilesEverything) {
+  DynaprofOptions options;
+  options.functions = {"work"};
+  options.attach_after_instructions = 0;
+  DynaprofSession session(sim::make_tight_call(25, 1), pmu::sim_x86(),
+                          options);
+  ASSERT_TRUE(session.run().ok());
+  for (const FunctionStats& fs : session.results()) {
+    if (fs.name == "work") EXPECT_EQ(fs.calls, 25u);
+  }
+}
+
+TEST(Dynaprof, ReportListsInstrumentedFunctions) {
+  DynaprofOptions options;
+  DynaprofSession session(sim::make_tight_call(10, 1), pmu::sim_x86(),
+                          options);
+  ASSERT_TRUE(session.run().ok());
+  const std::string report = session.report();
+  EXPECT_NE(report.find("work"), std::string::npos);
+  EXPECT_NE(report.find("main"), std::string::npos);
+  EXPECT_NE(report.find("PAPI_TOT_CYC"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace papirepro::tools

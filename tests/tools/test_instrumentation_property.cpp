@@ -1,0 +1,63 @@
+// Property sweep over the dynaprof instrumenter: for EVERY registry
+// workload, the instrumented program must (a) still halt, (b) retire
+// exactly `original + probes_fired` instructions, and (c) raise the same
+// deterministic event counts — instrumentation must never change what
+// the program computes or how its non-probe instructions count.
+#include <gtest/gtest.h>
+
+#include "sim/workload_registry.h"
+#include "test_util.h"
+#include "tools/dynaprof.h"
+
+namespace papirepro::tools {
+namespace {
+
+using papirepro::test::SignalCounter;
+
+class InstrumentEveryWorkload
+    : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(InstrumentEveryWorkload, PreservesBehaviour) {
+  auto w = sim::make_workload(GetParam(), 0);
+  ASSERT_TRUE(w.has_value());
+
+  sim::Machine plain(w->program, {});
+  if (w->setup) w->setup(plain);
+  SignalCounter plain_counts(plain);
+  const sim::RunResult plain_run = plain.run(50'000'000);
+  ASSERT_TRUE(plain_run.halted);
+
+  const sim::Program instrumented = instrument_program(w->program, {});
+  sim::Machine probed(instrumented, {});
+  if (w->setup) w->setup(probed);
+  std::uint64_t probes_fired = 0;
+  probed.set_probe_handler(
+      [&probes_fired](std::int64_t, sim::Machine&) { ++probes_fired; });
+  SignalCounter probed_counts(probed);
+  const sim::RunResult probed_run = probed.run(100'000'000);
+  ASSERT_TRUE(probed_run.halted);
+
+  // (b) instruction accounting: probes are the only additions.
+  EXPECT_EQ(probed_run.instructions,
+            plain_run.instructions + probes_fired);
+  EXPECT_GT(probes_fired, 0u);
+
+  // (c) deterministic event classes unchanged.
+  using sim::SimEvent;
+  for (SimEvent e : {SimEvent::kFpAdd, SimEvent::kFpMul, SimEvent::kFpFma,
+                     SimEvent::kFpCvt, SimEvent::kLoadIns,
+                     SimEvent::kStoreIns, SimEvent::kBrIns,
+                     SimEvent::kBrTaken}) {
+    EXPECT_EQ(probed_counts[e], plain_counts[e])
+        << GetParam() << " " << sim_event_name(e);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, InstrumentEveryWorkload,
+                         ::testing::ValuesIn(sim::workload_names()),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace papirepro::tools

@@ -1,0 +1,93 @@
+#include "tools/papirun.h"
+
+#include <gtest/gtest.h>
+
+namespace papirepro::tools {
+namespace {
+
+TEST(Papirun, DefaultEventsOnDefaultPlatform) {
+  PapirunRequest req;
+  req.workload = "saxpy";
+  req.n = 1000;
+  auto result = papirun(req);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().multiplexed);
+  EXPECT_GT(result.value().cycles, 0u);
+  EXPECT_GT(result.value().instructions, 0u);
+  ASSERT_EQ(result.value().counts.size(), 3u);
+  EXPECT_EQ(result.value().counts[2].first, "PAPI_FP_OPS");
+  EXPECT_EQ(result.value().counts[2].second, 2000);
+  EXPECT_NE(result.value().report.find("papirun"), std::string::npos);
+}
+
+TEST(Papirun, AutoMultiplexWhenEventsExceedCounters) {
+  PapirunRequest req;
+  req.platform = "sim-x86";
+  req.workload = "saxpy";
+  req.n = 200'000;
+  req.events = {"PAPI_TOT_CYC", "PAPI_TOT_INS", "PAPI_LD_INS",
+                "PAPI_SR_INS", "PAPI_FMA_INS", "PAPI_L1_DCM",
+                "PAPI_BR_INS"};
+  auto result = papirun(req);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().multiplexed);
+  // FMA estimate close to n.
+  for (const auto& [name, value] : result.value().counts) {
+    if (name == "PAPI_FMA_INS") {
+      EXPECT_NEAR(static_cast<double>(value), 200'000.0, 20'000.0);
+    }
+  }
+}
+
+TEST(Papirun, MultiplexDisabledFailsOnOvercommit) {
+  PapirunRequest req;
+  req.events = {"L1D_MISS", "L1D_ACCESS", "LD_RETIRED"};
+  req.allow_multiplex = false;
+  EXPECT_EQ(papirun(req).error(), Error::kConflict);
+}
+
+TEST(Papirun, AlphaEstimationMode) {
+  PapirunRequest req;
+  req.platform = "sim-alpha";
+  req.workload = "saxpy";
+  req.n = 200'000;
+  req.use_estimation = true;
+  req.events = {"PAPI_TOT_INS", "PAPI_FP_OPS"};
+  auto result = papirun(req);
+  ASSERT_TRUE(result.ok());
+  for (const auto& [name, value] : result.value().counts) {
+    if (name == "PAPI_FP_OPS") {
+      EXPECT_NEAR(static_cast<double>(value), 400'000.0, 50'000.0);
+    }
+  }
+}
+
+TEST(Papirun, RejectsUnknownNames) {
+  PapirunRequest bad_platform;
+  bad_platform.platform = "sim-vax";
+  EXPECT_EQ(papirun(bad_platform).error(), Error::kInvalid);
+
+  PapirunRequest bad_workload;
+  bad_workload.workload = "fibonacci";
+  EXPECT_EQ(papirun(bad_workload).error(), Error::kInvalid);
+
+  PapirunRequest bad_event;
+  bad_event.events = {"PAPI_NOPE"};
+  EXPECT_EQ(papirun(bad_event).error(), Error::kNoEvent);
+}
+
+TEST(Papirun, EveryPlatformRunsTheBasics) {
+  for (const char* platform :
+       {"sim-x86", "sim-power3", "sim-ia64", "sim-alpha"}) {
+    PapirunRequest req;
+    req.platform = platform;
+    req.workload = "branchy";
+    req.n = 5'000;
+    auto result = papirun(req);
+    ASSERT_TRUE(result.ok()) << platform;
+    EXPECT_GT(result.value().counts[0].second, 0) << platform;
+  }
+}
+
+}  // namespace
+}  // namespace papirepro::tools

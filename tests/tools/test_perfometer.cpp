@@ -1,0 +1,135 @@
+#include "tools/perfometer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace papirepro::tools {
+namespace {
+
+using papirepro::test::SimFixture;
+
+TEST(Perfometer, TracesMetricOverTime) {
+  SimFixture f(sim::make_saxpy(200'000), pmu::sim_x86(),
+               {.charge_costs = false});
+  Perfometer meter(*f.library,
+                   papi::EventId::preset(papi::Preset::kFpOps),
+                   /*interval_cycles=*/20'000);
+  ASSERT_TRUE(meter.start().ok());
+  f.machine->run();
+  ASSERT_TRUE(meter.stop().ok());
+
+  ASSERT_GT(meter.trace().size(), 10u);
+  // Cumulative value is monotone; final equals 2n.
+  long long prev = 0;
+  for (const auto& p : meter.trace()) {
+    EXPECT_GE(p.value, prev);
+    prev = p.value;
+  }
+  EXPECT_EQ(meter.trace().back().value, 400'000);
+}
+
+TEST(Perfometer, Fig2ShapeFpBurstsAlternateWithQuiet) {
+  // The multiphase program alternates FP-heavy and FP-free phases: the
+  // FLOPS rate trace must show both near-peak and near-zero intervals.
+  SimFixture f(sim::make_multiphase(6, 20'000), pmu::sim_x86(),
+               {.charge_costs = false});
+  Perfometer meter(*f.library,
+                   papi::EventId::preset(papi::Preset::kFpOps),
+                   /*interval_cycles=*/10'000);
+  ASSERT_TRUE(meter.start().ok());
+  f.machine->run();
+  ASSERT_TRUE(meter.stop().ok());
+
+  double peak = 0;
+  for (const auto& p : meter.trace()) {
+    peak = std::max(peak, p.rate_per_sec);
+  }
+  ASSERT_GT(peak, 0);
+  int high = 0, low = 0;
+  for (const auto& p : meter.trace()) {
+    if (p.rate_per_sec > 0.5 * peak) ++high;
+    if (p.rate_per_sec < 0.05 * peak) ++low;
+  }
+  EXPECT_GT(high, 5);
+  EXPECT_GT(low, 5);
+}
+
+TEST(Perfometer, SelectMetricOnlyWhileStopped) {
+  SimFixture f(sim::make_saxpy(10'000), pmu::sim_x86());
+  Perfometer meter(*f.library,
+                   papi::EventId::preset(papi::Preset::kFpOps), 5'000);
+  ASSERT_TRUE(meter.start().ok());
+  EXPECT_EQ(meter
+                .select_metric(papi::EventId::preset(papi::Preset::kL1Dcm))
+                .error(),
+            Error::kIsRunning);
+  ASSERT_TRUE(meter.stop().ok());
+  EXPECT_TRUE(
+      meter.select_metric(papi::EventId::preset(papi::Preset::kL1Dcm))
+          .ok());
+}
+
+TEST(Perfometer, CsvTraceFile) {
+  SimFixture f(sim::make_saxpy(50'000), pmu::sim_x86(),
+               {.charge_costs = false});
+  Perfometer meter(*f.library,
+                   papi::EventId::preset(papi::Preset::kFmaIns), 10'000);
+  ASSERT_TRUE(meter.start().ok());
+  f.machine->run();
+  ASSERT_TRUE(meter.stop().ok());
+  const std::string csv = meter.to_csv();
+  EXPECT_NE(csv.find("usec,value,rate_per_sec"), std::string::npos);
+  // One line per point plus header.
+  const auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), meter.trace().size() + 1);
+}
+
+TEST(Perfometer, AsciiRenderNonEmpty) {
+  SimFixture f(sim::make_multiphase(3, 10'000), pmu::sim_x86(),
+               {.charge_costs = false});
+  Perfometer meter(*f.library,
+                   papi::EventId::preset(papi::Preset::kFpOps), 10'000);
+  ASSERT_TRUE(meter.start().ok());
+  f.machine->run();
+  ASSERT_TRUE(meter.stop().ok());
+  const std::string chart = meter.render_ascii(60, 8);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  EXPECT_NE(chart.find("> time"), std::string::npos);
+}
+
+TEST(Perfometer, AttachesMidRun) {
+  // perfometer can attach to an already-running application: start the
+  // meter after part of the run; the trace covers only what followed.
+  SimFixture f(sim::make_saxpy(100'000), pmu::sim_x86(),
+               {.charge_costs = false});
+  f.machine->run(300'000);  // application already running
+  Perfometer meter(*f.library,
+                   papi::EventId::preset(papi::Preset::kFmaIns), 10'000);
+  ASSERT_TRUE(meter.start().ok());
+  f.machine->run();
+  ASSERT_TRUE(meter.stop().ok());
+  ASSERT_FALSE(meter.trace().empty());
+  // Counted FMAs < total: only the post-attach portion was observed.
+  EXPECT_LT(meter.trace().back().value, 100'000);
+  EXPECT_GT(meter.trace().back().value, 10'000);
+}
+
+TEST(Perfometer, RestartProducesFreshTrace) {
+  SimFixture f(sim::make_saxpy(100'000), pmu::sim_x86(),
+               {.charge_costs = false});
+  Perfometer meter(*f.library,
+                   papi::EventId::preset(papi::Preset::kFmaIns), 10'000);
+  ASSERT_TRUE(meter.start().ok());
+  f.machine->run(100'000);
+  ASSERT_TRUE(meter.stop().ok());
+  const std::size_t first = meter.trace().size();
+  EXPECT_GT(first, 0u);
+  ASSERT_TRUE(meter.start().ok());
+  f.machine->run();
+  ASSERT_TRUE(meter.stop().ok());
+  EXPECT_GT(meter.trace().size(), 0u);
+}
+
+}  // namespace
+}  // namespace papirepro::tools

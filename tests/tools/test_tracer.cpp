@@ -1,0 +1,170 @@
+#include "tools/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace papirepro::tools {
+namespace {
+
+using papirepro::test::SimFixture;
+
+TEST(Tracer, RecordsMultiMetricIntervals) {
+  SimFixture f(sim::make_saxpy(200'000), pmu::sim_x86(),
+               {.charge_costs = false});
+  EventTracer tracer(
+      *f.library,
+      {papi::EventId::preset(papi::Preset::kFmaIns),
+       papi::EventId::preset(papi::Preset::kLdIns)},
+      /*interval_cycles=*/20'000);
+  ASSERT_TRUE(tracer.start().ok());
+  f.machine->run();
+  ASSERT_TRUE(tracer.stop().ok());
+
+  ASSERT_GT(tracer.intervals().size(), 10u);
+  long long total_fma = 0, total_ld = 0;
+  std::uint64_t prev_end = 0;
+  for (const auto& iv : tracer.intervals()) {
+    EXPECT_GE(iv.start_usec, prev_end == 0 ? 0 : prev_end);
+    EXPECT_GE(iv.end_usec, iv.start_usec);
+    prev_end = iv.end_usec;
+    total_fma += iv.deltas[0];
+    total_ld += iv.deltas[1];
+  }
+  // Interval deltas sum to the whole-run counts.
+  EXPECT_EQ(total_fma, 200'000);
+  EXPECT_EQ(total_ld, 400'000);
+}
+
+TEST(Tracer, MultiplexesWhenMetricsExceedCounters) {
+  SimFixture f(sim::make_saxpy(300'000), pmu::sim_x86(),
+               {.charge_costs = false});
+  EventTracer tracer(
+      *f.library,
+      {papi::EventId::preset(papi::Preset::kTotCyc),
+       papi::EventId::preset(papi::Preset::kTotIns),
+       papi::EventId::preset(papi::Preset::kLdIns),
+       papi::EventId::preset(papi::Preset::kSrIns),
+       papi::EventId::preset(papi::Preset::kFmaIns),
+       papi::EventId::preset(papi::Preset::kL1Dcm)},
+      /*interval_cycles=*/50'000);
+  ASSERT_TRUE(tracer.start().ok());
+  f.machine->run();
+  ASSERT_TRUE(tracer.stop().ok());
+  long long total_fma = 0;
+  for (const auto& iv : tracer.intervals()) total_fma += iv.deltas[4];
+  EXPECT_NEAR(static_cast<double>(total_fma), 300'000.0, 30'000.0);
+}
+
+TEST(Tracer, CapturesProgramMarkers) {
+  // Build a program that emits markers between phases.
+  sim::ProgramBuilder b;
+  b.begin_function("main");
+  b.li(1, 0);
+  b.li(2, 20'000);
+  b.probe(1000);  // marker 0
+  auto l1 = b.new_label();
+  b.bind(l1);
+  b.fmadd(3, 4, 5);
+  b.addi(1, 1, 1);
+  b.blt(1, 2, l1);
+  b.probe(1001);  // marker 1
+  b.li(1, 0);
+  auto l2 = b.new_label();
+  b.bind(l2);
+  b.addi(1, 1, 1);
+  b.blt(1, 2, l2);
+  b.probe(1002);  // marker 2
+  b.halt();
+  b.end_function();
+  sim::Workload w;
+  w.name = "marked";
+  w.program = std::move(b).build();
+
+  SimFixture f(std::move(w), pmu::sim_x86(), {.charge_costs = false});
+  EventTracer tracer(*f.library,
+                     {papi::EventId::preset(papi::Preset::kFpOps)},
+                     /*interval_cycles=*/5'000, f.machine.get());
+  ASSERT_TRUE(tracer.start().ok());
+  f.machine->run();
+  ASSERT_TRUE(tracer.stop().ok());
+
+  ASSERT_EQ(tracer.markers().size(), 3u);
+  EXPECT_EQ(tracer.markers()[0].id, 0);
+  EXPECT_EQ(tracer.markers()[1].id, 1);
+  EXPECT_EQ(tracer.markers()[2].id, 2);
+  EXPECT_LE(tracer.markers()[0].usec, tracer.markers()[1].usec);
+  // FP activity happens only between markers 0 and 1.
+  long long fp_before = 0, fp_after = 0;
+  for (const auto& iv : tracer.intervals()) {
+    if (iv.end_usec <= tracer.markers()[1].usec) fp_before += iv.deltas[0];
+    // +2us slack: timestamps are truncated to microseconds, so the
+    // interval starting "at" the marker may begin just before it.
+    if (iv.start_usec > tracer.markers()[1].usec + 2) {
+      fp_after += iv.deltas[0];
+    }
+  }
+  EXPECT_GT(fp_before, 30'000);
+  EXPECT_EQ(fp_after, 0);
+}
+
+TEST(Tracer, ChainsExistingProbeHandler) {
+  sim::ProgramBuilder b;
+  b.begin_function("main");
+  b.probe(5);     // below marker base: app probe
+  b.probe(1003);  // marker 3
+  b.halt();
+  b.end_function();
+  sim::Workload w;
+  w.name = "probes";
+  w.program = std::move(b).build();
+  SimFixture f(std::move(w), pmu::sim_x86(), {.charge_costs = false});
+
+  int app_probe_calls = 0;
+  f.machine->set_probe_handler(
+      [&](std::int64_t, sim::Machine&) { ++app_probe_calls; });
+  EventTracer tracer(*f.library,
+                     {papi::EventId::preset(papi::Preset::kTotIns)},
+                     1'000, f.machine.get());
+  ASSERT_TRUE(tracer.start().ok());
+  f.machine->run();
+  ASSERT_TRUE(tracer.stop().ok());
+  EXPECT_EQ(app_probe_calls, 2);  // both probes still reach the app
+  ASSERT_EQ(tracer.markers().size(), 1u);
+  EXPECT_EQ(tracer.markers()[0].id, 3);
+  // Handler restored after stop.
+  EXPECT_TRUE(static_cast<bool>(f.machine->probe_handler()));
+}
+
+TEST(Tracer, TimelineAndCsvRender) {
+  SimFixture f(sim::make_multiphase(2, 10'000), pmu::sim_x86(),
+               {.charge_costs = false});
+  EventTracer tracer(*f.library,
+                     {papi::EventId::preset(papi::Preset::kFpOps)},
+                     10'000);
+  ASSERT_TRUE(tracer.start().ok());
+  f.machine->run();
+  ASSERT_TRUE(tracer.stop().ok());
+  const std::string timeline = tracer.render_timeline();
+  EXPECT_NE(timeline.find("PAPI_FP_OPS"), std::string::npos);
+  EXPECT_NE(timeline.find("["), std::string::npos);
+  const std::string csv = tracer.to_csv();
+  EXPECT_NE(csv.find("start_usec,end_usec,PAPI_FP_OPS"),
+            std::string::npos);
+}
+
+TEST(Tracer, StateErrors) {
+  SimFixture f(sim::make_saxpy(100), pmu::sim_x86());
+  EventTracer tracer(*f.library, {}, 1'000);
+  EXPECT_EQ(tracer.start().error(), Error::kInvalid);  // no metrics
+  EventTracer tracer2(*f.library,
+                      {papi::EventId::preset(papi::Preset::kTotIns)},
+                      1'000);
+  EXPECT_EQ(tracer2.stop().error(), Error::kNotRunning);
+  ASSERT_TRUE(tracer2.start().ok());
+  EXPECT_EQ(tracer2.start().error(), Error::kIsRunning);
+  ASSERT_TRUE(tracer2.stop().ok());
+}
+
+}  // namespace
+}  // namespace papirepro::tools

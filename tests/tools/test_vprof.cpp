@@ -1,0 +1,110 @@
+#include "tools/vprof.h"
+
+#include <gtest/gtest.h>
+
+#include "core/eventset.h"
+#include "test_util.h"
+
+namespace papirepro::tools {
+namespace {
+
+using papirepro::test::SimFixture;
+
+/// Profiles L1 D-cache misses of the pointer chase on `platform` and
+/// returns (buffer, program) attribution accuracy for the chase load
+/// (instruction index 3).
+AttributionAccuracy profile_chase(const pmu::PlatformDescription& platform,
+                                  bool prefer_precise = true) {
+  SimFixture f(sim::make_pointer_chase(1024, 80'000, 11), platform,
+               {.charge_costs = false});
+  papi::EventSet& set = f.new_set();
+  EXPECT_TRUE(set.add_preset(papi::Preset::kL1Dcm).ok());
+  papi::ProfileBuffer buf(sim::kTextBase,
+                          f.workload.program.size() * sim::kInstrBytes);
+  EXPECT_TRUE(set.profil(buf, papi::EventId::preset(papi::Preset::kL1Dcm),
+                         400, prefer_precise)
+                  .ok());
+  EXPECT_TRUE(set.start().ok());
+  f.machine->run();
+  EXPECT_TRUE(set.stop().ok());
+  return attribution_accuracy(buf, f.workload.program, 3);
+}
+
+TEST(Vprof, EarPlatformAttributesExactly) {
+  const AttributionAccuracy acc = profile_chase(pmu::sim_ia64());
+  ASSERT_GT(acc.total_samples, 50u);
+  EXPECT_GT(acc.exact, 0.99);
+}
+
+TEST(Vprof, OutOfOrderPlatformSkidsAcrossInstructions) {
+  const AttributionAccuracy acc = profile_chase(pmu::sim_x86());
+  ASSERT_GT(acc.total_samples, 50u);
+  // "several instructions or even basic blocks removed": exact
+  // attribution collapses under skid.
+  EXPECT_LT(acc.exact, 0.6);
+  // But function-level attribution survives (the whole loop is main).
+  EXPECT_GT(acc.same_function, 0.9);
+}
+
+TEST(Vprof, PreferPreciseFallsBackWhenUnsupported) {
+  // prefer_precise on a skid platform changes nothing (no EAR data).
+  const AttributionAccuracy with = profile_chase(pmu::sim_x86(), true);
+  const AttributionAccuracy without = profile_chase(pmu::sim_x86(), false);
+  EXPECT_EQ(with.exact, without.exact);
+}
+
+TEST(Vprof, CorrelateLinesFindsHotLine) {
+  SimFixture f(sim::make_saxpy(50'000), pmu::sim_power3(),
+               {.charge_costs = false});
+  papi::EventSet& set = f.new_set();
+  ASSERT_TRUE(set.add_preset(papi::Preset::kTotIns).ok());
+  papi::ProfileBuffer buf(sim::kTextBase,
+                          f.workload.program.size() * sim::kInstrBytes);
+  ASSERT_TRUE(
+      set.profil(buf, papi::EventId::preset(papi::Preset::kTotIns), 500)
+          .ok());
+  ASSERT_TRUE(set.start().ok());
+  f.machine->run();
+  ASSERT_TRUE(set.stop().ok());
+
+  const auto lines = correlate_lines(buf, f.workload.program);
+  ASSERT_FALSE(lines.empty());
+  // saxpy body is lines 2-3; line 1 is the prologue.
+  EXPECT_NE(lines[0].line, 1u);
+  EXPECT_GT(lines[0].fraction, 0.3);
+
+  const auto funcs = correlate_functions(buf, f.workload.program);
+  ASSERT_EQ(funcs.size(), 1u);
+  EXPECT_EQ(funcs[0].name, "main");
+  EXPECT_DOUBLE_EQ(funcs[0].fraction, 1.0);
+}
+
+TEST(Vprof, AnnotatedListing) {
+  SimFixture f(sim::make_saxpy(20'000), pmu::sim_power3(),
+               {.charge_costs = false});
+  papi::EventSet& set = f.new_set();
+  ASSERT_TRUE(set.add_preset(papi::Preset::kTotIns).ok());
+  papi::ProfileBuffer buf(sim::kTextBase,
+                          f.workload.program.size() * sim::kInstrBytes);
+  ASSERT_TRUE(
+      set.profil(buf, papi::EventId::preset(papi::Preset::kTotIns), 500)
+          .ok());
+  ASSERT_TRUE(set.start().ok());
+  f.machine->run();
+  ASSERT_TRUE(set.stop().ok());
+  const std::string listing = render_annotated(buf, f.workload.program);
+  EXPECT_NE(listing.find("main+"), std::string::npos);
+  EXPECT_NE(listing.find("line"), std::string::npos);
+}
+
+TEST(Vprof, EmptyBufferHandled) {
+  papi::ProfileBuffer buf(sim::kTextBase, 64);
+  const sim::Workload w = sim::make_saxpy(10);
+  EXPECT_TRUE(correlate_lines(buf, w.program).empty());
+  EXPECT_TRUE(correlate_functions(buf, w.program).empty());
+  const AttributionAccuracy acc = attribution_accuracy(buf, w.program, 0);
+  EXPECT_EQ(acc.total_samples, 0u);
+}
+
+}  // namespace
+}  // namespace papirepro::tools
