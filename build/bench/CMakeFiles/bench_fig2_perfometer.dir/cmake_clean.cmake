@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_perfometer.dir/bench_fig2_perfometer.cpp.o"
+  "CMakeFiles/bench_fig2_perfometer.dir/bench_fig2_perfometer.cpp.o.d"
+  "bench_fig2_perfometer"
+  "bench_fig2_perfometer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_perfometer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

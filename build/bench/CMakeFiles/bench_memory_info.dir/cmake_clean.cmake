@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_info.dir/bench_memory_info.cpp.o"
+  "CMakeFiles/bench_memory_info.dir/bench_memory_info.cpp.o.d"
+  "bench_memory_info"
+  "bench_memory_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_profiling_accuracy.dir/bench_profiling_accuracy.cpp.o"
+  "CMakeFiles/bench_profiling_accuracy.dir/bench_profiling_accuracy.cpp.o.d"
+  "bench_profiling_accuracy"
+  "bench_profiling_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profiling_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

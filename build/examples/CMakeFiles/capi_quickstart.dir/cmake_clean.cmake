@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capi_quickstart.dir/capi_quickstart.c.o"
+  "CMakeFiles/capi_quickstart.dir/capi_quickstart.c.o.d"
+  "capi_quickstart"
+  "capi_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C)
+  include(CMakeFiles/capi_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

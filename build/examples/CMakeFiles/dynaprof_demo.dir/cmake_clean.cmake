@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaprof_demo.dir/dynaprof_demo.cpp.o"
+  "CMakeFiles/dynaprof_demo.dir/dynaprof_demo.cpp.o.d"
+  "dynaprof_demo"
+  "dynaprof_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaprof_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

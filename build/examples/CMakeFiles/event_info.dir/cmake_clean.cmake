@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_info.dir/event_info.cpp.o"
+  "CMakeFiles/event_info.dir/event_info.cpp.o.d"
+  "event_info"
+  "event_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/host_counters.cpp" "examples/CMakeFiles/host_counters.dir/host_counters.cpp.o" "gcc" "examples/CMakeFiles/host_counters.dir/host_counters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tools/CMakeFiles/papirepro_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/papirepro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/substrate/CMakeFiles/papirepro_substrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/papirepro_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/papirepro_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/papirepro_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_counters.dir/host_counters.cpp.o"
+  "CMakeFiles/host_counters.dir/host_counters.cpp.o.d"
+  "host_counters"
+  "host_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplex_demo.dir/multiplex_demo.cpp.o"
+  "CMakeFiles/multiplex_demo.dir/multiplex_demo.cpp.o.d"
+  "multiplex_demo"
+  "multiplex_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplex_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

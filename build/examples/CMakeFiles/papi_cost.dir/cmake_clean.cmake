@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papi_cost.dir/papi_cost.cpp.o"
+  "CMakeFiles/papi_cost.dir/papi_cost.cpp.o.d"
+  "papi_cost"
+  "papi_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papi_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papirun.dir/papirun.cpp.o"
+  "CMakeFiles/papirun.dir/papirun.cpp.o.d"
+  "papirun"
+  "papirun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papirun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

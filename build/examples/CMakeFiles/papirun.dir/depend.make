@@ -1,0 +1,2 @@
+# Empty dependencies file for papirun.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_ranks.dir/parallel_ranks.cpp.o"
+  "CMakeFiles/parallel_ranks.dir/parallel_ranks.cpp.o.d"
+  "parallel_ranks"
+  "parallel_ranks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

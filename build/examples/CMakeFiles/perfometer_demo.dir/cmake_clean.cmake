@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfometer_demo.dir/perfometer_demo.cpp.o"
+  "CMakeFiles/perfometer_demo.dir/perfometer_demo.cpp.o.d"
+  "perfometer_demo"
+  "perfometer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfometer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papirepro_capi.dir/papi_c.cpp.o"
+  "CMakeFiles/papirepro_capi.dir/papi_c.cpp.o.d"
+  "libpapirepro_capi.a"
+  "libpapirepro_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papirepro_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

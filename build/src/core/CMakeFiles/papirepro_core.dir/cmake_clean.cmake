@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papirepro_core.dir/eventset.cpp.o"
+  "CMakeFiles/papirepro_core.dir/eventset.cpp.o.d"
+  "CMakeFiles/papirepro_core.dir/highlevel.cpp.o"
+  "CMakeFiles/papirepro_core.dir/highlevel.cpp.o.d"
+  "CMakeFiles/papirepro_core.dir/library.cpp.o"
+  "CMakeFiles/papirepro_core.dir/library.cpp.o.d"
+  "CMakeFiles/papirepro_core.dir/multiplex.cpp.o"
+  "CMakeFiles/papirepro_core.dir/multiplex.cpp.o.d"
+  "libpapirepro_core.a"
+  "libpapirepro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papirepro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocator.cpp" "src/core/CMakeFiles/papirepro_events.dir/allocator.cpp.o" "gcc" "src/core/CMakeFiles/papirepro_events.dir/allocator.cpp.o.d"
+  "/root/repo/src/core/presets.cpp" "src/core/CMakeFiles/papirepro_events.dir/presets.cpp.o" "gcc" "src/core/CMakeFiles/papirepro_events.dir/presets.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/papirepro_events.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/papirepro_events.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmu/CMakeFiles/papirepro_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/papirepro_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

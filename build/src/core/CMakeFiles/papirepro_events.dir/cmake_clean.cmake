@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papirepro_events.dir/allocator.cpp.o"
+  "CMakeFiles/papirepro_events.dir/allocator.cpp.o.d"
+  "CMakeFiles/papirepro_events.dir/presets.cpp.o"
+  "CMakeFiles/papirepro_events.dir/presets.cpp.o.d"
+  "CMakeFiles/papirepro_events.dir/profile.cpp.o"
+  "CMakeFiles/papirepro_events.dir/profile.cpp.o.d"
+  "libpapirepro_events.a"
+  "libpapirepro_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papirepro_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmu/platform.cpp" "src/pmu/CMakeFiles/papirepro_pmu.dir/platform.cpp.o" "gcc" "src/pmu/CMakeFiles/papirepro_pmu.dir/platform.cpp.o.d"
+  "/root/repo/src/pmu/platforms/sim_alpha.cpp" "src/pmu/CMakeFiles/papirepro_pmu.dir/platforms/sim_alpha.cpp.o" "gcc" "src/pmu/CMakeFiles/papirepro_pmu.dir/platforms/sim_alpha.cpp.o.d"
+  "/root/repo/src/pmu/platforms/sim_ia64.cpp" "src/pmu/CMakeFiles/papirepro_pmu.dir/platforms/sim_ia64.cpp.o" "gcc" "src/pmu/CMakeFiles/papirepro_pmu.dir/platforms/sim_ia64.cpp.o.d"
+  "/root/repo/src/pmu/platforms/sim_power3.cpp" "src/pmu/CMakeFiles/papirepro_pmu.dir/platforms/sim_power3.cpp.o" "gcc" "src/pmu/CMakeFiles/papirepro_pmu.dir/platforms/sim_power3.cpp.o.d"
+  "/root/repo/src/pmu/platforms/sim_t3e.cpp" "src/pmu/CMakeFiles/papirepro_pmu.dir/platforms/sim_t3e.cpp.o" "gcc" "src/pmu/CMakeFiles/papirepro_pmu.dir/platforms/sim_t3e.cpp.o.d"
+  "/root/repo/src/pmu/platforms/sim_x86.cpp" "src/pmu/CMakeFiles/papirepro_pmu.dir/platforms/sim_x86.cpp.o" "gcc" "src/pmu/CMakeFiles/papirepro_pmu.dir/platforms/sim_x86.cpp.o.d"
+  "/root/repo/src/pmu/pmu.cpp" "src/pmu/CMakeFiles/papirepro_pmu.dir/pmu.cpp.o" "gcc" "src/pmu/CMakeFiles/papirepro_pmu.dir/pmu.cpp.o.d"
+  "/root/repo/src/pmu/sampling.cpp" "src/pmu/CMakeFiles/papirepro_pmu.dir/sampling.cpp.o" "gcc" "src/pmu/CMakeFiles/papirepro_pmu.dir/sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/papirepro_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

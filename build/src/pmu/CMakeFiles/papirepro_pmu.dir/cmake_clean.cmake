@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papirepro_pmu.dir/platform.cpp.o"
+  "CMakeFiles/papirepro_pmu.dir/platform.cpp.o.d"
+  "CMakeFiles/papirepro_pmu.dir/platforms/sim_alpha.cpp.o"
+  "CMakeFiles/papirepro_pmu.dir/platforms/sim_alpha.cpp.o.d"
+  "CMakeFiles/papirepro_pmu.dir/platforms/sim_ia64.cpp.o"
+  "CMakeFiles/papirepro_pmu.dir/platforms/sim_ia64.cpp.o.d"
+  "CMakeFiles/papirepro_pmu.dir/platforms/sim_power3.cpp.o"
+  "CMakeFiles/papirepro_pmu.dir/platforms/sim_power3.cpp.o.d"
+  "CMakeFiles/papirepro_pmu.dir/platforms/sim_t3e.cpp.o"
+  "CMakeFiles/papirepro_pmu.dir/platforms/sim_t3e.cpp.o.d"
+  "CMakeFiles/papirepro_pmu.dir/platforms/sim_x86.cpp.o"
+  "CMakeFiles/papirepro_pmu.dir/platforms/sim_x86.cpp.o.d"
+  "CMakeFiles/papirepro_pmu.dir/pmu.cpp.o"
+  "CMakeFiles/papirepro_pmu.dir/pmu.cpp.o.d"
+  "CMakeFiles/papirepro_pmu.dir/sampling.cpp.o"
+  "CMakeFiles/papirepro_pmu.dir/sampling.cpp.o.d"
+  "libpapirepro_pmu.a"
+  "libpapirepro_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papirepro_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/branch_predictor.cpp" "src/sim/CMakeFiles/papirepro_sim.dir/branch_predictor.cpp.o" "gcc" "src/sim/CMakeFiles/papirepro_sim.dir/branch_predictor.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/papirepro_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/papirepro_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/comm.cpp" "src/sim/CMakeFiles/papirepro_sim.dir/comm.cpp.o" "gcc" "src/sim/CMakeFiles/papirepro_sim.dir/comm.cpp.o.d"
+  "/root/repo/src/sim/event.cpp" "src/sim/CMakeFiles/papirepro_sim.dir/event.cpp.o" "gcc" "src/sim/CMakeFiles/papirepro_sim.dir/event.cpp.o.d"
+  "/root/repo/src/sim/isa.cpp" "src/sim/CMakeFiles/papirepro_sim.dir/isa.cpp.o" "gcc" "src/sim/CMakeFiles/papirepro_sim.dir/isa.cpp.o.d"
+  "/root/repo/src/sim/kernels.cpp" "src/sim/CMakeFiles/papirepro_sim.dir/kernels.cpp.o" "gcc" "src/sim/CMakeFiles/papirepro_sim.dir/kernels.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/papirepro_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/papirepro_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/papirepro_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/papirepro_sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/program.cpp" "src/sim/CMakeFiles/papirepro_sim.dir/program.cpp.o" "gcc" "src/sim/CMakeFiles/papirepro_sim.dir/program.cpp.o.d"
+  "/root/repo/src/sim/tlb.cpp" "src/sim/CMakeFiles/papirepro_sim.dir/tlb.cpp.o" "gcc" "src/sim/CMakeFiles/papirepro_sim.dir/tlb.cpp.o.d"
+  "/root/repo/src/sim/workload_registry.cpp" "src/sim/CMakeFiles/papirepro_sim.dir/workload_registry.cpp.o" "gcc" "src/sim/CMakeFiles/papirepro_sim.dir/workload_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papirepro_sim.dir/branch_predictor.cpp.o"
+  "CMakeFiles/papirepro_sim.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/papirepro_sim.dir/cache.cpp.o"
+  "CMakeFiles/papirepro_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/papirepro_sim.dir/comm.cpp.o"
+  "CMakeFiles/papirepro_sim.dir/comm.cpp.o.d"
+  "CMakeFiles/papirepro_sim.dir/event.cpp.o"
+  "CMakeFiles/papirepro_sim.dir/event.cpp.o.d"
+  "CMakeFiles/papirepro_sim.dir/isa.cpp.o"
+  "CMakeFiles/papirepro_sim.dir/isa.cpp.o.d"
+  "CMakeFiles/papirepro_sim.dir/kernels.cpp.o"
+  "CMakeFiles/papirepro_sim.dir/kernels.cpp.o.d"
+  "CMakeFiles/papirepro_sim.dir/machine.cpp.o"
+  "CMakeFiles/papirepro_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/papirepro_sim.dir/memory.cpp.o"
+  "CMakeFiles/papirepro_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/papirepro_sim.dir/program.cpp.o"
+  "CMakeFiles/papirepro_sim.dir/program.cpp.o.d"
+  "CMakeFiles/papirepro_sim.dir/tlb.cpp.o"
+  "CMakeFiles/papirepro_sim.dir/tlb.cpp.o.d"
+  "CMakeFiles/papirepro_sim.dir/workload_registry.cpp.o"
+  "CMakeFiles/papirepro_sim.dir/workload_registry.cpp.o.d"
+  "libpapirepro_sim.a"
+  "libpapirepro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papirepro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/substrate/host_substrate.cpp" "src/substrate/CMakeFiles/papirepro_substrate.dir/host_substrate.cpp.o" "gcc" "src/substrate/CMakeFiles/papirepro_substrate.dir/host_substrate.cpp.o.d"
+  "/root/repo/src/substrate/perf_event_substrate.cpp" "src/substrate/CMakeFiles/papirepro_substrate.dir/perf_event_substrate.cpp.o" "gcc" "src/substrate/CMakeFiles/papirepro_substrate.dir/perf_event_substrate.cpp.o.d"
+  "/root/repo/src/substrate/preset_maps.cpp" "src/substrate/CMakeFiles/papirepro_substrate.dir/preset_maps.cpp.o" "gcc" "src/substrate/CMakeFiles/papirepro_substrate.dir/preset_maps.cpp.o.d"
+  "/root/repo/src/substrate/sim_substrate.cpp" "src/substrate/CMakeFiles/papirepro_substrate.dir/sim_substrate.cpp.o" "gcc" "src/substrate/CMakeFiles/papirepro_substrate.dir/sim_substrate.cpp.o.d"
+  "/root/repo/src/substrate/substrate.cpp" "src/substrate/CMakeFiles/papirepro_substrate.dir/substrate.cpp.o" "gcc" "src/substrate/CMakeFiles/papirepro_substrate.dir/substrate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmu/CMakeFiles/papirepro_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/papirepro_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/papirepro_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papirepro_substrate.dir/host_substrate.cpp.o"
+  "CMakeFiles/papirepro_substrate.dir/host_substrate.cpp.o.d"
+  "CMakeFiles/papirepro_substrate.dir/perf_event_substrate.cpp.o"
+  "CMakeFiles/papirepro_substrate.dir/perf_event_substrate.cpp.o.d"
+  "CMakeFiles/papirepro_substrate.dir/preset_maps.cpp.o"
+  "CMakeFiles/papirepro_substrate.dir/preset_maps.cpp.o.d"
+  "CMakeFiles/papirepro_substrate.dir/sim_substrate.cpp.o"
+  "CMakeFiles/papirepro_substrate.dir/sim_substrate.cpp.o.d"
+  "CMakeFiles/papirepro_substrate.dir/substrate.cpp.o"
+  "CMakeFiles/papirepro_substrate.dir/substrate.cpp.o.d"
+  "libpapirepro_substrate.a"
+  "libpapirepro_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papirepro_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

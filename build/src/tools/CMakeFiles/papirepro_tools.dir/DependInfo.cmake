@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/calibrate.cpp" "src/tools/CMakeFiles/papirepro_tools.dir/calibrate.cpp.o" "gcc" "src/tools/CMakeFiles/papirepro_tools.dir/calibrate.cpp.o.d"
+  "/root/repo/src/tools/dynaprof.cpp" "src/tools/CMakeFiles/papirepro_tools.dir/dynaprof.cpp.o" "gcc" "src/tools/CMakeFiles/papirepro_tools.dir/dynaprof.cpp.o.d"
+  "/root/repo/src/tools/memprof.cpp" "src/tools/CMakeFiles/papirepro_tools.dir/memprof.cpp.o" "gcc" "src/tools/CMakeFiles/papirepro_tools.dir/memprof.cpp.o.d"
+  "/root/repo/src/tools/papirun.cpp" "src/tools/CMakeFiles/papirepro_tools.dir/papirun.cpp.o" "gcc" "src/tools/CMakeFiles/papirepro_tools.dir/papirun.cpp.o.d"
+  "/root/repo/src/tools/perfometer.cpp" "src/tools/CMakeFiles/papirepro_tools.dir/perfometer.cpp.o" "gcc" "src/tools/CMakeFiles/papirepro_tools.dir/perfometer.cpp.o.d"
+  "/root/repo/src/tools/tracer.cpp" "src/tools/CMakeFiles/papirepro_tools.dir/tracer.cpp.o" "gcc" "src/tools/CMakeFiles/papirepro_tools.dir/tracer.cpp.o.d"
+  "/root/repo/src/tools/vprof.cpp" "src/tools/CMakeFiles/papirepro_tools.dir/vprof.cpp.o" "gcc" "src/tools/CMakeFiles/papirepro_tools.dir/vprof.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/papirepro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/substrate/CMakeFiles/papirepro_substrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/papirepro_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/papirepro_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/papirepro_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

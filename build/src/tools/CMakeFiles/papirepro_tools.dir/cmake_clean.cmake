@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papirepro_tools.dir/calibrate.cpp.o"
+  "CMakeFiles/papirepro_tools.dir/calibrate.cpp.o.d"
+  "CMakeFiles/papirepro_tools.dir/dynaprof.cpp.o"
+  "CMakeFiles/papirepro_tools.dir/dynaprof.cpp.o.d"
+  "CMakeFiles/papirepro_tools.dir/memprof.cpp.o"
+  "CMakeFiles/papirepro_tools.dir/memprof.cpp.o.d"
+  "CMakeFiles/papirepro_tools.dir/papirun.cpp.o"
+  "CMakeFiles/papirepro_tools.dir/papirun.cpp.o.d"
+  "CMakeFiles/papirepro_tools.dir/perfometer.cpp.o"
+  "CMakeFiles/papirepro_tools.dir/perfometer.cpp.o.d"
+  "CMakeFiles/papirepro_tools.dir/tracer.cpp.o"
+  "CMakeFiles/papirepro_tools.dir/tracer.cpp.o.d"
+  "CMakeFiles/papirepro_tools.dir/vprof.cpp.o"
+  "CMakeFiles/papirepro_tools.dir/vprof.cpp.o.d"
+  "libpapirepro_tools.a"
+  "libpapirepro_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papirepro_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

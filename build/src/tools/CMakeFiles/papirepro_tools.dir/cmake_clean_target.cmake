@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpapirepro_tools.a"
+)

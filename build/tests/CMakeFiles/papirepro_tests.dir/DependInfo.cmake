@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/capi/test_capi.cpp" "tests/CMakeFiles/papirepro_tests.dir/capi/test_capi.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/capi/test_capi.cpp.o.d"
+  "/root/repo/tests/core/test_allocator.cpp" "tests/CMakeFiles/papirepro_tests.dir/core/test_allocator.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/core/test_allocator.cpp.o.d"
+  "/root/repo/tests/core/test_domain.cpp" "tests/CMakeFiles/papirepro_tests.dir/core/test_domain.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/core/test_domain.cpp.o.d"
+  "/root/repo/tests/core/test_eventset.cpp" "tests/CMakeFiles/papirepro_tests.dir/core/test_eventset.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/core/test_eventset.cpp.o.d"
+  "/root/repo/tests/core/test_highlevel.cpp" "tests/CMakeFiles/papirepro_tests.dir/core/test_highlevel.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/core/test_highlevel.cpp.o.d"
+  "/root/repo/tests/core/test_library.cpp" "tests/CMakeFiles/papirepro_tests.dir/core/test_library.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/core/test_library.cpp.o.d"
+  "/root/repo/tests/core/test_multiplex.cpp" "tests/CMakeFiles/papirepro_tests.dir/core/test_multiplex.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/core/test_multiplex.cpp.o.d"
+  "/root/repo/tests/core/test_overflow.cpp" "tests/CMakeFiles/papirepro_tests.dir/core/test_overflow.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/core/test_overflow.cpp.o.d"
+  "/root/repo/tests/core/test_presets.cpp" "tests/CMakeFiles/papirepro_tests.dir/core/test_presets.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/core/test_presets.cpp.o.d"
+  "/root/repo/tests/core/test_profile.cpp" "tests/CMakeFiles/papirepro_tests.dir/core/test_profile.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/core/test_profile.cpp.o.d"
+  "/root/repo/tests/core/test_status.cpp" "tests/CMakeFiles/papirepro_tests.dir/core/test_status.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/core/test_status.cpp.o.d"
+  "/root/repo/tests/integration/test_portability.cpp" "tests/CMakeFiles/papirepro_tests.dir/integration/test_portability.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/integration/test_portability.cpp.o.d"
+  "/root/repo/tests/integration/test_property_counts.cpp" "tests/CMakeFiles/papirepro_tests.dir/integration/test_property_counts.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/integration/test_property_counts.cpp.o.d"
+  "/root/repo/tests/integration/test_random_programs.cpp" "tests/CMakeFiles/papirepro_tests.dir/integration/test_random_programs.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/integration/test_random_programs.cpp.o.d"
+  "/root/repo/tests/pmu/test_platforms.cpp" "tests/CMakeFiles/papirepro_tests.dir/pmu/test_platforms.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/pmu/test_platforms.cpp.o.d"
+  "/root/repo/tests/pmu/test_pmu.cpp" "tests/CMakeFiles/papirepro_tests.dir/pmu/test_pmu.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/pmu/test_pmu.cpp.o.d"
+  "/root/repo/tests/pmu/test_sampling.cpp" "tests/CMakeFiles/papirepro_tests.dir/pmu/test_sampling.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/pmu/test_sampling.cpp.o.d"
+  "/root/repo/tests/sim/test_branch.cpp" "tests/CMakeFiles/papirepro_tests.dir/sim/test_branch.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/sim/test_branch.cpp.o.d"
+  "/root/repo/tests/sim/test_cache.cpp" "tests/CMakeFiles/papirepro_tests.dir/sim/test_cache.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/sim/test_cache.cpp.o.d"
+  "/root/repo/tests/sim/test_cache_properties.cpp" "tests/CMakeFiles/papirepro_tests.dir/sim/test_cache_properties.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/sim/test_cache_properties.cpp.o.d"
+  "/root/repo/tests/sim/test_comm.cpp" "tests/CMakeFiles/papirepro_tests.dir/sim/test_comm.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/sim/test_comm.cpp.o.d"
+  "/root/repo/tests/sim/test_isa.cpp" "tests/CMakeFiles/papirepro_tests.dir/sim/test_isa.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/sim/test_isa.cpp.o.d"
+  "/root/repo/tests/sim/test_kernels.cpp" "tests/CMakeFiles/papirepro_tests.dir/sim/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/sim/test_kernels.cpp.o.d"
+  "/root/repo/tests/sim/test_machine.cpp" "tests/CMakeFiles/papirepro_tests.dir/sim/test_machine.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/sim/test_machine.cpp.o.d"
+  "/root/repo/tests/sim/test_memory.cpp" "tests/CMakeFiles/papirepro_tests.dir/sim/test_memory.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/sim/test_memory.cpp.o.d"
+  "/root/repo/tests/sim/test_program.cpp" "tests/CMakeFiles/papirepro_tests.dir/sim/test_program.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/sim/test_program.cpp.o.d"
+  "/root/repo/tests/sim/test_regions.cpp" "tests/CMakeFiles/papirepro_tests.dir/sim/test_regions.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/sim/test_regions.cpp.o.d"
+  "/root/repo/tests/sim/test_rng.cpp" "tests/CMakeFiles/papirepro_tests.dir/sim/test_rng.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/sim/test_rng.cpp.o.d"
+  "/root/repo/tests/sim/test_skid.cpp" "tests/CMakeFiles/papirepro_tests.dir/sim/test_skid.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/sim/test_skid.cpp.o.d"
+  "/root/repo/tests/sim/test_tlb.cpp" "tests/CMakeFiles/papirepro_tests.dir/sim/test_tlb.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/sim/test_tlb.cpp.o.d"
+  "/root/repo/tests/sim/test_workload_registry.cpp" "tests/CMakeFiles/papirepro_tests.dir/sim/test_workload_registry.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/sim/test_workload_registry.cpp.o.d"
+  "/root/repo/tests/substrate/test_host_substrate.cpp" "tests/CMakeFiles/papirepro_tests.dir/substrate/test_host_substrate.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/substrate/test_host_substrate.cpp.o.d"
+  "/root/repo/tests/substrate/test_perf_event.cpp" "tests/CMakeFiles/papirepro_tests.dir/substrate/test_perf_event.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/substrate/test_perf_event.cpp.o.d"
+  "/root/repo/tests/substrate/test_preset_maps.cpp" "tests/CMakeFiles/papirepro_tests.dir/substrate/test_preset_maps.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/substrate/test_preset_maps.cpp.o.d"
+  "/root/repo/tests/substrate/test_sim_substrate.cpp" "tests/CMakeFiles/papirepro_tests.dir/substrate/test_sim_substrate.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/substrate/test_sim_substrate.cpp.o.d"
+  "/root/repo/tests/substrate/test_t3e.cpp" "tests/CMakeFiles/papirepro_tests.dir/substrate/test_t3e.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/substrate/test_t3e.cpp.o.d"
+  "/root/repo/tests/tools/test_calibrate.cpp" "tests/CMakeFiles/papirepro_tests.dir/tools/test_calibrate.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/tools/test_calibrate.cpp.o.d"
+  "/root/repo/tests/tools/test_dynaprof.cpp" "tests/CMakeFiles/papirepro_tests.dir/tools/test_dynaprof.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/tools/test_dynaprof.cpp.o.d"
+  "/root/repo/tests/tools/test_instrumentation_property.cpp" "tests/CMakeFiles/papirepro_tests.dir/tools/test_instrumentation_property.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/tools/test_instrumentation_property.cpp.o.d"
+  "/root/repo/tests/tools/test_memprof.cpp" "tests/CMakeFiles/papirepro_tests.dir/tools/test_memprof.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/tools/test_memprof.cpp.o.d"
+  "/root/repo/tests/tools/test_papirun.cpp" "tests/CMakeFiles/papirepro_tests.dir/tools/test_papirun.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/tools/test_papirun.cpp.o.d"
+  "/root/repo/tests/tools/test_perfometer.cpp" "tests/CMakeFiles/papirepro_tests.dir/tools/test_perfometer.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/tools/test_perfometer.cpp.o.d"
+  "/root/repo/tests/tools/test_tracer.cpp" "tests/CMakeFiles/papirepro_tests.dir/tools/test_tracer.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/tools/test_tracer.cpp.o.d"
+  "/root/repo/tests/tools/test_vprof.cpp" "tests/CMakeFiles/papirepro_tests.dir/tools/test_vprof.cpp.o" "gcc" "tests/CMakeFiles/papirepro_tests.dir/tools/test_vprof.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/papirepro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/papirepro_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/capi/CMakeFiles/papirepro_capi.dir/DependInfo.cmake"
+  "/root/repo/build/src/substrate/CMakeFiles/papirepro_substrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/papirepro_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/papirepro_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/papirepro_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
