@@ -31,9 +31,11 @@ void sim_costs() {
         : p->name == "sim-alpha"                     ? "CYCLES"
                                                      : "EV5_CYCLES");
     if (!cyc.ok()) continue;
+    auto ctx = sub.create_context();
+    if (!ctx.ok()) continue;
     const pmu::NativeEventCode events[] = {cyc.value()};
     std::uint32_t counters[] = {0};
-    (void)sub.program(events, counters);
+    (void)ctx.value()->program(events, counters);
 
     auto cost_of = [&machine](auto&& fn) {
       const std::uint64_t before = machine.overhead_cycles();
@@ -41,9 +43,12 @@ void sim_costs() {
       return machine.overhead_cycles() - before;
     };
     std::uint64_t out[1];
-    const std::uint64_t start_cost = cost_of([&] { (void)sub.start(); });
-    const std::uint64_t read_cost = cost_of([&] { (void)sub.read(out); });
-    const std::uint64_t stop_cost = cost_of([&] { (void)sub.stop(); });
+    const std::uint64_t start_cost =
+        cost_of([&] { (void)ctx.value()->start(); });
+    const std::uint64_t read_cost =
+        cost_of([&] { (void)ctx.value()->read(out); });
+    const std::uint64_t stop_cost =
+        cost_of([&] { (void)ctx.value()->stop(); });
     std::printf("%-12s %10llu %10llu %10llu %12u\n", p->name.c_str(),
                 static_cast<unsigned long long>(read_cost),
                 static_cast<unsigned long long>(start_cost),
@@ -59,22 +64,27 @@ void perf_costs() {
     return;
   }
   auto code = sub.native_by_name("PERF_COUNT_SW_TASK_CLOCK");
+  auto ctx = sub.create_context();
+  if (!ctx.ok()) return;
   const pmu::NativeEventCode events[] = {code.value()};
   std::uint32_t counters[] = {0};
-  if (!sub.program(events, counters).ok() || !sub.start().ok()) return;
+  if (!ctx.value()->program(events, counters).ok() ||
+      !ctx.value()->start().ok()) {
+    return;
+  }
 
   constexpr int kIters = 100'000;
   std::uint64_t out[1];
   const auto t0 = std::chrono::steady_clock::now();
-  for (int i = 0; i < kIters; ++i) (void)sub.read(out);
+  for (int i = 0; i < kIters; ++i) (void)ctx.value()->read(out);
   const auto t1 = std::chrono::steady_clock::now();
-  (void)sub.stop();
+  (void)ctx.value()->stop();
 
   constexpr int kPairs = 20'000;
   const auto t2 = std::chrono::steady_clock::now();
   for (int i = 0; i < kPairs; ++i) {
-    (void)sub.start();
-    (void)sub.stop();
+    (void)ctx.value()->start();
+    (void)ctx.value()->stop();
   }
   const auto t3 = std::chrono::steady_clock::now();
 

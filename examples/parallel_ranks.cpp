@@ -1,10 +1,11 @@
 // Per-rank measurement of a message-passing program — the scenario the
 // paper's tool ecosystem (TAU profiles per rank, Vampir timelines) was
 // built for.  Four simulated ranks run a ring exchange
-// (compute-then-communicate); each rank carries its own PAPI library
-// over its own substrate, exactly like one PAPI instance per MPI
-// process.  Rank 2 is given extra work to create the load imbalance a
-// per-rank profile exposes.
+// (compute-then-communicate) on four real threads sharing ONE PAPI
+// library: each thread binds its own machine to the substrate and runs
+// its own EventSet, exercising the per-thread CounterContext path the
+// same way a threaded MPI runtime would.  Rank 2 is given extra work to
+// create the load imbalance a per-rank profile exposes.
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -21,10 +22,7 @@ int main() {
 
   std::vector<sim::Workload> workloads;
   std::vector<std::unique_ptr<sim::Machine>> machines;
-  std::vector<std::unique_ptr<papi::Library>> libraries;
-  std::vector<papi::EventSet*> sets;
   std::vector<sim::Machine*> raw;
-
   for (std::size_t r = 0; r < kRanks; ++r) {
     // The imbalance: rank 2 computes 4x the work per iteration.
     const std::int64_t work = r == 2 ? 8'000 : 2'000;
@@ -33,39 +31,56 @@ int main() {
     machines.push_back(std::make_unique<sim::Machine>(
         workloads.back().program, pmu::sim_x86().machine));
     raw.push_back(machines.back().get());
-
-    papi::SimSubstrateOptions options;
-    options.charge_costs = false;
-    libraries.push_back(std::make_unique<papi::Library>(
-        std::make_unique<papi::SimSubstrate>(*machines.back(),
-                                             pmu::sim_x86(), options)));
-    auto handle = libraries.back()->create_event_set();
-    papi::EventSet* set =
-        libraries.back()->event_set(handle.value()).value();
-    (void)set->add_preset(papi::Preset::kTotCyc);
-    (void)set->add_preset(papi::Preset::kTotIns);
-    (void)set->add_preset(papi::Preset::kFpOps);
-    (void)set->start();
-    sets.push_back(set);
   }
 
-  // Communication layer attaches after the substrates so counter state
+  // One library over one substrate for all ranks — thread support means
+  // we no longer need a PAPI instance per rank.
+  papi::SimSubstrateOptions options;
+  options.charge_costs = false;
+  auto owned = std::make_unique<papi::SimSubstrate>(*machines[0],
+                                                    pmu::sim_x86(), options);
+  papi::SimSubstrate* substrate = owned.get();
+  papi::Library library(std::move(owned));
+
+  std::vector<papi::EventSet*> sets(kRanks, nullptr);
+  std::vector<std::vector<long long>> values(kRanks);
+
+  // Communication layer attaches after the substrate so counter state
   // and mailbox handling co-exist on the probe path.
   sim::CommWorld world(raw);
-  if (!world.run_lockstep(/*quantum=*/2'000)) {
+  const bool all_halted = world.run_threaded(
+      /*max_instructions_per_rank=*/100'000'000,
+      /*thread_begin=*/
+      [&](std::size_t r) {
+        substrate->bind_thread_machine(*machines[r]);
+        auto handle = library.create_event_set();
+        if (!handle.ok()) return;
+        sets[r] = library.event_set(handle.value()).value();
+        (void)sets[r]->add_preset(papi::Preset::kTotCyc);
+        (void)sets[r]->add_preset(papi::Preset::kTotIns);
+        (void)sets[r]->add_preset(papi::Preset::kFpOps);
+        (void)sets[r]->start();
+      },
+      /*thread_end=*/
+      [&](std::size_t r) {
+        if (sets[r] == nullptr) return;
+        values[r].assign(3, 0);
+        (void)sets[r]->stop(values[r]);
+        (void)library.unregister_thread();
+      });
+  if (!all_halted) {
     std::fprintf(stderr, "ranks did not complete (deadlock?)\n");
     return 1;
   }
 
   std::printf("per-rank profile of a 4-rank ring exchange "
-              "(rank 2 overloaded):\n\n");
+              "(rank 2 overloaded),\nmeasured by one shared library "
+              "from four rank threads:\n\n");
   std::printf("%5s %14s %14s %14s %10s %12s\n", "rank", "PAPI_TOT_CYC",
               "PAPI_TOT_INS", "PAPI_FP_OPS", "msgs", "wait_retries");
   for (std::size_t r = 0; r < kRanks; ++r) {
-    std::vector<long long> v(3);
-    (void)sets[r]->stop(v);
-    std::printf("%5zu %14lld %14lld %14lld %10llu %12llu\n", r, v[0],
-                v[1], v[2],
+    std::printf("%5zu %14lld %14lld %14lld %10llu %12llu\n", r,
+                values[r][0], values[r][1], values[r][2],
                 static_cast<unsigned long long>(world.stats(r).sends +
                                                 world.stats(r).recvs),
                 static_cast<unsigned long long>(

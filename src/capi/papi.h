@@ -90,6 +90,11 @@ void PAPIrepro_sim_destroy(PAPIrepro_sim_t* sim);
 /* Binds the global PAPI library to this simulator's substrate.  Must be
  * called before PAPI_library_init. */
 int PAPIrepro_bind_sim(PAPIrepro_sim_t* sim);
+/* Binds this simulator's machine as the *calling thread's* counter
+ * domain: the thread's EventSets then count on it.  Requires an
+ * initialized library bound to a sim of the same platform; used by
+ * multi-rank programs running one machine per thread. */
+int PAPIrepro_sim_bind_thread(PAPIrepro_sim_t* sim);
 /* Enables DADD-style count estimation from samples (sim-alpha only). */
 int PAPIrepro_set_estimation(int enable);
 
@@ -99,6 +104,21 @@ int PAPI_is_initialized(void);
 void PAPI_shutdown(void);
 const char* PAPI_strerror(int code);
 int PAPI_num_hwctrs(void);
+
+/* ---- threads (PAPI 3 thread support) ----
+ * The running-EventSet rule is per thread: each thread may run one
+ * EventSet, and N threads may count concurrently.  PAPI_thread_init
+ * installs the id function used to label threads (e.g. pthread_self);
+ * threads are registered implicitly on their first PAPI_start, or
+ * explicitly via PAPI_register_thread. */
+int PAPI_thread_init(unsigned long (*id_fn)(void));
+/* Numeric id of the calling thread, or (unsigned long)-1 before init. */
+unsigned long PAPI_thread_id(void);
+int PAPI_register_thread(void);
+/* Fails with PAPI_EISRUN while the calling thread's EventSet runs. */
+int PAPI_unregister_thread(void);
+/* Number of threads known to the library. */
+int PAPI_num_threads(void);
 
 /* ---- event name space ---- */
 int PAPI_query_event(int event_code);

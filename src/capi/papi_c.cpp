@@ -1,12 +1,15 @@
 // C bridge: global-state shim over the C++ library, mirroring real
-// PAPI's process-global model.  Not thread-safe by design parity with
-// PAPI 2 (thread support there required explicit PAPI_thread_init; our
-// simulated machines are single-threaded).
+// PAPI's process-global model.  Thread-aware since the CounterContext
+// refactor: the Library keys the running-EventSet rule by thread, and
+// the bridge's own maps (overflow handlers, profil state) are mutex-
+// guarded.  Init/shutdown remain single-threaded operations, as in real
+// PAPI.
 #include "capi/papi.h"
 
 #include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -47,6 +50,9 @@ struct GlobalState {
   std::unique_ptr<papi::Library> library;
   std::unique_ptr<papi::HighLevel> high_level;
   PAPIrepro_sim* bound_sim = nullptr;
+  /// Guards the two bridge maps below (handlers fire on whichever thread
+  /// drives the overflowing context).
+  std::mutex bridge_mutex;
   std::map<int, PAPI_overflow_handler_t> overflow_handlers;
   std::map<int, ProfilState> profil_states;  // keyed by event set
 };
@@ -57,6 +63,7 @@ GlobalState& g() {
 }
 
 void flush_profil(int event_set) {
+  const std::lock_guard<std::mutex> lock(g().bridge_mutex);
   auto it = g().profil_states.find(event_set);
   if (it == g().profil_states.end() || it->second.user_buf == nullptr) {
     return;
@@ -126,6 +133,17 @@ int PAPIrepro_bind_sim(PAPIrepro_sim_t* s) {
   return PAPI_OK;
 }
 
+int PAPIrepro_sim_bind_thread(PAPIrepro_sim_t* s) {
+  if (s == nullptr || s->machine == nullptr) return PAPI_EINVAL;
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  if (g().bound_sim == nullptr || g().bound_sim->substrate == nullptr) {
+    return PAPI_ENOSUPP;  // host substrate has no machines to bind
+  }
+  if (s->platform != g().bound_sim->platform) return PAPI_ECNFLCT;
+  g().bound_sim->substrate->bind_thread_machine(*s->machine);
+  return PAPI_OK;
+}
+
 int PAPIrepro_set_estimation(int enable) {
   if (g().library == nullptr) return PAPI_ENOINIT;
   if (g().bound_sim == nullptr || g().bound_sim->substrate == nullptr) {
@@ -156,8 +174,11 @@ int PAPI_is_initialized(void) { return g().library != nullptr ? 1 : 0; }
 
 void PAPI_shutdown(void) {
   g().high_level.reset();
-  g().overflow_handlers.clear();
-  g().profil_states.clear();
+  {
+    const std::lock_guard<std::mutex> lock(g().bridge_mutex);
+    g().overflow_handlers.clear();
+    g().profil_states.clear();
+  }
   if (g().bound_sim != nullptr) g().bound_sim->substrate = nullptr;
   g().library.reset();
   g().bound_sim = nullptr;
@@ -170,6 +191,33 @@ const char* PAPI_strerror(int code) {
 int PAPI_num_hwctrs(void) {
   if (g().library == nullptr) return PAPI_ENOINIT;
   return static_cast<int>(g().library->num_counters());
+}
+
+int PAPI_thread_init(unsigned long (*id_fn)(void)) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  if (id_fn == nullptr) return PAPI_EINVAL;
+  return to_code(g().library->thread_init(id_fn));
+}
+
+unsigned long PAPI_thread_id(void) {
+  if (g().library == nullptr) return static_cast<unsigned long>(-1);
+  auto id = g().library->thread_id();
+  return id.ok() ? id.value() : static_cast<unsigned long>(-1);
+}
+
+int PAPI_register_thread(void) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  return to_code(g().library->register_thread());
+}
+
+int PAPI_unregister_thread(void) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  return to_code(g().library->unregister_thread());
+}
+
+int PAPI_num_threads(void) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  return static_cast<int>(g().library->num_threads());
 }
 
 int PAPI_query_event(int event_code) {
@@ -214,6 +262,7 @@ int PAPI_destroy_eventset(int* event_set) {
   if (event_set == nullptr) return PAPI_EINVAL;
   const Status s = g().library->destroy_event_set(*event_set);
   if (s.ok()) {
+    const std::lock_guard<std::mutex> lock(g().bridge_mutex);
     g().profil_states.erase(*event_set);
     g().overflow_handlers.erase(*event_set);
     *event_set = PAPI_NULL;
@@ -320,15 +369,22 @@ int PAPI_overflow(int event_set, int event_code, int threshold,
     return to_code(set.value()->clear_overflow(*id));
   }
   if (handler == nullptr || threshold < 0) return PAPI_EINVAL;
-  g().overflow_handlers[event_set] = handler;
+  {
+    const std::lock_guard<std::mutex> lock(g().bridge_mutex);
+    g().overflow_handlers[event_set] = handler;
+  }
   return to_code(set.value()->set_overflow(
       *id, static_cast<std::uint64_t>(threshold),
       [event_set](papi::EventSet&, const papi::OverflowEvent& ev) {
-        auto it = g().overflow_handlers.find(event_set);
-        if (it == g().overflow_handlers.end()) return;
-        it->second(event_set,
-                   reinterpret_cast<void*>(ev.pc_observed),
-                   /*overflow_vector=*/1, nullptr);
+        PAPI_overflow_handler_t user = nullptr;
+        {
+          const std::lock_guard<std::mutex> lock(g().bridge_mutex);
+          auto it = g().overflow_handlers.find(event_set);
+          if (it == g().overflow_handlers.end()) return;
+          user = it->second;
+        }
+        user(event_set, reinterpret_cast<void*>(ev.pc_observed),
+             /*overflow_vector=*/1, nullptr);
       }));
 }
 
@@ -341,7 +397,10 @@ int PAPI_profil(unsigned int* buf, unsigned int bufsiz,
   if (!id) return PAPI_ENOEVNT;
   if (threshold == 0) {
     flush_profil(event_set);
-    g().profil_states.erase(event_set);
+    {
+      const std::lock_guard<std::mutex> lock(g().bridge_mutex);
+      g().profil_states.erase(event_set);
+    }
     return to_code(set.value()->profil_stop(*id));
   }
   if (buf == nullptr || bufsiz == 0 || threshold < 0) return PAPI_EINVAL;
@@ -357,7 +416,10 @@ int PAPI_profil(unsigned int* buf, unsigned int bufsiz,
   const Status s = set.value()->profil(
       *state.buffer, *id, static_cast<std::uint64_t>(threshold));
   if (!s.ok()) return to_code(s);
-  g().profil_states[event_set] = std::move(state);
+  {
+    const std::lock_guard<std::mutex> lock(g().bridge_mutex);
+    g().profil_states[event_set] = std::move(state);
+  }
   return PAPI_OK;
 }
 

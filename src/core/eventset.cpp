@@ -132,7 +132,7 @@ Status EventSet::program_mux_group(std::size_t g) {
   std::vector<pmu::NativeEventCode> events;
   events.reserve(plan.members.size());
   for (std::size_t idx : plan.members) events.push_back(natives_[idx]);
-  return library_.substrate().program(events, plan.assignment);
+  return context_->program(events, plan.assignment);
 }
 
 Status EventSet::set_domain(std::uint32_t domain_mask) {
@@ -143,8 +143,7 @@ Status EventSet::set_domain(std::uint32_t domain_mask) {
 }
 
 Status EventSet::program_and_arm() {
-  Substrate& sub = library_.substrate();
-  if (const Status s = sub.set_domain(domain_mask_);
+  if (const Status s = context_->set_domain(domain_mask_);
       !s.ok() && !(s.error() == Error::kNoSupport &&
                    domain_mask_ == domain::kAll)) {
     return s;
@@ -158,7 +157,7 @@ Status EventSet::program_and_arm() {
     PAPIREPRO_RETURN_IF_ERROR(program_mux_group(0));
     return Error::kOk;
   }
-  PAPIREPRO_RETURN_IF_ERROR(sub.program(natives_, assignment_));
+  PAPIREPRO_RETURN_IF_ERROR(context_->program(natives_, assignment_));
   for (const OverflowConfig& config : overflow_configs_) {
     PAPIREPRO_RETURN_IF_ERROR(arm_overflow(config));
   }
@@ -176,7 +175,7 @@ Status EventSet::arm_overflow(const OverflowConfig& config) {
   const bool prefer_precise = config.prefer_precise;
   EventId id = config.id;
   const OverflowHandler* handler = &config.handler;
-  return library_.substrate().set_overflow(
+  return context_->set_overflow(
       event_index, config.threshold,
       [this, profile, prefer_precise, id,
        handler](const SubstrateOverflow& o) {
@@ -198,30 +197,32 @@ Status EventSet::arm_overflow(const OverflowConfig& config) {
 Status EventSet::start() {
   if (running()) return Error::kIsRunning;
   if (entries_.empty()) return Error::kInvalid;
-  PAPIREPRO_RETURN_IF_ERROR(library_.notify_starting(this));
+  // Claim the calling thread's context; kIsRunning when another set
+  // already runs on this thread (the per-thread rule).
+  auto ctx = library_.acquire_context(this);
+  if (!ctx.ok()) return ctx.error();
+  context_ = ctx.value();
 
-  Substrate& sub = library_.substrate();
-  const Status programmed = program_and_arm();
-  if (!programmed.ok()) {
-    library_.notify_stopped(this);
-    return programmed;
+  auto abort_start = [this](Status status) {
+    library_.release_context(this);
+    context_ = nullptr;
+    return status;
+  };
+  if (const Status s = program_and_arm(); !s.ok()) return abort_start(s);
+  if (const Status s = context_->reset_counts(); !s.ok()) {
+    return abort_start(s);
   }
-  PAPIREPRO_RETURN_IF_ERROR(sub.reset_counts());
-  const Status started = sub.start();
-  if (!started.ok()) {
-    library_.notify_stopped(this);
-    return started;
-  }
+  if (const Status s = context_->start(); !s.ok()) return abort_start(s);
   state_ = State::kRunning;
 
   if (multiplex_) {
-    mux_window_start_ = mux_slice_start_ = sub.real_cycles();
-    auto timer = sub.add_timer(mux_slice_cycles_, [this] { rotate_mux(); });
+    mux_window_start_ = mux_slice_start_ = context_->cycles();
+    auto timer =
+        context_->add_timer(mux_slice_cycles_, [this] { rotate_mux(); });
     if (!timer.ok()) {
-      (void)sub.stop();
+      (void)context_->stop();
       state_ = State::kStopped;
-      library_.notify_stopped(this);
-      return timer.error();
+      return abort_start(timer.error());
     }
     mux_timer_id_ = timer.value();
   }
@@ -230,37 +231,35 @@ Status EventSet::start() {
 
 void EventSet::rotate_mux() {
   if (!running() || mux_plans_.size() < 2) return;
-  Substrate& sub = library_.substrate();
 
   // Close the current slice.
-  (void)sub.stop();
+  (void)context_->stop();
   std::vector<std::uint64_t> raw(mux_plans_[mux_current_].members.size());
-  (void)sub.read(raw);
+  (void)context_->read(raw);
   MuxGroupState& st = mux_state_[mux_current_];
   for (std::size_t i = 0; i < raw.size(); ++i) st.accum[i] += raw[i];
-  st.active_cycles += sub.real_cycles() - mux_slice_start_;
+  st.active_cycles += context_->cycles() - mux_slice_start_;
 
   // Open the next one.
   mux_current_ = (mux_current_ + 1) % mux_plans_.size();
   (void)program_mux_group(mux_current_);
-  (void)sub.reset_counts();
-  (void)sub.start();
-  mux_slice_start_ = sub.real_cycles();
+  (void)context_->reset_counts();
+  (void)context_->start();
+  mux_slice_start_ = context_->cycles();
 }
 
 Status EventSet::snapshot_raw(std::vector<std::uint64_t>& raw_out) {
-  Substrate& sub = library_.substrate();
   raw_out.assign(natives_.size(), 0);
 
   if (!multiplex_) {
-    return sub.read(raw_out);
+    return context_->read(raw_out);
   }
 
-  const std::uint64_t now = sub.real_cycles();
+  const std::uint64_t now = context_->cycles();
   std::vector<std::uint64_t> live;
   if (running()) {
     live.resize(mux_plans_[mux_current_].members.size());
-    PAPIREPRO_RETURN_IF_ERROR(sub.read(live));
+    PAPIREPRO_RETURN_IF_ERROR(context_->read(live));
   }
   const std::uint64_t window =
       now > mux_window_start_ ? now - mux_window_start_ : 0;
@@ -329,14 +328,19 @@ Status EventSet::accum(std::span<long long> inout) {
 }
 
 Status EventSet::reset() {
-  Substrate& sub = library_.substrate();
-  PAPIREPRO_RETURN_IF_ERROR(sub.reset_counts());
+  // When stopped there is no context and nothing live to reset: just
+  // drop the snapshot so read() reports kNotRunning again.
+  if (running()) {
+    PAPIREPRO_RETURN_IF_ERROR(context_->reset_counts());
+  }
   if (multiplex_) {
     for (auto& st : mux_state_) {
       std::fill(st.accum.begin(), st.accum.end(), 0ULL);
       st.active_cycles = 0;
     }
-    mux_window_start_ = mux_slice_start_ = sub.real_cycles();
+    if (running()) {
+      mux_window_start_ = mux_slice_start_ = context_->cycles();
+    }
   }
   stopped_raw_valid_ = false;
   return Error::kOk;
@@ -344,33 +348,33 @@ Status EventSet::reset() {
 
 Status EventSet::stop(std::span<long long> out) {
   if (!running()) return Error::kNotRunning;
-  Substrate& sub = library_.substrate();
 
   std::vector<std::uint64_t> raw;
   if (multiplex_) {
     // Close the final slice before the counters go away.
-    (void)sub.stop();
+    (void)context_->stop();
     std::vector<std::uint64_t> live(
         mux_plans_[mux_current_].members.size());
-    PAPIREPRO_RETURN_IF_ERROR(sub.read(live));
+    PAPIREPRO_RETURN_IF_ERROR(context_->read(live));
     MuxGroupState& st = mux_state_[mux_current_];
     for (std::size_t i = 0; i < live.size(); ++i) st.accum[i] += live[i];
-    st.active_cycles += sub.real_cycles() - mux_slice_start_;
+    st.active_cycles += context_->cycles() - mux_slice_start_;
     if (mux_timer_id_ >= 0) {
-      (void)sub.cancel_timer(mux_timer_id_);
+      (void)context_->cancel_timer(mux_timer_id_);
       mux_timer_id_ = -1;
     }
     state_ = State::kStopped;
     PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(raw));
   } else {
-    PAPIREPRO_RETURN_IF_ERROR(sub.stop());
+    PAPIREPRO_RETURN_IF_ERROR(context_->stop());
     state_ = State::kStopped;
     PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(raw));
   }
 
   stopped_raw_ = std::move(raw);
   stopped_raw_valid_ = true;
-  library_.notify_stopped(this);
+  library_.release_context(this);
+  context_ = nullptr;
   if (!out.empty()) {
     if (out.size() < entries_.size()) return Error::kInvalid;
     compute_values(stopped_raw_, out);

@@ -8,8 +8,11 @@
 // list decision recorded in Section 2: naive transparent multiplexing
 // could silently return unconverged estimates, so the user must operate
 // at the low level to turn it on.  Overlapping EventSets are not
-// supported (the PAPI 3 simplification): one EventSet runs per substrate
-// at a time.
+// supported (the PAPI 3 simplification), but the rule is per *thread*:
+// start() claims the calling thread's CounterContext from the Library,
+// so one EventSet runs per thread at a time, and N threads may run N
+// EventSets concurrently.  An EventSet itself is not thread-safe — it
+// belongs to whichever thread started it until stop().
 #pragma once
 
 #include <cstdint>
@@ -141,6 +144,9 @@ class EventSet {
   Library& library_;
   int handle_;
   State state_ = State::kStopped;
+  /// The thread context this set runs on; non-null from a successful
+  /// start() until the matching stop().
+  CounterContext* context_ = nullptr;
 
   std::vector<Entry> entries_;
   std::vector<pmu::NativeEventCode> natives_;

@@ -1,10 +1,21 @@
 #include "core/library.h"
 
 #include <cassert>
+#include <climits>
+#include <mutex>
 
 #include "substrate/preset_maps.h"
 
 namespace papirepro::papi {
+
+namespace {
+
+unsigned long default_thread_id() {
+  return static_cast<unsigned long>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+}  // namespace
 
 Library::Library(std::unique_ptr<Substrate> substrate)
     : substrate_(std::move(substrate)) {
@@ -12,8 +23,11 @@ Library::Library(std::unique_ptr<Substrate> substrate)
 }
 
 Library::~Library() {
-  if (running_ != nullptr) {
-    (void)running_->stop();
+  // Stop every running set.  By now user threads must have quiesced (the
+  // Library outlives its users); stop() releases each thread's running
+  // slot, so don't hold the registry lock while calling it.
+  for (EventSet* set : threads_.running_sets()) {
+    (void)set->stop();
   }
 }
 
@@ -64,37 +78,108 @@ std::vector<Preset> Library::available_presets() const {
   return out;
 }
 
+// --- threads -------------------------------------------------------------
+
+Status Library::thread_init(ThreadIdFn id_fn) {
+  if (!id_fn) return Error::kInvalid;
+  const std::unique_lock<std::shared_mutex> lock(id_fn_mutex_);
+  id_fn_ = std::move(id_fn);
+  return Error::kOk;
+}
+
+bool Library::threaded() const noexcept {
+  const std::shared_lock<std::shared_mutex> lock(id_fn_mutex_);
+  return static_cast<bool>(id_fn_);
+}
+
+Result<ThreadRegistry::ThreadState*> Library::current_thread_state() {
+  if (ThreadRegistry::ThreadState* state = threads_.find_current()) {
+    return state;
+  }
+  unsigned long numeric_id = 0;
+  {
+    const std::shared_lock<std::shared_mutex> lock(id_fn_mutex_);
+    numeric_id = id_fn_ ? id_fn_() : default_thread_id();
+  }
+  auto context = substrate_->create_context();
+  if (!context.ok()) return context.error();
+  return &threads_.insert_current(numeric_id,
+                                  std::move(context).value());
+}
+
+Result<unsigned long> Library::thread_id() {
+  auto state = current_thread_state();
+  if (!state.ok()) return state.error();
+  return state.value()->numeric_id;
+}
+
+Status Library::register_thread() {
+  auto state = current_thread_state();
+  return state.ok() ? Status() : state.error();
+}
+
+Status Library::unregister_thread() { return threads_.erase_current(); }
+
+Result<CounterContext*> Library::acquire_context(EventSet* set) {
+  auto state = current_thread_state();
+  if (!state.ok()) return state.error();
+  EventSet* expected = nullptr;
+  if (!state.value()->running.compare_exchange_strong(
+          expected, set, std::memory_order_acq_rel) &&
+      expected != set) {
+    // Per-thread one-running-EventSet rule: another set on *this* thread
+    // is already counting.  A set running on a different thread is fine.
+    return Error::kIsRunning;
+  }
+  return state.value()->context.get();
+}
+
+void Library::release_context(EventSet* set) {
+  // Scan rather than assume the calling thread: stop() may legally run
+  // on a different thread than the start() (the destructor does this).
+  if (ThreadRegistry::ThreadState* state = threads_.find_running(set)) {
+    state->running.store(nullptr, std::memory_order_release);
+  }
+}
+
+// --- EventSets -----------------------------------------------------------
+
 Result<int> Library::create_event_set() {
-  const int handle = next_handle_++;
+  const std::unique_lock<std::shared_mutex> lock(sets_mutex_);
+  int handle = 0;
+  if (!free_handles_.empty()) {
+    handle = free_handles_.back();
+    free_handles_.pop_back();
+  } else if (next_handle_ == INT_MAX) {
+    return Error::kNoMemory;  // handle space exhausted
+  } else {
+    handle = next_handle_++;
+  }
   sets_.emplace(handle,
                 std::unique_ptr<EventSet>(new EventSet(*this, handle)));
   return handle;
 }
 
 Result<EventSet*> Library::event_set(int handle) {
+  const std::shared_lock<std::shared_mutex> lock(sets_mutex_);
   const auto it = sets_.find(handle);
   if (it == sets_.end()) return Error::kNoEventSet;
   return it->second.get();
 }
 
 Status Library::destroy_event_set(int handle) {
+  const std::unique_lock<std::shared_mutex> lock(sets_mutex_);
   const auto it = sets_.find(handle);
   if (it == sets_.end()) return Error::kNoEventSet;
   if (it->second->running()) return Error::kIsRunning;
   sets_.erase(it);
+  free_handles_.push_back(handle);
   return Error::kOk;
 }
 
-Status Library::notify_starting(EventSet* set) {
-  // Overlapping EventSets were removed in PAPI 3: only one set may drive
-  // the substrate's counters at a time.
-  if (running_ != nullptr && running_ != set) return Error::kIsRunning;
-  running_ = set;
-  return Error::kOk;
-}
-
-void Library::notify_stopped(EventSet* set) {
-  if (running_ == set) running_ = nullptr;
+std::size_t Library::num_event_sets() const noexcept {
+  const std::shared_lock<std::shared_mutex> lock(sets_mutex_);
+  return sets_.size();
 }
 
 }  // namespace papirepro::papi

@@ -1,11 +1,24 @@
 // The library front door (PAPI_library_init and friends).  Owns the
 // substrate, the EventSets (by integer handle, so the C bridge is
-// trivial), the event-name namespace, and the one-running-EventSet rule
-// (PAPI 3 dropped overlapping EventSets "to reduce memory usage and
-// runtime overhead and simplify the code").
+// trivial), the event-name namespace, and the per-thread one-running-
+// EventSet rule: PAPI 3 dropped overlapping EventSets "to reduce memory
+// usage and runtime overhead and simplify the code", and thread support
+// keys that rule by thread — each registered thread gets its own
+// CounterContext from the substrate factory, so N threads can each drive
+// one running EventSet concurrently with no shared counter state.
+//
+// Thread discipline: the handle table is shared_mutex-guarded (EventSet
+// creation/destruction/lookup may happen on any thread), counter control
+// goes through the calling thread's context, and the stateless services
+// (event namespace, allocation, timers, memory info) are safe from any
+// thread.  Threads are auto-registered on their first start(); explicit
+// register_thread()/unregister_thread() bound the lifetime when callers
+// want PAPI_register_thread semantics.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -13,6 +26,7 @@
 #include "common/status.h"
 #include "core/eventset.h"
 #include "core/memory_info.h"
+#include "core/thread_registry.h"
 #include "substrate/substrate.h"
 
 namespace papirepro::papi {
@@ -23,6 +37,8 @@ class Library {
   /// compiled against.
   static constexpr int kVersion = 0x03000000;  // 3.0.0
 
+  using ThreadIdFn = std::function<unsigned long()>;
+
   explicit Library(std::unique_ptr<Substrate> substrate);
   ~Library();
 
@@ -32,7 +48,7 @@ class Library {
   Substrate& substrate() noexcept { return *substrate_; }
   const Substrate& substrate() const noexcept { return *substrate_; }
 
-  // --- event namespace ---
+  // --- event namespace (stateless; any thread) ---
   bool query_event(EventId id) const;
   Result<std::string> event_name(EventId id) const;
   Result<std::string> event_description(EventId id) const;
@@ -43,11 +59,26 @@ class Library {
     return substrate_->num_counters();
   }
 
+  // --- threads (PAPI_thread_init / PAPI_register_thread) ---
+  /// Installs the id function used to label threads (PAPI_thread_init).
+  /// Without it, threads are labelled by a hash of std::thread::id.
+  Status thread_init(ThreadIdFn id_fn);
+  bool threaded() const noexcept;
+  /// Numeric id of the calling thread (PAPI_thread_id); registers the
+  /// thread as a side effect, like the first start() would.
+  Result<unsigned long> thread_id();
+  /// Eagerly creates the calling thread's CounterContext.  Idempotent.
+  Status register_thread();
+  /// Drops the calling thread's context; kIsRunning while its EventSet
+  /// runs.  Registration is re-created on the next start().
+  Status unregister_thread();
+  std::size_t num_threads() const noexcept { return threads_.size(); }
+
   // --- EventSets ---
   Result<int> create_event_set();
   Result<EventSet*> event_set(int handle);
   Status destroy_event_set(int handle);
-  std::size_t num_event_sets() const noexcept { return sets_.size(); }
+  std::size_t num_event_sets() const noexcept;
 
   // --- timers ("the most popular feature") ---
   std::uint64_t real_usec() const { return substrate_->real_usec(); }
@@ -61,14 +92,25 @@ class Library {
 
  private:
   friend class EventSet;
-  /// One-running-EventSet enforcement.
-  Status notify_starting(EventSet* set);
-  void notify_stopped(EventSet* set);
+  /// Claims the calling thread's running slot for `set` and returns the
+  /// thread's context (auto-registering the thread on first use).
+  /// kIsRunning when another set already runs on this thread.
+  Result<CounterContext*> acquire_context(EventSet* set);
+  /// Clears whichever thread's running slot holds `set`.
+  void release_context(EventSet* set);
+  /// The calling thread's state, creating it if needed.
+  Result<ThreadRegistry::ThreadState*> current_thread_state();
 
   std::unique_ptr<Substrate> substrate_;
+
+  ThreadRegistry threads_;
+  mutable std::shared_mutex id_fn_mutex_;
+  ThreadIdFn id_fn_;
+
+  mutable std::shared_mutex sets_mutex_;
   std::unordered_map<int, std::unique_ptr<EventSet>> sets_;
+  std::vector<int> free_handles_;  ///< destroyed handles, reused LIFO
   int next_handle_ = 1;
-  EventSet* running_ = nullptr;
 };
 
 }  // namespace papirepro::papi

@@ -1,0 +1,64 @@
+#include "core/thread_registry.h"
+
+#include <mutex>
+
+namespace papirepro::papi {
+
+ThreadRegistry::ThreadState* ThreadRegistry::find_current() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto it = entries_.find(std::this_thread::get_id());
+  return it != entries_.end() ? it->second.get() : nullptr;
+}
+
+ThreadRegistry::ThreadState& ThreadRegistry::insert_current(
+    unsigned long numeric_id, std::unique_ptr<CounterContext> context) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto& slot = entries_[std::this_thread::get_id()];
+  if (slot == nullptr) {
+    slot = std::make_unique<ThreadState>();
+    slot->key = std::this_thread::get_id();
+    slot->numeric_id = numeric_id;
+    slot->context = std::move(context);
+  }
+  return *slot;
+}
+
+Status ThreadRegistry::erase_current() {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const auto it = entries_.find(std::this_thread::get_id());
+  if (it == entries_.end()) return Error::kInvalid;
+  if (it->second->running.load(std::memory_order_acquire) != nullptr) {
+    return Error::kIsRunning;
+  }
+  entries_.erase(it);
+  return Error::kOk;
+}
+
+ThreadRegistry::ThreadState* ThreadRegistry::find_running(
+    const EventSet* set) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  for (const auto& [key, state] : entries_) {
+    if (state->running.load(std::memory_order_acquire) == set) {
+      return state.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<EventSet*> ThreadRegistry::running_sets() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<EventSet*> out;
+  for (const auto& [key, state] : entries_) {
+    if (EventSet* set = state->running.load(std::memory_order_acquire)) {
+      out.push_back(set);
+    }
+  }
+  return out;
+}
+
+std::size_t ThreadRegistry::size() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace papirepro::papi

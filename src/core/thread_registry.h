@@ -1,0 +1,64 @@
+// Per-thread counter state for the Library.  Each registered thread owns
+// one CounterContext (handed out by the substrate factory) and one
+// running-EventSet slot — the PAPI 3 one-running-EventSet rule, keyed by
+// thread instead of by process.  The registry itself is guarded by a
+// shared_mutex (readers: every start/stop/read; writers: thread
+// register/unregister), while the `running` slot is atomic so another
+// thread — the Library destructor, or a stop() issued from a different
+// thread than the start() — can scan for a set without racing the owner.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "substrate/counter_context.h"
+
+namespace papirepro::papi {
+
+class EventSet;
+
+class ThreadRegistry {
+ public:
+  struct ThreadState {
+    std::thread::id key;
+    /// Numeric id from the user's PAPI_thread_init id function.
+    unsigned long numeric_id = 0;
+    std::unique_ptr<CounterContext> context;
+    std::atomic<EventSet*> running{nullptr};
+  };
+
+  /// The calling thread's state, or nullptr if not registered.
+  ThreadState* find_current() const;
+
+  /// Registers the calling thread.  Returns the existing state when
+  /// already registered (context/numeric_id unchanged).
+  ThreadState& insert_current(unsigned long numeric_id,
+                              std::unique_ptr<CounterContext> context);
+
+  /// Drops the calling thread's state.  kIsRunning while its EventSet
+  /// runs, kInvalid when the thread was never registered.
+  Status erase_current();
+
+  /// The state whose running slot holds `set`, or nullptr.  Used to
+  /// release a set that may have been started on another thread.
+  ThreadState* find_running(const EventSet* set) const;
+
+  /// Every currently-running EventSet (destructor cleanup).
+  std::vector<EventSet*> running_sets() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  /// unique_ptr entries so ThreadState addresses stay stable across
+  /// rehashes — callers hold ThreadState* outside the lock.
+  std::unordered_map<std::thread::id, std::unique_ptr<ThreadState>>
+      entries_;
+};
+
+}  // namespace papirepro::papi

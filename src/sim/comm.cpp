@@ -1,6 +1,7 @@
 #include "sim/comm.h"
 
 #include <cassert>
+#include <thread>
 
 #include "sim/kernels.h"
 #include "sim/program.h"
@@ -37,13 +38,26 @@ void CommWorld::on_probe(std::size_t rank, std::int64_t id,
     }
     stats_[rank].words_sent += payload.size();
     ++stats_[rank].sends;
-    mailboxes_[{dest, rank}].push_back(std::move(payload));
+    {
+      const std::lock_guard<std::mutex> lock(comm_mutex_);
+      mailboxes_[{dest, rank}].push_back(std::move(payload));
+    }
     return;
   }
   if (id >= kRecvBase && id < kRecvBase + n) {
     const auto src = static_cast<std::size_t>(id - kRecvBase);
-    auto& queue = mailboxes_[{rank, src}];
-    if (queue.empty()) {
+    std::vector<std::int64_t> payload;
+    bool got = false;
+    {
+      const std::lock_guard<std::mutex> lock(comm_mutex_);
+      auto& queue = mailboxes_[{rank, src}];
+      if (!queue.empty()) {
+        payload = std::move(queue.front());
+        queue.pop_front();
+        got = true;
+      }
+    }
+    if (!got) {
       // Nothing to receive yet: rewind onto the recv probe so the rank
       // busy-waits, burning visible cycles.
       const std::int64_t next_index =
@@ -52,8 +66,6 @@ void CommWorld::on_probe(std::size_t rank, std::int64_t id,
       ++stats_[rank].wait_retries;
       return;
     }
-    const std::vector<std::int64_t> payload = std::move(queue.front());
-    queue.pop_front();
     const auto addr =
         static_cast<std::uint64_t>(machine.int_reg(kAddrReg));
     const auto cap =
@@ -65,6 +77,27 @@ void CommWorld::on_probe(std::size_t rank, std::int64_t id,
     return;
   }
   if (chained_[rank]) chained_[rank](id, machine);
+}
+
+bool CommWorld::run_threaded(
+    std::uint64_t max_instructions_per_rank,
+    const std::function<void(std::size_t)>& thread_begin,
+    const std::function<void(std::size_t)>& thread_end) {
+  std::vector<std::thread> threads;
+  std::vector<unsigned char> halted(ranks_.size(), 0);
+  threads.reserve(ranks_.size());
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    threads.emplace_back([&, r] {
+      if (thread_begin) thread_begin(r);
+      ranks_[r]->run(max_instructions_per_rank);
+      halted[r] = ranks_[r]->halted() ? 1 : 0;
+      if (thread_end) thread_end(r);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  bool all = true;
+  for (const unsigned char h : halted) all &= h != 0;
+  return all;
 }
 
 bool CommWorld::run_lockstep(std::uint64_t quantum,

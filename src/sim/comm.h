@@ -20,7 +20,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "sim/kernels.h"
@@ -60,12 +62,27 @@ class CommWorld {
   bool run_lockstep(std::uint64_t quantum = 1'000,
                     std::uint64_t max_rounds = 1'000'000);
 
+  /// Runs every rank on its own std::thread until it halts or retires
+  /// `max_instructions_per_rank` (the deadlock budget — a starved recv
+  /// busy-waits, retiring instructions, so it is bounded too).  The
+  /// mailboxes are mutex-guarded; each Machine is still touched only by
+  /// its own thread.  `thread_begin(rank)` / `thread_end(rank)` run on
+  /// the rank's thread around execution — the place to bind the thread's
+  /// machine to a substrate and start/stop its EventSet.  Returns true
+  /// if every rank halted.
+  bool run_threaded(
+      std::uint64_t max_instructions_per_rank = 100'000'000,
+      const std::function<void(std::size_t)>& thread_begin = {},
+      const std::function<void(std::size_t)>& thread_end = {});
+
  private:
   void on_probe(std::size_t rank, std::int64_t id, Machine& machine);
 
   std::vector<Machine*> ranks_;
-  std::vector<RankStats> stats_;
+  std::vector<RankStats> stats_;  ///< each entry written by its rank only
   std::vector<Machine::ProbeHandler> chained_;
+  /// Guards the mailboxes (the only cross-rank state).
+  std::mutex comm_mutex_;
   /// mailboxes_[dest][src] = queue of pending messages.
   std::map<std::pair<std::size_t, std::size_t>,
            std::deque<std::vector<std::int64_t>>>

@@ -37,7 +37,19 @@ std::uint64_t proc_kb(const char* path, std::string_view key) {
 
 }  // namespace
 
+std::uint64_t NullCounterContext::cycles() const {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  return clock_ns(CLOCK_MONOTONIC);
+#endif
+}
+
 HostSubstrate::HostSubstrate() : epoch_ns_(clock_ns(CLOCK_MONOTONIC)) {}
+
+Result<std::unique_ptr<CounterContext>> HostSubstrate::create_context() {
+  return std::unique_ptr<CounterContext>(new NullCounterContext());
+}
 
 Result<PresetMapping> HostSubstrate::preset_mapping(Preset) const {
   return Error::kNoEvent;
@@ -54,24 +66,6 @@ Result<std::string> HostSubstrate::native_name(pmu::NativeEventCode) const {
 
 Result<AllocationInstance> HostSubstrate::translate_allocation(
     std::span<const pmu::NativeEventCode>, std::span<const int>) const {
-  return Error::kNoCounters;
-}
-
-Status HostSubstrate::program(std::span<const pmu::NativeEventCode>,
-                              std::span<const std::uint32_t>) {
-  return Error::kNoCounters;
-}
-Status HostSubstrate::start() { return Error::kNoCounters; }
-Status HostSubstrate::stop() { return Error::kNoCounters; }
-Status HostSubstrate::read(std::span<std::uint64_t>) {
-  return Error::kNoCounters;
-}
-Status HostSubstrate::reset_counts() { return Error::kNoCounters; }
-Status HostSubstrate::set_overflow(std::uint32_t, std::uint64_t,
-                                   OverflowCallback) {
-  return Error::kNoCounters;
-}
-Status HostSubstrate::clear_overflow(std::uint32_t) {
   return Error::kNoCounters;
 }
 

@@ -1,16 +1,42 @@
 // Host substrate: runs on the real machine this library is compiled for.
 // Counter access is unavailable (the 2003 Linux substrate needed a kernel
-// patch; this container has none), so event programming returns
-// Error::kNoCounters — but the portable timers and the PAPI 3 memory
-// utilization extensions are fully functional, backed by clock_gettime,
-// the TSC where available, getrusage, and /proc.  This mirrors how PAPI
-// degraded gracefully on unpatched systems, and it is what the timer
-// benchmarks (E10) measure real nanosecond overheads against.
+// patch; this container has none), so contexts created here fail every
+// control call with Error::kNoCounters — but the portable timers and the
+// PAPI 3 memory utilization extensions are fully functional, backed by
+// clock_gettime, the TSC where available, getrusage, and /proc.  This
+// mirrors how PAPI degraded gracefully on unpatched systems, and it is
+// what the timer benchmarks (E10) measure real nanosecond overheads
+// against.
 #pragma once
 
 #include "substrate/substrate.h"
 
 namespace papirepro::papi {
+
+/// Context for counter-less substrates: every control call reports
+/// kNoCounters, the clock is the host monotonic clock.
+class NullCounterContext final : public CounterContext {
+ public:
+  Status program(std::span<const pmu::NativeEventCode>,
+                 std::span<const std::uint32_t>) override {
+    return Error::kNoCounters;
+  }
+  Status start() override { return Error::kNoCounters; }
+  Status stop() override { return Error::kNoCounters; }
+  Status read(std::span<std::uint64_t>) override {
+    return Error::kNoCounters;
+  }
+  Status reset_counts() override { return Error::kNoCounters; }
+  Status set_overflow(std::uint32_t, std::uint64_t,
+                      OverflowCallback) override {
+    return Error::kNoCounters;
+  }
+  Status clear_overflow(std::uint32_t) override {
+    return Error::kNoCounters;
+  }
+  bool running() const noexcept override { return false; }
+  std::uint64_t cycles() const override;
+};
 
 class HostSubstrate final : public Substrate {
  public:
@@ -18,6 +44,8 @@ class HostSubstrate final : public Substrate {
 
   std::string_view name() const noexcept override { return "host"; }
   std::uint32_t num_counters() const noexcept override { return 0; }
+
+  Result<std::unique_ptr<CounterContext>> create_context() override;
 
   Result<PresetMapping> preset_mapping(Preset preset) const override;
   Result<pmu::NativeEventCode> native_by_name(
@@ -28,16 +56,6 @@ class HostSubstrate final : public Substrate {
   Result<AllocationInstance> translate_allocation(
       std::span<const pmu::NativeEventCode> events,
       std::span<const int> priorities) const override;
-
-  Status program(std::span<const pmu::NativeEventCode> events,
-                 std::span<const std::uint32_t> assignment) override;
-  Status start() override;
-  Status stop() override;
-  Status read(std::span<std::uint64_t> out) override;
-  Status reset_counts() override;
-  Status set_overflow(std::uint32_t event_index, std::uint64_t threshold,
-                      OverflowCallback callback) override;
-  Status clear_overflow(std::uint32_t event_index) override;
 
   std::uint64_t real_usec() const override;
   std::uint64_t real_cycles() const override;

@@ -72,6 +72,8 @@ int open_event(pmu::NativeEventCode code, bool disabled) {
   attr.exclude_hv = 1;
   attr.read_format =
       PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // pid=0, cpu=-1: count the calling thread on any CPU — the context is
+  // inherently bound to the thread that programs it.
   return static_cast<int>(
       syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
 }
@@ -84,6 +86,113 @@ std::uint64_t clock_ns(clockid_t id) {
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// PerfCounterContext
+// ---------------------------------------------------------------------------
+
+PerfCounterContext::~PerfCounterContext() { close_all(); }
+
+void PerfCounterContext::close_all() {
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+  fds_.clear();
+}
+
+Status PerfCounterContext::program(
+    std::span<const pmu::NativeEventCode> events,
+    std::span<const std::uint32_t> assignment) {
+  if (!substrate_.available()) return Error::kSystem;
+  if (running_) return Error::kIsRunning;
+  if (events.size() != assignment.size()) return Error::kInvalid;
+  if (events.size() > PerfEventSubstrate::kMaxEvents) {
+    return Error::kConflict;
+  }
+
+  close_all();
+  fds_.reserve(events.size());
+  for (const auto code : events) {
+    const int fd = open_event(code, /*disabled=*/true);
+    if (fd < 0) {
+      const Status status = errno == EACCES || errno == EPERM
+                                ? Error::kPermission
+                                : Error::kNoCounters;
+      close_all();
+      return status;
+    }
+    fds_.push_back(fd);
+  }
+  return Error::kOk;
+}
+
+Status PerfCounterContext::start() {
+  if (!substrate_.available()) return Error::kSystem;
+  if (running_) return Error::kIsRunning;
+  if (fds_.empty()) return Error::kInvalid;
+  for (int fd : fds_) {
+    if (ioctl(fd, PERF_EVENT_IOC_RESET, 0) != 0 ||
+        ioctl(fd, PERF_EVENT_IOC_ENABLE, 0) != 0) {
+      return Error::kSystem;
+    }
+  }
+  running_ = true;
+  return Error::kOk;
+}
+
+Status PerfCounterContext::stop() {
+  if (!running_) return Error::kNotRunning;
+  for (int fd : fds_) {
+    (void)ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+  running_ = false;
+  return Error::kOk;
+}
+
+Status PerfCounterContext::read(std::span<std::uint64_t> out) {
+  if (fds_.empty()) return Error::kInvalid;
+  if (out.size() < fds_.size()) return Error::kInvalid;
+  for (std::size_t i = 0; i < fds_.size(); ++i) {
+    struct {
+      std::uint64_t value;
+      std::uint64_t time_enabled;
+      std::uint64_t time_running;
+    } data{};
+    if (::read(fds_[i], &data, sizeof(data)) != sizeof(data)) {
+      return Error::kSystem;
+    }
+    // Kernel-side multiplexing: scale by the duty cycle, exactly the
+    // estimation core/multiplex performs for the simulated substrates.
+    std::uint64_t value = data.value;
+    if (data.time_running > 0 && data.time_running < data.time_enabled) {
+      value = static_cast<std::uint64_t>(
+          static_cast<double>(value) *
+          static_cast<double>(data.time_enabled) /
+          static_cast<double>(data.time_running));
+    }
+    out[i] = value;
+  }
+  return Error::kOk;
+}
+
+Status PerfCounterContext::reset_counts() {
+  for (int fd : fds_) {
+    if (ioctl(fd, PERF_EVENT_IOC_RESET, 0) != 0) return Error::kSystem;
+  }
+  return Error::kOk;
+}
+
+std::uint64_t PerfCounterContext::cycles() const {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  return clock_ns(CLOCK_MONOTONIC);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// PerfEventSubstrate
+// ---------------------------------------------------------------------------
 
 PerfEventSubstrate::PerfEventSubstrate()
     : epoch_ns_(clock_ns(CLOCK_MONOTONIC)) {
@@ -103,13 +212,8 @@ PerfEventSubstrate::PerfEventSubstrate()
   }
 }
 
-PerfEventSubstrate::~PerfEventSubstrate() { close_all(); }
-
-void PerfEventSubstrate::close_all() {
-  for (int fd : fds_) {
-    if (fd >= 0) close(fd);
-  }
-  fds_.clear();
+Result<std::unique_ptr<CounterContext>> PerfEventSubstrate::create_context() {
+  return std::unique_ptr<CounterContext>(new PerfCounterContext(*this));
 }
 
 Result<PresetMapping> PerfEventSubstrate::preset_mapping(
@@ -171,86 +275,6 @@ Result<AllocationInstance> PerfEventSubstrate::translate_allocation(
     inst.allowed.push_back((1u << kMaxEvents) - 1);
   }
   return inst;
-}
-
-Status PerfEventSubstrate::program(
-    std::span<const pmu::NativeEventCode> events,
-    std::span<const std::uint32_t> assignment) {
-  if (!available_) return Error::kSystem;
-  if (running_) return Error::kIsRunning;
-  if (events.size() != assignment.size()) return Error::kInvalid;
-  if (events.size() > kMaxEvents) return Error::kConflict;
-
-  close_all();
-  fds_.reserve(events.size());
-  for (const auto code : events) {
-    const int fd = open_event(code, /*disabled=*/true);
-    if (fd < 0) {
-      const Status status = errno == EACCES || errno == EPERM
-                                ? Error::kPermission
-                                : Error::kNoCounters;
-      close_all();
-      return status;
-    }
-    fds_.push_back(fd);
-  }
-  return Error::kOk;
-}
-
-Status PerfEventSubstrate::start() {
-  if (!available_) return Error::kSystem;
-  if (running_) return Error::kIsRunning;
-  if (fds_.empty()) return Error::kInvalid;
-  for (int fd : fds_) {
-    if (ioctl(fd, PERF_EVENT_IOC_RESET, 0) != 0 ||
-        ioctl(fd, PERF_EVENT_IOC_ENABLE, 0) != 0) {
-      return Error::kSystem;
-    }
-  }
-  running_ = true;
-  return Error::kOk;
-}
-
-Status PerfEventSubstrate::stop() {
-  if (!running_) return Error::kNotRunning;
-  for (int fd : fds_) {
-    (void)ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
-  }
-  running_ = false;
-  return Error::kOk;
-}
-
-Status PerfEventSubstrate::read(std::span<std::uint64_t> out) {
-  if (fds_.empty()) return Error::kInvalid;
-  if (out.size() < fds_.size()) return Error::kInvalid;
-  for (std::size_t i = 0; i < fds_.size(); ++i) {
-    struct {
-      std::uint64_t value;
-      std::uint64_t time_enabled;
-      std::uint64_t time_running;
-    } data{};
-    if (::read(fds_[i], &data, sizeof(data)) != sizeof(data)) {
-      return Error::kSystem;
-    }
-    // Kernel-side multiplexing: scale by the duty cycle, exactly the
-    // estimation core/multiplex performs for the simulated substrates.
-    std::uint64_t value = data.value;
-    if (data.time_running > 0 && data.time_running < data.time_enabled) {
-      value = static_cast<std::uint64_t>(
-          static_cast<double>(value) *
-          static_cast<double>(data.time_enabled) /
-          static_cast<double>(data.time_running));
-    }
-    out[i] = value;
-  }
-  return Error::kOk;
-}
-
-Status PerfEventSubstrate::reset_counts() {
-  for (int fd : fds_) {
-    if (ioctl(fd, PERF_EVENT_IOC_RESET, 0) != 0) return Error::kSystem;
-  }
-  return Error::kOk;
 }
 
 std::uint64_t PerfEventSubstrate::real_usec() const {

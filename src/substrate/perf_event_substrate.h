@@ -13,6 +13,10 @@
 // switches) work nearly everywhere, so the substrate degrades exactly
 // the way PAPI did on unpatched kernels: present, honest about what it
 // cannot count.
+//
+// Each PerfCounterContext owns its own fds, opened with pid=0 (calling
+// thread) — so per-thread contexts genuinely count per-thread, with no
+// shared state at all between contexts.
 #pragma once
 
 #include <string>
@@ -22,31 +26,13 @@
 
 namespace papirepro::papi {
 
-class PerfEventSubstrate final : public Substrate {
+class PerfEventSubstrate;
+
+class PerfCounterContext final : public CounterContext {
  public:
-  PerfEventSubstrate();
-  ~PerfEventSubstrate() override;
-
-  /// False when the kernel refuses even software events (no perf at
-  /// all — e.g. seccomp'd container); everything then returns kSystem.
-  bool available() const noexcept { return available_; }
-  /// True when hardware events (cycles, instructions) are permitted.
-  bool hardware_available() const noexcept { return hw_available_; }
-
-  std::string_view name() const noexcept override { return "perf_event"; }
-  std::uint32_t num_counters() const noexcept override {
-    return kMaxEvents;
-  }
-
-  Result<PresetMapping> preset_mapping(Preset preset) const override;
-  Result<pmu::NativeEventCode> native_by_name(
-      std::string_view event_name) const override;
-  Result<std::string> native_name(
-      pmu::NativeEventCode code) const override;
-
-  Result<AllocationInstance> translate_allocation(
-      std::span<const pmu::NativeEventCode> events,
-      std::span<const int> priorities) const override;
+  explicit PerfCounterContext(const PerfEventSubstrate& substrate)
+      : substrate_(substrate) {}
+  ~PerfCounterContext() override;
 
   Status program(std::span<const pmu::NativeEventCode> events,
                  std::span<const std::uint32_t> assignment) override;
@@ -62,6 +48,43 @@ class PerfEventSubstrate final : public Substrate {
   Status clear_overflow(std::uint32_t) override {
     return Error::kNoSupport;
   }
+  bool running() const noexcept override { return running_; }
+  std::uint64_t cycles() const override;
+
+ private:
+  void close_all();
+
+  const PerfEventSubstrate& substrate_;
+  bool running_ = false;
+  std::vector<int> fds_;
+};
+
+class PerfEventSubstrate final : public Substrate {
+ public:
+  PerfEventSubstrate();
+
+  /// False when the kernel refuses even software events (no perf at
+  /// all — e.g. seccomp'd container); everything then returns kSystem.
+  bool available() const noexcept { return available_; }
+  /// True when hardware events (cycles, instructions) are permitted.
+  bool hardware_available() const noexcept { return hw_available_; }
+
+  std::string_view name() const noexcept override { return "perf_event"; }
+  std::uint32_t num_counters() const noexcept override {
+    return kMaxEvents;
+  }
+
+  Result<std::unique_ptr<CounterContext>> create_context() override;
+
+  Result<PresetMapping> preset_mapping(Preset preset) const override;
+  Result<pmu::NativeEventCode> native_by_name(
+      std::string_view event_name) const override;
+  Result<std::string> native_name(
+      pmu::NativeEventCode code) const override;
+
+  Result<AllocationInstance> translate_allocation(
+      std::span<const pmu::NativeEventCode> events,
+      std::span<const int> priorities) const override;
 
   std::uint64_t real_usec() const override;
   std::uint64_t real_cycles() const override;
@@ -71,12 +94,8 @@ class PerfEventSubstrate final : public Substrate {
   static constexpr std::uint32_t kMaxEvents = 16;
 
  private:
-  void close_all();
-
   bool available_ = false;
   bool hw_available_ = false;
-  bool running_ = false;
-  std::vector<int> fds_;
   std::uint64_t epoch_ns_ = 0;
 };
 

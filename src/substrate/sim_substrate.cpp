@@ -8,19 +8,263 @@
 
 namespace papirepro::papi {
 
+// ---------------------------------------------------------------------------
+// SimCounterContext
+// ---------------------------------------------------------------------------
+
+SimCounterContext::SimCounterContext(SimSubstrate& substrate,
+                                     sim::Machine& machine)
+    : substrate_(substrate),
+      machine_(machine),
+      platform_(substrate.platform_description()),
+      pmu_(platform_, machine) {
+  substrate_.register_context(this);
+}
+
+SimCounterContext::~SimCounterContext() {
+  substrate_.unregister_context(this);
+}
+
+void SimCounterContext::charge(std::uint64_t cycles,
+                               std::uint32_t pollute_lines) {
+  if (substrate_.options().charge_costs) {
+    machine_.charge_cycles(cycles, pollute_lines);
+  }
+}
+
+Status SimCounterContext::program(
+    std::span<const pmu::NativeEventCode> events,
+    std::span<const std::uint32_t> assignment) {
+  if (running_) return Error::kIsRunning;
+  if (events.size() != assignment.size()) return Error::kInvalid;
+
+  // Partition physical vs sampled.
+  std::vector<pmu::NativeEventCode> phys_events;
+  std::vector<std::uint32_t> phys_counters;
+  std::vector<std::size_t> sampled_indices;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (assignment[i] >= SimSubstrate::kSampledBase) {
+      sampled_indices.push_back(i);
+    } else {
+      phys_events.push_back(events[i]);
+      phys_counters.push_back(assignment[i]);
+    }
+  }
+
+  if (!sampled_indices.empty() && (!substrate_.estimation_enabled() ||
+                                   !platform_.sampling.has_profileme)) {
+    return Error::kNoSupport;
+  }
+
+  PAPIREPRO_RETURN_IF_ERROR(pmu_.program(phys_events, phys_counters));
+
+  // Build the sampling engine's tracked-signal set: the union of the
+  // sampled events' signal terms.
+  sampled_terms_.clear();
+  if (sampled_indices.empty()) {
+    // Keep any existing engine alive but dormant: a multiplexed
+    // EventSet will re-program the sampled group shortly, and the
+    // engine's RNG/countdown continuity is what keeps slice estimates
+    // unbiased.  start()/stop() only touch it when the *current*
+    // programming has sampled events.
+    if (engine_) engine_->stop();
+  } else {
+    std::vector<sim::SimEvent> tracked;
+    sampled_terms_.resize(sampled_indices.size());
+    for (std::size_t s = 0; s < sampled_indices.size(); ++s) {
+      const pmu::NativeEvent* ev =
+          platform_.find_event(events[sampled_indices[s]]);
+      assert(ev != nullptr && ev->counter_mask == 0);
+      for (const pmu::SignalTerm& t : ev->terms) {
+        auto it = std::find(tracked.begin(), tracked.end(), t.signal);
+        if (it == tracked.end()) {
+          if (tracked.size() >= pmu::ProfileMeEngine::kMaxTracked) {
+            return Error::kConflict;  // out of sampling slots
+          }
+          tracked.push_back(t.signal);
+          it = tracked.end() - 1;
+        }
+        sampled_terms_[s].terms.emplace_back(
+            static_cast<std::size_t>(it - tracked.begin()), t.multiplier);
+      }
+    }
+    // Reuse a live engine whose tracked set is unchanged (the common
+    // case when a multiplexed EventSet reprograms the same group):
+    // keeping it preserves the sampling stream's RNG/countdown state,
+    // so successive slices see decorrelated sample alignments.
+    const bool reuse =
+        engine_ != nullptr &&
+        std::equal(tracked.begin(), tracked.end(),
+                   engine_->tracked().begin(), engine_->tracked().end());
+    if (!reuse) {
+      engine_ = std::make_unique<pmu::ProfileMeEngine>(
+          machine_, tracked, substrate_.options().sample_period,
+          substrate_.options().sample_seed,
+          platform_.costs.sample_cost_cycles);
+    }
+  }
+
+  // Apply the counting domain to the freshly-programmed counters.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (assignment[i] < SimSubstrate::kSampledBase) {
+      PAPIREPRO_RETURN_IF_ERROR(
+          pmu_.set_domain(assignment[i], domain_mask_));
+    }
+  }
+
+  events_.assign(events.begin(), events.end());
+  assignment_.assign(assignment.begin(), assignment.end());
+  return Error::kOk;
+}
+
+Status SimCounterContext::set_domain(std::uint32_t domain_mask) {
+  if (!valid_domain(domain_mask)) return Error::kInvalid;
+  if (running_) return Error::kIsRunning;
+  domain_mask_ = domain_mask;
+  return Error::kOk;
+}
+
+Status SimCounterContext::start() {
+  if (running_) return Error::kIsRunning;
+  charge(platform_.costs.start_stop_cost_cycles);
+  PAPIREPRO_RETURN_IF_ERROR(pmu_.start());
+  if (engine_ && !sampled_terms_.empty()) engine_->start();
+  running_ = true;
+  return Error::kOk;
+}
+
+Status SimCounterContext::stop() {
+  if (!running_) return Error::kNotRunning;
+  charge(platform_.costs.start_stop_cost_cycles);
+  PAPIREPRO_RETURN_IF_ERROR(pmu_.stop());
+  if (engine_) engine_->stop();
+  running_ = false;
+  return Error::kOk;
+}
+
+Status SimCounterContext::read(std::span<std::uint64_t> out) {
+  if (out.size() < events_.size()) return Error::kInvalid;
+  charge(platform_.costs.read_cost_cycles,
+         platform_.costs.read_pollute_lines);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (assignment_[i] >= SimSubstrate::kSampledBase) {
+      const auto slot = assignment_[i] - SimSubstrate::kSampledBase;
+      double v = 0.0;
+      for (const auto& [tracked_idx, mult] : sampled_terms_[slot].terms) {
+        v += static_cast<double>(mult) * engine_->estimate(tracked_idx);
+      }
+      out[i] = static_cast<std::uint64_t>(std::llround(v));
+    } else {
+      auto v = pmu_.read(assignment_[i]);
+      if (!v.ok()) return v.error();
+      out[i] = v.value();
+    }
+  }
+  return Error::kOk;
+}
+
+Status SimCounterContext::reset_counts() {
+  pmu_.reset_counts();
+  if (engine_ && !sampled_terms_.empty()) engine_->reset();
+  return Error::kOk;
+}
+
+Status SimCounterContext::set_overflow(std::uint32_t event_index,
+                                       std::uint64_t threshold,
+                                       OverflowCallback callback) {
+  if (event_index >= events_.size() || !callback) return Error::kInvalid;
+  if (assignment_[event_index] >= SimSubstrate::kSampledBase) {
+    return Error::kNoSupport;
+  }
+  const std::uint64_t handler_cost =
+      platform_.costs.overflow_handler_cost_cycles;
+  auto wrapped = [this, event_index, handler_cost,
+                  cb = std::move(callback)](const pmu::OverflowInfo& info) {
+    charge(handler_cost);
+    cb(SubstrateOverflow{.event_index = event_index,
+                         .pc_observed = info.pc_skidded,
+                         .pc_precise = info.pc_precise,
+                         .has_precise = info.has_precise,
+                         .addr = info.addr});
+  };
+  return pmu_.set_overflow(assignment_[event_index], threshold,
+                           std::move(wrapped));
+}
+
+Status SimCounterContext::clear_overflow(std::uint32_t event_index) {
+  if (event_index >= events_.size()) return Error::kInvalid;
+  if (assignment_[event_index] >= SimSubstrate::kSampledBase) {
+    return Error::kNoSupport;
+  }
+  return pmu_.clear_overflow(assignment_[event_index]);
+}
+
+Result<int> SimCounterContext::add_timer(std::uint64_t period_cycles,
+                                         TimerCallback callback) {
+  if (period_cycles == 0) return Error::kInvalid;
+  return machine_.add_cycle_timer(
+      period_cycles, [cb = std::move(callback)](sim::Machine&) { cb(); });
+}
+
+Status SimCounterContext::cancel_timer(int id) {
+  machine_.cancel_timer(id);
+  return Error::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// SimSubstrate
+// ---------------------------------------------------------------------------
+
 SimSubstrate::SimSubstrate(sim::Machine& machine,
                            const pmu::PlatformDescription& platform,
                            const SimSubstrateOptions& options)
-    : machine_(machine),
-      platform_(platform),
-      options_(options),
-      pmu_(platform, machine) {}
+    : machine_(machine), platform_(platform), options_(options) {}
 
 SimSubstrate::~SimSubstrate() = default;
 
-void SimSubstrate::charge(std::uint64_t cycles,
-                          std::uint32_t pollute_lines) {
-  if (options_.charge_costs) machine_.charge_cycles(cycles, pollute_lines);
+Result<std::unique_ptr<CounterContext>> SimSubstrate::create_context() {
+  return std::unique_ptr<CounterContext>(
+      new SimCounterContext(*this, machine_for_current_thread()));
+}
+
+void SimSubstrate::bind_thread_machine(sim::Machine& machine) {
+  const std::lock_guard<std::mutex> lock(threads_mutex_);
+  thread_machines_[std::this_thread::get_id()] = &machine;
+}
+
+void SimSubstrate::unbind_thread_machine() {
+  const std::lock_guard<std::mutex> lock(threads_mutex_);
+  thread_machines_.erase(std::this_thread::get_id());
+}
+
+sim::Machine& SimSubstrate::machine_for_current_thread() const {
+  const std::lock_guard<std::mutex> lock(threads_mutex_);
+  const auto it = thread_machines_.find(std::this_thread::get_id());
+  return it != thread_machines_.end() ? *it->second : machine_;
+}
+
+void SimSubstrate::register_context(SimCounterContext* context) {
+  const std::lock_guard<std::mutex> lock(threads_mutex_);
+  live_contexts_[std::this_thread::get_id()].push_back(context);
+}
+
+void SimSubstrate::unregister_context(SimCounterContext* context) {
+  const std::lock_guard<std::mutex> lock(threads_mutex_);
+  for (auto& [tid, contexts] : live_contexts_) {
+    contexts.erase(
+        std::remove(contexts.begin(), contexts.end(), context),
+        contexts.end());
+  }
+}
+
+const pmu::ProfileMeEngine* SimSubstrate::sampling_engine() const noexcept {
+  const std::lock_guard<std::mutex> lock(threads_mutex_);
+  const auto it = live_contexts_.find(std::this_thread::get_id());
+  if (it == live_contexts_.end()) return nullptr;
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    if (const auto* engine = (*rit)->sampling_engine()) return engine;
+  }
+  return nullptr;
 }
 
 Result<PresetMapping> SimSubstrate::preset_mapping(Preset preset) const {
@@ -94,7 +338,7 @@ Result<std::vector<std::uint32_t>> SimSubstrate::allocate(
     const pmu::NativeEvent* ev = platform_.find_event(events[i]);
     if (ev == nullptr) return Error::kNoEvent;
     if (ev->counter_mask == 0) {
-      if (!estimation_ || !platform_.sampling.has_profileme) {
+      if (!estimation_enabled() || !platform_.sampling.has_profileme) {
         return Error::kConflict;  // not countable without sampling mode
       }
       sampled_pos.push_back(i);
@@ -119,172 +363,9 @@ Result<std::vector<std::uint32_t>> SimSubstrate::allocate(
   return out;
 }
 
-Status SimSubstrate::program(
-    std::span<const pmu::NativeEventCode> events,
-    std::span<const std::uint32_t> assignment) {
-  if (running_) return Error::kIsRunning;
-  if (events.size() != assignment.size()) return Error::kInvalid;
-
-  // Partition physical vs sampled.
-  std::vector<pmu::NativeEventCode> phys_events;
-  std::vector<std::uint32_t> phys_counters;
-  std::vector<std::size_t> sampled_indices;
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    if (assignment[i] >= kSampledBase) {
-      sampled_indices.push_back(i);
-    } else {
-      phys_events.push_back(events[i]);
-      phys_counters.push_back(assignment[i]);
-    }
-  }
-
-  if (!sampled_indices.empty() &&
-      (!estimation_ || !platform_.sampling.has_profileme)) {
-    return Error::kNoSupport;
-  }
-
-  PAPIREPRO_RETURN_IF_ERROR(pmu_.program(phys_events, phys_counters));
-
-  // Build the sampling engine's tracked-signal set: the union of the
-  // sampled events' signal terms.
-  sampled_terms_.clear();
-  if (sampled_indices.empty()) {
-    // Keep any existing engine alive but dormant: a multiplexed
-    // EventSet will re-program the sampled group shortly, and the
-    // engine's RNG/countdown continuity is what keeps slice estimates
-    // unbiased.  start()/stop() only touch it when the *current*
-    // programming has sampled events.
-    if (engine_) engine_->stop();
-  } else {
-    std::vector<sim::SimEvent> tracked;
-    sampled_terms_.resize(sampled_indices.size());
-    for (std::size_t s = 0; s < sampled_indices.size(); ++s) {
-      const pmu::NativeEvent* ev =
-          platform_.find_event(events[sampled_indices[s]]);
-      assert(ev != nullptr && ev->counter_mask == 0);
-      for (const pmu::SignalTerm& t : ev->terms) {
-        auto it = std::find(tracked.begin(), tracked.end(), t.signal);
-        if (it == tracked.end()) {
-          if (tracked.size() >= pmu::ProfileMeEngine::kMaxTracked) {
-            return Error::kConflict;  // out of sampling slots
-          }
-          tracked.push_back(t.signal);
-          it = tracked.end() - 1;
-        }
-        sampled_terms_[s].terms.emplace_back(
-            static_cast<std::size_t>(it - tracked.begin()), t.multiplier);
-      }
-    }
-    // Reuse a live engine whose tracked set is unchanged (the common
-    // case when a multiplexed EventSet reprograms the same group):
-    // keeping it preserves the sampling stream's RNG/countdown state,
-    // so successive slices see decorrelated sample alignments.
-    const bool reuse =
-        engine_ != nullptr &&
-        std::equal(tracked.begin(), tracked.end(),
-                   engine_->tracked().begin(), engine_->tracked().end());
-    if (!reuse) {
-      engine_ = std::make_unique<pmu::ProfileMeEngine>(
-          machine_, tracked, options_.sample_period, options_.sample_seed,
-          platform_.costs.sample_cost_cycles);
-    }
-  }
-
-  // Apply the counting domain to the freshly-programmed counters.
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    if (assignment[i] < kSampledBase) {
-      PAPIREPRO_RETURN_IF_ERROR(
-          pmu_.set_domain(assignment[i], domain_mask_));
-    }
-  }
-
-  events_.assign(events.begin(), events.end());
-  assignment_.assign(assignment.begin(), assignment.end());
-  return Error::kOk;
-}
-
-Status SimSubstrate::set_domain(std::uint32_t domain_mask) {
-  if (!valid_domain(domain_mask)) return Error::kInvalid;
-  if (running_) return Error::kIsRunning;
-  domain_mask_ = domain_mask;
-  return Error::kOk;
-}
-
-Status SimSubstrate::start() {
-  if (running_) return Error::kIsRunning;
-  charge(platform_.costs.start_stop_cost_cycles);
-  PAPIREPRO_RETURN_IF_ERROR(pmu_.start());
-  if (engine_ && !sampled_terms_.empty()) engine_->start();
-  running_ = true;
-  return Error::kOk;
-}
-
-Status SimSubstrate::stop() {
-  if (!running_) return Error::kNotRunning;
-  charge(platform_.costs.start_stop_cost_cycles);
-  PAPIREPRO_RETURN_IF_ERROR(pmu_.stop());
-  if (engine_) engine_->stop();
-  running_ = false;
-  return Error::kOk;
-}
-
-Status SimSubstrate::read(std::span<std::uint64_t> out) {
-  if (out.size() < events_.size()) return Error::kInvalid;
-  charge(platform_.costs.read_cost_cycles,
-         platform_.costs.read_pollute_lines);
-  for (std::size_t i = 0; i < events_.size(); ++i) {
-    if (assignment_[i] >= kSampledBase) {
-      const auto slot = assignment_[i] - kSampledBase;
-      double v = 0.0;
-      for (const auto& [tracked_idx, mult] : sampled_terms_[slot].terms) {
-        v += static_cast<double>(mult) * engine_->estimate(tracked_idx);
-      }
-      out[i] = static_cast<std::uint64_t>(std::llround(v));
-    } else {
-      auto v = pmu_.read(assignment_[i]);
-      if (!v.ok()) return v.error();
-      out[i] = v.value();
-    }
-  }
-  return Error::kOk;
-}
-
-Status SimSubstrate::reset_counts() {
-  pmu_.reset_counts();
-  if (engine_ && !sampled_terms_.empty()) engine_->reset();
-  return Error::kOk;
-}
-
-Status SimSubstrate::set_overflow(std::uint32_t event_index,
-                                  std::uint64_t threshold,
-                                  OverflowCallback callback) {
-  if (event_index >= events_.size() || !callback) return Error::kInvalid;
-  if (assignment_[event_index] >= kSampledBase) return Error::kNoSupport;
-  const std::uint64_t handler_cost =
-      platform_.costs.overflow_handler_cost_cycles;
-  auto wrapped = [this, event_index, handler_cost,
-                  cb = std::move(callback)](const pmu::OverflowInfo& info) {
-    charge(handler_cost);
-    cb(SubstrateOverflow{.event_index = event_index,
-                         .pc_observed = info.pc_skidded,
-                         .pc_precise = info.pc_precise,
-                         .has_precise = info.has_precise,
-                         .addr = info.addr});
-  };
-  return pmu_.set_overflow(assignment_[event_index], threshold,
-                           std::move(wrapped));
-}
-
-Status SimSubstrate::clear_overflow(std::uint32_t event_index) {
-  if (event_index >= events_.size()) return Error::kInvalid;
-  if (assignment_[event_index] >= kSampledBase) return Error::kNoSupport;
-  return pmu_.clear_overflow(assignment_[event_index]);
-}
-
 Status SimSubstrate::set_estimation(bool enabled) {
   if (!platform_.sampling.has_profileme) return Error::kNoSupport;
-  if (running_) return Error::kIsRunning;
-  estimation_ = enabled;
+  estimation_.store(enabled, std::memory_order_relaxed);
   return Error::kOk;
 }
 

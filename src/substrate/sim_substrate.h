@@ -1,13 +1,26 @@
-// Substrate implementation for the four simulated platforms.  Drives a
-// PmuModel attached to a Machine, charges the platform's system-call
-// cost model on every counter access (the source of the "up to 30 %"
-// direct-counting overhead), provides the cycle-timer service the
-// multiplexing layer needs, and — on sim-alpha — services
+// Substrate implementation for the four simulated platforms.  Counter
+// programming lives in SimCounterContext objects, each owning a private
+// PmuModel attached to one sim::Machine — so N machines (one per
+// simulated "rank") can be driven from N threads concurrently, each with
+// its own running EventSet.  The context charges the platform's
+// system-call cost model on every counter access (the source of the
+// "up to 30 %" direct-counting overhead), provides the cycle-timer
+// service the multiplexing layer needs, and — on sim-alpha — services
 // estimation-mode events from a ProfileMe sampling engine (the DADD
 // behaviour: counts estimated from samples at 1-2 % overhead).
+//
+// Thread model: the substrate is constructed over a *primary* machine
+// (the single-rank case).  A thread driving its own machine calls
+// bind_thread_machine() first; create_context() then binds the calling
+// thread's machine, falling back to the primary.  Each machine must only
+// ever be touched by the thread that runs it.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "pmu/pmu.h"
@@ -23,6 +36,60 @@ struct SimSubstrateOptions {
   /// When false, counter accesses are free — used by experiments that
   /// need overhead-less reference counts.
   bool charge_costs = true;
+};
+
+class SimSubstrate;
+
+/// One programmable counter file over one simulated machine.
+class SimCounterContext final : public CounterContext {
+ public:
+  SimCounterContext(SimSubstrate& substrate, sim::Machine& machine);
+  ~SimCounterContext() override;
+
+  Status program(std::span<const pmu::NativeEventCode> events,
+                 std::span<const std::uint32_t> assignment) override;
+  Status start() override;
+  Status stop() override;
+  Status read(std::span<std::uint64_t> out) override;
+  Status reset_counts() override;
+  Status set_overflow(std::uint32_t event_index, std::uint64_t threshold,
+                      OverflowCallback callback) override;
+  Status clear_overflow(std::uint32_t event_index) override;
+  Status set_domain(std::uint32_t domain_mask) override;
+  bool running() const noexcept override { return running_; }
+
+  std::uint64_t cycles() const override { return machine_.cycles(); }
+  Result<int> add_timer(std::uint64_t period_cycles,
+                        TimerCallback callback) override;
+  Status cancel_timer(int id) override;
+
+  /// Sample buffer access for tools (DCPI-style precise profiling);
+  /// nullptr until estimation events are programmed and started.
+  const pmu::ProfileMeEngine* sampling_engine() const noexcept {
+    return engine_.get();
+  }
+  sim::Machine& machine() noexcept { return machine_; }
+  const pmu::PmuModel& pmu() const noexcept { return pmu_; }
+
+ private:
+  void charge(std::uint64_t cycles, std::uint32_t pollute_lines = 0);
+
+  SimSubstrate& substrate_;
+  sim::Machine& machine_;
+  const pmu::PlatformDescription& platform_;
+  pmu::PmuModel pmu_;
+
+  // Programming state.
+  std::vector<pmu::NativeEventCode> events_;
+  std::vector<std::uint32_t> assignment_;
+  /// Per sampled slot: (tracked signal index, multiplier) terms.
+  struct SampledTermList {
+    std::vector<std::pair<std::size_t, std::uint32_t>> terms;
+  };
+  std::vector<SampledTermList> sampled_terms_;
+  std::unique_ptr<pmu::ProfileMeEngine> engine_;
+  bool running_ = false;
+  std::uint32_t domain_mask_ = domain::kAll;
 };
 
 class SimSubstrate final : public Substrate {
@@ -47,6 +114,15 @@ class SimSubstrate final : public Substrate {
     return &platform_;
   }
 
+  // --- context factory / thread-machine binding ---
+  Result<std::unique_ptr<CounterContext>> create_context() override;
+  /// Binds `machine` as the calling thread's counter domain: contexts
+  /// created by this thread attach to it.  A thread may rebind.
+  void bind_thread_machine(sim::Machine& machine);
+  void unbind_thread_machine();
+  /// The machine create_context() would bind for the calling thread.
+  sim::Machine& machine_for_current_thread() const;
+
   // --- event namespace ---
   Result<PresetMapping> preset_mapping(Preset preset) const override;
   Result<pmu::NativeEventCode> native_by_name(
@@ -62,31 +138,19 @@ class SimSubstrate final : public Substrate {
       std::span<const pmu::NativeEventCode> events,
       std::span<const int> priorities) const override;
 
-  // --- counter control ---
-  Status program(std::span<const pmu::NativeEventCode> events,
-                 std::span<const std::uint32_t> assignment) override;
-  Status start() override;
-  Status stop() override;
-  Status read(std::span<std::uint64_t> out) override;
-  Status reset_counts() override;
-  Status set_overflow(std::uint32_t event_index, std::uint64_t threshold,
-                      OverflowCallback callback) override;
-  Status clear_overflow(std::uint32_t event_index) override;
-  Status set_domain(std::uint32_t domain_mask) override;
-
   // --- estimation (sim-alpha) ---
   bool supports_estimation() const noexcept override {
     return platform_.sampling.has_profileme;
   }
   Status set_estimation(bool enabled) override;
-  bool estimation_enabled() const noexcept { return estimation_; }
-  /// Sample buffer access for tools (DCPI-style precise profiling);
-  /// nullptr until estimation events are programmed and started.
-  const pmu::ProfileMeEngine* sampling_engine() const noexcept {
-    return engine_.get();
+  bool estimation_enabled() const noexcept {
+    return estimation_.load(std::memory_order_relaxed);
   }
+  /// Sampling engine of the calling thread's most recent live context
+  /// (DCPI-style tools); nullptr when none has estimation events.
+  const pmu::ProfileMeEngine* sampling_engine() const noexcept;
 
-  // --- timers ---
+  // --- timers (primary machine's clock) ---
   std::uint64_t real_usec() const override { return machine_.microseconds(); }
   std::uint64_t real_cycles() const override { return machine_.cycles(); }
   std::uint64_t virt_usec() const override { return machine_.microseconds(); }
@@ -100,28 +164,26 @@ class SimSubstrate final : public Substrate {
   Result<MemoryInfo> memory_info() const override;
 
   sim::Machine& machine() noexcept { return machine_; }
-  const pmu::PmuModel& pmu() const noexcept { return pmu_; }
+  const SimSubstrateOptions& options() const noexcept { return options_; }
+  const pmu::PlatformDescription& platform_description() const noexcept {
+    return platform_;
+  }
 
  private:
-  void charge(std::uint64_t cycles, std::uint32_t pollute_lines = 0);
+  friend class SimCounterContext;
+  void register_context(SimCounterContext* context);
+  void unregister_context(SimCounterContext* context);
 
   sim::Machine& machine_;
   const pmu::PlatformDescription& platform_;
   SimSubstrateOptions options_;
-  pmu::PmuModel pmu_;
+  std::atomic<bool> estimation_{false};
 
-  // Programming state.
-  std::vector<pmu::NativeEventCode> events_;
-  std::vector<std::uint32_t> assignment_;
-  /// Per sampled slot: (tracked signal index, multiplier) terms.
-  struct SampledTermList {
-    std::vector<std::pair<std::size_t, std::uint32_t>> terms;
-  };
-  std::vector<SampledTermList> sampled_terms_;
-  std::unique_ptr<pmu::ProfileMeEngine> engine_;
-  bool estimation_ = false;
-  bool running_ = false;
-  std::uint32_t domain_mask_ = domain::kAll;
+  mutable std::mutex threads_mutex_;
+  std::unordered_map<std::thread::id, sim::Machine*> thread_machines_;
+  /// Live contexts per thread, in creation order (newest last).
+  std::unordered_map<std::thread::id, std::vector<SimCounterContext*>>
+      live_contexts_;
 };
 
 }  // namespace papirepro::papi

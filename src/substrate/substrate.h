@@ -5,6 +5,14 @@
 // high-level calls) is portable; everything below it is one of the
 // platform models (or the host).
 //
+// Since the per-thread CounterContext refactor the substrate is a
+// *context factory* plus the stateless services: the event namespace,
+// the allocation translation, the process-global timers, and memory
+// utilization.  All counter programming state lives in CounterContext
+// objects handed out by create_context() — one per thread (the Library's
+// ThreadRegistry owns them), so concurrent threads never share mutable
+// counter state.
+//
 // The allocation split (Section 5 / PAPI 3 plan) lives here too: the
 // substrate translates its counter-constraint scheme into a pure
 // bipartite AllocationInstance (translate_allocation), and the portable
@@ -16,6 +24,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -26,25 +35,14 @@
 #include "core/memory_info.h"
 #include "core/options.h"
 #include "pmu/platform.h"
+#include "substrate/counter_context.h"
 
 namespace papirepro::papi {
 
-/// Overflow notification from the substrate: event index within the
-/// programmed list, the PC a handler would observe (already skidded on
-/// out-of-order platforms), and the precise PC where hardware assists
-/// (EAR / ProfileMe) provide one.
-struct SubstrateOverflow {
-  std::uint32_t event_index = 0;
-  std::uint64_t pc_observed = 0;
-  std::uint64_t pc_precise = 0;
-  bool has_precise = false;
-  std::uint64_t addr = 0;
-};
-
 class Substrate {
  public:
-  using OverflowCallback = std::function<void(const SubstrateOverflow&)>;
-  using TimerCallback = std::function<void()>;
+  using OverflowCallback = CounterContext::OverflowCallback;
+  using TimerCallback = CounterContext::TimerCallback;
 
   virtual ~Substrate() = default;
 
@@ -56,7 +54,15 @@ class Substrate {
     return nullptr;
   }
 
-  // --- event namespace ---
+  // --- counter context factory ---
+  /// A fresh, independent programming context.  Thread-aware substrates
+  /// bind the context to the calling thread's counter domain (the
+  /// thread-bound simulated machine, or the calling thread's perf fds);
+  /// substrates without counters return a context whose control calls
+  /// fail with Error::kNoCounters.  Must be callable from any thread.
+  virtual Result<std::unique_ptr<CounterContext>> create_context() = 0;
+
+  // --- event namespace (stateless, thread-safe) ---
   /// Realization of `preset` on this platform (Error::kNoEvent if
   /// unmapped).
   virtual Result<PresetMapping> preset_mapping(Preset preset) const = 0;
@@ -65,7 +71,7 @@ class Substrate {
   virtual Result<std::string> native_name(
       pmu::NativeEventCode code) const = 0;
 
-  // --- counter allocation (hardware-dependent half) ---
+  // --- counter allocation (hardware-dependent half; stateless) ---
   /// Translates the platform constraint scheme for `events` into a pure
   /// bipartite instance.  Group-constrained platforms return one
   /// instance per candidate group via the `group_choices` out-param
@@ -81,42 +87,24 @@ class Substrate {
       std::span<const pmu::NativeEventCode> events,
       std::span<const int> priorities) const;
 
-  // --- counter control (host substrate returns kNoCounters) ---
-  virtual Status program(std::span<const pmu::NativeEventCode> events,
-                         std::span<const std::uint32_t> assignment) = 0;
-  virtual Status start() = 0;
-  virtual Status stop() = 0;
-  /// Values in programmed-event order.
-  virtual Status read(std::span<std::uint64_t> out) = 0;
-  virtual Status reset_counts() = 0;
-  virtual Status set_overflow(std::uint32_t event_index,
-                              std::uint64_t threshold,
-                              OverflowCallback callback) = 0;
-  virtual Status clear_overflow(std::uint32_t event_index) = 0;
-
-  /// Counting domain applied to every programmed counter (PAPI
-  /// PAPI_set_domain): domain::kUser counts only application context,
-  /// domain::kKernel only measurement-infrastructure context, kAll both.
-  /// Takes effect at the next program().
-  virtual Status set_domain(std::uint32_t /*domain_mask*/) {
-    return Error::kNoSupport;
-  }
-
   // --- sampling-based count estimation (PAPI 3 option; sim-alpha) ---
   virtual bool supports_estimation() const noexcept { return false; }
   /// When enabled, events that cannot be placed on physical counters are
-  /// serviced from ProfileMe sample extrapolation.
+  /// serviced from ProfileMe sample extrapolation.  Process-global mode
+  /// switch: it affects allocation and the *next* program() on every
+  /// context.
   virtual Status set_estimation(bool /*enabled*/) {
     return Error::kNoSupport;
   }
 
-  // --- timers (the "most popular feature") ---
+  // --- timers (the "most popular feature"; process-global) ---
   virtual std::uint64_t real_usec() const = 0;
   virtual std::uint64_t real_cycles() const = 0;
   /// Process-virtual time; equals real time on the simulated machines.
   virtual std::uint64_t virt_usec() const = 0;
 
-  // --- multiplexing timer service ---
+  // --- multiplexing timer service (process-global; per-context timers
+  // --- live on CounterContext) ---
   virtual bool supports_multiplex() const noexcept { return false; }
   virtual Result<int> add_timer(std::uint64_t period_cycles,
                                 TimerCallback callback);

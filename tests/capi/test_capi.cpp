@@ -7,6 +7,7 @@
 
 #include <cstring>
 #include <string>
+#include <thread>
 
 namespace {
 
@@ -279,6 +280,50 @@ TEST(CapiHost, HostSubstrateTimersWork) {
   PAPI_mem_info_t info;
   EXPECT_EQ(PAPI_get_memory_info(&info), PAPI_OK);
   PAPI_shutdown();
+}
+
+TEST_F(CapiSim, ThreadApi) {
+  ASSERT_EQ(PAPI_thread_init([] { return 7ul; }), PAPI_OK);
+  EXPECT_EQ(PAPI_thread_id(), 7ul);
+  ASSERT_EQ(PAPI_register_thread(), PAPI_OK);
+  EXPECT_EQ(PAPI_num_threads(), 1);
+  ASSERT_EQ(PAPI_unregister_thread(), PAPI_OK);
+  EXPECT_EQ(PAPI_num_threads(), 0);
+  EXPECT_EQ(PAPI_unregister_thread(), PAPI_EINVAL);
+}
+
+TEST_F(CapiSim, ThreadsCountConcurrently) {
+  // Two C-API threads, each bound to its own simulated machine, each
+  // driving its own EventSet through the one global PAPI instance.
+  constexpr int kThreads = 2;
+  PAPIrepro_sim_t* sims[kThreads] = {nullptr, nullptr};
+  long long counts[kThreads] = {-1, -1};
+  for (int t = 0; t < kThreads; ++t) {
+    sims[t] = PAPIrepro_sim_create("sim-x86", "saxpy", 5'000 * (t + 1));
+    ASSERT_NE(sims[t], nullptr);
+  }
+  std::thread workers[kThreads];
+  for (int t = 0; t < kThreads; ++t) {
+    workers[t] = std::thread([&, t] {
+      if (PAPIrepro_sim_bind_thread(sims[t]) != PAPI_OK) return;
+      int es = PAPI_NULL;
+      if (PAPI_create_eventset(&es) != PAPI_OK ||
+          PAPI_add_event(es, PAPI_FMA_INS) != PAPI_OK ||
+          PAPI_start(es) != PAPI_OK) {
+        return;
+      }
+      PAPIrepro_sim_run(sims[t], -1);
+      long long v = -1;
+      if (PAPI_stop(es, &v) != PAPI_OK) return;
+      counts[t] = v;
+      (void)PAPI_destroy_eventset(&es);
+      (void)PAPI_unregister_thread();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(counts[0], 5'000);
+  EXPECT_EQ(counts[1], 10'000);
+  for (PAPIrepro_sim_t* s : sims) PAPIrepro_sim_destroy(s);
 }
 
 TEST(CapiSimBootstrap, RejectsUnknownNames) {

@@ -94,6 +94,37 @@ TEST(Library, DestructorStopsRunningSet) {
   SUCCEED();
 }
 
+TEST(Library, DestroyedHandlesAreReused) {
+  // Long-running callers (a daemon creating and destroying one EventSet
+  // per measurement) must not march the handle space toward exhaustion:
+  // freed handles are recycled.
+  SimFixture f(sim::make_saxpy(10), pmu::sim_x86());
+  const int h1 = f.library->create_event_set().value();
+  const int h2 = f.library->create_event_set().value();
+  ASSERT_TRUE(f.library->destroy_event_set(h1).ok());
+  const int h3 = f.library->create_event_set().value();
+  EXPECT_EQ(h3, h1);  // recycled, not a fresh number
+  ASSERT_TRUE(f.library->destroy_event_set(h2).ok());
+  ASSERT_TRUE(f.library->destroy_event_set(h3).ok());
+  // Churn never grows the handle values once a free one exists.
+  for (int i = 0; i < 100; ++i) {
+    const int h = f.library->create_event_set().value();
+    EXPECT_LE(h, h2);
+    ASSERT_TRUE(f.library->destroy_event_set(h).ok());
+  }
+}
+
+TEST(Library, DestroyRunningSetRefused) {
+  SimFixture f(sim::make_saxpy(1'000), pmu::sim_x86());
+  const int h = f.library->create_event_set().value();
+  EventSet* set = f.library->event_set(h).value();
+  ASSERT_TRUE(set->add_preset(Preset::kTotIns).ok());
+  ASSERT_TRUE(set->start().ok());
+  EXPECT_EQ(f.library->destroy_event_set(h).error(), Error::kIsRunning);
+  ASSERT_TRUE(set->stop().ok());
+  EXPECT_TRUE(f.library->destroy_event_set(h).ok());
+}
+
 TEST(Library, TimerPassthroughs) {
   SimFixture f(sim::make_empty_loop(10'000), pmu::sim_power3());
   EXPECT_EQ(f.library->real_cycles(), 0u);

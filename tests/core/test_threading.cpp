@@ -1,0 +1,176 @@
+// Thread support: N threads each drive their own simulated machine and
+// their own running EventSet through one shared Library — the per-thread
+// one-running-EventSet rule.  These tests are the tier-1 gate for the
+// CounterContext refactor and are expected to run clean under TSan.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/library.h"
+#include "test_util.h"
+
+namespace papirepro::papi {
+namespace {
+
+using papirepro::test::SimFixture;
+
+// Deterministic reference: PAPI_TOT_INS for saxpy(n) on sim-x86 with
+// cost charging off, measured single-threaded.
+long long reference_tot_ins(std::int64_t n) {
+  SimFixture f(sim::make_saxpy(n), pmu::sim_x86(), {.charge_costs = false});
+  EventSet& set = f.new_set();
+  EXPECT_TRUE(set.add_preset(Preset::kTotIns).ok());
+  EXPECT_TRUE(set.start().ok());
+  f.machine->run();
+  long long v[1] = {0};
+  EXPECT_TRUE(set.stop(v).ok());
+  return v[0];
+}
+
+TEST(Threading, EightThreadsCountIndependently) {
+  constexpr int kThreads = 8;
+
+  // One machine per simulated rank, each over a different-sized saxpy so
+  // every thread's expected count is distinct.
+  std::vector<sim::Workload> workloads;
+  std::vector<std::unique_ptr<sim::Machine>> machines;
+  std::vector<long long> expected(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    const std::int64_t n = 500 * (t + 1);
+    workloads.push_back(sim::make_saxpy(n));
+    machines.push_back(std::make_unique<sim::Machine>(
+        workloads.back().program, pmu::sim_x86().machine));
+    if (workloads.back().setup) workloads.back().setup(*machines.back());
+    expected[t] = reference_tot_ins(n);
+  }
+
+  auto sub = std::make_unique<SimSubstrate>(
+      *machines[0], pmu::sim_x86(), SimSubstrateOptions{.charge_costs = false});
+  SimSubstrate* substrate = sub.get();
+  Library library(std::move(sub));
+
+  // gtest assertions are main-thread-only; workers record outcomes.
+  std::vector<long long> got(kThreads, -1);
+  // (unsigned char, not bool: vector<bool> packs bits — a data race.)
+  std::vector<unsigned char> clean(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      substrate->bind_thread_machine(*machines[t]);
+      auto handle = library.create_event_set();
+      if (!handle.ok()) return;
+      auto set = library.event_set(handle.value());
+      if (!set.ok() || !set.value()->add_preset(Preset::kTotIns).ok()) {
+        return;
+      }
+      if (!set.value()->start().ok()) return;
+      machines[t]->run();
+      long long v[1] = {0};
+      if (!set.value()->stop(v).ok()) return;
+      got[t] = v[0];
+      clean[t] = library.destroy_event_set(handle.value()).ok() &&
+                 library.unregister_thread().ok();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // All eight ran concurrently (no spurious kIsRunning from another
+  // thread's set), and each observed exactly its own machine's count.
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(clean[t]) << "thread " << t;
+    EXPECT_EQ(got[t], expected[t]) << "thread " << t;
+  }
+  EXPECT_EQ(library.num_threads(), 0u);  // all unregistered
+}
+
+TEST(Threading, SameThreadSecondStartIsRunning) {
+  // Regression: the rule became per-thread, not gone.  Two EventSets on
+  // the *same* thread still cannot run at once.
+  SimFixture f(sim::make_saxpy(1'000), pmu::sim_x86());
+  EventSet& first = f.new_set();
+  EventSet& second = f.new_set();
+  ASSERT_TRUE(first.add_preset(Preset::kTotIns).ok());
+  ASSERT_TRUE(second.add_preset(Preset::kTotCyc).ok());
+
+  ASSERT_TRUE(first.start().ok());
+  EXPECT_EQ(second.start().error(), Error::kIsRunning);
+  EXPECT_FALSE(second.running());
+
+  // Releasing the thread's context frees the slot for the second set.
+  ASSERT_TRUE(first.stop().ok());
+  EXPECT_TRUE(second.start().ok());
+  EXPECT_TRUE(second.stop().ok());
+}
+
+TEST(Threading, RegisterUnregisterLifecycle) {
+  SimFixture f(sim::make_saxpy(100), pmu::sim_x86());
+  EXPECT_EQ(f.library->num_threads(), 0u);
+
+  EXPECT_TRUE(f.library->register_thread().ok());
+  EXPECT_EQ(f.library->num_threads(), 1u);
+  EXPECT_TRUE(f.library->register_thread().ok());  // idempotent
+  EXPECT_EQ(f.library->num_threads(), 1u);
+
+  EXPECT_TRUE(f.library->unregister_thread().ok());
+  EXPECT_EQ(f.library->num_threads(), 0u);
+  EXPECT_EQ(f.library->unregister_thread().error(), Error::kInvalid);
+}
+
+TEST(Threading, UnregisterWhileRunningRefused) {
+  SimFixture f(sim::make_saxpy(1'000), pmu::sim_x86());
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.add_preset(Preset::kTotIns).ok());
+  ASSERT_TRUE(set.start().ok());
+  EXPECT_EQ(f.library->unregister_thread().error(), Error::kIsRunning);
+  ASSERT_TRUE(set.stop().ok());
+  EXPECT_TRUE(f.library->unregister_thread().ok());
+}
+
+TEST(Threading, ThreadIdUsesInstalledFunction) {
+  SimFixture f(sim::make_saxpy(100), pmu::sim_x86());
+  EXPECT_FALSE(f.library->threaded());
+  ASSERT_TRUE(f.library->thread_init([] { return 42ul; }).ok());
+  EXPECT_TRUE(f.library->threaded());
+  EXPECT_EQ(f.library->thread_id().value(), 42ul);
+  EXPECT_EQ(f.library->thread_init(nullptr).error(), Error::kInvalid);
+}
+
+TEST(Threading, StartAutoRegistersThread) {
+  SimFixture f(sim::make_saxpy(1'000), pmu::sim_x86());
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.add_preset(Preset::kTotIns).ok());
+  EXPECT_EQ(f.library->num_threads(), 0u);
+  ASSERT_TRUE(set.start().ok());
+  EXPECT_EQ(f.library->num_threads(), 1u);
+  ASSERT_TRUE(set.stop().ok());
+}
+
+TEST(Threading, HandleTableSafeUnderConcurrentChurn) {
+  // Create/lookup/destroy EventSets from many threads at once; the
+  // shared_mutex-guarded handle table must neither corrupt nor leak.
+  SimFixture f(sim::make_saxpy(100), pmu::sim_x86());
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        auto handle = f.library->create_event_set();
+        if (!handle.ok() || !f.library->event_set(handle.value()).ok() ||
+            !f.library->destroy_event_set(handle.value()).ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(f.library->num_event_sets(), 0u);
+}
+
+}  // namespace
+}  // namespace papirepro::papi

@@ -10,8 +10,10 @@ namespace {
 TEST(HostSubstrate, CountersUnavailable) {
   HostSubstrate sub;
   EXPECT_EQ(sub.num_counters(), 0u);
-  EXPECT_EQ(sub.start().error(), Error::kNoCounters);
-  EXPECT_EQ(sub.program({}, {}).error(), Error::kNoCounters);
+  auto ctx = sub.create_context().value();
+  EXPECT_EQ(ctx->start().error(), Error::kNoCounters);
+  EXPECT_EQ(ctx->program({}, {}).error(), Error::kNoCounters);
+  EXPECT_FALSE(ctx->running());
   EXPECT_EQ(sub.preset_mapping(Preset::kTotCyc).error(), Error::kNoEvent);
   EXPECT_FALSE(sub.supports_multiplex());
   EXPECT_FALSE(sub.supports_estimation());

@@ -56,8 +56,9 @@ TEST(PerfEvent, SoftwareCountingEndToEnd) {
       code_of(sub, "PERF_COUNT_SW_PAGE_FAULTS")};
   auto assignment = sub.allocate(events, {});
   ASSERT_TRUE(assignment.ok());
-  ASSERT_TRUE(sub.program(events, assignment.value()).ok());
-  ASSERT_TRUE(sub.start().ok());
+  auto ctx = sub.create_context().value();
+  ASSERT_TRUE(ctx->program(events, assignment.value()).ok());
+  ASSERT_TRUE(ctx->start().ok());
 
   // Burn CPU and fault some pages.
   volatile double x = 1.0;
@@ -65,9 +66,9 @@ TEST(PerfEvent, SoftwareCountingEndToEnd) {
   std::vector<char> pages(8 * 1024 * 1024);
   for (std::size_t i = 0; i < pages.size(); i += 4096) pages[i] = 1;
 
-  ASSERT_TRUE(sub.stop().ok());
+  ASSERT_TRUE(ctx->stop().ok());
   std::uint64_t out[2] = {};
-  ASSERT_TRUE(sub.read(out).ok());
+  ASSERT_TRUE(ctx->read(out).ok());
   EXPECT_GT(out[0], 1'000'000u);  // >1ms of task clock (ns units)
   EXPECT_GT(out[1], 500u);        // touched ~2000 pages
 }
@@ -78,18 +79,19 @@ TEST(PerfEvent, ResetZeroesAndRecounts) {
   const pmu::NativeEventCode events[] = {
       code_of(sub, "PERF_COUNT_SW_TASK_CLOCK")};
   std::uint32_t counters[] = {0};
-  ASSERT_TRUE(sub.program(events, counters).ok());
-  ASSERT_TRUE(sub.start().ok());
+  auto ctx = sub.create_context().value();
+  ASSERT_TRUE(ctx->program(events, counters).ok());
+  ASSERT_TRUE(ctx->start().ok());
   volatile double x = 1.0;
   for (int i = 0; i < 1'000'000; ++i) x = x * 1.0000001 + 0.25;
   std::uint64_t v1 = 0;
-  ASSERT_TRUE(sub.read({&v1, 1}).ok());
+  ASSERT_TRUE(ctx->read({&v1, 1}).ok());
   EXPECT_GT(v1, 0u);
-  ASSERT_TRUE(sub.reset_counts().ok());
+  ASSERT_TRUE(ctx->reset_counts().ok());
   std::uint64_t v2 = 0;
-  ASSERT_TRUE(sub.read({&v2, 1}).ok());
+  ASSERT_TRUE(ctx->read({&v2, 1}).ok());
   EXPECT_LT(v2, v1);
-  ASSERT_TRUE(sub.stop().ok());
+  ASSERT_TRUE(ctx->stop().ok());
 }
 
 TEST(PerfEvent, HardwareCountingOrGracefulDenial) {
@@ -98,7 +100,8 @@ TEST(PerfEvent, HardwareCountingOrGracefulDenial) {
   const pmu::NativeEventCode events[] = {
       code_of(sub, "PERF_COUNT_HW_INSTRUCTIONS")};
   std::uint32_t counters[] = {0};
-  const Status programmed = sub.program(events, counters);
+  auto ctx = sub.create_context().value();
+  const Status programmed = ctx->program(events, counters);
   if (!sub.hardware_available()) {
     // Containers/paranoid kernels: a *typed* denial, not a crash.
     EXPECT_TRUE(programmed.error() == Error::kPermission ||
@@ -107,12 +110,12 @@ TEST(PerfEvent, HardwareCountingOrGracefulDenial) {
     return;
   }
   ASSERT_TRUE(programmed.ok());
-  ASSERT_TRUE(sub.start().ok());
+  ASSERT_TRUE(ctx->start().ok());
   volatile double x = 1.0;
   for (int i = 0; i < 1'000'000; ++i) x = x * 1.0000001 + 0.25;
-  ASSERT_TRUE(sub.stop().ok());
+  ASSERT_TRUE(ctx->stop().ok());
   std::uint64_t v = 0;
-  ASSERT_TRUE(sub.read({&v, 1}).ok());
+  ASSERT_TRUE(ctx->read({&v, 1}).ok());
   EXPECT_GT(v, 1'000'000u);
 }
 

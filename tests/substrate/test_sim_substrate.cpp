@@ -26,12 +26,13 @@ TEST(SimSubstrate, EndToEndCounting) {
                                          code_of(p, "LD_RETIRED")};
   auto assignment = sub.allocate(events, {});
   ASSERT_TRUE(assignment.ok());
-  ASSERT_TRUE(sub.program(events, assignment.value()).ok());
-  ASSERT_TRUE(sub.start().ok());
+  auto ctx = sub.create_context().value();
+  ASSERT_TRUE(ctx->program(events, assignment.value()).ok());
+  ASSERT_TRUE(ctx->start().ok());
   m.run();
-  ASSERT_TRUE(sub.stop().ok());
+  ASSERT_TRUE(ctx->stop().ok());
   std::uint64_t out[2];
-  ASSERT_TRUE(sub.read(out).ok());
+  ASSERT_TRUE(ctx->read(out).ok());
   EXPECT_EQ(out[0], 1000u);
   EXPECT_EQ(out[1], 2000u);
 }
@@ -44,11 +45,12 @@ TEST(SimSubstrate, ReadChargesSystemCallCost) {
 
   const pmu::NativeEventCode events[] = {code_of(p, "INST_RETIRED")};
   std::uint32_t counters[] = {0};
-  ASSERT_TRUE(sub.program(events, counters).ok());
-  ASSERT_TRUE(sub.start().ok());
+  auto ctx = sub.create_context().value();
+  ASSERT_TRUE(ctx->program(events, counters).ok());
+  ASSERT_TRUE(ctx->start().ok());
   const std::uint64_t before = m.overhead_cycles();
   std::uint64_t out[1];
-  ASSERT_TRUE(sub.read(out).ok());
+  ASSERT_TRUE(ctx->read(out).ok());
   EXPECT_EQ(m.overhead_cycles() - before, p.costs.read_cost_cycles);
 }
 
@@ -59,11 +61,12 @@ TEST(SimSubstrate, CostChargingCanBeDisabled) {
   SimSubstrate sub(m, p, {.charge_costs = false});
   const pmu::NativeEventCode events[] = {code_of(p, "INST_RETIRED")};
   std::uint32_t counters[] = {0};
-  ASSERT_TRUE(sub.program(events, counters).ok());
-  ASSERT_TRUE(sub.start().ok());
+  auto ctx = sub.create_context().value();
+  ASSERT_TRUE(ctx->program(events, counters).ok());
+  ASSERT_TRUE(ctx->start().ok());
   std::uint64_t out[1];
-  ASSERT_TRUE(sub.read(out).ok());
-  ASSERT_TRUE(sub.stop().ok());
+  ASSERT_TRUE(ctx->read(out).ok());
+  ASSERT_TRUE(ctx->stop().ok());
   EXPECT_EQ(m.overhead_cycles(), 0u);
 }
 
@@ -106,7 +109,8 @@ TEST(SimSubstrate, GroupAllocationOnPower3) {
                                             code_of(p, "PM_L2_MISS")};
   auto ok = sub.allocate(ok_events, {});
   ASSERT_TRUE(ok.ok());
-  ASSERT_TRUE(sub.program(ok_events, ok.value()).ok());
+  auto ctx = sub.create_context().value();
+  ASSERT_TRUE(ctx->program(ok_events, ok.value()).ok());
 
   // PM_FPU_INS and PM_DC_MISS never share a group: conflict.
   const pmu::NativeEventCode bad_events[] = {code_of(p, "PM_FPU_INS"),
@@ -130,12 +134,13 @@ TEST(SimSubstrate, EstimationServicesSampledEvents) {
   auto assignment = sub.allocate(events, {});
   ASSERT_TRUE(assignment.ok());
   EXPECT_GE(assignment.value()[1], SimSubstrate::kSampledBase);
-  ASSERT_TRUE(sub.program(events, assignment.value()).ok());
-  ASSERT_TRUE(sub.start().ok());
+  auto ctx = sub.create_context().value();
+  ASSERT_TRUE(ctx->program(events, assignment.value()).ok());
+  ASSERT_TRUE(ctx->start().ok());
   m.run();
-  ASSERT_TRUE(sub.stop().ok());
+  ASSERT_TRUE(ctx->stop().ok());
   std::uint64_t out[2];
-  ASSERT_TRUE(sub.read(out).ok());
+  ASSERT_TRUE(ctx->read(out).ok());
   EXPECT_EQ(out[0], m.retired());
   // Estimated FMA count within 10% of truth on a long run.
   EXPECT_NEAR(static_cast<double>(out[1]), 100'000.0, 10'000.0);
@@ -151,15 +156,16 @@ TEST(SimSubstrate, OverflowRoutesThroughEventIndex) {
                                          code_of(p, "INST_RETIRED")};
   auto assignment = sub.allocate(events, {});
   ASSERT_TRUE(assignment.ok());
-  ASSERT_TRUE(sub.program(events, assignment.value()).ok());
+  auto ctx = sub.create_context().value();
+  ASSERT_TRUE(ctx->program(events, assignment.value()).ok());
   int fires = 0;
-  ASSERT_TRUE(sub.set_overflow(1, 1000,
-                               [&](const SubstrateOverflow& o) {
-                                 EXPECT_EQ(o.event_index, 1u);
-                                 ++fires;
-                               })
+  ASSERT_TRUE(ctx->set_overflow(1, 1000,
+                                [&](const SubstrateOverflow& o) {
+                                  EXPECT_EQ(o.event_index, 1u);
+                                  ++fires;
+                                })
                   .ok());
-  ASSERT_TRUE(sub.start().ok());
+  ASSERT_TRUE(ctx->start().ok());
   m.run();
   EXPECT_GT(fires, 0);
   // Each overflow charged handler cycles.
