@@ -1,0 +1,128 @@
+// Hardening tax: the fault-injecting decorator and the bounded-retry
+// wrapper stay compiled into the stack; this harness checks that a
+// *disabled* decorator plus the retry fast path cost under 5% on the
+// hot read()/start() paths versus the bare substrate.  Three rigs:
+//
+//   bare      - SimSubstrate straight into the Library (the seed path)
+//   decorated - FaultInjectingSubstrate wrapped, injection DISABLED
+//               (one relaxed atomic load per call)
+//   injecting - decorator enabled with an all-zero plan (mutex-guarded
+//               consult per call; the price of live fault accounting)
+#include <chrono>
+
+#include "bench_util.h"
+#include "substrate/fault_substrate.h"
+
+using namespace papirepro;
+
+namespace {
+
+struct PathCosts {
+  double read_ns = 0;
+  double start_stop_ns = 0;
+};
+
+/// Wall-clock cost per read() and per start/stop pair, averaged over
+/// enough iterations to squeeze out timer noise.
+PathCosts measure(papi::Library& library, sim::Machine& machine) {
+  auto handle = library.create_event_set();
+  papi::EventSet& set = *library.event_set(handle.value()).value();
+  if (!set.add_named("PAPI_TOT_INS").ok()) return {};
+
+  PathCosts costs;
+  constexpr int kReads = 200'000;
+  constexpr int kStartStops = 20'000;
+  std::vector<long long> v(1);
+
+  if (!set.start().ok()) return {};
+  machine.run(10'000);
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kReads; ++i) {
+    (void)set.read(v);
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  (void)set.stop();
+  costs.read_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() / kReads;
+
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kStartStops; ++i) {
+    (void)set.start();
+    (void)set.stop();
+  }
+  t1 = std::chrono::steady_clock::now();
+  costs.start_stop_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() /
+      kStartStops;
+  return costs;
+}
+
+double pct_delta(double base, double value) {
+  return base == 0 ? 0.0 : 100.0 * (value - base) / base;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("R1",
+                "fault-injection hardening overhead on hot paths");
+  std::printf(
+      "workload: saxpy(400000) on sim-x86; per-op wall-clock cost\n\n");
+  std::printf("%-11s %12s %9s %16s %9s\n", "rig", "read (ns)", "vs bare",
+              "start+stop (ns)", "vs bare");
+
+  auto make_rig = [](int mode) {
+    auto rig = std::make_unique<bench::Rig>(sim::make_saxpy(400'000),
+                                            pmu::sim_x86(),
+                                            papi::SimSubstrateOptions{
+                                                .charge_costs = false});
+    if (mode > 0) {
+      // Re-wrap the rig's library around a decorated substrate.
+      auto inner = std::make_unique<papi::SimSubstrate>(
+          *rig->machine, pmu::sim_x86(),
+          papi::SimSubstrateOptions{.charge_costs = false});
+      auto wrapped = std::make_unique<papi::FaultInjectingSubstrate>(
+          std::move(inner), papi::FaultPlan{});
+      wrapped->set_enabled(mode == 2);
+      rig->library =
+          std::make_unique<papi::Library>(std::move(wrapped));
+    }
+    return rig;
+  };
+
+  // Best-of-N per rig: the minimum is the least-noise estimate of the
+  // true path cost on a time-shared machine.
+  auto best_of = [&](int mode) {
+    PathCosts best;
+    for (int rep = 0; rep < 5; ++rep) {
+      auto rig = make_rig(mode);
+      const PathCosts c = measure(*rig->library, *rig->machine);
+      if (rep == 0 || c.read_ns < best.read_ns) best.read_ns = c.read_ns;
+      if (rep == 0 || c.start_stop_ns < best.start_stop_ns) {
+        best.start_stop_ns = c.start_stop_ns;
+      }
+    }
+    return best;
+  };
+  const PathCosts bare = best_of(0);
+  const PathCosts decorated = best_of(1);
+  const PathCosts injecting = best_of(2);
+
+  std::printf("%-11s %12.1f %9s %16.1f %9s\n", "bare", bare.read_ns, "-",
+              bare.start_stop_ns, "-");
+  std::printf("%-11s %12.1f %+8.2f%% %16.1f %+8.2f%%\n", "decorated",
+              decorated.read_ns, pct_delta(bare.read_ns, decorated.read_ns),
+              decorated.start_stop_ns,
+              pct_delta(bare.start_stop_ns, decorated.start_stop_ns));
+  std::printf("%-11s %12.1f %+8.2f%% %16.1f %+8.2f%%\n", "injecting",
+              injecting.read_ns,
+              pct_delta(bare.read_ns, injecting.read_ns),
+              injecting.start_stop_ns,
+              pct_delta(bare.start_stop_ns, injecting.start_stop_ns));
+
+  std::printf(
+      "\nshape to reproduce: 'decorated' (injection compiled in but\n"
+      "disabled) stays within 5%% of 'bare' on both paths; 'injecting'\n"
+      "pays the per-call mutex but stays in the same decade.\n");
+  return 0;
+}

@@ -98,6 +98,45 @@ int PAPIrepro_sim_bind_thread(PAPIrepro_sim_t* sim);
 /* Enables DADD-style count estimation from samples (sim-alpha only). */
 int PAPIrepro_set_estimation(int enable);
 
+/* ---- fault injection & hardening (reproduction extension) ----
+ * A deterministic fault plan wraps the substrate in a fault-injecting
+ * decorator: scripted "fail N times then succeed" transients plus seeded
+ * per-call failure probabilities on the counter-control paths, narrow
+ * (wrapping) counter registers, and multiplex-timer misfire.  Configure
+ * the plan *before* PAPI_library_init (the decorator is installed at
+ * init); toggle injection on and off at any time with
+ * PAPIrepro_inject_faults.  All fields zero = a no-op plan. */
+typedef struct PAPIrepro_fault_plan {
+  unsigned long long seed;         /* fault-stream seed */
+  int create_context_fail_times;   /* fail the first N context creates */
+  int program_fail_times;          /* fail the first N program() calls */
+  int start_fail_times;            /* fail the first N start() calls */
+  int read_fail_times;             /* fail the first N read() calls */
+  int add_timer_fail_times;        /* fail the first N timer arms */
+  double program_fail_probability; /* after the script, per-call odds */
+  double read_fail_probability;
+  int fault_code;                  /* injected PAPI_* code; 0 = PAPI_ECNFLCT */
+  int counter_width_bits;          /* reads wrap at this width; 0/64 = off */
+  double timer_drop_probability;   /* multiplex slice-timer misfire odds */
+  unsigned long long timer_extra_delay_cycles; /* late timer service */
+} PAPIrepro_fault_plan_t;
+
+/* Stages `plan` for the next PAPI_library_init, or — when the library is
+ * already initialized with a fault decorator installed — replaces the
+ * active plan and rewinds its scripts.  PAPI_EISRUN if the library is
+ * initialized without a decorator. */
+int PAPIrepro_set_fault_plan(const PAPIrepro_fault_plan_t* plan);
+/* Master injection switch.  Before init: arms (or disarms) the staged
+ * plan, staging a default plan if none was set.  After init: toggles the
+ * installed decorator; PAPI_ENOSUPP when none is installed. */
+int PAPIrepro_inject_faults(int enable);
+/* Bounded-retry hardening knob: total attempts (>= 1; 1 = no retries)
+ * for transient substrate faults, with doubling wall-clock backoff
+ * starting at backoff_usec (0 = immediate).  Requires an initialized
+ * library. */
+int PAPIrepro_set_retry(int max_attempts,
+                        unsigned long long backoff_usec);
+
 /* ---- library ---- */
 int PAPI_library_init(int version);
 int PAPI_is_initialized(void);

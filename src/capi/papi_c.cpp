@@ -17,6 +17,7 @@
 #include "core/highlevel.h"
 #include "core/library.h"
 #include "sim/workload_registry.h"
+#include "substrate/fault_substrate.h"
 #include "substrate/host_substrate.h"
 #include "substrate/sim_substrate.h"
 
@@ -50,6 +51,11 @@ struct GlobalState {
   std::unique_ptr<papi::Library> library;
   std::unique_ptr<papi::HighLevel> high_level;
   PAPIrepro_sim* bound_sim = nullptr;
+  /// Fault-injection staging: the plan (and switch state) to install as
+  /// a substrate decorator at the next PAPI_library_init.
+  std::optional<papi::FaultPlan> pending_fault_plan;
+  bool pending_fault_enabled = false;
+  papi::FaultInjectingSubstrate* fault_substrate = nullptr;  // owned by library
   /// Guards the two bridge maps below (handlers fire on whichever thread
   /// drives the overflowing context).
   std::mutex bridge_mutex;
@@ -153,6 +159,70 @@ int PAPIrepro_set_estimation(int enable) {
       g().bound_sim->substrate->set_estimation(enable != 0));
 }
 
+int PAPIrepro_set_fault_plan(const PAPIrepro_fault_plan_t* plan) {
+  if (plan == nullptr) return PAPI_EINVAL;
+  if (plan->counter_width_bits < 0 || plan->fault_code > 0 ||
+      plan->create_context_fail_times < 0 ||
+      plan->program_fail_times < 0 || plan->start_fail_times < 0 ||
+      plan->read_fail_times < 0 || plan->add_timer_fail_times < 0) {
+    return PAPI_EINVAL;
+  }
+  papi::FaultPlan converted;
+  converted.seed = plan->seed;
+  const Error code = plan->fault_code == 0
+                         ? Error::kConflict
+                         : static_cast<Error>(plan->fault_code);
+  auto script = [code](int fail_times, double probability) {
+    return papi::FaultScript{fail_times, probability, code};
+  };
+  converted.at(papi::FaultSite::kCreateContext) =
+      script(plan->create_context_fail_times, 0.0);
+  converted.at(papi::FaultSite::kProgram) =
+      script(plan->program_fail_times, plan->program_fail_probability);
+  converted.at(papi::FaultSite::kStart) =
+      script(plan->start_fail_times, 0.0);
+  converted.at(papi::FaultSite::kRead) =
+      script(plan->read_fail_times, plan->read_fail_probability);
+  converted.at(papi::FaultSite::kAddTimer) =
+      script(plan->add_timer_fail_times, 0.0);
+  converted.counter_width_bits =
+      plan->counter_width_bits == 0
+          ? 64u
+          : static_cast<std::uint32_t>(plan->counter_width_bits);
+  converted.timer_drop_probability = plan->timer_drop_probability;
+  converted.timer_extra_delay_cycles = plan->timer_extra_delay_cycles;
+
+  if (g().library == nullptr) {
+    g().pending_fault_plan = converted;
+    return PAPI_OK;
+  }
+  if (g().fault_substrate == nullptr) return PAPI_EISRUN;
+  g().fault_substrate->set_plan(converted);
+  return PAPI_OK;
+}
+
+int PAPIrepro_inject_faults(int enable) {
+  if (g().library == nullptr) {
+    // Arm the staged plan; stage a default (no-fault) plan if none so
+    // the decorator is installed at init and can be re-planned later.
+    if (!g().pending_fault_plan.has_value()) {
+      g().pending_fault_plan = papi::FaultPlan{};
+    }
+    g().pending_fault_enabled = enable != 0;
+    return PAPI_OK;
+  }
+  if (g().fault_substrate == nullptr) return PAPI_ENOSUPP;
+  g().fault_substrate->set_enabled(enable != 0);
+  return PAPI_OK;
+}
+
+int PAPIrepro_set_retry(int max_attempts,
+                        unsigned long long backoff_usec) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  return to_code(g().library->set_retry_policy(
+      {max_attempts, static_cast<std::uint64_t>(backoff_usec)}));
+}
+
 int PAPI_library_init(int version) {
   if (version != PAPI_VER_CURRENT) return PAPI_EINVAL;
   if (g().library != nullptr) return PAPI_VER_CURRENT;  // idempotent
@@ -164,6 +234,13 @@ int PAPI_library_init(int version) {
     substrate = std::move(sub);
   } else {
     substrate = std::make_unique<papi::HostSubstrate>();
+  }
+  if (g().pending_fault_plan.has_value()) {
+    auto wrapped = std::make_unique<papi::FaultInjectingSubstrate>(
+        std::move(substrate), *g().pending_fault_plan);
+    wrapped->set_enabled(g().pending_fault_enabled);
+    g().fault_substrate = wrapped.get();
+    substrate = std::move(wrapped);
   }
   g().library = std::make_unique<papi::Library>(std::move(substrate));
   g().high_level = std::make_unique<papi::HighLevel>(*g().library);
@@ -180,8 +257,11 @@ void PAPI_shutdown(void) {
     g().profil_states.clear();
   }
   if (g().bound_sim != nullptr) g().bound_sim->substrate = nullptr;
+  g().fault_substrate = nullptr;
   g().library.reset();
   g().bound_sim = nullptr;
+  g().pending_fault_plan.reset();
+  g().pending_fault_enabled = false;
 }
 
 const char* PAPI_strerror(int code) {

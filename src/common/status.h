@@ -59,6 +59,26 @@ constexpr std::string_view to_string(Error e) noexcept {
   return "Unknown error";
 }
 
+/// Transient-fault classification used by the retry/degradation layer.
+/// These codes can be produced by momentary substrate conditions — a
+/// counter file briefly held by another client (kConflict), a kernel
+/// transiently refusing a counter fd (kNoCounters), an interrupted
+/// system call (kSystem), or memory pressure (kNoMemory) — so a bounded
+/// retry may legitimately succeed.  Everything else (bad arguments,
+/// unmapped events, state-machine violations) is deterministic and must
+/// surface immediately.
+constexpr bool is_transient(Error e) noexcept {
+  switch (e) {
+    case Error::kConflict:
+    case Error::kNoCounters:
+    case Error::kSystem:
+    case Error::kNoMemory:
+      return true;
+    default:
+      return false;
+  }
+}
+
 /// Minimal expected-style result.  Holds either a value or an Error.
 template <typename T>
 class [[nodiscard]] Result {

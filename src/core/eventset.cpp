@@ -208,23 +208,36 @@ Status EventSet::start() {
     context_ = nullptr;
     return status;
   };
-  if (const Status s = program_and_arm(); !s.ok()) return abort_start(s);
-  if (const Status s = context_->reset_counts(); !s.ok()) {
-    return abort_start(s);
-  }
-  if (const Status s = context_->start(); !s.ok()) return abort_start(s);
+  // Transient substrate faults (a counter file briefly busy, an
+  // interrupted syscall) are retried as one unit — program is idempotent
+  // on a stopped context, so re-running the whole sequence is safe.
+  const Status started = library_.run_with_retries([this]() -> Status {
+    PAPIREPRO_RETURN_IF_ERROR(program_and_arm());
+    PAPIREPRO_RETURN_IF_ERROR(context_->reset_counts());
+    return context_->start();
+  });
+  if (!started.ok()) return abort_start(started);
   state_ = State::kRunning;
+  degradations_ = 0;
+
+  // Arm wraparound folding against the substrate's counter width.
+  const std::uint32_t width = library_.substrate().counter_width_bits();
+  wrap_mask_ = width < 64 ? (1ULL << width) - 1 : ~0ULL;
+  wrap_last_.assign(natives_.size(), 0);
+  wrap_accum_.assign(natives_.size(), 0);
 
   if (multiplex_) {
     mux_window_start_ = mux_slice_start_ = context_->cycles();
     auto timer =
         context_->add_timer(mux_slice_cycles_, [this] { rotate_mux(); });
     if (!timer.ok()) {
-      (void)context_->stop();
-      state_ = State::kStopped;
-      return abort_start(timer.error());
+      // Degradation ladder: no timer service — fall back to sequential
+      // slices, rotated by read()/accum() instead of aborting the run.
+      mux_timer_id_ = -1;
+      degradations_ |= degradation::kMuxSequential;
+    } else {
+      mux_timer_id_ = timer.value();
     }
-    mux_timer_id_ = timer.value();
   }
   return Error::kOk;
 }
@@ -248,18 +261,35 @@ void EventSet::rotate_mux() {
   mux_slice_start_ = context_->cycles();
 }
 
+Status EventSet::read_folded(std::vector<std::uint64_t>& raw_out) {
+  PAPIREPRO_RETURN_IF_ERROR(library_.run_with_retries(
+      [&] { return context_->read(raw_out); }));
+  if (wrap_mask_ == ~0ULL) return Error::kOk;  // full-width fast path
+  // Narrow counters wrap: trust only the delta since the previous read,
+  // folded modulo the counter width into the 64-bit accumulator.  Any
+  // reader cadence faster than one wrap period recovers exact totals.
+  for (std::size_t i = 0; i < raw_out.size(); ++i) {
+    const std::uint64_t raw = raw_out[i] & wrap_mask_;
+    wrap_accum_[i] += (raw - wrap_last_[i]) & wrap_mask_;
+    wrap_last_[i] = raw;
+    raw_out[i] = wrap_accum_[i];
+  }
+  return Error::kOk;
+}
+
 Status EventSet::snapshot_raw(std::vector<std::uint64_t>& raw_out) {
   raw_out.assign(natives_.size(), 0);
 
   if (!multiplex_) {
-    return context_->read(raw_out);
+    return read_folded(raw_out);
   }
 
   const std::uint64_t now = context_->cycles();
   std::vector<std::uint64_t> live;
   if (running()) {
     live.resize(mux_plans_[mux_current_].members.size());
-    PAPIREPRO_RETURN_IF_ERROR(context_->read(live));
+    PAPIREPRO_RETURN_IF_ERROR(library_.run_with_retries(
+        [&] { return context_->read(live); }));
   }
   const std::uint64_t window =
       now > mux_window_start_ ? now - mux_window_start_ : 0;
@@ -311,6 +341,9 @@ Status EventSet::read(std::span<long long> out) {
     compute_values(stopped_raw_, out);
     return Error::kOk;
   }
+  if (multiplex_ && (degradations_ & degradation::kMuxSequential) != 0) {
+    rotate_mux();  // sequential-slice fallback: reads drive the rotation
+  }
   std::vector<std::uint64_t> raw;
   PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(raw));
   compute_values(raw, out);
@@ -333,6 +366,8 @@ Status EventSet::reset() {
   if (running()) {
     PAPIREPRO_RETURN_IF_ERROR(context_->reset_counts());
   }
+  std::fill(wrap_last_.begin(), wrap_last_.end(), 0ULL);
+  std::fill(wrap_accum_.begin(), wrap_accum_.end(), 0ULL);
   if (multiplex_) {
     for (auto& st : mux_state_) {
       std::fill(st.accum.begin(), st.accum.end(), 0ULL);
@@ -355,7 +390,8 @@ Status EventSet::stop(std::span<long long> out) {
     (void)context_->stop();
     std::vector<std::uint64_t> live(
         mux_plans_[mux_current_].members.size());
-    PAPIREPRO_RETURN_IF_ERROR(context_->read(live));
+    PAPIREPRO_RETURN_IF_ERROR(library_.run_with_retries(
+        [&] { return context_->read(live); }));
     MuxGroupState& st = mux_state_[mux_current_];
     for (std::size_t i = 0; i < live.size(); ++i) st.accum[i] += live[i];
     st.active_cycles += context_->cycles() - mux_slice_start_;

@@ -30,6 +30,16 @@ namespace papirepro::papi {
 
 class Library;
 
+/// Degradation-ladder flags: loud markers that counting continued in a
+/// reduced mode after a substrate fault, set on the EventSet so callers
+/// can distinguish full-fidelity results from degraded ones (silently
+/// wrong counts are worse than errors).
+namespace degradation {
+/// Multiplex timer service failed: slices rotate on read()/accum()
+/// instead of a timer, so estimates need periodic reads to converge.
+inline constexpr std::uint32_t kMuxSequential = 0x1;
+}  // namespace degradation
+
 /// Context passed to user overflow handlers.
 struct OverflowEvent {
   EventId event;
@@ -80,6 +90,9 @@ class EventSet {
   /// domain::kKernel isolates them, domain::kAll (default) counts both.
   Status set_domain(std::uint32_t domain_mask);
   std::uint32_t counting_domain() const noexcept { return domain_mask_; }
+
+  /// degradation::* flags applied since the last start() (0 = none).
+  std::uint32_t degradations() const noexcept { return degradations_; }
 
   // --- counting control ---
   Status start();
@@ -133,6 +146,10 @@ class EventSet {
   Status rebuild(const std::vector<Entry>& candidate_entries,
                  const std::vector<pmu::NativeEventCode>& candidate_natives);
   Status program_and_arm();
+  /// Non-mux raw read with bounded retry and wraparound folding: deltas
+  /// between successive reads are taken modulo the substrate counter
+  /// width and accumulated into 64-bit totals.
+  Status read_folded(std::vector<std::uint64_t>& raw_out);
   Status program_mux_group(std::size_t g);
   void rotate_mux();
   Status snapshot_raw(std::vector<std::uint64_t>& raw_out);
@@ -153,6 +170,15 @@ class EventSet {
   std::vector<std::uint32_t> assignment_;  ///< non-mux allocation
 
   std::uint32_t domain_mask_ = domain::kAll;
+  std::uint32_t degradations_ = 0;
+
+  /// Wraparound folding over sub-64-bit substrate counters: per-native
+  /// last raw value and 64-bit accumulated total since start()/reset().
+  /// All-ones mask = full-width counters (fast path, no folding).
+  std::uint64_t wrap_mask_ = ~0ULL;
+  std::vector<std::uint64_t> wrap_last_;
+  std::vector<std::uint64_t> wrap_accum_;
+
   bool multiplex_ = false;
   std::uint64_t mux_slice_cycles_ = kDefaultMuxSliceCycles;
   std::vector<MuxGroupPlan> mux_plans_;

@@ -1,6 +1,7 @@
 #include "core/library.h"
 
 #include <cassert>
+#include <chrono>
 #include <climits>
 #include <mutex>
 
@@ -92,6 +93,35 @@ bool Library::threaded() const noexcept {
   return static_cast<bool>(id_fn_);
 }
 
+// --- transient-fault hardening ---------------------------------------------
+
+Status Library::set_retry_policy(const RetryPolicy& policy) {
+  if (policy.max_attempts < 1) return Error::kInvalid;
+  const std::unique_lock<std::shared_mutex> lock(retry_mutex_);
+  retry_policy_ = policy;
+  return Error::kOk;
+}
+
+RetryPolicy Library::retry_policy() const {
+  const std::shared_lock<std::shared_mutex> lock(retry_mutex_);
+  return retry_policy_;
+}
+
+Status Library::run_with_retries(const std::function<Status()>& op) {
+  const RetryPolicy policy = retry_policy();
+  Status status = op();
+  for (int attempt = 1; attempt < policy.max_attempts && !status.ok() &&
+                        is_transient(status.error());
+       ++attempt) {
+    if (policy.backoff_base_usec > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          policy.backoff_base_usec << (attempt - 1)));
+    }
+    status = op();
+  }
+  return status;
+}
+
 Result<ThreadRegistry::ThreadState*> Library::current_thread_state() {
   if (ThreadRegistry::ThreadState* state = threads_.find_current()) {
     return state;
@@ -101,10 +131,25 @@ Result<ThreadRegistry::ThreadState*> Library::current_thread_state() {
     const std::shared_lock<std::shared_mutex> lock(id_fn_mutex_);
     numeric_id = id_fn_ ? id_fn_() : default_thread_id();
   }
-  auto context = substrate_->create_context();
-  if (!context.ok()) return context.error();
-  return &threads_.insert_current(numeric_id,
-                                  std::move(context).value());
+  // Claim the registry slot first so the numeric id is assigned exactly
+  // once (the id function may not be idempotent), then create the
+  // context.  A failed create must release the claim, or the partial
+  // slot would shadow this thread forever and no retry could succeed.
+  ThreadRegistry::ThreadState& state = threads_.claim_current(numeric_id);
+  if (state.context != nullptr) return &state;  // raced our own claim
+  std::unique_ptr<CounterContext> context;
+  const Status created = run_with_retries([&] {
+    auto attempt = substrate_->create_context();
+    if (!attempt.ok()) return Status(attempt.error());
+    context = std::move(attempt).value();
+    return Status();
+  });
+  if (!created.ok()) {
+    threads_.release_partial_current();
+    return created.error();
+  }
+  state.context = std::move(context);
+  return &state;
 }
 
 Result<unsigned long> Library::thread_id() {

@@ -31,6 +31,19 @@
 
 namespace papirepro::papi {
 
+/// Bounded retry for transient substrate failures (the PAPI_set_opt-style
+/// hardening knob).  Context creation, counter programming, start, and
+/// reads are re-attempted up to `max_attempts` total tries when the
+/// failure is_transient(); the *last* substrate error — never a retry
+/// artifact — surfaces when the budget is exhausted.  `backoff_base_usec`
+/// of wall-clock sleep, doubling per attempt, separates the tries (0 =
+/// immediate retry, the right setting for simulated substrates whose
+/// clock does not advance while we sleep).
+struct RetryPolicy {
+  int max_attempts = 3;
+  std::uint64_t backoff_base_usec = 0;
+};
+
 class Library {
  public:
   /// Version handshake, PAPI-style: callers pass the version they were
@@ -90,6 +103,15 @@ class Library {
     return substrate_->memory_info();
   }
 
+  // --- transient-fault hardening ---
+  /// max_attempts < 1 is invalid; max_attempts == 1 disables retries.
+  Status set_retry_policy(const RetryPolicy& policy);
+  RetryPolicy retry_policy() const;
+  /// Runs `op`, re-attempting transient failures per the retry policy.
+  /// Returns the final attempt's status (the original substrate error on
+  /// a permanent or retry-exhausted fault).
+  Status run_with_retries(const std::function<Status()>& op);
+
  private:
   friend class EventSet;
   /// Claims the calling thread's running slot for `set` and returns the
@@ -106,6 +128,9 @@ class Library {
   ThreadRegistry threads_;
   mutable std::shared_mutex id_fn_mutex_;
   ThreadIdFn id_fn_;
+
+  mutable std::shared_mutex retry_mutex_;
+  RetryPolicy retry_policy_;
 
   mutable std::shared_mutex sets_mutex_;
   std::unordered_map<int, std::unique_ptr<EventSet>> sets_;

@@ -10,17 +10,24 @@ ThreadRegistry::ThreadState* ThreadRegistry::find_current() const {
   return it != entries_.end() ? it->second.get() : nullptr;
 }
 
-ThreadRegistry::ThreadState& ThreadRegistry::insert_current(
-    unsigned long numeric_id, std::unique_ptr<CounterContext> context) {
+ThreadRegistry::ThreadState& ThreadRegistry::claim_current(
+    unsigned long numeric_id) {
   const std::unique_lock<std::shared_mutex> lock(mutex_);
   auto& slot = entries_[std::this_thread::get_id()];
   if (slot == nullptr) {
     slot = std::make_unique<ThreadState>();
     slot->key = std::this_thread::get_id();
     slot->numeric_id = numeric_id;
-    slot->context = std::move(context);
   }
   return *slot;
+}
+
+void ThreadRegistry::release_partial_current() {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const auto it = entries_.find(std::this_thread::get_id());
+  if (it != entries_.end() && it->second->context == nullptr) {
+    entries_.erase(it);
+  }
 }
 
 Status ThreadRegistry::erase_current() {

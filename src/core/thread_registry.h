@@ -35,10 +35,16 @@ class ThreadRegistry {
   /// The calling thread's state, or nullptr if not registered.
   ThreadState* find_current() const;
 
-  /// Registers the calling thread.  Returns the existing state when
-  /// already registered (context/numeric_id unchanged).
-  ThreadState& insert_current(unsigned long numeric_id,
-                              std::unique_ptr<CounterContext> context);
+  /// Claims (or returns) the calling thread's slot *without* a context —
+  /// the first half of claim-then-create registration.  The caller must
+  /// either attach a context or call release_partial_current(); a
+  /// leaked context-less slot would permanently block re-registration.
+  ThreadState& claim_current(unsigned long numeric_id);
+
+  /// Releases the calling thread's slot iff it is still context-less (a
+  /// claim whose create_context() failed).  No-op for completed
+  /// registrations and unregistered threads.
+  void release_partial_current();
 
   /// Drops the calling thread's state.  kIsRunning while its EventSet
   /// runs, kInvalid when the thread was never registered.

@@ -53,6 +53,11 @@ class Substrate {
   virtual const pmu::PlatformDescription* platform() const noexcept {
     return nullptr;
   }
+  /// Width of the physical counter registers in bits.  Values read from a
+  /// context are truncated to this width by the hardware, so sub-64-bit
+  /// substrates wrap mid-run; the portable layer (core/eventset) folds
+  /// successive reads into wraparound-safe 64-bit totals using this.
+  virtual std::uint32_t counter_width_bits() const noexcept { return 64; }
 
   // --- counter context factory ---
   /// A fresh, independent programming context.  Thread-aware substrates

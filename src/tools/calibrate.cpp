@@ -44,8 +44,12 @@ Result<std::vector<CalibrationRow>> calibrate_workload(
         std::make_unique<papi::SimSubstrate>(machine, platform);
     papi::SimSubstrate* substrate = substrate_ptr.get();
     papi::Library library(std::move(substrate_ptr));
+    bool estimation_degraded = false;
     if (options.use_estimation) {
-      PAPIREPRO_RETURN_IF_ERROR(substrate->set_estimation(true));
+      // Degradation ladder: if the sampling service refuses, fall back
+      // to direct counting rather than abort — flagged per row so the
+      // caller never mistakes a degraded run for an estimation one.
+      estimation_degraded = !substrate->set_estimation(true).ok();
     }
 
     auto handle = library.create_event_set();
@@ -84,6 +88,7 @@ Result<std::vector<CalibrationRow>> calibrate_workload(
             ? static_cast<double>(row.overhead_cycles) /
                   static_cast<double>(machine.cycles())
             : 0.0;
+    row.estimation_degraded = estimation_degraded;
     rows.push_back(row);
   }
   return rows;

@@ -39,6 +39,9 @@ struct CalibrationRow {
   double rel_error = 0;  ///< |measured-expected| / expected
   std::uint64_t overhead_cycles = 0;
   double overhead_fraction = 0;  ///< overhead / total cycles
+  /// Estimation was requested but unavailable; the row was measured by
+  /// direct counting instead (the degradation ladder's loud fallback).
+  bool estimation_degraded = false;
 };
 
 /// Runs `workload` on `platform`, measuring every preset whose expected

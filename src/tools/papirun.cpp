@@ -24,8 +24,11 @@ Result<PapirunResult> papirun(const PapirunRequest& request) {
       std::make_unique<papi::SimSubstrate>(machine, *platform);
   papi::SimSubstrate* substrate = substrate_ptr.get();
   papi::Library library(std::move(substrate_ptr));
+  PapirunResult result;
   if (request.use_estimation) {
-    PAPIREPRO_RETURN_IF_ERROR(substrate->set_estimation(true));
+    // Degradation ladder: estimation service unavailable -> direct
+    // counting, flagged in the result and the printed report.
+    result.estimation_degraded = !substrate->set_estimation(true).ok();
   }
 
   const bool defaulted = request.events.empty();
@@ -41,7 +44,6 @@ Result<PapirunResult> papirun(const PapirunRequest& request) {
   if (!handle.ok()) return handle.error();
   papi::EventSet* set = library.event_set(handle.value()).value();
 
-  PapirunResult result;
   std::vector<std::string> added_names;
   for (const std::string& name : names) {
     Status added = set->add_named(name);
@@ -76,7 +78,11 @@ Result<PapirunResult> papirun(const PapirunRequest& request) {
 
   std::ostringstream os;
   os << "papirun: " << request.workload << " on " << platform->name
-     << (result.multiplexed ? " (multiplexed)" : "") << "\n";
+     << (result.multiplexed ? " (multiplexed)" : "")
+     << (result.estimation_degraded
+             ? " (estimation unavailable: direct counting)"
+             : "")
+     << "\n";
   os << "  real time: " << result.real_usec << " us, cycles: "
      << result.cycles << ", instructions: " << result.instructions
      << "\n";

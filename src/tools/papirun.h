@@ -32,6 +32,9 @@ struct PapirunResult {
   std::uint64_t cycles = 0;
   std::uint64_t instructions = 0;
   bool multiplexed = false;
+  /// use_estimation was requested but the sampling service refused; the
+  /// run fell back to direct counting (degradation ladder).
+  bool estimation_degraded = false;
 };
 
 Result<PapirunResult> papirun(const PapirunRequest& request);

@@ -1,0 +1,314 @@
+// Table-driven C-API error matrix: every EventSet entry point against
+// the documented failure classes — uninitialized library, bad handle,
+// freed handle, not-running set, null out-pointer — plus the
+// fault-injection extension surface (PAPIrepro_set_fault_plan /
+// PAPIrepro_inject_faults / PAPIrepro_set_retry) end to end.  Real PAPI
+// earned its portability by returning the *same* error codes on every
+// substrate; this suite pins the contract down so substrate or hardening
+// changes cannot silently shift a code.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "capi/papi.h"
+
+namespace {
+
+/// One entry point driven with an arbitrary EventSet handle.
+struct HandleCase {
+  const char* name;
+  std::function<int(int handle)> call;
+};
+
+std::vector<HandleCase> handle_cases() {
+  static long long values[32];
+  static int codes[32];
+  static int number;
+  static int state;
+  return {
+      {"PAPI_add_event",
+       [](int h) { return PAPI_add_event(h, PAPI_TOT_INS); }},
+      {"PAPI_add_named_event",
+       [](int h) { return PAPI_add_named_event(h, "PAPI_TOT_INS"); }},
+      {"PAPI_remove_event",
+       [](int h) { return PAPI_remove_event(h, PAPI_TOT_INS); }},
+      {"PAPI_num_events", [](int h) { return PAPI_num_events(h); }},
+      {"PAPI_set_multiplex", [](int h) { return PAPI_set_multiplex(h); }},
+      {"PAPI_set_domain",
+       [](int h) { return PAPI_set_domain(h, PAPI_DOM_USER); }},
+      {"PAPI_start", [](int h) { return PAPI_start(h); }},
+      {"PAPI_stop", [](int h) { return PAPI_stop(h, values); }},
+      {"PAPI_read", [](int h) { return PAPI_read(h, values); }},
+      {"PAPI_accum", [](int h) { return PAPI_accum(h, values); }},
+      {"PAPI_reset", [](int h) { return PAPI_reset(h); }},
+      {"PAPI_overflow",
+       [](int h) {
+         return PAPI_overflow(h, PAPI_TOT_INS, 1000, 0,
+                              [](int, void*, long long, void*) {});
+       }},
+      {"PAPI_list_events",
+       [](int h) {
+         number = 32;
+         return PAPI_list_events(h, codes, &number);
+       }},
+      {"PAPI_state", [](int h) { return PAPI_state(h, &state); }},
+  };
+}
+
+class CapiErrors : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PAPI_shutdown();  // other suites may have left global state behind
+    sim_ = PAPIrepro_sim_create("sim-x86", "saxpy", 10'000);
+    ASSERT_NE(sim_, nullptr);
+    ASSERT_EQ(PAPIrepro_bind_sim(sim_), PAPI_OK);
+    ASSERT_EQ(PAPI_library_init(PAPI_VER_CURRENT), PAPI_VER_CURRENT);
+  }
+  void TearDown() override {
+    PAPI_shutdown();
+    PAPIrepro_sim_destroy(sim_);
+  }
+  PAPIrepro_sim_t* sim_ = nullptr;
+};
+
+TEST(CapiErrorsNoInit, EveryEntryPointReportsNoInit) {
+  PAPI_shutdown();
+  ASSERT_EQ(PAPI_is_initialized(), 0);
+  for (const HandleCase& c : handle_cases()) {
+    EXPECT_EQ(c.call(0), PAPI_ENOINIT) << c.name;
+  }
+  int es;
+  long long values[2];
+  int events[2] = {PAPI_TOT_CYC, PAPI_TOT_INS};
+  EXPECT_EQ(PAPI_create_eventset(&es), PAPI_ENOINIT);
+  EXPECT_EQ(PAPI_destroy_eventset(&es), PAPI_ENOINIT);
+  EXPECT_EQ(PAPI_thread_init([] { return 0ul; }), PAPI_ENOINIT);
+  EXPECT_EQ(PAPI_register_thread(), PAPI_ENOINIT);
+  EXPECT_EQ(PAPI_num_threads(), PAPI_ENOINIT);
+  EXPECT_EQ(PAPI_start_counters(events, 2), PAPI_ENOINIT);
+  EXPECT_EQ(PAPI_stop_counters(values, 2), PAPI_ENOINIT);
+  EXPECT_EQ(PAPIrepro_set_retry(3, 0), PAPI_ENOINIT);
+  EXPECT_EQ(PAPIrepro_set_estimation(1), PAPI_ENOINIT);
+}
+
+TEST_F(CapiErrors, BadHandleReportsNoEventSet) {
+  for (const HandleCase& c : handle_cases()) {
+    EXPECT_EQ(c.call(9999), PAPI_ENOEVST) << c.name << " (bogus)";
+    EXPECT_EQ(c.call(PAPI_NULL), PAPI_ENOEVST) << c.name << " (NULL)";
+  }
+}
+
+TEST_F(CapiErrors, FreedHandleReportsNoEventSet) {
+  int es = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+  ASSERT_EQ(PAPI_add_event(es, PAPI_TOT_INS), PAPI_OK);
+  const int freed = es;
+  ASSERT_EQ(PAPI_destroy_eventset(&es), PAPI_OK);
+  ASSERT_EQ(es, PAPI_NULL);
+  for (const HandleCase& c : handle_cases()) {
+    EXPECT_EQ(c.call(freed), PAPI_ENOEVST) << c.name;
+  }
+}
+
+TEST_F(CapiErrors, NotRunningSetReportsNotRunning) {
+  int es = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+  ASSERT_EQ(PAPI_add_event(es, PAPI_TOT_INS), PAPI_OK);
+  long long values[1];
+  // Never started: no counts to stop, read, or accumulate.
+  EXPECT_EQ(PAPI_stop(es, values), PAPI_ENOTRUN);
+  EXPECT_EQ(PAPI_read(es, values), PAPI_ENOTRUN);
+  EXPECT_EQ(PAPI_accum(es, values), PAPI_ENOTRUN);
+  // Started then stopped: stop again is ENOTRUN, but read still serves
+  // the final snapshot (the PAPI read-after-stop contract).
+  ASSERT_EQ(PAPI_start(es), PAPI_OK);
+  EXPECT_EQ(PAPI_start(es), PAPI_EISRUN);  // double start, while here
+  ASSERT_EQ(PAPI_stop(es, values), PAPI_OK);
+  EXPECT_EQ(PAPI_stop(es, values), PAPI_ENOTRUN);
+  EXPECT_EQ(PAPI_read(es, values), PAPI_OK);
+}
+
+TEST_F(CapiErrors, NullOutPointersReportInval) {
+  int es = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+  ASSERT_EQ(PAPI_add_event(es, PAPI_TOT_INS), PAPI_OK);
+  ASSERT_EQ(PAPI_start(es), PAPI_OK);
+  EXPECT_EQ(PAPI_read(es, nullptr), PAPI_EINVAL);
+  EXPECT_EQ(PAPI_accum(es, nullptr), PAPI_EINVAL);
+  EXPECT_EQ(PAPI_state(es, nullptr), PAPI_EINVAL);
+  EXPECT_EQ(PAPI_list_events(es, nullptr, nullptr), PAPI_EINVAL);
+  // PAPI_stop with null values discards counts but must still stop.
+  EXPECT_EQ(PAPI_stop(es, nullptr), PAPI_OK);
+
+  EXPECT_EQ(PAPI_create_eventset(nullptr), PAPI_EINVAL);
+  EXPECT_EQ(PAPI_destroy_eventset(nullptr), PAPI_EINVAL);
+  int code;
+  char name[PAPI_MAX_STR_LEN];
+  EXPECT_EQ(PAPI_event_name_to_code(nullptr, &code), PAPI_EINVAL);
+  EXPECT_EQ(PAPI_event_name_to_code("PAPI_TOT_INS", nullptr), PAPI_EINVAL);
+  EXPECT_EQ(PAPI_event_code_to_name(PAPI_TOT_INS, nullptr, 8), PAPI_EINVAL);
+  EXPECT_EQ(PAPI_event_code_to_name(PAPI_TOT_INS, name, 0), PAPI_EINVAL);
+  EXPECT_EQ(PAPI_add_named_event(es, nullptr), PAPI_EINVAL);
+  EXPECT_EQ(PAPI_get_memory_info(nullptr), PAPI_EINVAL);
+  EXPECT_EQ(PAPI_thread_init(nullptr), PAPI_EINVAL);
+  EXPECT_EQ(PAPI_start_counters(nullptr, 1), PAPI_EINVAL);
+  EXPECT_EQ(PAPI_read_counters(nullptr, 1), PAPI_EINVAL);
+}
+
+TEST_F(CapiErrors, UnknownEventCodesReportNoEvent) {
+  int es = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+  const int bogus = 0x7f123456;
+  EXPECT_EQ(PAPI_add_event(es, bogus), PAPI_ENOEVNT);
+  EXPECT_EQ(PAPI_add_named_event(es, "NOT_AN_EVENT"), PAPI_ENOEVNT);
+  EXPECT_EQ(PAPI_remove_event(es, PAPI_TOT_INS), PAPI_ENOEVNT);
+  char name[PAPI_MAX_STR_LEN];
+  // A preset index beyond the table decodes to no event.
+  EXPECT_EQ(PAPI_event_code_to_name(
+                static_cast<int>(PAPI_PRESET_MASK | 0x7000), name,
+                sizeof(name)),
+            PAPI_ENOEVNT);
+}
+
+// ---- fault-injection extension surface ----
+
+TEST_F(CapiErrors, FaultPlanArgumentValidation) {
+  EXPECT_EQ(PAPIrepro_set_fault_plan(nullptr), PAPI_EINVAL);
+  PAPIrepro_fault_plan_t plan = {};
+  plan.program_fail_times = -1;
+  EXPECT_EQ(PAPIrepro_set_fault_plan(&plan), PAPI_EINVAL);
+  plan = {};
+  plan.fault_code = 3;  // PAPI codes are <= 0
+  EXPECT_EQ(PAPIrepro_set_fault_plan(&plan), PAPI_EINVAL);
+  plan = {};
+  plan.counter_width_bits = -8;
+  EXPECT_EQ(PAPIrepro_set_fault_plan(&plan), PAPI_EINVAL);
+  // Initialized without a decorator: the plan cannot be installed now.
+  plan = {};
+  EXPECT_EQ(PAPIrepro_set_fault_plan(&plan), PAPI_EISRUN);
+  EXPECT_EQ(PAPIrepro_inject_faults(1), PAPI_ENOSUPP);
+}
+
+TEST_F(CapiErrors, SetRetryValidatesAttempts) {
+  EXPECT_EQ(PAPIrepro_set_retry(0, 0), PAPI_EINVAL);
+  EXPECT_EQ(PAPIrepro_set_retry(-2, 0), PAPI_EINVAL);
+  EXPECT_EQ(PAPIrepro_set_retry(3, 0), PAPI_OK);
+}
+
+TEST(CapiFaultInjection, StagedTransientFaultsRetriedToCorrectCounts) {
+  PAPI_shutdown();
+  PAPIrepro_sim_t* sim = PAPIrepro_sim_create("sim-x86", "saxpy", 10'000);
+  ASSERT_NE(sim, nullptr);
+  ASSERT_EQ(PAPIrepro_bind_sim(sim), PAPI_OK);
+  // Stage the plan before init: two transient program() failures plus a
+  // context-create hiccup, all absorbed by the default retry budget.
+  PAPIrepro_fault_plan_t plan = {};
+  plan.seed = 42;
+  plan.program_fail_times = 2;
+  plan.create_context_fail_times = 1;
+  ASSERT_EQ(PAPIrepro_set_fault_plan(&plan), PAPI_OK);
+  ASSERT_EQ(PAPIrepro_inject_faults(1), PAPI_OK);
+  ASSERT_EQ(PAPI_library_init(PAPI_VER_CURRENT), PAPI_VER_CURRENT);
+
+  int es = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+  ASSERT_EQ(PAPI_add_event(es, PAPI_FMA_INS), PAPI_OK);
+  ASSERT_EQ(PAPI_start(es), PAPI_OK);
+  PAPIrepro_sim_run(sim, -1);
+  long long v = 0;
+  ASSERT_EQ(PAPI_stop(es, &v), PAPI_OK);
+  EXPECT_EQ(v, 10'000);  // correct counts despite the faults
+  PAPI_shutdown();
+  PAPIrepro_sim_destroy(sim);
+}
+
+TEST(CapiFaultInjection, PermanentFaultSurfacesConfiguredCode) {
+  PAPI_shutdown();
+  PAPIrepro_sim_t* sim = PAPIrepro_sim_create("sim-x86", "saxpy", 10'000);
+  ASSERT_NE(sim, nullptr);
+  ASSERT_EQ(PAPIrepro_bind_sim(sim), PAPI_OK);
+  PAPIrepro_fault_plan_t plan = {};
+  plan.program_fail_times = 1 << 20;  // effectively permanent
+  plan.fault_code = PAPI_ESYS;
+  ASSERT_EQ(PAPIrepro_set_fault_plan(&plan), PAPI_OK);
+  ASSERT_EQ(PAPIrepro_inject_faults(1), PAPI_OK);
+  ASSERT_EQ(PAPI_library_init(PAPI_VER_CURRENT), PAPI_VER_CURRENT);
+
+  int es = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+  ASSERT_EQ(PAPI_add_event(es, PAPI_TOT_INS), PAPI_OK);
+  // The injected substrate code comes back — not EINVAL, not a retry
+  // artifact.
+  EXPECT_EQ(PAPI_start(es), PAPI_ESYS);
+  // Disabling injection at runtime heals the substrate immediately.
+  ASSERT_EQ(PAPIrepro_inject_faults(0), PAPI_OK);
+  ASSERT_EQ(PAPI_start(es), PAPI_OK);
+  PAPIrepro_sim_run(sim, -1);
+  long long v = 0;
+  ASSERT_EQ(PAPI_stop(es, &v), PAPI_OK);
+  EXPECT_GT(v, 0);
+  PAPI_shutdown();
+  PAPIrepro_sim_destroy(sim);
+}
+
+TEST(CapiFaultInjection, NarrowCounterRunMatchesFullWidth) {
+  auto run_width = [](int width) {
+    PAPI_shutdown();
+    PAPIrepro_sim_t* sim =
+        PAPIrepro_sim_create("sim-x86", "saxpy", 20'000);
+    EXPECT_NE(sim, nullptr);
+    EXPECT_EQ(PAPIrepro_bind_sim(sim), PAPI_OK);
+    PAPIrepro_fault_plan_t plan = {};
+    plan.counter_width_bits = width;
+    EXPECT_EQ(PAPIrepro_set_fault_plan(&plan), PAPI_OK);
+    EXPECT_EQ(PAPIrepro_inject_faults(1), PAPI_OK);
+    EXPECT_EQ(PAPI_library_init(PAPI_VER_CURRENT), PAPI_VER_CURRENT);
+    int es = PAPI_NULL;
+    EXPECT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+    EXPECT_EQ(PAPI_add_event(es, PAPI_TOT_INS), PAPI_OK);
+    EXPECT_EQ(PAPI_start(es), PAPI_OK);
+    // Periodic reads keep the folding cadence ahead of the wrap period.
+    long long v = 0;
+    while (!PAPIrepro_sim_halted(sim)) {
+      PAPIrepro_sim_run(sim, 20'000);
+      EXPECT_EQ(PAPI_read(es, &v), PAPI_OK);
+    }
+    long long total = 0;
+    EXPECT_EQ(PAPI_stop(es, &total), PAPI_OK);
+    PAPI_shutdown();
+    PAPIrepro_sim_destroy(sim);
+    return total;
+  };
+  const long long narrow = run_width(17);  // wraps every 131072 counts
+  const long long full = run_width(64);
+  EXPECT_EQ(narrow, full);
+  EXPECT_GT(full, 1 << 17);  // the narrow register really wrapped
+}
+
+TEST(CapiFaultInjection, RetryKnobBoundsAttempts) {
+  PAPI_shutdown();
+  PAPIrepro_sim_t* sim = PAPIrepro_sim_create("sim-x86", "saxpy", 1'000);
+  ASSERT_NE(sim, nullptr);
+  ASSERT_EQ(PAPIrepro_bind_sim(sim), PAPI_OK);
+  PAPIrepro_fault_plan_t plan = {};
+  plan.program_fail_times = 1;
+  ASSERT_EQ(PAPIrepro_set_fault_plan(&plan), PAPI_OK);
+  ASSERT_EQ(PAPIrepro_inject_faults(1), PAPI_OK);
+  ASSERT_EQ(PAPI_library_init(PAPI_VER_CURRENT), PAPI_VER_CURRENT);
+  // With retries disabled the one transient surfaces...
+  ASSERT_EQ(PAPIrepro_set_retry(1, 0), PAPI_OK);
+  int es = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+  ASSERT_EQ(PAPI_add_event(es, PAPI_TOT_INS), PAPI_OK);
+  EXPECT_EQ(PAPI_start(es), PAPI_ECNFLCT);  // default injected code
+  // ...and the next attempt (script exhausted) goes through.
+  EXPECT_EQ(PAPI_start(es), PAPI_OK);
+  long long v = 0;
+  ASSERT_EQ(PAPI_stop(es, &v), PAPI_OK);
+  PAPI_shutdown();
+  PAPIrepro_sim_destroy(sim);
+}
+
+}  // namespace

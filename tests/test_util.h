@@ -10,6 +10,7 @@
 #include "sim/event.h"
 #include "sim/kernels.h"
 #include "sim/machine.h"
+#include "substrate/fault_substrate.h"
 #include "substrate/sim_substrate.h"
 
 namespace papirepro::test {
@@ -32,6 +33,38 @@ struct SimFixture {
                                                     options);
     substrate = sub.get();
     library = std::make_unique<papi::Library>(std::move(sub));
+  }
+
+  papi::EventSet& new_set() {
+    auto handle = library->create_event_set();
+    return *library->event_set(handle.value()).value();
+  }
+};
+
+/// SimFixture with a FaultInjectingSubstrate decorating the sim
+/// substrate: the setup of every hardening test.  `fault` and
+/// `substrate` alias the decorator and the decorated sim substrate.
+struct FaultFixture {
+  sim::Workload workload;
+  std::unique_ptr<sim::Machine> machine;
+  papi::SimSubstrate* substrate = nullptr;         // owned by fault
+  papi::FaultInjectingSubstrate* fault = nullptr;  // owned by library
+  std::unique_ptr<papi::Library> library;
+
+  FaultFixture(sim::Workload w, const pmu::PlatformDescription& platform,
+               const papi::FaultPlan& plan,
+               const papi::SimSubstrateOptions& options = {})
+      : workload(std::move(w)) {
+    machine = std::make_unique<sim::Machine>(workload.program,
+                                             platform.machine);
+    if (workload.setup) workload.setup(*machine);
+    auto sub = std::make_unique<papi::SimSubstrate>(*machine, platform,
+                                                    options);
+    substrate = sub.get();
+    auto wrapped = std::make_unique<papi::FaultInjectingSubstrate>(
+        std::move(sub), plan);
+    fault = wrapped.get();
+    library = std::make_unique<papi::Library>(std::move(wrapped));
   }
 
   papi::EventSet& new_set() {
