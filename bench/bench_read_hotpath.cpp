@@ -1,0 +1,240 @@
+// RH1: steady-state counter hot-path cost — wall nanoseconds and heap
+// allocations per EventSet::read()/accum() call, across the four regimes
+// a tool actually runs in: direct counting, folded narrow-width
+// counters, multiplexed estimation, and N threads hammering one shared
+// Library.  The paper's overhead lesson (Section 4: direct counting can
+// cost up to 30 % while sampling substrates stay at 1-2 %) means the
+// portable layer must add ~nothing on top of the substrate; after the
+// zero-allocation hot-path work, every steady-state read should report
+// 0 allocs.  Also emits machine-readable BENCH_read_hotpath.json (in
+// the working directory — the repo root when run via CI) so successive
+// PRs can track the trajectory.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "substrate/fault_substrate.h"
+
+// --- global operator-new counting -----------------------------------------
+// Replaceable allocation functions counting every heap allocation made by
+// the process; reads in steady state should add zero to this.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align),
+                     size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+using namespace papirepro;
+
+namespace {
+
+constexpr int kIters = 100'000;
+
+struct Row {
+  const char* scenario;
+  double read_ns = 0;
+  double read_allocs = 0;
+  double accum_ns = 0;
+  double accum_allocs = 0;
+};
+
+/// Times `iters` calls of `op` and reports (ns/call, allocs/call).
+template <typename Op>
+std::pair<double, double> measure(int iters, Op&& op) {
+  // Warm-up: fill scratch capacities / caches so we measure steady state.
+  for (int i = 0; i < 64; ++i) op();
+  const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) op();
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
+  return {std::chrono::duration<double, std::nano>(t1 - t0).count() / iters,
+          static_cast<double>(a1 - a0) / iters};
+}
+
+Row measure_set(const char* scenario, papi::EventSet& set) {
+  Row row{scenario};
+  std::vector<long long> v(set.num_events());
+  std::tie(row.read_ns, row.read_allocs) =
+      measure(kIters, [&] { (void)set.read(v); });
+  std::tie(row.accum_ns, row.accum_allocs) =
+      measure(kIters, [&] { (void)set.accum(v); });
+  return row;
+}
+
+Row run_direct() {
+  bench::Rig rig(sim::make_empty_loop(10), pmu::sim_x86(),
+                 {.charge_costs = false});
+  papi::EventSet& set = rig.new_set();
+  (void)set.add_preset(papi::Preset::kTotIns);
+  (void)set.add_preset(papi::Preset::kTotCyc);
+  if (!set.start().ok()) return {"direct"};
+  Row row = measure_set("direct", set);
+  (void)set.stop();
+  return row;
+}
+
+Row run_folded() {
+  // Narrow 24-bit counters through the fault decorator (no fault
+  // scripts armed): every read goes through the wraparound-folding path.
+  sim::Workload w = sim::make_empty_loop(10);
+  auto machine =
+      std::make_unique<sim::Machine>(w.program, pmu::sim_x86().machine);
+  auto inner = std::make_unique<papi::SimSubstrate>(
+      *machine, pmu::sim_x86(),
+      papi::SimSubstrateOptions{.charge_costs = false});
+  papi::FaultPlan plan;
+  plan.counter_width_bits = 24;
+  papi::Library library(std::make_unique<papi::FaultInjectingSubstrate>(
+      std::move(inner), plan));
+  auto handle = library.create_event_set();
+  papi::EventSet& set = *library.event_set(handle.value()).value();
+  (void)set.add_preset(papi::Preset::kTotIns);
+  (void)set.add_preset(papi::Preset::kTotCyc);
+  if (!set.start().ok()) return {"folded_24bit"};
+  Row row = measure_set("folded_24bit", set);
+  (void)set.stop();
+  return row;
+}
+
+Row run_multiplexed() {
+  bench::Rig rig(sim::make_saxpy(50'000), pmu::sim_x86(),
+                 {.charge_costs = false});
+  papi::EventSet& set = rig.new_set();
+  (void)set.enable_multiplex(/*slice_cycles=*/20'000);
+  for (const char* name : {"PAPI_FMA_INS", "PAPI_LD_INS", "PAPI_SR_INS",
+                           "PAPI_TOT_INS", "PAPI_BR_INS", "PAPI_L1_DCA"}) {
+    (void)set.add_named(name);
+  }
+  if (!set.start().ok()) return {"multiplexed"};
+  rig.machine->run();  // let the slices rotate over a real workload
+  Row row = measure_set("multiplexed", set);
+  (void)set.stop();
+  return row;
+}
+
+Row run_threaded() {
+  constexpr int kThreads = 4;
+  std::vector<sim::Workload> workloads;
+  std::vector<std::unique_ptr<sim::Machine>> machines;
+  for (int t = 0; t < kThreads; ++t) {
+    workloads.push_back(sim::make_empty_loop(10));
+    machines.push_back(std::make_unique<sim::Machine>(
+        workloads.back().program, pmu::sim_x86().machine));
+  }
+  auto owned = std::make_unique<papi::SimSubstrate>(
+      *machines[0], pmu::sim_x86(),
+      papi::SimSubstrateOptions{.charge_costs = false});
+  papi::SimSubstrate* substrate = owned.get();
+  papi::Library library(std::move(owned));
+
+  std::vector<double> ns(kThreads, 0.0);
+  std::vector<double> allocs(kThreads, 0.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      substrate->bind_thread_machine(*machines[t]);
+      auto handle = library.create_event_set();
+      papi::EventSet& set = *library.event_set(handle.value()).value();
+      (void)set.add_preset(papi::Preset::kTotIns);
+      if (!set.start().ok()) return;
+      long long v[1];
+      std::tie(ns[t], allocs[t]) =
+          measure(kIters, [&] { (void)set.read(v); });
+      (void)set.stop();
+      (void)library.destroy_event_set(set.handle());
+      (void)library.unregister_thread();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  Row row{"threaded_x4"};
+  for (int t = 0; t < kThreads; ++t) {
+    row.read_ns += ns[t] / kThreads;
+    row.read_allocs += allocs[t] / kThreads;
+  }
+  return row;
+}
+
+void write_json(const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen("BENCH_read_hotpath.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_read_hotpath.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"read_hotpath\",\n  \"iters\": %d,\n"
+                  "  \"scenarios\": {\n", kIters);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    \"%s\": {\"read_ns\": %.1f, \"read_allocs\": %.3f, "
+                 "\"accum_ns\": %.1f, \"accum_allocs\": %.3f}%s\n",
+                 r.scenario, r.read_ns, r.read_allocs, r.accum_ns,
+                 r.accum_allocs, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("RH1", "steady-state read()/accum() hot-path cost");
+  std::printf("wall ns and heap allocations per call after start() "
+              "(sim-x86,\ncost charging off; %d iterations per cell):\n\n",
+              kIters);
+  std::printf("%-14s %10s %12s %10s %12s\n", "scenario", "read_ns",
+              "read_allocs", "accum_ns", "accum_allocs");
+
+  std::vector<Row> rows;
+  rows.push_back(run_direct());
+  rows.push_back(run_folded());
+  rows.push_back(run_multiplexed());
+  rows.push_back(run_threaded());
+
+  for (const Row& r : rows) {
+    std::printf("%-14s %10.0f %12.3f %10.0f %12.3f\n", r.scenario,
+                r.read_ns, r.read_allocs, r.accum_ns, r.accum_allocs);
+  }
+  write_json(rows);
+  std::printf("\nallocs columns should read 0.000 in every steady-state "
+              "row: the\nread/fold/mux-rotation buffers are preallocated "
+              "at start() and the\nretry wrapper is templated away.  "
+              "JSON written to BENCH_read_hotpath.json.\n");
+  return 0;
+}

@@ -137,6 +137,21 @@ int PAPIrepro_inject_faults(int enable);
 int PAPIrepro_set_retry(int max_attempts,
                         unsigned long long backoff_usec);
 
+/* Counter-allocation memo instrumentation: the library caches bipartite
+ * allocation solves keyed on the native-event list, so repeated EventSet
+ * builds skip the matcher.  hits/misses/evictions are cumulative since
+ * init (or the last invalidating substrate-mode change, counted in
+ * invalidations); entries is the current resident count. */
+typedef struct PAPIrepro_alloc_cache_stats {
+  long long hits;
+  long long misses;
+  long long evictions;
+  long long invalidations;
+  long long entries;
+} PAPIrepro_alloc_cache_stats_t;
+/* Requires an initialized library; PAPI_EINVAL on NULL out. */
+int PAPIrepro_alloc_cache_stats(PAPIrepro_alloc_cache_stats_t* out);
+
 /* ---- library ---- */
 int PAPI_library_init(int version);
 int PAPI_is_initialized(void);

@@ -223,6 +223,19 @@ int PAPIrepro_set_retry(int max_attempts,
       {max_attempts, static_cast<std::uint64_t>(backoff_usec)}));
 }
 
+int PAPIrepro_alloc_cache_stats(PAPIrepro_alloc_cache_stats_t* out) {
+  if (out == nullptr) return PAPI_EINVAL;
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  const papi::AllocationCache::Stats stats =
+      g().library->allocation_cache().stats();
+  out->hits = static_cast<long long>(stats.hits);
+  out->misses = static_cast<long long>(stats.misses);
+  out->evictions = static_cast<long long>(stats.evictions);
+  out->invalidations = static_cast<long long>(stats.invalidations);
+  out->entries = static_cast<long long>(stats.entries);
+  return PAPI_OK;
+}
+
 int PAPI_library_init(int version) {
   if (version != PAPI_VER_CURRENT) return PAPI_EINVAL;
   if (g().library != nullptr) return PAPI_VER_CURRENT;  // idempotent

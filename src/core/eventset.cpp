@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <unordered_map>
 
 #include "core/library.h"
 
@@ -29,11 +30,20 @@ Status EventSet::rebuild(
     const std::vector<Entry>& candidate_entries,
     const std::vector<pmu::NativeEventCode>& candidate_natives) {
   if (multiplex_) {
-    auto plans = plan_multiplex(library_.substrate(), candidate_natives);
+    auto plans = plan_multiplex(library_.substrate(), candidate_natives,
+                                &library_.allocation_cache());
     if (!plans.ok()) return plans.error();
     mux_plans_ = std::move(plans.value());
+    mux_group_events_.assign(mux_plans_.size(), {});
+    for (std::size_t g = 0; g < mux_plans_.size(); ++g) {
+      mux_group_events_[g].reserve(mux_plans_[g].members.size());
+      for (std::size_t idx : mux_plans_[g].members) {
+        mux_group_events_[g].push_back(candidate_natives[idx]);
+      }
+    }
   } else if (!candidate_natives.empty()) {
-    auto assignment = library_.substrate().allocate(candidate_natives, {});
+    auto assignment = library_.allocation_cache().allocate(
+        library_.substrate(), candidate_natives, {});
     if (!assignment.ok()) return assignment.error();
     assignment_ = std::move(assignment.value());
   } else {
@@ -61,19 +71,20 @@ Status EventSet::add_event(EventId id) {
   }
 
   // Expand into the candidate native list, sharing natives already
-  // required by other member events.
+  // required by other member events (hashed index instead of a linear
+  // scan per term).
   std::vector<pmu::NativeEventCode> candidate_natives = natives_;
+  std::unordered_map<pmu::NativeEventCode, std::size_t> native_index;
+  native_index.reserve(candidate_natives.size() + terms.size());
+  for (std::size_t i = 0; i < candidate_natives.size(); ++i) {
+    native_index.emplace(candidate_natives[i], i);
+  }
   Entry entry{id, {}};
   for (const MappingTerm& t : terms) {
-    auto it = std::find(candidate_natives.begin(), candidate_natives.end(),
-                        t.native);
-    if (it == candidate_natives.end()) {
-      candidate_natives.push_back(t.native);
-      it = candidate_natives.end() - 1;
-    }
-    entry.terms.push_back(
-        {static_cast<std::size_t>(it - candidate_natives.begin()),
-         t.coefficient});
+    const auto [it, inserted] =
+        native_index.try_emplace(t.native, candidate_natives.size());
+    if (inserted) candidate_natives.push_back(t.native);
+    entry.terms.push_back({it->second, t.coefficient});
   }
   std::vector<Entry> candidate_entries = entries_;
   candidate_entries.push_back(std::move(entry));
@@ -95,19 +106,17 @@ Status EventSet::remove_event(EventId id) {
   std::vector<Entry> candidate_entries = entries_;
   candidate_entries.erase(candidate_entries.begin() + pos);
 
-  // Recompute the native list from scratch (drop now-unused natives).
+  // Recompute the native list from scratch (drop now-unused natives),
+  // deduplicating through a hashed index instead of a scan per term.
   std::vector<pmu::NativeEventCode> candidate_natives;
+  std::unordered_map<pmu::NativeEventCode, std::size_t> native_index;
   for (Entry& e : candidate_entries) {
     for (TermRef& ref : e.terms) {
       const pmu::NativeEventCode code = natives_[ref.native_index];
-      auto it = std::find(candidate_natives.begin(),
-                          candidate_natives.end(), code);
-      if (it == candidate_natives.end()) {
-        candidate_natives.push_back(code);
-        it = candidate_natives.end() - 1;
-      }
-      ref.native_index =
-          static_cast<std::size_t>(it - candidate_natives.begin());
+      const auto [it, inserted] =
+          native_index.try_emplace(code, candidate_natives.size());
+      if (inserted) candidate_natives.push_back(code);
+      ref.native_index = it->second;
     }
   }
   overflow_configs_.erase(
@@ -128,11 +137,9 @@ Status EventSet::enable_multiplex(std::uint64_t slice_cycles) {
 }
 
 Status EventSet::program_mux_group(std::size_t g) {
-  const MuxGroupPlan& plan = mux_plans_[g];
-  std::vector<pmu::NativeEventCode> events;
-  events.reserve(plan.members.size());
-  for (std::size_t idx : plan.members) events.push_back(natives_[idx]);
-  return context_->program(events, plan.assignment);
+  // The member event list is prebuilt at rebuild(): a slice rotation
+  // reprograms the counters without allocating.
+  return context_->program(mux_group_events_[g], mux_plans_[g].assignment);
 }
 
 Status EventSet::set_domain(std::uint32_t domain_mask) {
@@ -194,6 +201,19 @@ Status EventSet::arm_overflow(const OverflowConfig& config) {
       });
 }
 
+void EventSet::preallocate_scratch() {
+  // Size every buffer the running paths touch, so read()/accum()/stop()
+  // and the mux slice rotation reuse capacity instead of allocating.
+  scratch_raw_.assign(natives_.size(), 0);
+  scratch_values_.assign(entries_.size(), 0);
+  std::size_t max_group = 0;
+  for (const MuxGroupPlan& plan : mux_plans_) {
+    max_group = std::max(max_group, plan.members.size());
+  }
+  scratch_live_.assign(multiplex_ ? max_group : 0, 0);
+  stopped_raw_.reserve(natives_.size());  // stop() snapshots into this
+}
+
 Status EventSet::start() {
   if (running()) return Error::kIsRunning;
   if (entries_.empty()) return Error::kInvalid;
@@ -219,6 +239,7 @@ Status EventSet::start() {
   if (!started.ok()) return abort_start(started);
   state_ = State::kRunning;
   degradations_ = 0;
+  preallocate_scratch();
 
   // Arm wraparound folding against the substrate's counter width.
   const std::uint32_t width = library_.substrate().counter_width_bits();
@@ -245,20 +266,29 @@ Status EventSet::start() {
 void EventSet::rotate_mux() {
   if (!running() || mux_plans_.size() < 2) return;
 
+  // One clock snapshot at entry, reused for both the closing slice's
+  // active-cycle accounting and the opening slice's start mark: the
+  // rotation's own stop/read/program overhead is charged to neither
+  // slice (it used to inflate the closing slice's active window, biasing
+  // its scale-up factor low).
+  const std::uint64_t now = context_->cycles();
+
   // Close the current slice.
   (void)context_->stop();
-  std::vector<std::uint64_t> raw(mux_plans_[mux_current_].members.size());
-  (void)context_->read(raw);
+  scratch_live_.assign(mux_plans_[mux_current_].members.size(), 0);
+  (void)context_->read(scratch_live_);
   MuxGroupState& st = mux_state_[mux_current_];
-  for (std::size_t i = 0; i < raw.size(); ++i) st.accum[i] += raw[i];
-  st.active_cycles += context_->cycles() - mux_slice_start_;
+  for (std::size_t i = 0; i < scratch_live_.size(); ++i) {
+    st.accum[i] += scratch_live_[i];
+  }
+  st.active_cycles += now - mux_slice_start_;
 
   // Open the next one.
   mux_current_ = (mux_current_ + 1) % mux_plans_.size();
   (void)program_mux_group(mux_current_);
   (void)context_->reset_counts();
   (void)context_->start();
-  mux_slice_start_ = context_->cycles();
+  mux_slice_start_ = now;
 }
 
 Status EventSet::read_folded(std::vector<std::uint64_t>& raw_out) {
@@ -285,11 +315,10 @@ Status EventSet::snapshot_raw(std::vector<std::uint64_t>& raw_out) {
   }
 
   const std::uint64_t now = context_->cycles();
-  std::vector<std::uint64_t> live;
   if (running()) {
-    live.resize(mux_plans_[mux_current_].members.size());
+    scratch_live_.assign(mux_plans_[mux_current_].members.size(), 0);
     PAPIREPRO_RETURN_IF_ERROR(library_.run_with_retries(
-        [&] { return context_->read(live); }));
+        [&] { return context_->read(scratch_live_); }));
   }
   const std::uint64_t window =
       now > mux_window_start_ ? now - mux_window_start_ : 0;
@@ -301,7 +330,7 @@ Status EventSet::snapshot_raw(std::vector<std::uint64_t>& raw_out) {
     for (std::size_t i = 0; i < plan.members.size(); ++i) {
       std::uint64_t raw = st.accum[i];
       if (running() && g == mux_current_) {
-        raw += live[i];  // current slice is still open
+        raw += scratch_live_[i];  // current slice is still open
       }
       std::uint64_t active_g = active;
       if (running() && g == mux_current_ && now > mux_slice_start_) {
@@ -344,18 +373,17 @@ Status EventSet::read(std::span<long long> out) {
   if (multiplex_ && (degradations_ & degradation::kMuxSequential) != 0) {
     rotate_mux();  // sequential-slice fallback: reads drive the rotation
   }
-  std::vector<std::uint64_t> raw;
-  PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(raw));
-  compute_values(raw, out);
+  PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(scratch_raw_));
+  compute_values(scratch_raw_, out);
   return Error::kOk;
 }
 
 Status EventSet::accum(std::span<long long> inout) {
   if (inout.size() < entries_.size()) return Error::kInvalid;
-  std::vector<long long> current(entries_.size());
-  PAPIREPRO_RETURN_IF_ERROR(read(current));
+  scratch_values_.assign(entries_.size(), 0);
+  PAPIREPRO_RETURN_IF_ERROR(read(scratch_values_));
   for (std::size_t i = 0; i < entries_.size(); ++i) {
-    inout[i] += current[i];
+    inout[i] += scratch_values_[i];
   }
   return reset();
 }
@@ -384,30 +412,33 @@ Status EventSet::reset() {
 Status EventSet::stop(std::span<long long> out) {
   if (!running()) return Error::kNotRunning;
 
-  std::vector<std::uint64_t> raw;
   if (multiplex_) {
-    // Close the final slice before the counters go away.
+    // Close the final slice before the counters go away.  As in
+    // rotate_mux(), the clock is snapshotted before the stop/read
+    // overhead so it is not billed to the closing slice.
+    const std::uint64_t now = context_->cycles();
     (void)context_->stop();
-    std::vector<std::uint64_t> live(
-        mux_plans_[mux_current_].members.size());
+    scratch_live_.assign(mux_plans_[mux_current_].members.size(), 0);
     PAPIREPRO_RETURN_IF_ERROR(library_.run_with_retries(
-        [&] { return context_->read(live); }));
+        [&] { return context_->read(scratch_live_); }));
     MuxGroupState& st = mux_state_[mux_current_];
-    for (std::size_t i = 0; i < live.size(); ++i) st.accum[i] += live[i];
-    st.active_cycles += context_->cycles() - mux_slice_start_;
+    for (std::size_t i = 0; i < scratch_live_.size(); ++i) {
+      st.accum[i] += scratch_live_[i];
+    }
+    st.active_cycles += now - mux_slice_start_;
     if (mux_timer_id_ >= 0) {
       (void)context_->cancel_timer(mux_timer_id_);
       mux_timer_id_ = -1;
     }
     state_ = State::kStopped;
-    PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(raw));
   } else {
     PAPIREPRO_RETURN_IF_ERROR(context_->stop());
     state_ = State::kStopped;
-    PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(raw));
   }
+  // Snapshot straight into the preallocated stop buffer: stop() is part
+  // of the steady-state path and performs no heap allocation.
+  PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(stopped_raw_));
 
-  stopped_raw_ = std::move(raw);
   stopped_raw_valid_ = true;
   library_.release_context(this);
   context_ = nullptr;

@@ -146,6 +146,10 @@ class EventSet {
   Status rebuild(const std::vector<Entry>& candidate_entries,
                  const std::vector<pmu::NativeEventCode>& candidate_natives);
   Status program_and_arm();
+  /// Sizes every steady-state scratch buffer (read/fold snapshots, mux
+  /// live-slice reads, accum intermediates, the stop() snapshot) so the
+  /// running paths perform no heap allocation after start().
+  void preallocate_scratch();
   /// Non-mux raw read with bounded retry and wraparound folding: deltas
   /// between successive reads are taken modulo the substrate counter
   /// width and accumulated into 64-bit totals.
@@ -183,10 +187,22 @@ class EventSet {
   std::uint64_t mux_slice_cycles_ = kDefaultMuxSliceCycles;
   std::vector<MuxGroupPlan> mux_plans_;
   std::vector<MuxGroupState> mux_state_;
+  /// Per mux group: member native codes, prebuilt at rebuild() so
+  /// program_mux_group() passes a ready list instead of regathering (and
+  /// reallocating) it on every slice rotation.
+  std::vector<std::vector<pmu::NativeEventCode>> mux_group_events_;
   std::size_t mux_current_ = 0;
   std::uint64_t mux_slice_start_ = 0;
   std::uint64_t mux_window_start_ = 0;
   int mux_timer_id_ = -1;
+
+  /// Steady-state scratch, sized by preallocate_scratch() at start():
+  /// the raw snapshot read() folds from, the live buffer for the
+  /// currently-open mux slice, and accum()'s intermediate values.  All
+  /// reuse capacity across calls — the running hot paths never allocate.
+  std::vector<std::uint64_t> scratch_raw_;
+  std::vector<std::uint64_t> scratch_live_;
+  std::vector<long long> scratch_values_;
 
   std::vector<OverflowConfig> overflow_configs_;
   /// Raw native counts snapshotted at stop(), so read() after stop still

@@ -16,10 +16,28 @@ unsigned long default_thread_id() {
       std::hash<std::thread::id>{}(std::this_thread::get_id()));
 }
 
+/// Monotonic source of Library::instance_token_ values (never reused,
+/// so a stale thread-local cache can never match a new Library).
+std::atomic<std::uint64_t> next_library_token{1};
+
+/// Per-thread memo of this thread's registry slot: repeat start()/read()
+/// on the same thread skip the ThreadRegistry shared_mutex entirely.
+/// Valid only while `token` matches the Library asking; cleared by
+/// Library::unregister_thread (erase_current frees the ThreadState, and
+/// only the owning thread can erase itself, so clearing here is safe
+/// and sufficient — no other thread can hold a cache for this slot).
+struct TlsContextCache {
+  std::uint64_t token = 0;
+  ThreadRegistry::ThreadState* state = nullptr;
+};
+thread_local TlsContextCache tls_context_cache;
+
 }  // namespace
 
 Library::Library(std::unique_ptr<Substrate> substrate)
-    : substrate_(std::move(substrate)) {
+    : substrate_(std::move(substrate)),
+      instance_token_(
+          next_library_token.fetch_add(1, std::memory_order_relaxed)) {
   assert(substrate_ != nullptr);
 }
 
@@ -97,33 +115,36 @@ bool Library::threaded() const noexcept {
 
 Status Library::set_retry_policy(const RetryPolicy& policy) {
   if (policy.max_attempts < 1) return Error::kInvalid;
-  const std::unique_lock<std::shared_mutex> lock(retry_mutex_);
-  retry_policy_ = policy;
+  retry_max_attempts_.store(policy.max_attempts,
+                            std::memory_order_relaxed);
+  retry_backoff_usec_.store(policy.backoff_base_usec,
+                            std::memory_order_relaxed);
   return Error::kOk;
 }
 
 RetryPolicy Library::retry_policy() const {
-  const std::shared_lock<std::shared_mutex> lock(retry_mutex_);
-  return retry_policy_;
+  RetryPolicy policy;
+  policy.max_attempts = retry_max_attempts_.load(std::memory_order_relaxed);
+  policy.backoff_base_usec =
+      retry_backoff_usec_.load(std::memory_order_relaxed);
+  return policy;
 }
 
-Status Library::run_with_retries(const std::function<Status()>& op) {
-  const RetryPolicy policy = retry_policy();
-  Status status = op();
-  for (int attempt = 1; attempt < policy.max_attempts && !status.ok() &&
-                        is_transient(status.error());
-       ++attempt) {
-    if (policy.backoff_base_usec > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(
-          policy.backoff_base_usec << (attempt - 1)));
-    }
-    status = op();
+void Library::backoff_before_retry(int attempt) const {
+  const std::uint64_t base =
+      retry_backoff_usec_.load(std::memory_order_relaxed);
+  if (base > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(base << (attempt - 1)));
   }
-  return status;
 }
 
 Result<ThreadRegistry::ThreadState*> Library::current_thread_state() {
+  if (tls_context_cache.token == instance_token_) {
+    return tls_context_cache.state;  // steady state: no registry lock
+  }
   if (ThreadRegistry::ThreadState* state = threads_.find_current()) {
+    tls_context_cache = {instance_token_, state};
     return state;
   }
   unsigned long numeric_id = 0;
@@ -136,7 +157,10 @@ Result<ThreadRegistry::ThreadState*> Library::current_thread_state() {
   // context.  A failed create must release the claim, or the partial
   // slot would shadow this thread forever and no retry could succeed.
   ThreadRegistry::ThreadState& state = threads_.claim_current(numeric_id);
-  if (state.context != nullptr) return &state;  // raced our own claim
+  if (state.context != nullptr) {  // raced our own claim
+    tls_context_cache = {instance_token_, &state};
+    return &state;
+  }
   std::unique_ptr<CounterContext> context;
   const Status created = run_with_retries([&] {
     auto attempt = substrate_->create_context();
@@ -149,6 +173,7 @@ Result<ThreadRegistry::ThreadState*> Library::current_thread_state() {
     return created.error();
   }
   state.context = std::move(context);
+  tls_context_cache = {instance_token_, &state};
   return &state;
 }
 
@@ -163,7 +188,16 @@ Status Library::register_thread() {
   return state.ok() ? Status() : state.error();
 }
 
-Status Library::unregister_thread() { return threads_.erase_current(); }
+Status Library::unregister_thread() {
+  const Status erased = threads_.erase_current();
+  // The erase frees this thread's ThreadState, so drop the thread-local
+  // pointer to it.  Only the owning thread can erase itself (and this IS
+  // that thread), so no other thread's cache can reference the slot.
+  if (erased.ok() && tls_context_cache.token == instance_token_) {
+    tls_context_cache = {};
+  }
+  return erased;
+}
 
 Result<CounterContext*> Library::acquire_context(EventSet* set) {
   auto state = current_thread_state();
@@ -180,8 +214,19 @@ Result<CounterContext*> Library::acquire_context(EventSet* set) {
 }
 
 void Library::release_context(EventSet* set) {
-  // Scan rather than assume the calling thread: stop() may legally run
-  // on a different thread than the start() (the destructor does this).
+  // Common case: the stop() runs on the thread that started the set, so
+  // its own slot (thread-locally cached) holds it — release without
+  // touching the registry lock.
+  if (tls_context_cache.token == instance_token_ &&
+      tls_context_cache.state != nullptr) {
+    EventSet* expected = set;
+    if (tls_context_cache.state->running.compare_exchange_strong(
+            expected, nullptr, std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+  // Cross-thread stop (the destructor does this): scan for whichever
+  // thread's slot holds `set`.
   if (ThreadRegistry::ThreadState* state = threads_.find_running(set)) {
     state->running.store(nullptr, std::memory_order_release);
   }

@@ -16,14 +16,17 @@
 // want PAPI_register_thread semantics.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "core/allocation_cache.h"
 #include "core/eventset.h"
 #include "core/memory_info.h"
 #include "core/thread_registry.h"
@@ -109,8 +112,29 @@ class Library {
   RetryPolicy retry_policy() const;
   /// Runs `op`, re-attempting transient failures per the retry policy.
   /// Returns the final attempt's status (the original substrate error on
-  /// a permanent or retry-exhausted fault).
-  Status run_with_retries(const std::function<Status()>& op);
+  /// a permanent or retry-exhausted fault).  Templated on the callable so
+  /// the read hot path never materializes a std::function (no type
+  /// erasure, no possible heap allocation, full inlining).
+  template <typename Op>
+  Status run_with_retries(Op&& op) {
+    const int max_attempts =
+        retry_max_attempts_.load(std::memory_order_relaxed);
+    Status status = op();
+    for (int attempt = 1; attempt < max_attempts && !status.ok() &&
+                          is_transient(status.error());
+         ++attempt) {
+      backoff_before_retry(attempt);
+      status = op();
+    }
+    return status;
+  }
+
+  /// Memoized front of Substrate::allocate, shared by every EventSet
+  /// rebuild and multiplex plan in this library.
+  AllocationCache& allocation_cache() noexcept { return alloc_cache_; }
+  const AllocationCache& allocation_cache() const noexcept {
+    return alloc_cache_;
+  }
 
  private:
   friend class EventSet;
@@ -120,17 +144,30 @@ class Library {
   Result<CounterContext*> acquire_context(EventSet* set);
   /// Clears whichever thread's running slot holds `set`.
   void release_context(EventSet* set);
-  /// The calling thread's state, creating it if needed.
+  /// The calling thread's state, creating it if needed.  Steady state is
+  /// a thread-local cache hit that never touches the registry lock;
+  /// the slow path registers the thread and fills the cache.
   Result<ThreadRegistry::ThreadState*> current_thread_state();
+  /// Sleeps the policy's exponential backoff before retry `attempt`.
+  void backoff_before_retry(int attempt) const;
 
   std::unique_ptr<Substrate> substrate_;
+  /// Distinguishes this Library in thread-local context caches: a new
+  /// Library constructed at a recycled address must never match a stale
+  /// cache entry (ABA), so tokens are drawn from a process-wide counter.
+  const std::uint64_t instance_token_;
 
   ThreadRegistry threads_;
   mutable std::shared_mutex id_fn_mutex_;
   ThreadIdFn id_fn_;
 
-  mutable std::shared_mutex retry_mutex_;
-  RetryPolicy retry_policy_;
+  /// Retry policy as relaxed atomics: read on every hot-path retry
+  /// wrapper entry, so no lock.  A concurrent set_retry_policy() may be
+  /// observed field-by-field; both orderings are valid policies.
+  std::atomic<int> retry_max_attempts_{3};
+  std::atomic<std::uint64_t> retry_backoff_usec_{0};
+
+  AllocationCache alloc_cache_;
 
   mutable std::shared_mutex sets_mutex_;
   std::unordered_map<int, std::unique_ptr<EventSet>> sets_;

@@ -125,6 +125,9 @@ class FaultInjectingSubstrate final : public Substrate {
     return inner_->platform();
   }
   std::uint32_t counter_width_bits() const noexcept override;
+  std::uint64_t allocation_generation() const noexcept override {
+    return inner_->allocation_generation();
+  }
 
   Result<std::unique_ptr<CounterContext>> create_context() override;
 

@@ -38,10 +38,14 @@ Status SimCounterContext::program(
   if (running_) return Error::kIsRunning;
   if (events.size() != assignment.size()) return Error::kInvalid;
 
-  // Partition physical vs sampled.
-  std::vector<pmu::NativeEventCode> phys_events;
-  std::vector<std::uint32_t> phys_counters;
-  std::vector<std::size_t> sampled_indices;
+  // Partition physical vs sampled (into reused scratch: slice rotations
+  // call program() continually and must not allocate).
+  std::vector<pmu::NativeEventCode>& phys_events = scratch_phys_events_;
+  std::vector<std::uint32_t>& phys_counters = scratch_phys_counters_;
+  std::vector<std::size_t>& sampled_indices = scratch_sampled_indices_;
+  phys_events.clear();
+  phys_counters.clear();
+  sampled_indices.clear();
   for (std::size_t i = 0; i < events.size(); ++i) {
     if (assignment[i] >= SimSubstrate::kSampledBase) {
       sampled_indices.push_back(i);
@@ -69,7 +73,8 @@ Status SimCounterContext::program(
     // programming has sampled events.
     if (engine_) engine_->stop();
   } else {
-    std::vector<sim::SimEvent> tracked;
+    std::vector<sim::SimEvent>& tracked = scratch_tracked_;
+    tracked.clear();
     sampled_terms_.resize(sampled_indices.size());
     for (std::size_t s = 0; s < sampled_indices.size(); ++s) {
       const pmu::NativeEvent* ev =
@@ -366,6 +371,7 @@ Result<std::vector<std::uint32_t>> SimSubstrate::allocate(
 Status SimSubstrate::set_estimation(bool enabled) {
   if (!platform_.sampling.has_profileme) return Error::kNoSupport;
   estimation_.store(enabled, std::memory_order_relaxed);
+  allocation_generation_.fetch_add(1, std::memory_order_relaxed);
   return Error::kOk;
 }
 

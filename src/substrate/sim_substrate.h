@@ -90,6 +90,14 @@ class SimCounterContext final : public CounterContext {
   std::unique_ptr<pmu::ProfileMeEngine> engine_;
   bool running_ = false;
   std::uint32_t domain_mask_ = domain::kAll;
+
+  /// program() scratch, reused across calls: a multiplexed EventSet
+  /// reprograms this context on every slice rotation, so the partition
+  /// buffers must not be reallocated per call.
+  std::vector<pmu::NativeEventCode> scratch_phys_events_;
+  std::vector<std::uint32_t> scratch_phys_counters_;
+  std::vector<std::size_t> scratch_sampled_indices_;
+  std::vector<sim::SimEvent> scratch_tracked_;
 };
 
 class SimSubstrate final : public Substrate {
@@ -137,6 +145,9 @@ class SimSubstrate final : public Substrate {
   Result<std::vector<std::uint32_t>> allocate(
       std::span<const pmu::NativeEventCode> events,
       std::span<const int> priorities) const override;
+  std::uint64_t allocation_generation() const noexcept override {
+    return allocation_generation_.load(std::memory_order_relaxed);
+  }
 
   // --- estimation (sim-alpha) ---
   bool supports_estimation() const noexcept override {
@@ -178,6 +189,8 @@ class SimSubstrate final : public Substrate {
   const pmu::PlatformDescription& platform_;
   SimSubstrateOptions options_;
   std::atomic<bool> estimation_{false};
+  /// Bumped by set_estimation(): allocation outcomes depend on the mode.
+  std::atomic<std::uint64_t> allocation_generation_{0};
 
   mutable std::mutex threads_mutex_;
   std::unordered_map<std::thread::id, sim::Machine*> thread_machines_;

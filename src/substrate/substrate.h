@@ -92,6 +92,16 @@ class Substrate {
       std::span<const pmu::NativeEventCode> events,
       std::span<const int> priorities) const;
 
+  /// Version counter over the substrate's allocation *rules*: bumped
+  /// whenever the outcome of allocate()/translate_allocation() for a
+  /// fixed event list may change (e.g. sim-alpha's estimation-mode
+  /// toggle makes maskless events placeable).  The core's
+  /// AllocationCache keys its memo on this so cached solves never
+  /// outlive the rules that produced them.
+  virtual std::uint64_t allocation_generation() const noexcept {
+    return 0;
+  }
+
   // --- sampling-based count estimation (PAPI 3 option; sim-alpha) ---
   virtual bool supports_estimation() const noexcept { return false; }
   /// When enabled, events that cannot be placed on physical counters are

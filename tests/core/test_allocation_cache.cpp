@@ -1,0 +1,185 @@
+// AllocationCache: memoized counter-allocation solves.  The EventSet
+// build-up pattern (N add_event calls, each a full rebuild) must perform
+// at most one matcher solve per distinct native list, a repeated
+// identical build must be 100 % cache hits, conflicts are cached like
+// successes, LRU eviction bounds the footprint, and a substrate
+// allocation-generation bump (sim-alpha estimation toggle) flushes
+// everything.
+#include "core/allocation_cache.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/eventset.h"
+#include "test_util.h"
+
+namespace papirepro::papi {
+namespace {
+
+using papirepro::test::SimFixture;
+
+pmu::NativeEventCode code_of(const pmu::PlatformDescription& p,
+                             const char* name) {
+  const pmu::NativeEvent* ev = p.find_event(name);
+  EXPECT_NE(ev, nullptr) << name;
+  return ev->code;
+}
+
+TEST(AllocationCache, BuildUpSolvesAtMostOncePerPrefix) {
+  // Each add_event rebuilds over a new (longer) native list: N adds may
+  // miss at most N times, and the remove-then-readd path must hit the
+  // prefix entries already cached.
+  SimFixture f(sim::make_saxpy(100), pmu::sim_x86());
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.add_named("L1D_MISS").ok());
+  ASSERT_TRUE(set.add_named("L1D_ACCESS").ok());
+  const auto after_build = f.library->allocation_cache().stats();
+  EXPECT_LE(after_build.misses, 2u);
+
+  // Removing the tail event rebuilds over the one-event prefix -> hit.
+  ASSERT_TRUE(
+      set.remove_event(f.library->event_from_name("L1D_ACCESS").value())
+          .ok());
+  const auto after_remove = f.library->allocation_cache().stats();
+  EXPECT_EQ(after_remove.misses, after_build.misses);
+  EXPECT_GT(after_remove.hits, after_build.hits);
+}
+
+TEST(AllocationCache, RepeatedIdenticalBuildIsAllHits) {
+  SimFixture f(sim::make_saxpy(100), pmu::sim_x86());
+  EventSet& first = f.new_set();
+  ASSERT_TRUE(first.add_named("L1D_MISS").ok());
+  ASSERT_TRUE(first.add_named("L1D_ACCESS").ok());
+  const auto after_first = f.library->allocation_cache().stats();
+
+  EventSet& second = f.new_set();
+  ASSERT_TRUE(second.add_named("L1D_MISS").ok());
+  ASSERT_TRUE(second.add_named("L1D_ACCESS").ok());
+  const auto after_second = f.library->allocation_cache().stats();
+  EXPECT_EQ(after_second.misses, after_first.misses);  // zero new solves
+  EXPECT_GE(after_second.hits, after_first.hits + 2);
+}
+
+TEST(AllocationCache, RepeatedMultiplexPlanIsAllHits) {
+  // plan_multiplex probes many subsets per build; the probe sequence is
+  // deterministic, so an identical mux build replays entirely from cache.
+  SimFixture f(sim::make_saxpy(100), pmu::sim_x86());
+  const char* names[] = {"PAPI_FMA_INS", "PAPI_LD_INS", "PAPI_SR_INS",
+                         "PAPI_TOT_INS", "PAPI_BR_INS", "PAPI_L1_DCA"};
+
+  EventSet& first = f.new_set();
+  ASSERT_TRUE(first.enable_multiplex().ok());
+  for (const char* name : names) ASSERT_TRUE(first.add_named(name).ok());
+  const auto after_first = f.library->allocation_cache().stats();
+  EXPECT_GT(after_first.misses, 0u);
+
+  EventSet& second = f.new_set();
+  ASSERT_TRUE(second.enable_multiplex().ok());
+  for (const char* name : names) ASSERT_TRUE(second.add_named(name).ok());
+  const auto after_second = f.library->allocation_cache().stats();
+  EXPECT_EQ(after_second.misses, after_first.misses);
+}
+
+TEST(AllocationCache, ConflictOutcomesAreCached) {
+  // A failed full solve is as expensive as a successful one (it is what
+  // routes plan_multiplex to its partial fallback), so kConflict results
+  // memoize too.
+  sim::Workload w = sim::make_saxpy(100);
+  sim::Machine machine(w.program, pmu::sim_x86().machine);
+  SimSubstrate substrate(machine, pmu::sim_x86());
+  const auto& p = pmu::sim_x86();
+  // Three events that fit only the same restricted slots: unallocatable
+  // together (the Multiplex.MustBeExplicitlyEnabled conflict trio).
+  const std::vector<pmu::NativeEventCode> events = {
+      code_of(p, "L1D_MISS"), code_of(p, "L1D_ACCESS"),
+      code_of(p, "LD_RETIRED")};
+
+  AllocationCache cache;
+  EXPECT_EQ(cache.allocate(substrate, events, {}).error(),
+            Error::kConflict);
+  EXPECT_EQ(cache.allocate(substrate, events, {}).error(),
+            Error::kConflict);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(AllocationCache, PrioritiesArePartOfTheKey) {
+  sim::Workload w = sim::make_saxpy(100);
+  sim::Machine machine(w.program, pmu::sim_x86().machine);
+  SimSubstrate substrate(machine, pmu::sim_x86());
+  const auto& p = pmu::sim_x86();
+  const std::vector<pmu::NativeEventCode> events = {
+      code_of(p, "L1D_MISS"), code_of(p, "L1D_ACCESS")};
+
+  AllocationCache cache;
+  const std::vector<int> prio_a = {1, 2};
+  const std::vector<int> prio_b = {2, 1};
+  EXPECT_TRUE(cache.allocate(substrate, events, prio_a).ok());
+  EXPECT_TRUE(cache.allocate(substrate, events, prio_b).ok());
+  EXPECT_TRUE(cache.allocate(substrate, events, prio_a).ok());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(AllocationCache, LruEvictionAtCapacity) {
+  sim::Workload w = sim::make_saxpy(100);
+  sim::Machine machine(w.program, pmu::sim_x86().machine);
+  SimSubstrate substrate(machine, pmu::sim_x86());
+  const auto& p = pmu::sim_x86();
+  const pmu::NativeEventCode e0 = code_of(p, "L1D_MISS");
+  const pmu::NativeEventCode e1 = code_of(p, "L1D_ACCESS");
+
+  AllocationCache cache(/*capacity=*/2);
+  const std::vector<pmu::NativeEventCode> key_a = {e0};
+  const std::vector<pmu::NativeEventCode> key_b = {e1};
+  const std::vector<pmu::NativeEventCode> key_c = {e0, e1};
+
+  EXPECT_TRUE(cache.allocate(substrate, key_a, {}).ok());  // miss
+  EXPECT_TRUE(cache.allocate(substrate, key_b, {}).ok());  // miss
+  EXPECT_TRUE(cache.allocate(substrate, key_a, {}).ok());  // hit, A -> MRU
+  EXPECT_TRUE(cache.allocate(substrate, key_c, {}).ok());  // miss, evicts B
+  EXPECT_TRUE(cache.allocate(substrate, key_b, {}).ok());  // miss again
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_GE(stats.evictions, 2u);
+  EXPECT_LE(stats.entries, 2u);
+
+  cache.clear();
+  stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(AllocationCache, EstimationToggleInvalidates) {
+  // sim-alpha PME events are unplaceable until estimation mode turns on;
+  // set_estimation bumps the substrate's allocation generation, which
+  // must flush stale conflict entries rather than replay them.
+  sim::Workload w = sim::make_saxpy(100);
+  sim::Machine machine(w.program, pmu::sim_alpha().machine);
+  SimSubstrate substrate(machine, pmu::sim_alpha());
+  const std::vector<pmu::NativeEventCode> events = {
+      code_of(pmu::sim_alpha(), "PME_FMA")};
+
+  AllocationCache cache;
+  EXPECT_FALSE(cache.allocate(substrate, events, {}).ok());
+  ASSERT_TRUE(substrate.set_estimation(true).ok());
+  EXPECT_TRUE(cache.allocate(substrate, events, {}).ok());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.invalidations, 1u);
+
+  // And back: disabling estimation must invalidate the success entry.
+  ASSERT_TRUE(substrate.set_estimation(false).ok());
+  EXPECT_FALSE(cache.allocate(substrate, events, {}).ok());
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+}  // namespace
+}  // namespace papirepro::papi

@@ -147,6 +147,77 @@ TEST(Threading, StartAutoRegistersThread) {
   ASSERT_TRUE(set.stop().ok());
 }
 
+TEST(Threading, ContextCacheSurvivesReRegistration) {
+  // The thread-local CounterContext cache must be invalidated by
+  // unregister_thread(): a register/start/stop/unregister loop on worker
+  // threads (while other workers churn the registry) must never serve a
+  // stale context.  Runs under TSan in CI.
+  SimFixture f(sim::make_saxpy(500), pmu::sim_x86(),
+               {.charge_costs = false});
+  constexpr int kThreads = 4;
+  constexpr int kCycles = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kCycles; ++i) {
+        auto handle = f.library->create_event_set();
+        if (!handle.ok()) break;
+        EventSet* set = f.library->event_set(handle.value()).value();
+        long long v[1] = {0};
+        const bool ok = set->add_preset(Preset::kTotIns).ok() &&
+                        set->start().ok() && set->read(v).ok() &&
+                        set->stop().ok() &&
+                        f.library->destroy_event_set(handle.value()).ok() &&
+                        f.library->unregister_thread().ok();
+        if (!ok) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(f.library->num_threads(), 0u);
+}
+
+TEST(Threading, ContextCacheDistinguishesLibraries) {
+  // Two Libraries alternating on one thread: the thread-local cache is
+  // keyed by a per-Library instance token, so switching libraries (and
+  // destroying/recreating one at a possibly-reused address) must always
+  // resolve to the right registry entry.
+  SimFixture a(sim::make_saxpy(1'000), pmu::sim_x86(),
+               {.charge_costs = false});
+  auto b = std::make_unique<SimFixture>(sim::make_saxpy(1'000),
+                                        pmu::sim_x86(),
+                                        SimSubstrateOptions{
+                                            .charge_costs = false});
+  EventSet& set_a = a.new_set();
+  ASSERT_TRUE(set_a.add_preset(Preset::kTotIns).ok());
+  EventSet* set_b = &b->new_set();
+  ASSERT_TRUE(set_b->add_preset(Preset::kTotIns).ok());
+
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(set_a.start().ok());
+    ASSERT_TRUE(set_b->start().ok());  // distinct library: no conflict
+    ASSERT_TRUE(set_a.stop().ok());
+    ASSERT_TRUE(set_b->stop().ok());
+  }
+
+  // Recreate library B: its replacement must not inherit the cached
+  // context of the old instance.
+  b = std::make_unique<SimFixture>(sim::make_saxpy(1'000), pmu::sim_x86(),
+                                   SimSubstrateOptions{
+                                       .charge_costs = false});
+  set_b = &b->new_set();
+  ASSERT_TRUE(set_b->add_preset(Preset::kTotIns).ok());
+  ASSERT_TRUE(set_b->start().ok());
+  ASSERT_TRUE(set_b->stop().ok());
+  ASSERT_TRUE(set_a.start().ok());
+  ASSERT_TRUE(set_a.stop().ok());
+}
+
 TEST(Threading, HandleTableSafeUnderConcurrentChurn) {
   // Create/lookup/destroy EventSets from many threads at once; the
   // shared_mutex-guarded handle table must neither corrupt nor leak.

@@ -15,6 +15,22 @@
 
 namespace papirepro::test {
 
+/// Number of global operator-new calls made by this process so far.
+/// The counting hook lives in alloc_hook.cpp (the test binary replaces
+/// the global allocation functions).
+std::uint64_t allocation_count();
+
+/// Snapshot-and-diff over the operator-new counter: wrap the code under
+/// test and ask `delta()` how many heap allocations it performed.
+class AllocationGuard {
+ public:
+  AllocationGuard() : start_(allocation_count()) {}
+  std::uint64_t delta() const { return allocation_count() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
 /// Machine + substrate + library bundle over a workload: the common
 /// setup of every end-to-end test.
 struct SimFixture {
