@@ -152,6 +152,34 @@ typedef struct PAPIrepro_alloc_cache_stats {
 /* Requires an initialized library; PAPI_EINVAL on NULL out. */
 int PAPIrepro_alloc_cache_stats(PAPIrepro_alloc_cache_stats_t* out);
 
+/* ---- asynchronous sampling pipeline ----
+ * With async enabled, overflow/PAPI_profil dispatch is deferred: the
+ * counting thread enqueues an O(1) sample into a per-run lock-free ring
+ * and a library aggregator thread runs handlers / histogram updates.
+ * A full ring drops the sample (counted below) rather than ever
+ * blocking the counting thread.  Applies to event sets started after
+ * the call. */
+/* async_enable: 0 = classic synchronous dispatch (default), nonzero =
+ * ring + aggregator.  ring_capacity: records per ring, rounded up to a
+ * power of two (0 keeps the current setting's default of 1024).
+ * PAPI_EINVAL when ring_capacity exceeds the supported maximum. */
+int PAPIrepro_set_sampling(int async_enable,
+                           unsigned long long ring_capacity);
+
+/* Cumulative pipeline counters since init, across all rings. */
+typedef struct PAPIrepro_sampling_stats {
+  long long enqueued;     /* samples accepted by rings */
+  long long dropped;      /* samples lost to full rings */
+  long long dispatched;   /* samples delivered to handlers/histograms */
+  long long sweeps;       /* aggregator drain passes */
+  long long flushes;      /* synchronous flush/detach drains */
+  long long rings_active; /* rings currently registered */
+  long long ring_capacity; /* capacity applied to new rings */
+  int async;              /* nonzero when async mode is on */
+} PAPIrepro_sampling_stats_t;
+/* Requires an initialized library; PAPI_EINVAL on NULL out. */
+int PAPIrepro_sampling_stats(PAPIrepro_sampling_stats_t* out);
+
 /* ---- library ---- */
 int PAPI_library_init(int version);
 int PAPI_is_initialized(void);

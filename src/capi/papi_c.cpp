@@ -236,6 +236,32 @@ int PAPIrepro_alloc_cache_stats(PAPIrepro_alloc_cache_stats_t* out) {
   return PAPI_OK;
 }
 
+int PAPIrepro_set_sampling(int async_enable,
+                           unsigned long long ring_capacity) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  papi::SamplingConfig config = g().library->sampling().config();
+  config.async = async_enable != 0;
+  if (ring_capacity != 0) {
+    config.ring_capacity = static_cast<std::size_t>(ring_capacity);
+  }
+  return to_code(g().library->configure_sampling(config));
+}
+
+int PAPIrepro_sampling_stats(PAPIrepro_sampling_stats_t* out) {
+  if (out == nullptr) return PAPI_EINVAL;
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  const papi::SamplingStats stats = g().library->sampling_stats();
+  out->enqueued = static_cast<long long>(stats.enqueued);
+  out->dropped = static_cast<long long>(stats.dropped);
+  out->dispatched = static_cast<long long>(stats.dispatched);
+  out->sweeps = static_cast<long long>(stats.sweeps);
+  out->flushes = static_cast<long long>(stats.flushes);
+  out->rings_active = static_cast<long long>(stats.rings_active);
+  out->ring_capacity = static_cast<long long>(stats.ring_capacity);
+  out->async = stats.async ? 1 : 0;
+  return PAPI_OK;
+}
+
 int PAPI_library_init(int version) {
   if (version != PAPI_VER_CURRENT) return PAPI_EINVAL;
   if (g().library != nullptr) return PAPI_VER_CURRENT;  // idempotent
@@ -498,11 +524,17 @@ int PAPI_profil(unsigned int* buf, unsigned int bufsiz,
   }
   if (buf == nullptr || bufsiz == 0 || threshold < 0) return PAPI_EINVAL;
   if (scale == 0) scale = 0x4000;  // one bucket per 4-byte instruction
+  if (!papi::ProfileBuffer::valid_scale(scale)) return PAPI_EINVAL;
 
   ProfilState state;
-  const std::uint64_t bytes_per_bucket = 0x10000u / scale;
-  state.buffer = std::make_unique<papi::ProfileBuffer>(
-      offset, static_cast<std::uint64_t>(bufsiz) * bytes_per_bucket, scale);
+  // Exact SVR4 span: the old bytes-per-bucket form truncated
+  // 0x10000 / scale, shrinking the covered range (and, for scales above
+  // 0x10000, dividing by zero in release builds).  bufsiz buckets cover
+  // bufsiz * 0x10000 / scale bytes.
+  const std::uint64_t span =
+      (static_cast<std::uint64_t>(bufsiz) << 16) / scale;
+  state.buffer =
+      std::make_unique<papi::ProfileBuffer>(offset, span, scale);
   state.user_buf = buf;
   state.bufsiz = bufsiz;
   state.event_code = event_code;

@@ -12,6 +12,15 @@ namespace papirepro::papi {
 EventSet::EventSet(Library& library, int handle)
     : library_(library), handle_(handle) {}
 
+EventSet::~EventSet() {
+  // A set destroyed while its ring is still registered would leave the
+  // aggregator draining into freed storage.
+  if (ring_attached_) {
+    library_.sampling().detach(sample_ring_.get());
+    ring_attached_ = false;
+  }
+}
+
 int EventSet::find_entry(EventId id) const {
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     if (entries_[i].id == id) return static_cast<int>(i);
@@ -120,8 +129,11 @@ Status EventSet::remove_event(EventId id) {
     }
   }
   overflow_configs_.erase(
-      std::remove_if(overflow_configs_.begin(), overflow_configs_.end(),
-                     [&](const OverflowConfig& c) { return c.id == id; }),
+      std::remove_if(
+          overflow_configs_.begin(), overflow_configs_.end(),
+          [&](const std::shared_ptr<OverflowConfig>& c) {
+            return c->id == id;
+          }),
       overflow_configs_.end());
   return rebuild(candidate_entries, candidate_natives);
 }
@@ -165,40 +177,95 @@ Status EventSet::program_and_arm() {
     return Error::kOk;
   }
   PAPIREPRO_RETURN_IF_ERROR(context_->program(natives_, assignment_));
-  for (const OverflowConfig& config : overflow_configs_) {
-    PAPIREPRO_RETURN_IF_ERROR(arm_overflow(config));
+  return arm_overflows();
+}
+
+Status EventSet::arm_overflows() {
+  armed_event_indices_.clear();
+  for (std::size_t i = 0; i < overflow_configs_.size(); ++i) {
+    PAPIREPRO_RETURN_IF_ERROR(arm_overflow(i));
   }
   return Error::kOk;
 }
 
-Status EventSet::arm_overflow(const OverflowConfig& config) {
-  const int pos = find_entry(config.id);
+void EventSet::dispatch_overflow(const OverflowConfig& config,
+                                 const SubstrateOverflow& o) {
+  // An interrupt in flight when clear_overflow() disarmed this config
+  // still gets delivered (the PMU latches the handler at trigger time);
+  // drop it here so a cleared event never dispatches again.
+  if (config.retired.load(std::memory_order_acquire)) return;
+  if (config.profile != nullptr) {
+    config.profile->record(config.prefer_precise && o.has_precise
+                               ? o.pc_precise
+                               : o.pc_observed);
+    return;
+  }
+  if (config.handler) {
+    config.handler(*this, OverflowEvent{.event = config.id,
+                                        .pc_observed = o.pc_observed,
+                                        .pc_precise = o.pc_precise,
+                                        .has_precise = o.has_precise,
+                                        .addr = o.addr});
+  }
+}
+
+Status EventSet::arm_overflow(std::size_t config_index) {
+  // The armed callback owns its config through the shared_ptr: later
+  // clear_overflow()/set_overflow() calls may erase or reallocate
+  // overflow_configs_ without invalidating anything the substrate still
+  // holds.
+  std::shared_ptr<OverflowConfig> config = overflow_configs_[config_index];
+  const int pos = find_entry(config->id);
   assert(pos >= 0);
   const Entry& entry = entries_[pos];
   assert(entry.terms.size() == 1);
   const auto event_index =
       static_cast<std::uint32_t>(entry.terms.front().native_index);
-  ProfileBuffer* profile = config.profile;
-  const bool prefer_precise = config.prefer_precise;
-  EventId id = config.id;
-  const OverflowHandler* handler = &config.handler;
-  return context_->set_overflow(
-      event_index, config.threshold,
-      [this, profile, prefer_precise, id,
-       handler](const SubstrateOverflow& o) {
-        if (profile != nullptr) {
-          profile->record(prefer_precise && o.has_precise ? o.pc_precise
-                                                          : o.pc_observed);
-          return;
-        }
-        if (*handler) {
-          (*handler)(*this, OverflowEvent{.event = id,
-                                          .pc_observed = o.pc_observed,
-                                          .pc_precise = o.pc_precise,
-                                          .has_precise = o.has_precise,
-                                          .addr = o.addr});
-        }
-      });
+  Status armed = Error::kOk;
+  if (async_active_) {
+    // Deferred delivery: the interrupt-side callback is a wait-free,
+    // allocation-free ring enqueue; the aggregator runs the heavy half.
+    // The callback co-owns the ring — a late delivery after this run's
+    // ring is replaced pushes into a detached (but live) ring and is
+    // simply never drained.
+    std::shared_ptr<SampleRing> ring = sample_ring_;
+    const auto idx = static_cast<std::uint32_t>(config_index);
+    armed = context_->set_overflow(
+        event_index, config->threshold,
+        [ring, idx](const SubstrateOverflow& o) {
+          ring->try_push(SampleRecord{
+              .config_index = idx,
+              .has_precise = o.has_precise ? 1u : 0u,
+              .pc_observed = o.pc_observed,
+              .pc_precise = o.pc_precise,
+              .addr = o.addr});
+        },
+        OverflowDeliveryMode::kDeferred);
+  } else {
+    armed = context_->set_overflow(
+        event_index, config->threshold,
+        [this, config](const SubstrateOverflow& o) {
+          dispatch_overflow(*config, o);
+        },
+        OverflowDeliveryMode::kSynchronous);
+  }
+  if (armed.ok()) armed_event_indices_.push_back(event_index);
+  return armed;
+}
+
+void EventSet::disarm_overflows() {
+  for (const std::uint32_t event_index : armed_event_indices_) {
+    (void)context_->clear_overflow(event_index);
+  }
+  armed_event_indices_.clear();
+  if (ring_attached_) {
+    // Synchronous drain: every sample enqueued before this point is
+    // dispatched before detach() returns, so a stopped set's histogram
+    // is complete (minus accounted drops).
+    library_.sampling().detach(sample_ring_.get());
+    ring_attached_ = false;
+  }
+  async_active_ = false;
 }
 
 void EventSet::preallocate_scratch() {
@@ -223,7 +290,25 @@ Status EventSet::start() {
   if (!ctx.ok()) return ctx.error();
   context_ = ctx.value();
 
+  // Delivery mode is latched per run from the library-wide sampling
+  // config; the ring is created before the (retryable) arming sequence
+  // and registered with the aggregator only once, after success.
+  const SamplingConfig sampling_config = library_.sampling().config();
+  async_active_ = sampling_config.async && !multiplex_ &&
+                  !overflow_configs_.empty();
+  if (async_active_) {
+    sample_ring_ = std::make_shared<SampleRing>(
+        sampling_config.ring_capacity);
+  }
+
   auto abort_start = [this](Status status) {
+    // A partially-armed run must not leave stale callbacks on the
+    // context it is about to hand back.
+    for (const std::uint32_t event_index : armed_event_indices_) {
+      (void)context_->clear_overflow(event_index);
+    }
+    armed_event_indices_.clear();
+    async_active_ = false;
     library_.release_context(this);
     context_ = nullptr;
     return status;
@@ -240,6 +325,27 @@ Status EventSet::start() {
   state_ = State::kRunning;
   degradations_ = 0;
   preallocate_scratch();
+
+  if (async_active_) {
+    // The dispatch closure owns a snapshot of the armed configs (each a
+    // shared_ptr copy), so records drained after a clear_overflow() or
+    // reconfiguration still resolve to live storage.
+    std::vector<std::shared_ptr<OverflowConfig>> snapshot =
+        overflow_configs_;
+    library_.sampling().attach(
+        sample_ring_.get(),
+        [this, snapshot = std::move(snapshot)](const SampleRecord& r) {
+          if (r.config_index >= snapshot.size()) return;
+          dispatch_overflow(
+              *snapshot[r.config_index],
+              SubstrateOverflow{.event_index = 0,
+                                .pc_observed = r.pc_observed,
+                                .pc_precise = r.pc_precise,
+                                .has_precise = r.has_precise != 0,
+                                .addr = r.addr});
+        });
+    ring_attached_ = true;
+  }
 
   // Arm wraparound folding against the substrate's counter width.
   const std::uint32_t width = library_.substrate().counter_width_bits();
@@ -439,6 +545,12 @@ Status EventSet::stop(std::span<long long> out) {
   // of the steady-state path and performs no heap allocation.
   PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(stopped_raw_));
 
+  // Disarm before the context goes back to the library: the substrate
+  // keeps callbacks armed until told otherwise, and the next user of
+  // this thread's context must not inherit them.  In async mode this
+  // also drains the ring, completing the histogram.
+  disarm_overflows();
+
   stopped_raw_valid_ = true;
   library_.release_context(this);
   context_ = nullptr;
@@ -461,18 +573,42 @@ Status EventSet::set_overflow(EventId id, std::uint64_t threshold,
     return Error::kInvalid;  // overflow on derived events is not allowed
   }
   clear_overflow(id).ok();  // replace any prior config
-  overflow_configs_.push_back(
-      {id, threshold, std::move(handler), nullptr, true});
+  auto config = std::make_shared<OverflowConfig>();
+  config->id = id;
+  config->threshold = threshold;
+  config->handler = std::move(handler);
+  overflow_configs_.push_back(std::move(config));
   return Error::kOk;
 }
 
 Status EventSet::clear_overflow(EventId id) {
-  const auto before = overflow_configs_.size();
-  overflow_configs_.erase(
-      std::remove_if(overflow_configs_.begin(), overflow_configs_.end(),
-                     [&](const OverflowConfig& c) { return c.id == id; }),
-      overflow_configs_.end());
-  return before == overflow_configs_.size() ? Error::kNoEvent : Error::kOk;
+  const auto it = std::find_if(
+      overflow_configs_.begin(), overflow_configs_.end(),
+      [&](const std::shared_ptr<OverflowConfig>& c) { return c->id == id; });
+  if (it == overflow_configs_.end()) return Error::kNoEvent;
+  if (running()) {
+    // Disarm at the substrate first — erasing only the config used to
+    // leave the armed callback firing into freed state for the rest of
+    // the run (and beyond: the context is shared across runs).
+    const int pos = find_entry(id);
+    if (pos >= 0 && !entries_[pos].terms.empty()) {
+      const auto event_index =
+          static_cast<std::uint32_t>(entries_[pos].terms.front().native_index);
+      (void)context_->clear_overflow(event_index);
+      armed_event_indices_.erase(
+          std::remove(armed_event_indices_.begin(),
+                      armed_event_indices_.end(), event_index),
+          armed_event_indices_.end());
+    }
+    // Samples already enqueued dispatch now (they occurred while
+    // armed); nothing for `id` can arrive after the disarm above.
+    if (ring_attached_) library_.sampling().flush(sample_ring_.get());
+  }
+  // An interrupt the PMU latched before the disarm may still be in
+  // flight; mark the config retired so dispatch drops it on delivery.
+  (*it)->retired.store(true, std::memory_order_release);
+  overflow_configs_.erase(it);
+  return Error::kOk;
 }
 
 Status EventSet::profil(ProfileBuffer& buffer, EventId id,
@@ -487,8 +623,12 @@ Status EventSet::profil(ProfileBuffer& buffer, EventId id,
     return Error::kInvalid;
   }
   clear_overflow(id).ok();
-  overflow_configs_.push_back(
-      {id, threshold, nullptr, &buffer, prefer_precise});
+  auto config = std::make_shared<OverflowConfig>();
+  config->id = id;
+  config->threshold = threshold;
+  config->profile = &buffer;
+  config->prefer_precise = prefer_precise;
+  overflow_configs_.push_back(std::move(config));
   return Error::kOk;
 }
 

@@ -15,8 +15,10 @@
 // belongs to whichever thread started it until stop().
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -24,6 +26,7 @@
 #include "core/events.h"
 #include "core/multiplex.h"
 #include "core/profile.h"
+#include "core/sample_ring.h"
 #include "substrate/substrate.h"
 
 namespace papirepro::papi {
@@ -60,6 +63,7 @@ class EventSet {
 
   EventSet(const EventSet&) = delete;
   EventSet& operator=(const EventSet&) = delete;
+  ~EventSet();
 
   int handle() const noexcept { return handle_; }
   State state() const noexcept { return state_; }
@@ -106,9 +110,22 @@ class EventSet {
   // --- overflow dispatch ---
   /// Arms overflow on `id` (must be a non-derived member event; not
   /// available while multiplexing).  `threshold` counts per interrupt.
+  /// Whether dispatch runs synchronously in the counting thread or via
+  /// the library's asynchronous sampling pipeline is decided at start()
+  /// from the library's SamplingConfig.
   Status set_overflow(EventId id, std::uint64_t threshold,
                       OverflowHandler handler);
+  /// Removes the overflow config for `id`.  Safe while running: the
+  /// substrate is disarmed first, then (in async mode) pending ring
+  /// samples are flushed, so no dispatch for `id` occurs after return.
   Status clear_overflow(EventId id);
+
+  /// True while this run dispatches overflows through the async ring.
+  bool async_sampling_active() const noexcept { return async_active_; }
+  /// The run's sample ring (null when sync or never started async).
+  const SampleRing* sample_ring() const noexcept {
+    return sample_ring_.get();
+  }
 
   // --- SVR4-compatible statistical profiling (PAPI_profil) ---
   /// Histograms the PC observed at each overflow of `id` into `buffer`.
@@ -137,6 +154,11 @@ class EventSet {
     OverflowHandler handler;
     ProfileBuffer* profile = nullptr;  ///< non-null for profil()
     bool prefer_precise = true;
+    /// Set by clear_overflow(): an interrupt already in flight at the
+    /// disarm (the PMU copies the handler when it schedules delivery)
+    /// still lands, but dispatch drops it — clear means clear, exactly.
+    /// Atomic because the async aggregator reads it off-thread.
+    std::atomic<bool> retired{false};
   };
   struct MuxGroupState {
     std::vector<std::uint64_t> accum;  ///< per member
@@ -150,6 +172,14 @@ class EventSet {
   /// live-slice reads, accum intermediates, the stop() snapshot) so the
   /// running paths perform no heap allocation after start().
   void preallocate_scratch();
+  Status arm_overflows();
+  Status arm_overflow(std::size_t config_index);
+  /// Clears every armed overflow at the substrate and, in async mode,
+  /// drains and detaches the sample ring.  Requires a live context_.
+  void disarm_overflows();
+  /// Runs one overflow's heavy half: histogram update or user handler.
+  void dispatch_overflow(const OverflowConfig& config,
+                         const SubstrateOverflow& overflow);
   /// Non-mux raw read with bounded retry and wraparound folding: deltas
   /// between successive reads are taken modulo the substrate counter
   /// width and accumulated into 64-bit totals.
@@ -159,7 +189,6 @@ class EventSet {
   Status snapshot_raw(std::vector<std::uint64_t>& raw_out);
   void compute_values(std::span<const std::uint64_t> raw,
                       std::span<long long> out) const;
-  Status arm_overflow(const OverflowConfig& config);
   int find_entry(EventId id) const;
 
   Library& library_;
@@ -204,7 +233,28 @@ class EventSet {
   std::vector<std::uint64_t> scratch_live_;
   std::vector<long long> scratch_values_;
 
-  std::vector<OverflowConfig> overflow_configs_;
+  /// Overflow configs are shared_ptr-owned: the callbacks armed at the
+  /// substrate (and the async dispatch closure) each hold their own
+  /// reference, so reconfiguration — erase, push_back, vector
+  /// reallocation — can never leave an armed callback dereferencing
+  /// freed storage.  (The armed lambda used to capture a raw pointer
+  /// into this vector; any clear_overflow() after arming was a
+  /// use-after-free.)
+  std::vector<std::shared_ptr<OverflowConfig>> overflow_configs_;
+  /// Substrate event indices armed by the current run, for disarming at
+  /// stop()/clear_overflow() — the substrate keeps callbacks armed
+  /// until told otherwise, and a released context must never fire a
+  /// stale one.
+  std::vector<std::uint32_t> armed_event_indices_;
+
+  /// Async sampling pipeline state for the current run.  Shared with
+  /// the armed enqueue callbacks: an interrupt latched by the PMU can
+  /// deliver after stop() replaced the ring, and must land in the ring
+  /// it was armed against, not freed memory.
+  std::shared_ptr<SampleRing> sample_ring_;
+  bool ring_attached_ = false;
+  bool async_active_ = false;
+
   /// Raw native counts snapshotted at stop(), so read() after stop still
   /// returns this set's values even if the substrate is reprogrammed.
   std::vector<std::uint64_t> stopped_raw_;

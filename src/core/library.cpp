@@ -122,6 +122,16 @@ Status Library::set_retry_policy(const RetryPolicy& policy) {
   return Error::kOk;
 }
 
+// --- asynchronous sampling pipeline -----------------------------------------
+
+Status Library::configure_sampling(const SamplingConfig& config) {
+  if (config.ring_capacity > SampleRing::kMaxCapacity) {
+    return Error::kInvalid;
+  }
+  sampling_.configure(config);
+  return Error::kOk;
+}
+
 RetryPolicy Library::retry_policy() const {
   RetryPolicy policy;
   policy.max_attempts = retry_max_attempts_.load(std::memory_order_relaxed);

@@ -29,6 +29,7 @@
 #include "core/allocation_cache.h"
 #include "core/eventset.h"
 #include "core/memory_info.h"
+#include "core/sampling_pipeline.h"
 #include "core/thread_registry.h"
 #include "substrate/substrate.h"
 
@@ -136,6 +137,17 @@ class Library {
     return alloc_cache_;
   }
 
+  // --- asynchronous sampling pipeline ---
+  /// The per-Library sample aggregator: one consumer thread draining
+  /// every running EventSet's overflow ring (PAPIrepro_set_sampling /
+  /// PAPIrepro_sampling_stats at the C level).
+  SamplingAggregator& sampling() noexcept { return sampling_; }
+  const SamplingAggregator& sampling() const noexcept { return sampling_; }
+  /// Applies to EventSets started after the call; running sets keep the
+  /// mode they latched at start().
+  Status configure_sampling(const SamplingConfig& config);
+  SamplingStats sampling_stats() const { return sampling_.stats(); }
+
  private:
   friend class EventSet;
   /// Claims the calling thread's running slot for `set` and returns the
@@ -168,6 +180,10 @@ class Library {
   std::atomic<std::uint64_t> retry_backoff_usec_{0};
 
   AllocationCache alloc_cache_;
+
+  /// Declared before sets_: EventSets detach their rings in their
+  /// destructors, so the aggregator must outlive the handle table.
+  SamplingAggregator sampling_;
 
   mutable std::shared_mutex sets_mutex_;
   std::unordered_map<int, std::unique_ptr<EventSet>> sets_;

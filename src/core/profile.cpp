@@ -1,47 +1,94 @@
 #include "core/profile.h"
 
 #include <algorithm>
-#include <cassert>
+#include <limits>
 
 namespace papirepro::papi {
 
+namespace {
+// The SVR4 mapping (pc - base) * scale / 0x10000, computed wide: span
+// and scale are caller-controlled and (span - 1) * scale overflows 64
+// bits for text ranges past 2^48 at full byte scale.
+std::uint64_t scaled_offset(std::uint64_t offset,
+                            std::uint32_t scale) noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(offset) * scale) >> 16);
+}
+}  // namespace
+
 ProfileBuffer::ProfileBuffer(std::uint64_t text_base,
                              std::uint64_t span_bytes, std::uint32_t scale)
-    : text_base_(text_base), span_bytes_(span_bytes), scale_(scale) {
-  assert(scale > 0 && scale <= 0x10000);
-  // SVR4 profil: bucket_index = (pc - base) * scale / 0x10000 / 2 for
-  // 16-bit buckets.  We use the byte-granularity form: bytes per bucket
-  // = 0x10000 / scale.
-  bytes_per_bucket_ = 0x10000u / scale_;
-  if (bytes_per_bucket_ == 0) bytes_per_bucket_ = 1;
+    : text_base_(text_base),
+      span_bytes_(span_bytes),
+      scale_(valid_scale(scale) ? scale : kDefaultScale) {
+  // Bucket of the last covered byte, plus one.  For scales dividing
+  // 0x10000 this equals ceil(span / (0x10000 / scale)), matching the
+  // old bytes-per-bucket arithmetic; for the rest it follows SVR4
+  // exactly instead of truncating 0x10000 / scale.
   const std::uint64_t n =
-      (span_bytes + bytes_per_bucket_ - 1) / bytes_per_bucket_;
+      span_bytes_ == 0 ? 0 : scaled_offset(span_bytes_ - 1, scale_) + 1;
   buckets_.assign(static_cast<std::size_t>(n), 0);
 }
 
-void ProfileBuffer::record(std::uint64_t pc) {
-  ++total_;
+void ProfileBuffer::record(std::uint64_t pc) noexcept {
+  total_.fetch_add(1, std::memory_order_relaxed);
   const std::int64_t b = bucket_of(pc);
   if (b < 0) {
-    ++out_of_range_;
+    out_of_range_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  ++buckets_[static_cast<std::size_t>(b)];
+  constexpr std::uint32_t kMax = std::numeric_limits<std::uint32_t>::max();
+  std::atomic_ref<std::uint32_t> cell(buckets_[static_cast<std::size_t>(b)]);
+  std::uint32_t cur = cell.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur == kMax) {
+      saturated_samples_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (cell.compare_exchange_weak(cur, cur + 1,
+                                   std::memory_order_relaxed)) {
+      if (cur + 1 == kMax) {
+        saturated_buckets_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+  }
+}
+
+ProfileBuffer::Snapshot ProfileBuffer::snapshot() const {
+  Snapshot snap;
+  snap.buckets.resize(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    snap.buckets[i] = std::atomic_ref<const std::uint32_t>(buckets_[i])
+                          .load(std::memory_order_relaxed);
+  }
+  snap.total = total_.load(std::memory_order_relaxed);
+  snap.out_of_range = out_of_range_.load(std::memory_order_relaxed);
+  snap.saturated_buckets =
+      saturated_buckets_.load(std::memory_order_relaxed);
+  snap.saturated_samples =
+      saturated_samples_.load(std::memory_order_relaxed);
+  return snap;
 }
 
 std::uint64_t ProfileBuffer::bucket_address(std::size_t i) const noexcept {
-  return text_base_ + i * bytes_per_bucket_;
+  // Smallest offset mapping to bucket i: ceil(i * 0x10000 / scale).
+  const unsigned __int128 off =
+      (static_cast<unsigned __int128>(i) << 16) + scale_ - 1;
+  return text_base_ + static_cast<std::uint64_t>(off / scale_);
 }
 
 std::int64_t ProfileBuffer::bucket_of(std::uint64_t pc) const noexcept {
   if (pc < text_base_ || pc >= text_base_ + span_bytes_) return -1;
-  return static_cast<std::int64_t>((pc - text_base_) / bytes_per_bucket_);
+  return static_cast<std::int64_t>(scaled_offset(pc - text_base_, scale_));
 }
 
 void ProfileBuffer::reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0u);
-  total_ = 0;
-  out_of_range_ = 0;
+  total_.store(0, std::memory_order_relaxed);
+  out_of_range_.store(0, std::memory_order_relaxed);
+  saturated_buckets_.store(0, std::memory_order_relaxed);
+  saturated_samples_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace papirepro::papi

@@ -6,8 +6,15 @@
 // bucket.  Attribution accuracy is whatever the delivered PC is —
 // skidded on out-of-order platforms, exact with EAR/ProfileMe support —
 // which is precisely what experiment E6 measures.
+//
+// record() is multi-producer-safe: buckets and totals update with
+// relaxed atomics, so synchronous overflow delivery from several
+// counting threads and the asynchronous sampling aggregator can feed
+// the same buffer.  Buckets saturate at UINT32_MAX instead of wrapping;
+// saturated buckets and the samples lost to them are accounted.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -15,43 +22,79 @@ namespace papirepro::papi {
 
 class ProfileBuffer {
  public:
-  /// Buckets cover [text_base, text_base + span_bytes); `scale` follows
-  /// the SVR4 profil convention: 0x10000 maps one bucket per byte,
-  /// 0x8000 one bucket per 2 bytes, etc.  We default to one bucket per
-  /// 4-byte instruction.
-  ProfileBuffer(std::uint64_t text_base, std::uint64_t span_bytes,
-                std::uint32_t scale = 0x4000);
+  /// One bucket per 4-byte instruction.
+  static constexpr std::uint32_t kDefaultScale = 0x4000;
 
-  void record(std::uint64_t pc);
+  /// SVR4 profil accepts scales in [1, 0x10000]: 0x10000 maps one
+  /// bucket per byte, 0x8000 one per 2 bytes, ...; anything larger (or
+  /// zero) is a caller error the C API reports as PAPI_EINVAL.
+  static constexpr bool valid_scale(std::uint32_t scale) noexcept {
+    return scale >= 1 && scale <= 0x10000;
+  }
+
+  /// Buckets cover [text_base, text_base + span_bytes); `scale` follows
+  /// the SVR4 profil convention: bucket = (pc - base) * scale / 0x10000.
+  /// An invalid scale is clamped to kDefaultScale (the C API rejects it
+  /// before getting here; this keeps the class total in release builds
+  /// instead of dividing by zero as the old code did).
+  ProfileBuffer(std::uint64_t text_base, std::uint64_t span_bytes,
+                std::uint32_t scale = kDefaultScale);
+
+  void record(std::uint64_t pc) noexcept;
 
   std::uint64_t text_base() const noexcept { return text_base_; }
   std::uint64_t span_bytes() const noexcept { return span_bytes_; }
   std::uint32_t scale() const noexcept { return scale_; }
   std::size_t num_buckets() const noexcept { return buckets_.size(); }
+  /// Raw bucket storage.  Stable to read once recording has quiesced
+  /// (set stopped / rings flushed); use snapshot() while live.
   const std::vector<std::uint32_t>& buckets() const noexcept {
     return buckets_;
   }
 
-  std::uint64_t total_samples() const noexcept { return total_; }
-  std::uint64_t out_of_range_samples() const noexcept {
-    return out_of_range_;
+  std::uint64_t total_samples() const noexcept {
+    return total_.load(std::memory_order_relaxed);
   }
+  std::uint64_t out_of_range_samples() const noexcept {
+    return out_of_range_.load(std::memory_order_relaxed);
+  }
+  /// Buckets pinned at UINT32_MAX, and samples discarded because their
+  /// bucket was already saturated.
+  std::uint64_t saturated_buckets() const noexcept {
+    return saturated_buckets_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t saturated_samples() const noexcept {
+    return saturated_samples_.load(std::memory_order_relaxed);
+  }
+
+  /// Coherent-enough copy for live polling (perfometer/vprof while the
+  /// aggregator is still writing): each cell is loaded atomically.
+  struct Snapshot {
+    std::uint64_t total = 0;
+    std::uint64_t out_of_range = 0;
+    std::uint64_t saturated_buckets = 0;
+    std::uint64_t saturated_samples = 0;
+    std::vector<std::uint32_t> buckets;
+  };
+  Snapshot snapshot() const;
 
   /// Address of the first byte covered by bucket `i`.
   std::uint64_t bucket_address(std::size_t i) const noexcept;
   /// Bucket index covering `pc`, or -1 when out of range.
   std::int64_t bucket_of(std::uint64_t pc) const noexcept;
 
+  /// Not safe against concurrent record(); quiesce first.
   void reset();
 
  private:
   std::uint64_t text_base_;
   std::uint64_t span_bytes_;
   std::uint32_t scale_;
-  std::uint64_t bytes_per_bucket_;
   std::vector<std::uint32_t> buckets_;
-  std::uint64_t total_ = 0;
-  std::uint64_t out_of_range_ = 0;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> out_of_range_{0};
+  std::atomic<std::uint64_t> saturated_buckets_{0};
+  std::atomic<std::uint64_t> saturated_samples_{0};
 };
 
 }  // namespace papirepro::papi

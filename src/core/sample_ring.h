@@ -1,0 +1,107 @@
+// Fixed-capacity lock-free SPSC ring for overflow samples.  The
+// producer is the substrate's overflow delivery running *inside* the
+// counting thread (an interrupt handler, in real-PAPI terms): it must
+// never block, never allocate, and never run user code.  The consumer
+// is the Library's sampling aggregator thread, which drains records in
+// batches and runs the heavy half of dispatch — user handlers and
+// ProfileBuffer histogram updates — off the hot path.  When the ring is
+// full the producer drops the sample and accounts it (graceful
+// degradation: a lost sample biases a statistical profile far less than
+// a stalled counting thread biases every count).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace papirepro::papi {
+
+/// One overflow occurrence, as captured at interrupt delivery.  POD so
+/// enqueue is a handful of stores; the armed-config index says which
+/// handler / profile buffer the aggregator dispatches it to.
+struct SampleRecord {
+  std::uint32_t config_index = 0;
+  std::uint32_t has_precise = 0;
+  std::uint64_t pc_observed = 0;
+  std::uint64_t pc_precise = 0;
+  std::uint64_t addr = 0;
+};
+
+/// Single-producer single-consumer bounded queue.  All producer-side
+/// state (tail_, dropped_) is written only by the producer; all
+/// consumer-side state (head_) only by the consumer.  Capacity is
+/// rounded up to a power of two so index masking is a single AND.
+class SampleRing {
+ public:
+  static constexpr std::size_t kMinCapacity = 8;
+  static constexpr std::size_t kMaxCapacity = 1u << 20;
+
+  explicit SampleRing(std::size_t capacity) {
+    std::size_t cap = kMinCapacity;
+    while (cap < capacity && cap < kMaxCapacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<SampleRecord[]>(cap);
+  }
+
+  SampleRing(const SampleRing&) = delete;
+  SampleRing& operator=(const SampleRing&) = delete;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Producer side.  O(1), wait-free, no allocation; a full ring drops
+  /// the record and bumps the drop count instead of blocking.
+  bool try_push(const SampleRecord& record) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[tail & mask_] = record;
+    tail_.store(tail + 1, std::memory_order_release);
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Consumer side (the aggregator serializes all callers).
+  bool try_pop(SampleRecord& out) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+  std::size_t size() const noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  /// Samples enqueued / dropped-on-full since construction.
+  std::uint64_t pushed() const noexcept {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  std::unique_ptr<SampleRecord[]> slots_;
+  /// Consumer cursor and producer cursor on separate cache lines so the
+  /// enqueue path never false-shares with the draining aggregator.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace papirepro::papi

@@ -42,6 +42,11 @@ struct CostModel {
   std::uint64_t read_cost_cycles = 2500;
   std::uint64_t start_stop_cost_cycles = 3500;
   std::uint64_t overflow_handler_cost_cycles = 4000;
+  /// Charged instead of the handler cost when overflow delivery is
+  /// deferred (OverflowDeliveryMode::kDeferred): the interrupt only
+  /// captures the PC into a sample ring, so the counting thread pays
+  /// the trap-plus-enqueue price while dispatch runs elsewhere.
+  std::uint64_t overflow_enqueue_cost_cycles = 400;
   std::uint32_t read_pollute_lines = 32;
   /// ProfileMe per-sample retirement cost (tiny: hardware-assisted).
   std::uint64_t sample_cost_cycles = 15;

@@ -23,6 +23,7 @@ PlatformDescription make() {
   p.costs = {.read_cost_cycles = 2000,
              .start_stop_cost_cycles = 3000,
              .overflow_handler_cost_cycles = 4200,
+             .overflow_enqueue_cost_cycles = 350,
              .read_pollute_lines = 32,
              .sample_cost_cycles = 12};
 

@@ -22,6 +22,7 @@ PlatformDescription make() {
   p.costs = {.read_cost_cycles = 2200,
              .start_stop_cost_cycles = 3200,
              .overflow_handler_cost_cycles = 4000,
+             .overflow_enqueue_cost_cycles = 360,
              .read_pollute_lines = 40,
              .sample_cost_cycles = 0};
 

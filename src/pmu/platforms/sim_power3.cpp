@@ -21,6 +21,7 @@ PlatformDescription make() {
   p.costs = {.read_cost_cycles = 1800,
              .start_stop_cost_cycles = 2600,
              .overflow_handler_cost_cycles = 3500,
+             .overflow_enqueue_cost_cycles = 320,
              .read_pollute_lines = 24,
              .sample_cost_cycles = 0};
   p.machine.frequency_ghz = 0.375;  // 375 MHz POWER3-II

@@ -24,6 +24,7 @@ PlatformDescription make() {
   p.costs = {.read_cost_cycles = 6,   // a couple of register moves
              .start_stop_cost_cycles = 10,
              .overflow_handler_cost_cycles = 2500,
+             .overflow_enqueue_cost_cycles = 220,
              .read_pollute_lines = 0,
              .sample_cost_cycles = 0};
   p.machine.frequency_ghz = 0.45;  // 450 MHz EV5

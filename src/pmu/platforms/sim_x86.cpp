@@ -25,6 +25,7 @@ PlatformDescription make() {
   p.costs = {.read_cost_cycles = 2500,
              .start_stop_cost_cycles = 3800,
              .overflow_handler_cost_cycles = 4500,
+             .overflow_enqueue_cost_cycles = 420,
              .read_pollute_lines = 48,
              .sample_cost_cycles = 0};
 

@@ -34,6 +34,18 @@ struct SubstrateOverflow {
   std::uint64_t addr = 0;
 };
 
+/// How much work the overflow callback does in the delivery context.
+/// kSynchronous is the classic PAPI shape: the full handler runs inside
+/// the (simulated) interrupt, so the substrate charges the counting
+/// thread the whole handler cost.  kDeferred promises the callback only
+/// captures the sample (an O(1), no-allocation ring enqueue) and the
+/// heavy dispatch happens on another thread — substrates that model
+/// delivery cost charge the cheaper enqueue-only price.
+enum class OverflowDeliveryMode : std::uint8_t {
+  kSynchronous,
+  kDeferred,
+};
+
 class CounterContext {
  public:
   using OverflowCallback = std::function<void(const SubstrateOverflow&)>;
@@ -49,9 +61,10 @@ class CounterContext {
   /// Values in programmed-event order.
   virtual Status read(std::span<std::uint64_t> out) = 0;
   virtual Status reset_counts() = 0;
-  virtual Status set_overflow(std::uint32_t event_index,
-                              std::uint64_t threshold,
-                              OverflowCallback callback) = 0;
+  virtual Status set_overflow(
+      std::uint32_t event_index, std::uint64_t threshold,
+      OverflowCallback callback,
+      OverflowDeliveryMode mode = OverflowDeliveryMode::kSynchronous) = 0;
   virtual Status clear_overflow(std::uint32_t event_index) = 0;
   virtual bool running() const noexcept = 0;
 

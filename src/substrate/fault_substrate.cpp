@@ -75,9 +75,10 @@ class FaultInjectingContext final : public CounterContext {
   Status reset_counts() override { return inner_->reset_counts(); }
 
   Status set_overflow(std::uint32_t event_index, std::uint64_t threshold,
-                      OverflowCallback callback) override {
+                      OverflowCallback callback,
+                      OverflowDeliveryMode mode) override {
     return inner_->set_overflow(event_index, threshold,
-                                std::move(callback));
+                                std::move(callback), mode);
   }
   Status clear_overflow(std::uint32_t event_index) override {
     return inner_->clear_overflow(event_index);

@@ -27,8 +27,8 @@ class NullCounterContext final : public CounterContext {
     return Error::kNoCounters;
   }
   Status reset_counts() override { return Error::kNoCounters; }
-  Status set_overflow(std::uint32_t, std::uint64_t,
-                      OverflowCallback) override {
+  Status set_overflow(std::uint32_t, std::uint64_t, OverflowCallback,
+                      OverflowDeliveryMode) override {
     return Error::kNoCounters;
   }
   Status clear_overflow(std::uint32_t) override {

@@ -41,8 +41,8 @@ class PerfCounterContext final : public CounterContext {
   /// Values scaled by time_enabled/time_running (kernel multiplexing).
   Status read(std::span<std::uint64_t> out) override;
   Status reset_counts() override;
-  Status set_overflow(std::uint32_t, std::uint64_t,
-                      OverflowCallback) override {
+  Status set_overflow(std::uint32_t, std::uint64_t, OverflowCallback,
+                      OverflowDeliveryMode) override {
     return Error::kNoSupport;
   }
   Status clear_overflow(std::uint32_t) override {

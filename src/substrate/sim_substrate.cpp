@@ -176,13 +176,20 @@ Status SimCounterContext::reset_counts() {
 
 Status SimCounterContext::set_overflow(std::uint32_t event_index,
                                        std::uint64_t threshold,
-                                       OverflowCallback callback) {
+                                       OverflowCallback callback,
+                                       OverflowDeliveryMode mode) {
   if (event_index >= events_.size() || !callback) return Error::kInvalid;
   if (assignment_[event_index] >= SimSubstrate::kSampledBase) {
     return Error::kNoSupport;
   }
+  // A deferred callback only captures the sample into a ring; the
+  // counting thread pays the (much cheaper) enqueue cost while the full
+  // handler price moves to the aggregator thread.  This is the cost
+  // asymmetry behind the paper's sampling-vs-direct-counting gap.
   const std::uint64_t handler_cost =
-      platform_.costs.overflow_handler_cost_cycles;
+      mode == OverflowDeliveryMode::kDeferred
+          ? platform_.costs.overflow_enqueue_cost_cycles
+          : platform_.costs.overflow_handler_cost_cycles;
   auto wrapped = [this, event_index, handler_cost,
                   cb = std::move(callback)](const pmu::OverflowInfo& info) {
     charge(handler_cost);

@@ -53,7 +53,9 @@ class SimCounterContext final : public CounterContext {
   Status read(std::span<std::uint64_t> out) override;
   Status reset_counts() override;
   Status set_overflow(std::uint32_t event_index, std::uint64_t threshold,
-                      OverflowCallback callback) override;
+                      OverflowCallback callback,
+                      OverflowDeliveryMode mode =
+                          OverflowDeliveryMode::kSynchronous) override;
   Status clear_overflow(std::uint32_t event_index) override;
   Status set_domain(std::uint32_t domain_mask) override;
   bool running() const noexcept override { return running_; }

@@ -58,6 +58,11 @@ void Perfometer::sample() {
   const double dt_s = static_cast<double>(now - last_usec_) * 1e-6;
   p.rate_per_sec =
       dt_s > 0 ? static_cast<double>(value - last_value_) / dt_s : 0.0;
+  // Live pipeline telemetry rides along with each point, so a trace of
+  // a sampled run also shows whether (and when) rings dropped samples.
+  const papi::SamplingStats sampling = library_.sampling_stats();
+  p.samples_dispatched = sampling.dispatched;
+  p.samples_dropped = sampling.dropped;
   trace_.push_back(p);
   last_usec_ = now;
   last_value_ = value;
@@ -119,9 +124,10 @@ std::string Perfometer::render_ascii(std::size_t width,
 
 std::string Perfometer::to_csv() const {
   std::ostringstream os;
-  os << "usec,value,rate_per_sec\n";
+  os << "usec,value,rate_per_sec,samples_dispatched,samples_dropped\n";
   for (const Point& p : trace_) {
-    os << p.usec << ',' << p.value << ',' << p.rate_per_sec << "\n";
+    os << p.usec << ',' << p.value << ',' << p.rate_per_sec << ','
+       << p.samples_dispatched << ',' << p.samples_dropped << "\n";
   }
   return os.str();
 }

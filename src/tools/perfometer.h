@@ -24,6 +24,10 @@ class Perfometer {
     std::uint64_t usec = 0;        ///< sample timestamp
     long long value = 0;           ///< cumulative metric value
     double rate_per_sec = 0;       ///< metric rate over the last interval
+    /// Async sampling-pipeline snapshot at this point (cumulative
+    /// library-wide counters; zero when the pipeline is idle).
+    std::uint64_t samples_dispatched = 0;
+    std::uint64_t samples_dropped = 0;
   };
 
   /// Samples `metric` every `interval_cycles` substrate cycles.

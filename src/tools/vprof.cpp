@@ -23,10 +23,13 @@ std::int64_t bucket_instruction(const papi::ProfileBuffer& buffer,
 
 std::vector<LineProfile> correlate_lines(const papi::ProfileBuffer& buffer,
                                          const sim::Program& program) {
+  // Atomic per-cell snapshot: the buffer may still be fed by the async
+  // sampling aggregator while a live view correlates it.
+  const papi::ProfileBuffer::Snapshot snap = buffer.snapshot();
   std::map<std::uint32_t, std::uint64_t> by_line;
   std::uint64_t in_range = 0;
-  for (std::size_t b = 0; b < buffer.num_buckets(); ++b) {
-    const std::uint32_t n = buffer.buckets()[b];
+  for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+    const std::uint32_t n = snap.buckets[b];
     if (n == 0) continue;
     const std::int64_t idx = bucket_instruction(buffer, program, b);
     if (idx < 0) continue;
@@ -49,10 +52,11 @@ std::vector<LineProfile> correlate_lines(const papi::ProfileBuffer& buffer,
 
 std::vector<FunctionProfile> correlate_functions(
     const papi::ProfileBuffer& buffer, const sim::Program& program) {
+  const papi::ProfileBuffer::Snapshot snap = buffer.snapshot();
   std::map<std::string, std::uint64_t> by_func;
   std::uint64_t in_range = 0;
-  for (std::size_t b = 0; b < buffer.num_buckets(); ++b) {
-    const std::uint32_t n = buffer.buckets()[b];
+  for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+    const std::uint32_t n = snap.buckets[b];
     if (n == 0) continue;
     const std::int64_t idx = bucket_instruction(buffer, program, b);
     if (idx < 0) continue;
@@ -81,9 +85,10 @@ AttributionAccuracy attribution_accuracy(const papi::ProfileBuffer& buffer,
   const std::uint32_t expected_line = program.line_of(expected_index);
   const sim::Function* expected_func = program.function_at(expected_index);
 
+  const papi::ProfileBuffer::Snapshot snap = buffer.snapshot();
   std::uint64_t exact = 0, same_line = 0, same_func = 0, total = 0;
-  for (std::size_t b = 0; b < buffer.num_buckets(); ++b) {
-    const std::uint32_t n = buffer.buckets()[b];
+  for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+    const std::uint32_t n = snap.buckets[b];
     if (n == 0) continue;
     total += n;
     const std::int64_t idx = bucket_instruction(buffer, program, b);
@@ -93,7 +98,7 @@ AttributionAccuracy attribution_accuracy(const papi::ProfileBuffer& buffer,
     const sim::Function* f = program.function_at(idx);
     if (f != nullptr && f == expected_func) same_func += n;
   }
-  total += buffer.out_of_range_samples();
+  total += snap.out_of_range;
   acc.total_samples = total;
   if (total > 0) {
     acc.exact = static_cast<double>(exact) / static_cast<double>(total);
@@ -110,8 +115,9 @@ std::string render_annotated(const papi::ProfileBuffer& buffer,
                              std::uint64_t min_samples) {
   std::ostringstream os;
   os << std::setw(10) << "samples" << "  " << "instruction\n";
-  for (std::size_t b = 0; b < buffer.num_buckets(); ++b) {
-    const std::uint32_t n = buffer.buckets()[b];
+  const papi::ProfileBuffer::Snapshot snap = buffer.snapshot();
+  for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+    const std::uint32_t n = snap.buckets[b];
     if (n < min_samples) continue;
     const std::int64_t idx = bucket_instruction(buffer, program, b);
     if (idx < 0) continue;

@@ -48,6 +48,11 @@ std::vector<HandleCase> handle_cases() {
          return PAPI_overflow(h, PAPI_TOT_INS, 1000, 0,
                               [](int, void*, long long, void*) {});
        }},
+      {"PAPI_profil",
+       [](int h) {
+         static unsigned int pbuf[64];
+         return PAPI_profil(pbuf, 64, 0x400000, 0, h, PAPI_TOT_INS, 1000);
+       }},
       {"PAPI_list_events",
        [](int h) {
          number = 32;
@@ -91,6 +96,9 @@ TEST(CapiErrorsNoInit, EveryEntryPointReportsNoInit) {
   EXPECT_EQ(PAPI_stop_counters(values, 2), PAPI_ENOINIT);
   EXPECT_EQ(PAPIrepro_set_retry(3, 0), PAPI_ENOINIT);
   EXPECT_EQ(PAPIrepro_set_estimation(1), PAPI_ENOINIT);
+  EXPECT_EQ(PAPIrepro_set_sampling(1, 0), PAPI_ENOINIT);
+  PAPIrepro_sampling_stats_t stats;
+  EXPECT_EQ(PAPIrepro_sampling_stats(&stats), PAPI_ENOINIT);
 }
 
 TEST_F(CapiErrors, BadHandleReportsNoEventSet) {
@@ -170,6 +178,137 @@ TEST_F(CapiErrors, UnknownEventCodesReportNoEvent) {
                 static_cast<int>(PAPI_PRESET_MASK | 0x7000), name,
                 sizeof(name)),
             PAPI_ENOEVNT);
+}
+
+// ---- overflow / profil argument matrix ----
+
+TEST_F(CapiErrors, ProfilArgumentMatrix) {
+  int es = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+  ASSERT_EQ(PAPI_add_event(es, PAPI_TOT_INS), PAPI_OK);
+  static unsigned int buf[64];
+
+  struct Case {
+    const char* name;
+    unsigned int* buf;
+    unsigned int bufsiz;
+    unsigned int scale;
+    int event_code;
+    int threshold;
+    int expected;
+  };
+  const Case cases[] = {
+      {"null buffer", nullptr, 64, 0, PAPI_TOT_INS, 1000, PAPI_EINVAL},
+      {"zero bufsiz", buf, 0, 0, PAPI_TOT_INS, 1000, PAPI_EINVAL},
+      {"negative threshold", buf, 64, 0, PAPI_TOT_INS, -1, PAPI_EINVAL},
+      {"scale above full-byte", buf, 64, 0x10001, PAPI_TOT_INS, 1000,
+       PAPI_EINVAL},
+      {"scale way out of range", buf, 64, 0x20000, PAPI_TOT_INS, 1000,
+       PAPI_EINVAL},
+      {"unknown event", buf, 64, 0, 0x7f123456, 1000, PAPI_ENOEVNT},
+      {"event not in set", buf, 64, 0, PAPI_TOT_CYC, 1000, PAPI_ENOEVNT},
+      {"stop when never armed", buf, 64, 0, PAPI_TOT_INS, 0,
+       PAPI_ENOEVNT},
+      {"defaulted scale ok", buf, 64, 0, PAPI_TOT_INS, 1000, PAPI_OK},
+      {"explicit full-byte scale ok", buf, 64, 0x10000, PAPI_TOT_INS,
+       1000, PAPI_OK},
+      {"threshold 0 stops", buf, 64, 0, PAPI_TOT_INS, 0, PAPI_OK},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(PAPI_profil(c.buf, c.bufsiz, 0x400000, c.scale, es,
+                          c.event_code, c.threshold),
+              c.expected)
+        << c.name;
+  }
+}
+
+TEST_F(CapiErrors, OverflowArgumentMatrix) {
+  int es = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+  ASSERT_EQ(PAPI_add_event(es, PAPI_TOT_INS), PAPI_OK);
+  const PAPI_overflow_handler_t handler = [](int, void*, long long,
+                                             void*) {};
+
+  struct Case {
+    const char* name;
+    int event_code;
+    int threshold;
+    PAPI_overflow_handler_t handler;
+    int expected;
+  };
+  const Case cases[] = {
+      {"null handler", PAPI_TOT_INS, 1000, nullptr, PAPI_EINVAL},
+      {"negative threshold", PAPI_TOT_INS, -5, handler, PAPI_EINVAL},
+      {"unknown event", 0x7f123456, 1000, handler, PAPI_ENOEVNT},
+      {"event not in set", PAPI_TOT_CYC, 1000, handler, PAPI_ENOEVNT},
+      {"clear when never armed", PAPI_TOT_INS, 0, handler, PAPI_ENOEVNT},
+      {"arm ok", PAPI_TOT_INS, 1000, handler, PAPI_OK},
+      {"threshold 0 clears", PAPI_TOT_INS, 0, handler, PAPI_OK},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(PAPI_overflow(es, c.event_code, c.threshold, 0, c.handler),
+              c.expected)
+        << c.name;
+  }
+}
+
+TEST_F(CapiErrors, SamplingKnobMatrix) {
+  EXPECT_EQ(PAPIrepro_sampling_stats(nullptr), PAPI_EINVAL);
+  // Ring capacity beyond the supported maximum (1 << 20 records).
+  EXPECT_EQ(PAPIrepro_set_sampling(1, 1ull << 21), PAPI_EINVAL);
+
+  ASSERT_EQ(PAPIrepro_set_sampling(1, 0), PAPI_OK);
+  PAPIrepro_sampling_stats_t stats = {};
+  ASSERT_EQ(PAPIrepro_sampling_stats(&stats), PAPI_OK);
+  EXPECT_EQ(stats.async, 1);
+  EXPECT_EQ(stats.ring_capacity, 1024);  // 0 keeps the default
+
+  ASSERT_EQ(PAPIrepro_set_sampling(1, 4096), PAPI_OK);
+  ASSERT_EQ(PAPIrepro_sampling_stats(&stats), PAPI_OK);
+  EXPECT_EQ(stats.ring_capacity, 4096);
+
+  ASSERT_EQ(PAPIrepro_set_sampling(0, 0), PAPI_OK);
+  ASSERT_EQ(PAPIrepro_sampling_stats(&stats), PAPI_OK);
+  EXPECT_EQ(stats.async, 0);
+  EXPECT_EQ(stats.ring_capacity, 4096);  // capacity survives the toggle
+}
+
+TEST(CapiSampling, AsyncProfilDeliversHistogramAndStats) {
+  PAPI_shutdown();
+  PAPIrepro_sim_t* sim = PAPIrepro_sim_create("sim-power3", "saxpy",
+                                              10'000);
+  ASSERT_NE(sim, nullptr);
+  ASSERT_EQ(PAPIrepro_bind_sim(sim), PAPI_OK);
+  ASSERT_EQ(PAPI_library_init(PAPI_VER_CURRENT), PAPI_VER_CURRENT);
+  ASSERT_EQ(PAPIrepro_set_sampling(1, 8192), PAPI_OK);
+
+  int es = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+  ASSERT_EQ(PAPI_add_event(es, PAPI_TOT_INS), PAPI_OK);
+  unsigned int buf[256] = {};
+  // 0x400000 is the simulator's text base (sim::kTextBase).
+  ASSERT_EQ(PAPI_profil(buf, 256, 0x400000, 0, es, PAPI_TOT_INS, 500),
+            PAPI_OK);
+  ASSERT_EQ(PAPI_start(es), PAPI_OK);
+  PAPIrepro_sim_run(sim, -1);
+  long long v = 0;
+  // PAPI_stop drains the ring before copying buckets out: the user
+  // buffer is complete when it returns.
+  ASSERT_EQ(PAPI_stop(es, &v), PAPI_OK);
+
+  unsigned long long histogram_total = 0;
+  for (const unsigned int b : buf) histogram_total += b;
+  EXPECT_GT(histogram_total, 100u);
+
+  PAPIrepro_sampling_stats_t stats = {};
+  ASSERT_EQ(PAPIrepro_sampling_stats(&stats), PAPI_OK);
+  EXPECT_EQ(stats.async, 1);
+  EXPECT_EQ(stats.dispatched, stats.enqueued);
+  EXPECT_EQ(stats.dropped, 0);
+  EXPECT_EQ(static_cast<unsigned long long>(stats.dispatched),
+            histogram_total);
+  PAPI_shutdown();
+  PAPIrepro_sim_destroy(sim);
 }
 
 // ---- fault-injection extension surface ----

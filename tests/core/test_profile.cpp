@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 namespace papirepro::papi {
 namespace {
+
+constexpr std::uint32_t kMaxBucket =
+    std::numeric_limits<std::uint32_t>::max();
 
 TEST(ProfileBuffer, DefaultScaleOneBucketPerInstruction) {
   ProfileBuffer buf(0x400000, 400);  // 100 instructions
@@ -63,6 +69,93 @@ TEST(ProfileBuffer, Reset) {
   buf.reset();
   EXPECT_EQ(buf.total_samples(), 0u);
   EXPECT_EQ(buf.out_of_range_samples(), 0u);
+  EXPECT_EQ(buf.buckets()[0], 0u);
+}
+
+TEST(ProfileBuffer, ValidScaleBounds) {
+  EXPECT_FALSE(ProfileBuffer::valid_scale(0));
+  EXPECT_TRUE(ProfileBuffer::valid_scale(1));
+  EXPECT_TRUE(ProfileBuffer::valid_scale(0x2));
+  EXPECT_TRUE(ProfileBuffer::valid_scale(ProfileBuffer::kDefaultScale));
+  EXPECT_TRUE(ProfileBuffer::valid_scale(0x10000));
+  EXPECT_FALSE(ProfileBuffer::valid_scale(0x10001));
+  EXPECT_FALSE(ProfileBuffer::valid_scale(0x20000));
+}
+
+TEST(ProfileBuffer, InvalidScaleClampedToDefault) {
+  // The old code kept whatever it was given and divided by
+  // 0x10000/scale == 0 in release builds; now an invalid scale degrades
+  // to the default instead of crashing.
+  ProfileBuffer zero(0x400000, 400, 0);
+  EXPECT_EQ(zero.scale(), ProfileBuffer::kDefaultScale);
+  EXPECT_EQ(zero.num_buckets(), 100u);
+  zero.record(0x400000);
+  EXPECT_EQ(zero.total_samples(), 1u);
+
+  ProfileBuffer huge(0x400000, 400, 0x20000);
+  EXPECT_EQ(huge.scale(), ProfileBuffer::kDefaultScale);
+  EXPECT_EQ(huge.num_buckets(), 100u);
+}
+
+TEST(ProfileBuffer, NonDividingScaleUsesSvr4Mapping) {
+  // scale 0x3000 = 12288/65536 buckets per byte: bucket boundaries do
+  // not fall on whole bytes, so the exact SVR4 fixed-point form
+  // (pc - base) * scale >> 16 is observable.
+  ProfileBuffer buf(0x400000, 64, 0x3000);
+  // Highest offset is 63: (63 * 0x3000) >> 16 = 11, so 12 buckets.
+  EXPECT_EQ(buf.num_buckets(), 12u);
+  EXPECT_EQ(buf.bucket_of(0x400000 + 11), 2);  // (11 * 0x3000) >> 16
+  buf.record(0x400000 + 11);
+  EXPECT_EQ(buf.buckets()[2], 1u);
+  // bucket_address is the left inverse of bucket_of.
+  for (std::size_t i = 0; i < buf.num_buckets(); ++i) {
+    EXPECT_EQ(buf.bucket_of(buf.bucket_address(i)),
+              static_cast<std::int64_t>(i))
+        << "bucket " << i;
+  }
+}
+
+TEST(ProfileBuffer, BucketsSaturateInsteadOfWrapping) {
+  ProfileBuffer buf(0x400000, 64);
+  // Prime the bucket near the ceiling (counting up 2^32 times would
+  // take minutes); recording has quiesced, so the write is safe.
+  const_cast<std::uint32_t&>(buf.buckets()[0]) = kMaxBucket - 1;
+  buf.record(0x400000);  // reaches the ceiling
+  EXPECT_EQ(buf.buckets()[0], kMaxBucket);
+  EXPECT_EQ(buf.saturated_buckets(), 1u);
+  EXPECT_EQ(buf.saturated_samples(), 0u);
+  buf.record(0x400000);  // would wrap in the old code
+  buf.record(0x400000);
+  EXPECT_EQ(buf.buckets()[0], kMaxBucket);
+  EXPECT_EQ(buf.saturated_buckets(), 1u);
+  EXPECT_EQ(buf.saturated_samples(), 2u);
+  // The lost samples still count toward the total, so drop accounting
+  // stays exact.
+  EXPECT_EQ(buf.total_samples(), 3u);
+}
+
+TEST(ProfileBuffer, SnapshotMatchesAccessors) {
+  ProfileBuffer buf(0x400000, 64);
+  buf.record(0x400000);
+  buf.record(0x400004);
+  buf.record(0x500000);  // out of range
+  const ProfileBuffer::Snapshot snap = buf.snapshot();
+  EXPECT_EQ(snap.total, buf.total_samples());
+  EXPECT_EQ(snap.out_of_range, buf.out_of_range_samples());
+  EXPECT_EQ(snap.saturated_buckets, 0u);
+  EXPECT_EQ(snap.saturated_samples, 0u);
+  ASSERT_EQ(snap.buckets.size(), buf.num_buckets());
+  EXPECT_EQ(snap.buckets, buf.buckets());
+}
+
+TEST(ProfileBuffer, ResetClearsSaturationCounters) {
+  ProfileBuffer buf(0x400000, 64);
+  const_cast<std::uint32_t&>(buf.buckets()[0]) = kMaxBucket;
+  buf.record(0x400000);
+  EXPECT_EQ(buf.saturated_samples(), 1u);
+  buf.reset();
+  EXPECT_EQ(buf.saturated_buckets(), 0u);
+  EXPECT_EQ(buf.saturated_samples(), 0u);
   EXPECT_EQ(buf.buckets()[0], 0u);
 }
 
