@@ -180,6 +180,67 @@ typedef struct PAPIrepro_sampling_stats {
 /* Requires an initialized library; PAPI_EINVAL on NULL out. */
 int PAPIrepro_sampling_stats(PAPIrepro_sampling_stats_t* out);
 
+/* ---- self-telemetry (reproduction extension) ----
+ * The library watches itself: every control-path call, retry,
+ * degradation, mux rotation, allocation-memo outcome, sample, and
+ * injected fault bumps a process-wide introspection counter.  One
+ * consistent snapshot (below) backs this call, the legacy
+ * PAPIrepro_alloc_cache_stats / PAPIrepro_sampling_stats entry points,
+ * and the PAPIREPRO_TELEMETRY=stderr|<path> at-shutdown summary. */
+typedef struct PAPIrepro_telemetry {
+  /* counters, cumulative since init */
+  long long starts;             /* successful PAPI_start calls */
+  long long stops;              /* successful PAPI_stop calls */
+  long long reads;              /* PAPI_read calls (accum reads included) */
+  long long accums;             /* PAPI_accum calls */
+  long long resets;             /* PAPI_reset calls */
+  long long mux_rotations;      /* multiplex slice rotations */
+  long long retry_attempts;     /* re-attempts after transient faults */
+  long long retry_exhaustions;  /* transients surfaced after the budget */
+  long long degradations;       /* degradation-ladder activations */
+  long long faults_injected;    /* faults the injecting decorator fired */
+  long long alloc_cache_hits;
+  long long alloc_cache_misses;
+  long long alloc_cache_evictions;
+  long long alloc_cache_invalidations;
+  long long samples_enqueued;   /* overflow samples accepted by rings */
+  long long samples_dropped;    /* overflow samples lost to full rings */
+  long long samples_dispatched; /* samples the aggregator delivered */
+  long long overflows_suppressed; /* dispatches dropped after clear */
+  long long trace_records;      /* trace records accepted */
+  long long trace_drops;        /* trace records lost to full rings */
+  /* gauges at snapshot time */
+  long long threads_seen;       /* threads that ever touched telemetry */
+  long long trace_records_buffered;
+  long long alloc_cache_entries;
+  int enabled;                  /* master telemetry switch */
+  int trace_enabled;            /* trace rings recording */
+} PAPIrepro_telemetry_t;
+/* Requires an initialized library; PAPI_EINVAL on NULL out. */
+int PAPIrepro_get_telemetry(PAPIrepro_telemetry_t* out);
+
+/* Opt-in zero-allocation event tracing: each thread gets a fixed-size
+ * ring of span/instant records (start/stop/read/rotate/retry/degrade/
+ * overflow-dispatch) stamped with substrate cycles.  ring_capacity is
+ * records per ring, rounded up to a power of two (0 keeps the current
+ * default of 4096); PAPI_EINVAL when it exceeds the supported maximum.
+ * Disabling stops recording but keeps buffered records for dump. */
+int PAPIrepro_set_trace(int enable, unsigned long long ring_capacity);
+
+#define PAPIREPRO_TRACE_JSON 0 /* chrome://tracing traceEvents document */
+#define PAPIREPRO_TRACE_CSV 1  /* tid,kind,ts_cycles,dur_cycles,arg */
+/* Drains buffered trace records (destructive) into `path`.  PAPI_EINVAL
+ * on NULL path or unknown format, PAPI_ESYS when the file cannot be
+ * written. */
+int PAPIrepro_dump_trace(const char* path, int format);
+
+/* Self-overhead attribution: cycles the substrate charged to
+ * measurement infrastructure on behalf of `event_set`, divided by the
+ * cycles its runs spanned — the paper's "up to ~30 % direct counting vs
+ * 1-2 % sampling" finding as a queryable metric.  PAPI_EINVAL on NULL
+ * out. */
+int PAPIrepro_overhead_ratio(int event_set, double* out);
+
 /* ---- library ---- */
 int PAPI_library_init(int version);
 int PAPI_is_initialized(void);

@@ -7,6 +7,7 @@
 #include "capi/papi.h"
 
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -224,15 +225,20 @@ int PAPIrepro_set_retry(int max_attempts,
 }
 
 int PAPIrepro_alloc_cache_stats(PAPIrepro_alloc_cache_stats_t* out) {
+  // Compat wrapper: the allocation-memo counters now live in the
+  // library-wide telemetry registry; this entry point reads the same
+  // snapshot PAPIrepro_get_telemetry does.
   if (out == nullptr) return PAPI_EINVAL;
   if (g().library == nullptr) return PAPI_ENOINIT;
-  const papi::AllocationCache::Stats stats =
-      g().library->allocation_cache().stats();
-  out->hits = static_cast<long long>(stats.hits);
-  out->misses = static_cast<long long>(stats.misses);
-  out->evictions = static_cast<long long>(stats.evictions);
-  out->invalidations = static_cast<long long>(stats.invalidations);
-  out->entries = static_cast<long long>(stats.entries);
+  const papi::TelemetrySnapshot snap = g().library->telemetry_snapshot();
+  using TC = papi::TelemetryCounter;
+  out->hits = static_cast<long long>(snap.value(TC::kAllocCacheHits));
+  out->misses = static_cast<long long>(snap.value(TC::kAllocCacheMisses));
+  out->evictions =
+      static_cast<long long>(snap.value(TC::kAllocCacheEvictions));
+  out->invalidations =
+      static_cast<long long>(snap.value(TC::kAllocCacheInvalidations));
+  out->entries = static_cast<long long>(snap.alloc_cache_entries);
   return PAPI_OK;
 }
 
@@ -248,18 +254,86 @@ int PAPIrepro_set_sampling(int async_enable,
 }
 
 int PAPIrepro_sampling_stats(PAPIrepro_sampling_stats_t* out) {
+  // Compat wrapper over the telemetry snapshot: pipeline counters come
+  // from the registry, the ring/aggregator gauges ride along in the
+  // same snapshot, so this and PAPIrepro_get_telemetry can never
+  // disagree mid-run.
   if (out == nullptr) return PAPI_EINVAL;
   if (g().library == nullptr) return PAPI_ENOINIT;
-  const papi::SamplingStats stats = g().library->sampling_stats();
-  out->enqueued = static_cast<long long>(stats.enqueued);
-  out->dropped = static_cast<long long>(stats.dropped);
-  out->dispatched = static_cast<long long>(stats.dispatched);
-  out->sweeps = static_cast<long long>(stats.sweeps);
-  out->flushes = static_cast<long long>(stats.flushes);
-  out->rings_active = static_cast<long long>(stats.rings_active);
-  out->ring_capacity = static_cast<long long>(stats.ring_capacity);
-  out->async = stats.async ? 1 : 0;
+  const papi::TelemetrySnapshot snap = g().library->telemetry_snapshot();
+  using TC = papi::TelemetryCounter;
+  out->enqueued = static_cast<long long>(snap.value(TC::kSamplesEnqueued));
+  out->dropped = static_cast<long long>(snap.value(TC::kSamplesDropped));
+  out->dispatched =
+      static_cast<long long>(snap.value(TC::kSamplesDispatched));
+  out->sweeps = static_cast<long long>(snap.sampling_sweeps);
+  out->flushes = static_cast<long long>(snap.sampling_flushes);
+  out->rings_active = static_cast<long long>(snap.sampling_rings_active);
+  out->ring_capacity =
+      static_cast<long long>(snap.sampling_ring_capacity);
+  out->async = snap.sampling_async ? 1 : 0;
   return PAPI_OK;
+}
+
+int PAPIrepro_get_telemetry(PAPIrepro_telemetry_t* out) {
+  if (out == nullptr) return PAPI_EINVAL;
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  const papi::TelemetrySnapshot snap = g().library->telemetry_snapshot();
+  using TC = papi::TelemetryCounter;
+  const auto counter = [&snap](TC c) {
+    return static_cast<long long>(snap.value(c));
+  };
+  out->starts = counter(TC::kStarts);
+  out->stops = counter(TC::kStops);
+  out->reads = counter(TC::kReads);
+  out->accums = counter(TC::kAccums);
+  out->resets = counter(TC::kResets);
+  out->mux_rotations = counter(TC::kMuxRotations);
+  out->retry_attempts = counter(TC::kRetryAttempts);
+  out->retry_exhaustions = counter(TC::kRetryExhaustions);
+  out->degradations = counter(TC::kDegradations);
+  out->faults_injected = counter(TC::kFaultsInjected);
+  out->alloc_cache_hits = counter(TC::kAllocCacheHits);
+  out->alloc_cache_misses = counter(TC::kAllocCacheMisses);
+  out->alloc_cache_evictions = counter(TC::kAllocCacheEvictions);
+  out->alloc_cache_invalidations =
+      counter(TC::kAllocCacheInvalidations);
+  out->samples_enqueued = counter(TC::kSamplesEnqueued);
+  out->samples_dropped = counter(TC::kSamplesDropped);
+  out->samples_dispatched = counter(TC::kSamplesDispatched);
+  out->overflows_suppressed = counter(TC::kOverflowsSuppressed);
+  out->trace_records = counter(TC::kTraceRecords);
+  out->trace_drops = counter(TC::kTraceDrops);
+  out->threads_seen = static_cast<long long>(snap.threads_seen);
+  out->trace_records_buffered =
+      static_cast<long long>(snap.trace_records_buffered);
+  out->alloc_cache_entries =
+      static_cast<long long>(snap.alloc_cache_entries);
+  out->enabled = snap.enabled ? 1 : 0;
+  out->trace_enabled = snap.trace_enabled ? 1 : 0;
+  return PAPI_OK;
+}
+
+int PAPIrepro_set_trace(int enable, unsigned long long ring_capacity) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  return to_code(g().library->set_trace(
+      enable != 0, static_cast<std::size_t>(ring_capacity)));
+}
+
+int PAPIrepro_dump_trace(const char* path, int format) {
+  if (path == nullptr || *path == '\0') return PAPI_EINVAL;
+  if (format != PAPIREPRO_TRACE_JSON && format != PAPIREPRO_TRACE_CSV) {
+    return PAPI_EINVAL;
+  }
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  const std::string text = g().library->dump_trace(
+      format == PAPIREPRO_TRACE_JSON ? papi::TraceFormat::kChromeJson
+                                     : papi::TraceFormat::kCsv);
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return PAPI_ESYS;
+  file << text;
+  file.flush();
+  return file ? PAPI_OK : PAPI_ESYS;
 }
 
 int PAPI_library_init(int version) {
@@ -476,6 +550,14 @@ int PAPI_reset(int event_set) {
   auto set = lookup(event_set);
   if (!set.ok()) return to_code(set.error());
   return to_code(set.value()->reset());
+}
+
+int PAPIrepro_overhead_ratio(int event_set, double* out) {
+  if (out == nullptr) return PAPI_EINVAL;
+  auto set = lookup(event_set);
+  if (!set.ok()) return to_code(set.error());
+  *out = set.value()->overhead_ratio();
+  return PAPI_OK;
 }
 
 int PAPI_overflow(int event_set, int event_code, int threshold,

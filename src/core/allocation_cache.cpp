@@ -1,5 +1,6 @@
 #include "core/allocation_cache.h"
 
+#include "core/telemetry.h"
 #include "substrate/substrate.h"
 
 namespace papirepro::papi {
@@ -35,6 +36,8 @@ Result<std::vector<std::uint32_t>> AllocationCache::allocate(
     std::span<const int> priorities) {
   Key key{{events.begin(), events.end()},
           {priorities.begin(), priorities.end()}};
+  TelemetryRegistry* telemetry =
+      telemetry_.load(std::memory_order_relaxed);
 
   const std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t generation = substrate.allocation_generation();
@@ -45,12 +48,16 @@ Result<std::vector<std::uint32_t>> AllocationCache::allocate(
       lru_.clear();
       index_.clear();
       ++stats_.invalidations;
+      if (telemetry) {
+        telemetry->bump(TelemetryCounter::kAllocCacheInvalidations);
+      }
     }
     generation_ = generation;
   }
 
   if (const auto it = index_.find(key); it != index_.end()) {
     ++stats_.hits;
+    if (telemetry) telemetry->bump(TelemetryCounter::kAllocCacheHits);
     lru_.splice(lru_.begin(), lru_, it->second);
     const CachedSolve& solve = it->second->second;
     if (solve.error != Error::kOk) return solve.error;
@@ -58,6 +65,7 @@ Result<std::vector<std::uint32_t>> AllocationCache::allocate(
   }
 
   ++stats_.misses;
+  if (telemetry) telemetry->bump(TelemetryCounter::kAllocCacheMisses);
   auto solved = substrate.allocate(events, priorities);
   CachedSolve entry;
   if (solved.ok()) {
@@ -71,6 +79,7 @@ Result<std::vector<std::uint32_t>> AllocationCache::allocate(
     index_.erase(lru_.back().first);
     lru_.pop_back();
     ++stats_.evictions;
+    if (telemetry) telemetry->bump(TelemetryCounter::kAllocCacheEvictions);
   }
   return solved;
 }

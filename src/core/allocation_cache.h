@@ -18,6 +18,7 @@
 // path (add/remove/enable_multiplex), never on the read hot path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -31,6 +32,7 @@
 namespace papirepro::papi {
 
 class Substrate;
+class TelemetryRegistry;
 
 class AllocationCache {
  public:
@@ -57,6 +59,12 @@ class AllocationCache {
   void clear();
   std::size_t capacity() const noexcept { return capacity_; }
 
+  /// Mirrors hit/miss/eviction/invalidation counts into the library-wide
+  /// registry, which outlives the cache.  Called once by the Library.
+  void bind_telemetry(TelemetryRegistry* telemetry) noexcept {
+    telemetry_.store(telemetry, std::memory_order_relaxed);
+  }
+
  private:
   struct Key {
     std::vector<pmu::NativeEventCode> events;
@@ -72,6 +80,7 @@ class AllocationCache {
   };
   using LruList = std::list<std::pair<Key, CachedSolve>>;
 
+  std::atomic<TelemetryRegistry*> telemetry_{nullptr};
   mutable std::mutex mutex_;
   std::size_t capacity_;
   std::uint64_t generation_ = 0;

@@ -193,7 +193,10 @@ void EventSet::dispatch_overflow(const OverflowConfig& config,
   // An interrupt in flight when clear_overflow() disarmed this config
   // still gets delivered (the PMU latches the handler at trigger time);
   // drop it here so a cleared event never dispatches again.
-  if (config.retired.load(std::memory_order_acquire)) return;
+  if (config.retired.load(std::memory_order_acquire)) {
+    library_.telemetry().bump(TelemetryCounter::kOverflowsSuppressed);
+    return;
+  }
   if (config.profile != nullptr) {
     config.profile->record(config.prefer_precise && o.has_precise
                                ? o.pc_precise
@@ -230,21 +233,35 @@ Status EventSet::arm_overflow(std::size_t config_index) {
     // simply never drained.
     std::shared_ptr<SampleRing> ring = sample_ring_;
     const auto idx = static_cast<std::uint32_t>(config_index);
+    // The registry outlives every armed callback (it is the Library's
+    // first member); counter bumps are safe from the delivery context,
+    // but no trace record here — tracing reads the counting thread's
+    // clock, and deferred delivery may run elsewhere.
+    TelemetryRegistry* telemetry = &library_.telemetry();
     armed = context_->set_overflow(
         event_index, config->threshold,
-        [ring, idx](const SubstrateOverflow& o) {
-          ring->try_push(SampleRecord{
+        [ring, idx, telemetry](const SubstrateOverflow& o) {
+          const bool pushed = ring->try_push(SampleRecord{
               .config_index = idx,
               .has_precise = o.has_precise ? 1u : 0u,
               .pc_observed = o.pc_observed,
               .pc_precise = o.pc_precise,
               .addr = o.addr});
+          telemetry->bump(pushed ? TelemetryCounter::kSamplesEnqueued
+                                 : TelemetryCounter::kSamplesDropped);
         },
         OverflowDeliveryMode::kDeferred);
   } else {
     armed = context_->set_overflow(
         event_index, config->threshold,
         [this, config](const SubstrateOverflow& o) {
+          // Synchronous delivery runs on the counting thread, so the
+          // context clock is safe to stamp here.
+          if (context_ != nullptr) {
+            library_.telemetry().trace_instant(
+                TraceEventKind::kOverflowDispatch, context_->cycles(),
+                static_cast<std::uint64_t>(handle_));
+          }
           dispatch_overflow(*config, o);
         },
         OverflowDeliveryMode::kSynchronous);
@@ -326,6 +343,15 @@ Status EventSet::start() {
   degradations_ = 0;
   preallocate_scratch();
 
+  // Overhead attribution window: everything the context's clock charges
+  // to measurement infrastructure between here and stop() is this run's
+  // overhead; the wall window is its denominator.
+  overhead_base_ = context_->overhead_cycles();
+  window_base_ = context_->cycles();
+  library_.telemetry().bump(TelemetryCounter::kStarts);
+  library_.telemetry().trace_instant(TraceEventKind::kStart, window_base_,
+                                     static_cast<std::uint64_t>(handle_));
+
   if (async_active_) {
     // The dispatch closure owns a snapshot of the armed configs (each a
     // shared_ptr copy), so records drained after a clear_overflow() or
@@ -362,6 +388,10 @@ Status EventSet::start() {
       // slices, rotated by read()/accum() instead of aborting the run.
       mux_timer_id_ = -1;
       degradations_ |= degradation::kMuxSequential;
+      library_.telemetry().bump(TelemetryCounter::kDegradations);
+      library_.telemetry().trace_instant(TraceEventKind::kDegrade,
+                                         context_->cycles(),
+                                         degradation::kMuxSequential);
     } else {
       mux_timer_id_ = timer.value();
     }
@@ -395,6 +425,15 @@ void EventSet::rotate_mux() {
   (void)context_->reset_counts();
   (void)context_->start();
   mux_slice_start_ = now;
+
+  TelemetryRegistry& telemetry = library_.telemetry();
+  telemetry.bump(TelemetryCounter::kMuxRotations);
+  if (telemetry.tracing()) {
+    const std::uint64_t after = context_->cycles();
+    telemetry.trace(TraceEventKind::kRotate, now,
+                    after > now ? after - now : 0,
+                    static_cast<std::uint64_t>(mux_current_));
+  }
 }
 
 Status EventSet::read_folded(std::vector<std::uint64_t>& raw_out) {
@@ -472,6 +511,8 @@ void EventSet::compute_values(std::span<const std::uint64_t> raw,
 Status EventSet::read(std::span<long long> out) {
   if (out.size() < entries_.size()) return Error::kInvalid;
   if (!running() && !stopped_raw_valid_) return Error::kNotRunning;
+  TelemetryRegistry& telemetry = library_.telemetry();
+  telemetry.bump(TelemetryCounter::kReads);
   if (!running() && stopped_raw_valid_) {
     compute_values(stopped_raw_, out);
     return Error::kOk;
@@ -479,13 +520,23 @@ Status EventSet::read(std::span<long long> out) {
   if (multiplex_ && (degradations_ & degradation::kMuxSequential) != 0) {
     rotate_mux();  // sequential-slice fallback: reads drive the rotation
   }
+  const bool tracing = telemetry.tracing();
+  const std::uint64_t ts = tracing ? context_->cycles() : 0;
   PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(scratch_raw_));
   compute_values(scratch_raw_, out);
+  if (tracing) {
+    const std::uint64_t after = context_->cycles();
+    telemetry.trace(TraceEventKind::kRead, ts, after > ts ? after - ts : 0,
+                    static_cast<std::uint64_t>(handle_));
+  }
   return Error::kOk;
 }
 
 Status EventSet::accum(std::span<long long> inout) {
   if (inout.size() < entries_.size()) return Error::kInvalid;
+  // Note: the inner read() below also counts one kReads — accums are a
+  // subset marker, not disjoint from reads.
+  library_.telemetry().bump(TelemetryCounter::kAccums);
   scratch_values_.assign(entries_.size(), 0);
   PAPIREPRO_RETURN_IF_ERROR(read(scratch_values_));
   for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -495,6 +546,7 @@ Status EventSet::accum(std::span<long long> inout) {
 }
 
 Status EventSet::reset() {
+  library_.telemetry().bump(TelemetryCounter::kResets);
   // When stopped there is no context and nothing live to reset: just
   // drop the snapshot so read() reports kNotRunning again.
   if (running()) {
@@ -550,6 +602,20 @@ Status EventSet::stop(std::span<long long> out) {
   // this thread's context must not inherit them.  In async mode this
   // also drains the ring, completing the histogram.
   disarm_overflows();
+
+  // Close the attribution window while the context is still ours: its
+  // overhead clock keeps running for the thread's next user.
+  const std::uint64_t overhead_now = context_->overhead_cycles();
+  if (overhead_now > overhead_base_) {
+    total_overhead_cycles_ += overhead_now - overhead_base_;
+  }
+  const std::uint64_t clock_now = context_->cycles();
+  if (clock_now > window_base_) {
+    total_window_cycles_ += clock_now - window_base_;
+  }
+  library_.telemetry().bump(TelemetryCounter::kStops);
+  library_.telemetry().trace_instant(TraceEventKind::kStop, clock_now,
+                                     static_cast<std::uint64_t>(handle_));
 
   stopped_raw_valid_ = true;
   library_.release_context(this);
@@ -633,5 +699,32 @@ Status EventSet::profil(ProfileBuffer& buffer, EventId id,
 }
 
 Status EventSet::profil_stop(EventId id) { return clear_overflow(id); }
+
+// --- self-overhead attribution --------------------------------------------
+
+std::uint64_t EventSet::overhead_cycles() const noexcept {
+  std::uint64_t total = total_overhead_cycles_;
+  if (running() && context_ != nullptr) {
+    const std::uint64_t now = context_->overhead_cycles();
+    if (now > overhead_base_) total += now - overhead_base_;
+  }
+  return total;
+}
+
+std::uint64_t EventSet::measured_cycles() const noexcept {
+  std::uint64_t total = total_window_cycles_;
+  if (running() && context_ != nullptr) {
+    const std::uint64_t now = context_->cycles();
+    if (now > window_base_) total += now - window_base_;
+  }
+  return total;
+}
+
+double EventSet::overhead_ratio() const noexcept {
+  const std::uint64_t window = measured_cycles();
+  if (window == 0) return 0.0;
+  return static_cast<double>(overhead_cycles()) /
+         static_cast<double>(window);
+}
 
 }  // namespace papirepro::papi

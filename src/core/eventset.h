@@ -98,6 +98,20 @@ class EventSet {
   /// degradation::* flags applied since the last start() (0 = none).
   std::uint32_t degradations() const noexcept { return degradations_; }
 
+  // --- self-overhead attribution ---
+  /// Cycles the substrate charged to measurement infrastructure during
+  /// this set's runs (counter access costs, overflow delivery, sampling
+  /// engines); includes the live run so far.  0 where the substrate
+  /// cannot attribute its own cost.
+  std::uint64_t overhead_cycles() const noexcept;
+  /// Total cycles this set's runs have spanned, start() to stop(),
+  /// including the live run so far.
+  std::uint64_t measured_cycles() const noexcept;
+  /// overhead_cycles() / measured_cycles(): the paper's "up to ~30 %
+  /// direct counting vs 1-2 % sampling" finding as a queryable metric.
+  /// 0 before the first start().
+  double overhead_ratio() const noexcept;
+
   // --- counting control ---
   Status start();
   /// Stops counting; if `out` is non-empty it receives the final values.
@@ -204,6 +218,13 @@ class EventSet {
 
   std::uint32_t domain_mask_ = domain::kAll;
   std::uint32_t degradations_ = 0;
+
+  /// Self-overhead attribution: the context's overhead/clock marks
+  /// latched at start(), folded into the lifetime totals at stop().
+  std::uint64_t overhead_base_ = 0;
+  std::uint64_t window_base_ = 0;
+  std::uint64_t total_overhead_cycles_ = 0;
+  std::uint64_t total_window_cycles_ = 0;
 
   /// Wraparound folding over sub-64-bit substrate counters: per-native
   /// last raw value and 64-bit accumulated total since start()/reset().

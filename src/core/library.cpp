@@ -3,6 +3,10 @@
 #include <cassert>
 #include <chrono>
 #include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <mutex>
 
 #include "substrate/preset_maps.h"
@@ -39,6 +43,9 @@ Library::Library(std::unique_ptr<Substrate> substrate)
       instance_token_(
           next_library_token.fetch_add(1, std::memory_order_relaxed)) {
   assert(substrate_ != nullptr);
+  substrate_->bind_telemetry(&telemetry_);
+  alloc_cache_.bind_telemetry(&telemetry_);
+  sampling_.bind_telemetry(&telemetry_);
 }
 
 Library::~Library() {
@@ -48,6 +55,38 @@ Library::~Library() {
   for (EventSet* set : threads_.running_sets()) {
     (void)set->stop();
   }
+  // PAPIREPRO_TELEMETRY=stderr|<path>: at-shutdown summary of the
+  // library's own behaviour, for runs that never call the C API.
+  if (const char* dest = std::getenv("PAPIREPRO_TELEMETRY")) {
+    if (*dest != '\0') {
+      const std::string summary =
+          TelemetryRegistry::render_summary(telemetry_snapshot());
+      if (std::strcmp(dest, "stderr") == 0) {
+        std::fputs(summary.c_str(), stderr);
+      } else {
+        std::ofstream out(dest, std::ios::app);
+        if (out) out << summary;
+      }
+    }
+  }
+}
+
+TelemetrySnapshot Library::telemetry_snapshot() const {
+  TelemetrySnapshot snap = telemetry_.snapshot();
+  snap.alloc_cache_entries = alloc_cache_.stats().entries;
+  const SamplingStats sampling = sampling_.stats();
+  snap.sampling_sweeps = sampling.sweeps;
+  snap.sampling_flushes = sampling.flushes;
+  snap.sampling_rings_active = sampling.rings_active;
+  snap.sampling_ring_capacity = sampling.ring_capacity;
+  snap.sampling_async = sampling.async;
+  return snap;
+}
+
+Status Library::set_trace(bool enabled, std::size_t ring_capacity) {
+  return telemetry_.set_trace(
+      enabled, ring_capacity == 0 ? TelemetryRegistry::kDefaultTraceCapacity
+                                  : ring_capacity);
 }
 
 bool Library::query_event(EventId id) const {

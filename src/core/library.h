@@ -30,6 +30,7 @@
 #include "core/eventset.h"
 #include "core/memory_info.h"
 #include "core/sampling_pipeline.h"
+#include "core/telemetry.h"
 #include "core/thread_registry.h"
 #include "substrate/substrate.h"
 
@@ -124,8 +125,15 @@ class Library {
     for (int attempt = 1; attempt < max_attempts && !status.ok() &&
                           is_transient(status.error());
          ++attempt) {
+      telemetry_.bump(TelemetryCounter::kRetryAttempts);
+      telemetry_.trace_instant(TraceEventKind::kRetry,
+                               substrate_->real_cycles(),
+                               static_cast<std::uint64_t>(attempt));
       backoff_before_retry(attempt);
       status = op();
+    }
+    if (!status.ok() && is_transient(status.error())) {
+      telemetry_.bump(TelemetryCounter::kRetryExhaustions);
     }
     return status;
   }
@@ -148,6 +156,25 @@ class Library {
   Status configure_sampling(const SamplingConfig& config);
   SamplingStats sampling_stats() const { return sampling_.stats(); }
 
+  // --- self-telemetry ---
+  /// The library-wide introspection registry.  Every subsystem (EventSet
+  /// control paths, retry wrapper, allocation cache, sampling pipeline,
+  /// fault decorator) bumps counters here; tools and the C API read one
+  /// consistent snapshot back out.
+  TelemetryRegistry& telemetry() noexcept { return telemetry_; }
+  const TelemetryRegistry& telemetry() const noexcept { return telemetry_; }
+  /// Registry counter totals plus the subsystem gauges (alloc-cache
+  /// entries, sampling ring state) folded in — the one read path behind
+  /// PAPIrepro_get_telemetry and the legacy stats entry points.
+  TelemetrySnapshot telemetry_snapshot() const;
+  /// Enables/disables the per-thread trace rings (PAPIrepro_set_trace).
+  /// `ring_capacity` 0 keeps the registry default.
+  Status set_trace(bool enabled, std::size_t ring_capacity = 0);
+  /// Drains buffered trace records into chrome://tracing JSON or CSV.
+  std::string dump_trace(TraceFormat format) {
+    return telemetry_.dump_trace(format);
+  }
+
  private:
   friend class EventSet;
   /// Claims the calling thread's running slot for `set` and returns the
@@ -162,6 +189,12 @@ class Library {
   Result<ThreadRegistry::ThreadState*> current_thread_state();
   /// Sleeps the policy's exponential backoff before retry `attempt`.
   void backoff_before_retry(int attempt) const;
+
+  /// Declared first: every other subsystem (substrate decorators, the
+  /// allocation cache, the sampling aggregator, EventSets) holds a raw
+  /// pointer into the registry, so it must be constructed before and
+  /// destroyed after all of them.
+  TelemetryRegistry telemetry_;
 
   std::unique_ptr<Substrate> substrate_;
   /// Distinguishes this Library in thread-local context caches: a new

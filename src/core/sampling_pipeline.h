@@ -16,6 +16,7 @@
 // makes EventSet::stop() histograms complete (minus accounted drops).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -26,6 +27,8 @@
 #include "core/sample_ring.h"
 
 namespace papirepro::papi {
+
+class TelemetryRegistry;
 
 /// Pipeline knobs (PAPIrepro_set_sampling).  `async` off keeps the seed
 /// behaviour: overflow handlers run synchronously inside the counting
@@ -83,6 +86,13 @@ class SamplingAggregator {
 
   SamplingStats stats() const;
 
+  /// Mirrors dispatch counts into the library-wide registry (the
+  /// aggregator thread registers its own slab on first dispatch).
+  /// Called once by the owning Library, which outlives the aggregator.
+  void bind_telemetry(TelemetryRegistry* telemetry) noexcept {
+    telemetry_.store(telemetry, std::memory_order_relaxed);
+  }
+
  private:
   struct Source {
     SampleRing* ring = nullptr;
@@ -104,6 +114,7 @@ class SamplingAggregator {
   bool stop_requested_ = false;
   bool sweeping_ = false;  ///< aggregator mid-pass; detach defers erase
 
+  std::atomic<TelemetryRegistry*> telemetry_{nullptr};
   std::atomic<std::uint64_t> dispatched_{0};
   std::atomic<std::uint64_t> sweeps_{0};
   std::atomic<std::uint64_t> flushes_{0};

@@ -79,6 +79,12 @@ class CounterContext {
   /// machine, or the host TSC).  The multiplexing time-slicer runs on
   /// this clock so each context rotates on its own rank's time.
   virtual std::uint64_t cycles() const = 0;
+  /// Cycles this context's clock has charged to measurement
+  /// infrastructure (counter access costs, overflow delivery, sampling
+  /// engines) — the numerator of the paper's "up to 30 % direct vs
+  /// 1-2 % sampling" overhead ratio.  0 where the substrate cannot
+  /// attribute its own cost (the host).
+  virtual std::uint64_t overhead_cycles() const noexcept { return 0; }
   virtual Result<int> add_timer(std::uint64_t /*period_cycles*/,
                                 TimerCallback /*callback*/) {
     return Error::kNoSupport;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "core/telemetry.h"
+
 namespace papirepro::papi {
 
 namespace {
@@ -89,6 +91,9 @@ class FaultInjectingContext final : public CounterContext {
   bool running() const noexcept override { return inner_->running(); }
 
   std::uint64_t cycles() const override { return inner_->cycles(); }
+  std::uint64_t overhead_cycles() const noexcept override {
+    return inner_->overhead_cycles();
+  }
 
   Result<int> add_timer(std::uint64_t period_cycles,
                         TimerCallback callback) override {
@@ -152,24 +157,38 @@ std::uint32_t FaultInjectingSubstrate::counter_width_bits() const noexcept {
   return inner_->counter_width_bits();
 }
 
+void FaultInjectingSubstrate::bind_telemetry(
+    TelemetryRegistry* telemetry) {
+  telemetry_.store(telemetry, std::memory_order_relaxed);
+  inner_->bind_telemetry(telemetry);
+}
+
 Error FaultInjectingSubstrate::consult(FaultSite site) {
   if (!enabled()) return Error::kOk;
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const FaultScript& script = plan_.at(site);
-  SiteState& state = sites_[static_cast<std::size_t>(site)];
-  ++state.calls;
-  if (!script.armed()) return Error::kOk;
-  if (state.remaining_scripted_failures > 0) {
-    --state.remaining_scripted_failures;
-    ++state.injected;
-    return script.error;
+  Error injected = Error::kOk;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const FaultScript& script = plan_.at(site);
+    SiteState& state = sites_[static_cast<std::size_t>(site)];
+    ++state.calls;
+    if (!script.armed()) return Error::kOk;
+    if (state.remaining_scripted_failures > 0) {
+      --state.remaining_scripted_failures;
+      ++state.injected;
+      injected = script.error;
+    } else if (script.probability > 0.0 &&
+               next_unit(state.rng) < script.probability) {
+      ++state.injected;
+      injected = script.error;
+    }
   }
-  if (script.probability > 0.0 &&
-      next_unit(state.rng) < script.probability) {
-    ++state.injected;
-    return script.error;
+  if (injected != Error::kOk) {
+    if (TelemetryRegistry* telemetry =
+            telemetry_.load(std::memory_order_relaxed)) {
+      telemetry->bump(TelemetryCounter::kFaultsInjected);
+    }
   }
-  return Error::kOk;
+  return injected;
 }
 
 bool FaultInjectingSubstrate::drop_timer_fire() {

@@ -116,6 +116,10 @@ class FaultInjectingSubstrate final : public Substrate {
   /// Calls observed at `site` (injected or forwarded).
   std::uint64_t call_count(FaultSite site) const;
 
+  /// Counts every delivered fault in the library-wide registry
+  /// (kFaultsInjected) and forwards the binding to the inner substrate.
+  void bind_telemetry(TelemetryRegistry* telemetry) override;
+
   // --- Substrate interface (decorated) ---
   std::string_view name() const noexcept override;
   std::uint32_t num_counters() const noexcept override {
@@ -202,6 +206,9 @@ class FaultInjectingSubstrate final : public Substrate {
   std::unique_ptr<Substrate> inner_;
   FaultPlan plan_;
   std::atomic<bool> enabled_{true};
+  /// Owned by the Library, which outlives the substrate; written once
+  /// by bind_telemetry, relaxed-read on the injection path.
+  std::atomic<TelemetryRegistry*> telemetry_{nullptr};
   mutable std::mutex mutex_;  ///< guards sites_ and timer_rng_
   std::array<SiteState, kNumFaultSites> sites_;
   SplitMix64 timer_rng_{0};

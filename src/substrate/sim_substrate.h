@@ -61,6 +61,12 @@ class SimCounterContext final : public CounterContext {
   bool running() const noexcept override { return running_; }
 
   std::uint64_t cycles() const override { return machine_.cycles(); }
+  /// Everything charge() billed to the bound machine — counter access
+  /// costs, overflow delivery, and the ProfileMe sampling engine all
+  /// accumulate there, so an EventSet can attribute its own overhead.
+  std::uint64_t overhead_cycles() const noexcept override {
+    return machine_.overhead_cycles();
+  }
   Result<int> add_timer(std::uint64_t period_cycles,
                         TimerCallback callback) override;
   Status cancel_timer(int id) override;

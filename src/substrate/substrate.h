@@ -39,12 +39,20 @@
 
 namespace papirepro::papi {
 
+class TelemetryRegistry;
+
 class Substrate {
  public:
   using OverflowCallback = CounterContext::OverflowCallback;
   using TimerCallback = CounterContext::TimerCallback;
 
   virtual ~Substrate() = default;
+
+  /// Called once by the owning Library with its TelemetryRegistry, which
+  /// outlives the substrate.  Substrates that observe library-relevant
+  /// events (the fault-injecting decorator counts delivered faults)
+  /// record them there; the default ignores the registry.
+  virtual void bind_telemetry(TelemetryRegistry* /*telemetry*/) {}
 
   // --- identity ---
   virtual std::string_view name() const noexcept = 0;

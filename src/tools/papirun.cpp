@@ -75,6 +75,17 @@ Result<PapirunResult> papirun(const PapirunRequest& request) {
   result.cycles = machine.cycles();
   result.instructions = machine.retired();
   result.multiplexed = set->multiplexed();
+  result.overhead_ratio = set->overhead_ratio();
+
+  // The run report carries the library's own telemetry: how much work
+  // the instrumentation did (and cost) alongside what it measured.
+  const papi::TelemetrySnapshot telemetry = library.telemetry_snapshot();
+  result.telemetry_starts = telemetry.value(papi::TelemetryCounter::kStarts);
+  result.telemetry_reads = telemetry.value(papi::TelemetryCounter::kReads);
+  result.telemetry_mux_rotations =
+      telemetry.value(papi::TelemetryCounter::kMuxRotations);
+  result.telemetry_retry_attempts =
+      telemetry.value(papi::TelemetryCounter::kRetryAttempts);
 
   std::ostringstream os;
   os << "papirun: " << request.workload << " on " << platform->name
@@ -91,6 +102,12 @@ Result<PapirunResult> papirun(const PapirunRequest& request) {
     os << "  " << std::left << std::setw(18) << names[i] << std::right
        << std::setw(16) << values[i] << "\n";
   }
+  os << "  telemetry: starts=" << result.telemetry_starts
+     << " reads=" << result.telemetry_reads
+     << " rotations=" << result.telemetry_mux_rotations
+     << " retries=" << result.telemetry_retry_attempts << "\n";
+  os << "  library overhead: " << std::fixed << std::setprecision(2)
+     << result.overhead_ratio * 100.0 << "% of measured window\n";
   result.report = os.str();
   return result;
 }

@@ -35,6 +35,15 @@ struct PapirunResult {
   /// use_estimation was requested but the sampling service refused; the
   /// run fell back to direct counting (degradation ladder).
   bool estimation_degraded = false;
+  /// Library self-telemetry for this run, sourced from the registry.
+  std::uint64_t telemetry_starts = 0;
+  std::uint64_t telemetry_reads = 0;
+  std::uint64_t telemetry_mux_rotations = 0;
+  std::uint64_t telemetry_retry_attempts = 0;
+  /// Cycles spent inside the library divided by the measured window
+  /// (EventSet::overhead_ratio) — the paper's instrumentation-cost
+  /// number, attached to every run report.
+  double overhead_ratio = 0.0;
 };
 
 Result<PapirunResult> papirun(const PapirunRequest& request);

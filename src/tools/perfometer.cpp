@@ -60,9 +60,13 @@ void Perfometer::sample() {
       dt_s > 0 ? static_cast<double>(value - last_value_) / dt_s : 0.0;
   // Live pipeline telemetry rides along with each point, so a trace of
   // a sampled run also shows whether (and when) rings dropped samples.
-  const papi::SamplingStats sampling = library_.sampling_stats();
-  p.samples_dispatched = sampling.dispatched;
-  p.samples_dropped = sampling.dropped;
+  // Sourced from the library-wide telemetry snapshot — the same read
+  // path every other stats surface uses.
+  const papi::TelemetrySnapshot telemetry = library_.telemetry_snapshot();
+  p.samples_dispatched =
+      telemetry.value(papi::TelemetryCounter::kSamplesDispatched);
+  p.samples_dropped =
+      telemetry.value(papi::TelemetryCounter::kSamplesDropped);
   trace_.push_back(p);
   last_usec_ = now;
   last_value_ = value;

@@ -77,6 +77,7 @@ void EventTracer::sample() {
   Interval iv;
   iv.start_usec = last_usec_;
   iv.end_usec = now;
+  iv.estimated = set.value()->multiplexed();
   iv.deltas.resize(metrics_.size());
   for (std::size_t i = 0; i < metrics_.size(); ++i) {
     iv.deltas[i] = values[i] - last_values_[i];
@@ -124,9 +125,18 @@ std::string EventTracer::render_timeline() const {
     std::ostringstream range;
     range << "[" << iv.start_usec << ", " << iv.end_usec << ")";
     os << std::left << std::setw(22) << range.str();
+    bool clamped = false;
     for (long long d : iv.deltas) {
+      // A multiplexed interval is a difference of two estimates: a
+      // negative delta is an estimator artifact, not a count.  Clamp it
+      // and flag the row instead of printing an impossible value.
+      if (iv.estimated && d < 0) {
+        clamped = true;
+        d = 0;
+      }
       os << std::right << std::setw(14) << d;
     }
+    if (iv.estimated) os << (clamped ? "  ~clamped" : "  ~est");
     os << "\n";
   }
   return os.str();
@@ -139,11 +149,17 @@ std::string EventTracer::to_csv() const {
     auto name = library_.event_name(id);
     os << ',' << (name.ok() ? name.value() : std::string("metric"));
   }
-  os << "\n";
+  os << ",estimated\n";
   for (const Interval& iv : intervals_) {
     os << iv.start_usec << ',' << iv.end_usec;
-    for (long long d : iv.deltas) os << ',' << d;
-    os << "\n";
+    for (long long d : iv.deltas) {
+      // Multiplexed deltas are estimator differences; negatives are
+      // clamped here and the row carries the estimated flag so the
+      // consumer knows the values are not exact counts.
+      if (iv.estimated && d < 0) d = 0;
+      os << ',' << d;
+    }
+    os << ',' << (iv.estimated ? 1 : 0) << "\n";
   }
   return os.str();
 }

@@ -35,6 +35,12 @@ class EventTracer {
     std::uint64_t end_usec = 0;
     /// Metric deltas over this interval, parallel to the metric list.
     std::vector<long long> deltas;
+    /// True when the set was multiplexing at sample time: the deltas are
+    /// differences of two scaled estimates, so they fluctuate and can go
+    /// negative even though they sum to a converged total.  Exports
+    /// clamp negatives to 0 and mark the row instead of publishing
+    /// impossible counts.
+    bool estimated = false;
   };
   struct Marker {
     std::uint64_t usec = 0;

@@ -8,7 +8,10 @@
 // changes cannot silently shift a code.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -99,6 +102,13 @@ TEST(CapiErrorsNoInit, EveryEntryPointReportsNoInit) {
   EXPECT_EQ(PAPIrepro_set_sampling(1, 0), PAPI_ENOINIT);
   PAPIrepro_sampling_stats_t stats;
   EXPECT_EQ(PAPIrepro_sampling_stats(&stats), PAPI_ENOINIT);
+  PAPIrepro_telemetry_t telemetry;
+  EXPECT_EQ(PAPIrepro_get_telemetry(&telemetry), PAPI_ENOINIT);
+  EXPECT_EQ(PAPIrepro_set_trace(1, 0), PAPI_ENOINIT);
+  EXPECT_EQ(PAPIrepro_dump_trace("trace.json", PAPIREPRO_TRACE_JSON),
+            PAPI_ENOINIT);
+  double ratio = 0.0;
+  EXPECT_EQ(PAPIrepro_overhead_ratio(0, &ratio), PAPI_ENOINIT);
 }
 
 TEST_F(CapiErrors, BadHandleReportsNoEventSet) {
@@ -309,6 +319,117 @@ TEST(CapiSampling, AsyncProfilDeliversHistogramAndStats) {
             histogram_total);
   PAPI_shutdown();
   PAPIrepro_sim_destroy(sim);
+}
+
+// ---- self-telemetry extension surface ----
+
+TEST_F(CapiErrors, TelemetryKnobMatrix) {
+  EXPECT_EQ(PAPIrepro_get_telemetry(nullptr), PAPI_EINVAL);
+
+  double ratio = -1.0;
+  EXPECT_EQ(PAPIrepro_overhead_ratio(9999, &ratio), PAPI_ENOEVST);
+  EXPECT_EQ(PAPIrepro_overhead_ratio(PAPI_NULL, &ratio), PAPI_ENOEVST);
+  int es = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+  EXPECT_EQ(PAPIrepro_overhead_ratio(es, nullptr), PAPI_EINVAL);
+  EXPECT_EQ(PAPIrepro_overhead_ratio(es, &ratio), PAPI_OK);
+  EXPECT_EQ(ratio, 0.0);  // never run: no window, no overhead
+
+  struct TraceCase {
+    const char* name;
+    int enable;
+    unsigned long long capacity;
+    int expected;
+  };
+  const TraceCase trace_cases[] = {
+      {"capacity above ring max", 1, 1ull << 21, PAPI_EINVAL},
+      {"default capacity", 1, 0, PAPI_OK},
+      {"explicit capacity", 1, 512, PAPI_OK},
+      {"disable", 0, 0, PAPI_OK},
+  };
+  for (const TraceCase& c : trace_cases) {
+    EXPECT_EQ(PAPIrepro_set_trace(c.enable, c.capacity), c.expected)
+        << c.name;
+  }
+
+  const std::string good =
+      ::testing::TempDir() + "papirepro_capi_trace.json";
+  struct DumpCase {
+    const char* name;
+    const char* path;
+    int format;
+    int expected;
+  };
+  const DumpCase dump_cases[] = {
+      {"null path", nullptr, PAPIREPRO_TRACE_JSON, PAPI_EINVAL},
+      {"empty path", "", PAPIREPRO_TRACE_JSON, PAPI_EINVAL},
+      {"unknown format", good.c_str(), 7, PAPI_EINVAL},
+      {"negative format", good.c_str(), -1, PAPI_EINVAL},
+      {"unwritable path", "/nonexistent-dir/papirepro/trace.json",
+       PAPIREPRO_TRACE_JSON, PAPI_ESYS},
+      {"json ok", good.c_str(), PAPIREPRO_TRACE_JSON, PAPI_OK},
+      {"csv ok", good.c_str(), PAPIREPRO_TRACE_CSV, PAPI_OK},
+  };
+  for (const DumpCase& c : dump_cases) {
+    EXPECT_EQ(PAPIrepro_dump_trace(c.path, c.format), c.expected)
+        << c.name;
+  }
+  std::remove(good.c_str());
+}
+
+TEST_F(CapiErrors, TelemetrySnapshotAndCompatWrappersAgree) {
+  ASSERT_EQ(PAPIrepro_set_trace(1, 0), PAPI_OK);
+  int es = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+  ASSERT_EQ(PAPI_add_event(es, PAPI_TOT_INS), PAPI_OK);
+  ASSERT_EQ(PAPI_start(es), PAPI_OK);
+  PAPIrepro_sim_run(sim_, -1);
+  long long v = 0;
+  ASSERT_EQ(PAPI_read(es, &v), PAPI_OK);
+  ASSERT_EQ(PAPI_stop(es, &v), PAPI_OK);
+
+  PAPIrepro_telemetry_t t = {};
+  ASSERT_EQ(PAPIrepro_get_telemetry(&t), PAPI_OK);
+  EXPECT_EQ(t.enabled, 1);
+  EXPECT_EQ(t.trace_enabled, 1);
+  EXPECT_EQ(t.starts, 1);
+  EXPECT_EQ(t.stops, 1);
+  EXPECT_GE(t.reads, 1);
+  EXPECT_GE(t.threads_seen, 1);
+  // start + read + stop all landed in the (default-capacity) ring, and
+  // nothing has been drained yet: everything accepted is still buffered.
+  EXPECT_GE(t.trace_records, 3);
+  EXPECT_EQ(t.trace_drops, 0);
+  EXPECT_EQ(t.trace_records_buffered, t.trace_records);
+
+  // The legacy stats entry points are wrappers over the same snapshot:
+  // they can never disagree with the unified struct.
+  PAPIrepro_alloc_cache_stats_t cache = {};
+  ASSERT_EQ(PAPIrepro_alloc_cache_stats(&cache), PAPI_OK);
+  EXPECT_EQ(cache.hits, t.alloc_cache_hits);
+  EXPECT_EQ(cache.misses, t.alloc_cache_misses);
+  EXPECT_EQ(cache.evictions, t.alloc_cache_evictions);
+  EXPECT_EQ(cache.invalidations, t.alloc_cache_invalidations);
+
+  PAPIrepro_sampling_stats_t sampling = {};
+  ASSERT_EQ(PAPIrepro_sampling_stats(&sampling), PAPI_OK);
+  EXPECT_EQ(sampling.enqueued, t.samples_enqueued);
+  EXPECT_EQ(sampling.dropped, t.samples_dropped);
+  EXPECT_EQ(sampling.dispatched, t.samples_dispatched);
+
+  const std::string path =
+      ::testing::TempDir() + "papirepro_capi_dump.json";
+  ASSERT_EQ(PAPIrepro_dump_trace(path.c_str(), PAPIREPRO_TRACE_JSON),
+            PAPI_OK);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"start\""), std::string::npos);
+  EXPECT_NE(json.find("\"stop\""), std::string::npos);
+  std::remove(path.c_str());
 }
 
 // ---- fault-injection extension surface ----
