@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "sim/comm.h"
+#include "substrate/component_substrates.h"
 #include "substrate/fault_substrate.h"
 
 // --- global operator-new counting -----------------------------------------
@@ -132,6 +134,29 @@ Row run_folded() {
   return row;
 }
 
+Row run_cross_component() {
+  // EventSet spanning cpu:: + mem:: + net::: every read fans out over
+  // three component slices.  The gate (checked in main) is that the
+  // fan-out machinery stays allocation-free and costs at most 2x the
+  // single-component direct read.
+  bench::Rig rig(sim::make_empty_loop(10), pmu::sim_x86(),
+                 {.charge_costs = false});
+  sim::CommWorld world({rig.machine.get()});
+  (void)rig.library->register_component(
+      "mem", "uncore", std::make_unique<papi::MemBandwidthSubstrate>(
+                           *rig.machine));
+  (void)rig.library->register_component(
+      "net", "nic", std::make_unique<papi::NetworkSubstrate>(world));
+  papi::EventSet& set = rig.new_set();
+  (void)set.add_preset(papi::Preset::kTotIns);
+  (void)set.add_named("mem::BANDWIDTH_RD");
+  (void)set.add_named("net::MSG_SENT");
+  if (!set.start().ok()) return {"cross_component"};
+  Row row = measure_set("cross_component", set);
+  (void)set.stop();
+  return row;
+}
+
 Row run_multiplexed() {
   bench::Rig rig(sim::make_saxpy(50'000), pmu::sim_x86(),
                  {.charge_costs = false});
@@ -223,12 +248,13 @@ int main() {
 
   std::vector<Row> rows;
   rows.push_back(run_direct());
+  rows.push_back(run_cross_component());
   rows.push_back(run_folded());
   rows.push_back(run_multiplexed());
   rows.push_back(run_threaded());
 
   for (const Row& r : rows) {
-    std::printf("%-14s %10.0f %12.3f %10.0f %12.3f\n", r.scenario,
+    std::printf("%-16s %10.0f %12.3f %10.0f %12.3f\n", r.scenario,
                 r.read_ns, r.read_allocs, r.accum_ns, r.accum_allocs);
   }
   write_json(rows);
@@ -236,5 +262,27 @@ int main() {
               "row: the\nread/fold/mux-rotation buffers are preallocated "
               "at start() and the\nretry wrapper is templated away.  "
               "JSON written to BENCH_read_hotpath.json.\n");
-  return 0;
+
+  // Regression gate for the component fan-out: a three-component read
+  // must stay allocation-free and within 2x the single-component direct
+  // read (it does strictly more work — three slice reads — but the
+  // fan-out itself must add no hidden cost).
+  const Row& direct = rows[0];
+  const Row& cross = rows[1];
+  bool gate_ok = true;
+  if (cross.read_allocs != 0.0) {
+    std::printf("\nGATE FAIL: cross_component read allocates "
+                "(%.3f allocs/call)\n", cross.read_allocs);
+    gate_ok = false;
+  }
+  if (direct.read_ns > 0 && cross.read_ns > 2.0 * direct.read_ns) {
+    std::printf("\nGATE FAIL: cross_component read %.0f ns exceeds 2x "
+                "direct read %.0f ns\n", cross.read_ns, direct.read_ns);
+    gate_ok = false;
+  }
+  if (gate_ok) {
+    std::printf("gate: cross_component read %.0f ns <= 2x direct %.0f "
+                "ns, 0 allocs — OK\n", cross.read_ns, direct.read_ns);
+  }
+  return gate_ok ? 0 : 1;
 }

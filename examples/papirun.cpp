@@ -25,7 +25,8 @@ void usage() {
       "  --events A,B,C   PAPI_* preset or native event names\n"
       "  --no-multiplex   fail instead of multiplexing on conflicts\n"
       "  --estimation     DADD-style count estimation (sim-alpha)\n"
-      "  --list           list platforms and workloads\n");
+      "  --list           list platforms and workloads\n"
+      "  --list-components  list registered components for --platform\n");
 }
 
 void list_targets() {
@@ -72,6 +73,8 @@ int main(int argc, char** argv) {
       request.allow_multiplex = false;
     } else if (arg == "--estimation") {
       request.use_estimation = true;
+    } else if (arg == "--list-components") {
+      request.list_components = true;
     } else if (arg == "--list") {
       list_targets();
       return 0;

@@ -35,6 +35,8 @@ extern "C" {
 #define PAPI_EMISC (-15)
 #define PAPI_EPERM (-16)
 #define PAPI_ENOINIT (-17)
+#define PAPI_ECMPDIS (-19) /* component is disabled */
+#define PAPI_ENOCMP (-20)  /* no such component */
 
 #define PAPI_VER_CURRENT 0x03000000
 #define PAPI_NULL (-1)
@@ -72,6 +74,42 @@ extern "C" {
 #define PAPI_BR_MSP (int)(PAPI_PRESET_MASK | 20)
 #define PAPI_BR_PRC (int)(PAPI_PRESET_MASK | 21)
 #define PAPI_STL_CCY (int)(PAPI_PRESET_MASK | 22)
+#define PAPI_MSG_SNT (int)(PAPI_PRESET_MASK | 23)
+#define PAPI_MSG_RCV (int)(PAPI_PRESET_MASK | 24)
+
+/* ---- components (PAPI-C style registry) ----
+ * Each measurement component (CPU core, memory/uncore, network) owns
+ * its own substrate, event namespace, and counter budget.  Component 0
+ * is always the CPU core; a simulator-bound library registers "mem"
+ * (memory-bandwidth counters over the simulated cache hierarchy) and
+ * "net" (CommWorld message counters) at init.  Event codes carry the
+ * owning component id in bits 30..24; qualified names ("mem::
+ * BANDWIDTH_RD", "net::PAPI_MSG_SNT") resolve through
+ * PAPI_event_name_to_code.  An EventSet may span components: counters
+ * start/stop/read across all of them as one coherent snapshot. */
+#define PAPIREPRO_MAX_COMPONENTS 8
+#define PAPIREPRO_COMPONENT_MASK 0x7f000000u
+#define PAPIREPRO_COMPONENT_SHIFT 24
+/* Component id carried by an event code. */
+#define PAPIREPRO_EVENT_COMPONENT(code) \
+  (((unsigned int)(code) & PAPIREPRO_COMPONENT_MASK) >> \
+   PAPIREPRO_COMPONENT_SHIFT)
+
+typedef struct PAPIrepro_component_info {
+  int id;
+  char name[PAPI_MIN_STR_LEN];        /* namespace prefix, e.g. "mem" */
+  char description[PAPI_MAX_STR_LEN]; /* substrate self-description */
+  int num_counters;                   /* component's counter budget */
+  int enabled;                        /* 0 after PAPIrepro_set_component_enabled(id, 0) */
+} PAPIrepro_component_info_t;
+
+/* Number of registered components, or PAPI_ENOINIT. */
+int PAPI_num_components(void);
+/* PAPI_ENOCMP for an unknown id; PAPI_EINVAL on NULL out. */
+int PAPI_get_component_info(int id, PAPIrepro_component_info_t* out);
+/* Soft-disables a component: running EventSets keep working, new
+ * PAPI_add_event calls against it fail with PAPI_ECMPDIS. */
+int PAPIrepro_set_component_enabled(int id, int enable);
 
 /* ---- simulator bootstrap (reproduction extension) ---- */
 typedef struct PAPIrepro_sim PAPIrepro_sim_t;
@@ -119,6 +157,10 @@ typedef struct PAPIrepro_fault_plan {
   int counter_width_bits;          /* reads wrap at this width; 0/64 = off */
   double timer_drop_probability;   /* multiplex slice-timer misfire odds */
   unsigned long long timer_extra_delay_cycles; /* late timer service */
+  /* Which component's substrate the decorator wraps: 0 = every
+   * registered component (the all-zero plan stays a no-op for all of
+   * them), N > 0 = only component N-1.  Applied at init time. */
+  int target_component;
 } PAPIrepro_fault_plan_t;
 
 /* Stages `plan` for the next PAPI_library_init, or — when the library is
@@ -215,6 +257,11 @@ typedef struct PAPIrepro_telemetry {
   long long alloc_cache_entries;
   int enabled;                  /* master telemetry switch */
   int trace_enabled;            /* trace rings recording */
+  /* per-component control-path counters, indexed by component id */
+  int num_components;           /* valid entries in the arrays below */
+  long long component_starts[PAPIREPRO_MAX_COMPONENTS];
+  long long component_stops[PAPIREPRO_MAX_COMPONENTS];
+  long long component_reads[PAPIREPRO_MAX_COMPONENTS];
 } PAPIrepro_telemetry_t;
 /* Requires an initialized library; PAPI_EINVAL on NULL out. */
 int PAPIrepro_get_telemetry(PAPIrepro_telemetry_t* out);

@@ -17,7 +17,9 @@
 
 #include "core/highlevel.h"
 #include "core/library.h"
+#include "sim/comm.h"
 #include "sim/workload_registry.h"
+#include "substrate/component_substrates.h"
 #include "substrate/fault_substrate.h"
 #include "substrate/host_substrate.h"
 #include "substrate/sim_substrate.h"
@@ -33,13 +35,7 @@ namespace pmu = papirepro::pmu;
 int to_code(Status s) { return static_cast<int>(s.error()); }
 int to_code(Error e) { return static_cast<int>(e); }
 
-std::optional<papi::EventId> decode_event(int event_code) {
-  const auto code = static_cast<std::uint32_t>(event_code);
-  if (const auto p = papi::preset_from_code(code)) {
-    return papi::EventId::preset(*p);
-  }
-  return papi::EventId::native(code);
-}
+std::optional<papi::EventId> decode_event(int event_code);
 
 struct ProfilState {
   std::unique_ptr<papi::ProfileBuffer> buffer;
@@ -52,11 +48,23 @@ struct GlobalState {
   std::unique_ptr<papi::Library> library;
   std::unique_ptr<papi::HighLevel> high_level;
   PAPIrepro_sim* bound_sim = nullptr;
+  /// Non-CPU components a simulator-bound init registers: the memory
+  /// bandwidth substrate over the bound machine (raw pointer kept so
+  /// PAPIrepro_sim_bind_thread can bind per-thread machines on it too)
+  /// and a one-rank CommWorld backing the "net" component.  The world
+  /// must outlive the library (the net substrate references it), so it
+  /// is destroyed after library.reset() in PAPI_shutdown.
+  papi::MemBandwidthSubstrate* mem_substrate = nullptr;  // owned by library
+  std::unique_ptr<sim::CommWorld> comm_world;
   /// Fault-injection staging: the plan (and switch state) to install as
   /// a substrate decorator at the next PAPI_library_init.
+  /// pending_fault_target selects which components get wrapped
+  /// (0 = all, N > 0 = only component N-1).
   std::optional<papi::FaultPlan> pending_fault_plan;
   bool pending_fault_enabled = false;
-  papi::FaultInjectingSubstrate* fault_substrate = nullptr;  // owned by library
+  int pending_fault_target = 0;
+  /// Installed decorators, one per wrapped component (owned by library).
+  std::vector<papi::FaultInjectingSubstrate*> fault_substrates;
   /// Guards the two bridge maps below (handlers fire on whichever thread
   /// drives the overflowing context).
   std::mutex bridge_mutex;
@@ -67,6 +75,28 @@ struct GlobalState {
 GlobalState& g() {
   static GlobalState state;
   return state;
+}
+
+std::optional<papi::EventId> decode_event(int event_code) {
+  const auto code = static_cast<std::uint32_t>(event_code);
+  const std::uint32_t component = papi::event_code_component(code);
+  const std::size_t registered =
+      g().library != nullptr ? g().library->num_components() : 1;
+  if (const auto p = papi::preset_from_code(code)) {
+    // Preset codes with component bits naming an unregistered component
+    // are not events (PAPI_ENOEVNT), same as before components existed.
+    if (component >= registered) return std::nullopt;
+    return papi::EventId::preset(*p, component);
+  }
+  if (component != 0 && component < registered) {
+    return papi::EventId::native(code & ~papi::kEventComponentMask,
+                                 component);
+  }
+  // Legacy path: the whole code is a component-0 native.  CPU native
+  // codes predate the component field and may use its bits; codes whose
+  // component bits name no registered component land here too and fail
+  // event resolution exactly as they always did.
+  return papi::EventId::native(code);
 }
 
 void flush_profil(int event_set) {
@@ -148,6 +178,11 @@ int PAPIrepro_sim_bind_thread(PAPIrepro_sim_t* s) {
   }
   if (s->platform != g().bound_sim->platform) return PAPI_ECNFLCT;
   g().bound_sim->substrate->bind_thread_machine(*s->machine);
+  // The memory component mirrors the CPU binding: this thread's mem::
+  // counters then read the same machine's cache hierarchy.
+  if (g().mem_substrate != nullptr) {
+    g().mem_substrate->bind_thread_machine(*s->machine);
+  }
   return PAPI_OK;
 }
 
@@ -165,7 +200,9 @@ int PAPIrepro_set_fault_plan(const PAPIrepro_fault_plan_t* plan) {
   if (plan->counter_width_bits < 0 || plan->fault_code > 0 ||
       plan->create_context_fail_times < 0 ||
       plan->program_fail_times < 0 || plan->start_fail_times < 0 ||
-      plan->read_fail_times < 0 || plan->add_timer_fail_times < 0) {
+      plan->read_fail_times < 0 || plan->add_timer_fail_times < 0 ||
+      plan->target_component < 0 ||
+      plan->target_component > PAPIREPRO_MAX_COMPONENTS) {
     return PAPI_EINVAL;
   }
   papi::FaultPlan converted;
@@ -195,10 +232,16 @@ int PAPIrepro_set_fault_plan(const PAPIrepro_fault_plan_t* plan) {
 
   if (g().library == nullptr) {
     g().pending_fault_plan = converted;
+    g().pending_fault_target = plan->target_component;
     return PAPI_OK;
   }
-  if (g().fault_substrate == nullptr) return PAPI_EISRUN;
-  g().fault_substrate->set_plan(converted);
+  if (g().fault_substrates.empty()) return PAPI_EISRUN;
+  // Post-init the decorated set is fixed; re-planning rewinds every
+  // installed decorator's scripts (target_component only selects what
+  // gets wrapped at init).
+  for (papi::FaultInjectingSubstrate* fs : g().fault_substrates) {
+    fs->set_plan(converted);
+  }
   return PAPI_OK;
 }
 
@@ -212,8 +255,10 @@ int PAPIrepro_inject_faults(int enable) {
     g().pending_fault_enabled = enable != 0;
     return PAPI_OK;
   }
-  if (g().fault_substrate == nullptr) return PAPI_ENOSUPP;
-  g().fault_substrate->set_enabled(enable != 0);
+  if (g().fault_substrates.empty()) return PAPI_ENOSUPP;
+  for (papi::FaultInjectingSubstrate* fs : g().fault_substrates) {
+    fs->set_enabled(enable != 0);
+  }
   return PAPI_OK;
 }
 
@@ -311,7 +356,47 @@ int PAPIrepro_get_telemetry(PAPIrepro_telemetry_t* out) {
       static_cast<long long>(snap.alloc_cache_entries);
   out->enabled = snap.enabled ? 1 : 0;
   out->trace_enabled = snap.trace_enabled ? 1 : 0;
+  out->num_components = static_cast<int>(snap.num_components);
+  for (int i = 0; i < PAPIREPRO_MAX_COMPONENTS; ++i) {
+    const auto comp = static_cast<std::uint32_t>(i);
+    using CC = papi::ComponentCounter;
+    out->component_starts[i] =
+        static_cast<long long>(snap.component_value(comp, CC::kStarts));
+    out->component_stops[i] =
+        static_cast<long long>(snap.component_value(comp, CC::kStops));
+    out->component_reads[i] =
+        static_cast<long long>(snap.component_value(comp, CC::kReads));
+  }
   return PAPI_OK;
+}
+
+int PAPI_num_components(void) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  return static_cast<int>(g().library->num_components());
+}
+
+int PAPI_get_component_info(int id, PAPIrepro_component_info_t* out) {
+  if (out == nullptr) return PAPI_EINVAL;
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  if (id < 0) return PAPI_ENOCMP;
+  auto info =
+      g().library->component_info(static_cast<std::uint32_t>(id));
+  if (!info.ok()) return to_code(info.error());
+  out->id = static_cast<int>(info.value().id);
+  std::snprintf(out->name, sizeof out->name, "%s",
+                info.value().name.c_str());
+  std::snprintf(out->description, sizeof out->description, "%s",
+                info.value().description.c_str());
+  out->num_counters = static_cast<int>(info.value().num_counters);
+  out->enabled = info.value().enabled ? 1 : 0;
+  return PAPI_OK;
+}
+
+int PAPIrepro_set_component_enabled(int id, int enable) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  if (id < 0) return PAPI_ENOCMP;
+  return to_code(g().library->set_component_enabled(
+      static_cast<std::uint32_t>(id), enable != 0));
 }
 
 int PAPIrepro_set_trace(int enable, unsigned long long ring_capacity) {
@@ -336,6 +421,24 @@ int PAPIrepro_dump_trace(const char* path, int format) {
   return file ? PAPI_OK : PAPI_ESYS;
 }
 
+namespace {
+/// Wraps `inner` in the staged fault decorator when the pending plan
+/// targets `component_id` (target 0 = every component, N = component
+/// N-1 only).  Decorators are owned by the library via the component
+/// registry; raw pointers are kept for re-planning.
+std::unique_ptr<papi::Substrate> maybe_wrap_faults(
+    std::unique_ptr<papi::Substrate> inner, int component_id) {
+  if (!g().pending_fault_plan.has_value()) return inner;
+  const int target = g().pending_fault_target;
+  if (target != 0 && target - 1 != component_id) return inner;
+  auto wrapped = std::make_unique<papi::FaultInjectingSubstrate>(
+      std::move(inner), *g().pending_fault_plan);
+  wrapped->set_enabled(g().pending_fault_enabled);
+  g().fault_substrates.push_back(wrapped.get());
+  return wrapped;
+}
+}  // namespace
+
 int PAPI_library_init(int version) {
   if (version != PAPI_VER_CURRENT) return PAPI_EINVAL;
   if (g().library != nullptr) return PAPI_VER_CURRENT;  // idempotent
@@ -348,14 +451,31 @@ int PAPI_library_init(int version) {
   } else {
     substrate = std::make_unique<papi::HostSubstrate>();
   }
-  if (g().pending_fault_plan.has_value()) {
-    auto wrapped = std::make_unique<papi::FaultInjectingSubstrate>(
-        std::move(substrate), *g().pending_fault_plan);
-    wrapped->set_enabled(g().pending_fault_enabled);
-    g().fault_substrate = wrapped.get();
-    substrate = std::move(wrapped);
-  }
+  substrate = maybe_wrap_faults(std::move(substrate), /*component_id=*/0);
   g().library = std::make_unique<papi::Library>(std::move(substrate));
+
+  if (g().bound_sim != nullptr) {
+    // A simulator-bound library gets the non-CPU components: "mem"
+    // (uncore bandwidth over the bound machine's cache hierarchy) and
+    // "net" (message counters over a one-rank CommWorld on the same
+    // machine — rank 0 sending to itself exercises the counters;
+    // multi-rank programs use the C++ API's CommWorld directly).
+    auto mem = std::make_unique<papi::MemBandwidthSubstrate>(
+        *g().bound_sim->machine);
+    g().mem_substrate = mem.get();
+    (void)g().library->register_component(
+        "mem", "simulated memory/uncore bandwidth counters",
+        maybe_wrap_faults(std::move(mem), /*component_id=*/1));
+
+    g().comm_world = std::make_unique<sim::CommWorld>(
+        std::vector<sim::Machine*>{g().bound_sim->machine.get()});
+    (void)g().library->register_component(
+        "net", "simulated network message counters",
+        maybe_wrap_faults(
+            std::make_unique<papi::NetworkSubstrate>(*g().comm_world),
+            /*component_id=*/2));
+  }
+
   g().high_level = std::make_unique<papi::HighLevel>(*g().library);
   return PAPI_VER_CURRENT;
 }
@@ -370,11 +490,17 @@ void PAPI_shutdown(void) {
     g().profil_states.clear();
   }
   if (g().bound_sim != nullptr) g().bound_sim->substrate = nullptr;
-  g().fault_substrate = nullptr;
+  g().fault_substrates.clear();
+  g().mem_substrate = nullptr;
   g().library.reset();
+  // After the library (and with it the net substrate): the world's
+  // probe handlers restore in its destructor, and the substrate must
+  // not outlive the world it references.
+  g().comm_world.reset();
   g().bound_sim = nullptr;
   g().pending_fault_plan.reset();
   g().pending_fault_enabled = false;
+  g().pending_fault_target = 0;
 }
 
 const char* PAPI_strerror(int code) {

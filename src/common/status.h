@@ -31,6 +31,7 @@ enum class Error : int {
   kNoInit = -17,      ///< PAPI_ENOINIT: library not initialized
   kBufferFull = -18,  ///< sample/trace buffer exhausted
   kComponentDisabled = -19,
+  kNoComponent = -20,  ///< PAPI_ENOCMP: no such component
 };
 
 /// Human-readable error string (mirrors PAPI_strerror).
@@ -55,6 +56,7 @@ constexpr std::string_view to_string(Error e) noexcept {
     case Error::kNoInit: return "PAPI library has not been initialized";
     case Error::kBufferFull: return "Sample or trace buffer is full";
     case Error::kComponentDisabled: return "Component is disabled";
+    case Error::kNoComponent: return "No such component";
   }
   return "Unknown error";
 }

@@ -18,6 +18,7 @@ inline void hash_mix(std::size_t& h, std::uint64_t v) noexcept {
 std::size_t AllocationCache::KeyHash::operator()(
     const Key& key) const noexcept {
   std::size_t h = 0xcbf29ce484222325ULL;
+  hash_mix(h, key.component);
   hash_mix(h, key.events.size());
   for (const pmu::NativeEventCode code : key.events) hash_mix(h, code);
   hash_mix(h, key.priorities.size());
@@ -33,26 +34,38 @@ AllocationCache::AllocationCache(std::size_t capacity)
 Result<std::vector<std::uint32_t>> AllocationCache::allocate(
     const Substrate& substrate,
     std::span<const pmu::NativeEventCode> events,
-    std::span<const int> priorities) {
-  Key key{{events.begin(), events.end()},
+    std::span<const int> priorities, std::uint32_t component) {
+  if (component >= kMaxComponents) return Error::kNoComponent;
+  Key key{component,
+          {events.begin(), events.end()},
           {priorities.begin(), priorities.end()}};
   TelemetryRegistry* telemetry =
       telemetry_.load(std::memory_order_relaxed);
 
   const std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t generation = substrate.allocation_generation();
-  if (generation != generation_) {
-    // Allocation rules moved under us (estimation toggle): every cached
-    // outcome is suspect, so start over rather than serve stale solves.
-    if (!lru_.empty()) {
-      lru_.clear();
-      index_.clear();
+  if (generation != generations_[component]) {
+    // This component's allocation rules moved under us (estimation
+    // toggle, uncore reconfiguration): its cached outcomes are suspect.
+    // Other components' rules did not move, so only this component's
+    // entries are dropped.
+    bool erased = false;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->first.component == component) {
+        index_.erase(it->first);
+        it = lru_.erase(it);
+        erased = true;
+      } else {
+        ++it;
+      }
+    }
+    if (erased) {
       ++stats_.invalidations;
       if (telemetry) {
         telemetry->bump(TelemetryCounter::kAllocCacheInvalidations);
       }
     }
-    generation_ = generation;
+    generations_[component] = generation;
   }
 
   if (const auto it = index_.find(key); it != index_.end()) {
@@ -96,7 +109,7 @@ void AllocationCache::clear() {
   lru_.clear();
   index_.clear();
   stats_ = Stats{};
-  generation_ = 0;
+  generations_.fill(0);
 }
 
 }  // namespace papirepro::papi

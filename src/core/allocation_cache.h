@@ -13,9 +13,15 @@
 // Staleness: allocation outcomes can change when the substrate's
 // allocation rules change (sim-alpha's estimation mode turns otherwise
 // unplaceable events placeable).  Substrate::allocation_generation()
-// versions those rules; the cache drops everything when the generation
-// moves.  The cache is mutex-guarded — it sits on the EventSet *build*
-// path (add/remove/enable_multiplex), never on the read hot path.
+// versions those rules; the cache drops that substrate's entries when
+// its generation moves.  One cache serves every registered component:
+// entries are keyed on (component id, native list, priorities) — the
+// same small native codes recur across component namespaces, so the
+// component id is part of identity, and each component's generation is
+// tracked independently (an uncore reconfiguration must not flush the
+// CPU core's solves).  The cache is mutex-guarded — it sits on the
+// EventSet *build* path (add/remove/enable_multiplex), never on the
+// read hot path.
 #pragma once
 
 #include <atomic>
@@ -26,7 +32,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include <array>
+
 #include "common/status.h"
+#include "core/component.h"
 #include "pmu/native_event.h"
 
 namespace papirepro::papi {
@@ -50,10 +59,12 @@ class AllocationCache {
 
   /// Substrate::allocate through the memo: a hit returns the cached
   /// assignment (or cached conflict) without consulting the matcher.
+  /// `component` scopes the entry: pass the id the substrate is
+  /// registered under (0, the default, is the CPU core component).
   Result<std::vector<std::uint32_t>> allocate(
       const Substrate& substrate,
       std::span<const pmu::NativeEventCode> events,
-      std::span<const int> priorities);
+      std::span<const int> priorities, std::uint32_t component = 0);
 
   Stats stats() const;
   void clear();
@@ -67,6 +78,7 @@ class AllocationCache {
 
  private:
   struct Key {
+    std::uint32_t component = 0;
     std::vector<pmu::NativeEventCode> events;
     std::vector<int> priorities;
     bool operator==(const Key&) const = default;
@@ -83,7 +95,8 @@ class AllocationCache {
   std::atomic<TelemetryRegistry*> telemetry_{nullptr};
   mutable std::mutex mutex_;
   std::size_t capacity_;
-  std::uint64_t generation_ = 0;
+  /// Last-seen allocation generation per component id.
+  std::array<std::uint64_t, kMaxComponents> generations_{};
   Stats stats_;
   LruList lru_;  ///< front = most recently used
   std::unordered_map<Key, LruList::iterator, KeyHash> index_;

@@ -1,0 +1,35 @@
+#include "core/component.h"
+
+#include <utility>
+
+#include "substrate/substrate.h"
+
+namespace papirepro::papi {
+
+// Out of line so translation units that only see the forward-declared
+// Substrate can still hold Components (e.g. through the thread
+// registry's headers).
+Component::Component() = default;
+Component::~Component() = default;
+
+Result<std::uint32_t> ComponentRegistry::add(
+    std::string name, std::string description,
+    std::unique_ptr<Substrate> substrate) {
+  if (name.empty() || name.find(':') != std::string::npos ||
+      substrate == nullptr) {
+    return Error::kInvalid;
+  }
+  if (components_.size() >= kMaxComponents) return Error::kNoMemory;
+  for (const auto& c : components_) {
+    if (c->name == name) return Error::kConflict;
+  }
+  auto component = std::make_unique<Component>();
+  component->id = static_cast<std::uint32_t>(components_.size());
+  component->name = std::move(name);
+  component->description = std::move(description);
+  component->substrate = std::move(substrate);
+  components_.push_back(std::move(component));
+  return components_.back()->id;
+}
+
+}  // namespace papirepro::papi

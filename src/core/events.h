@@ -19,21 +19,30 @@ struct EventId {
   enum class Kind : std::uint8_t { kPreset, kNative };
   Kind kind = Kind::kPreset;
   std::uint32_t value = 0;  ///< Preset index or NativeEventCode
+  /// Owning component id (0 = the CPU core component).  Component-0
+  /// natives keep their full legacy 32-bit codes; non-zero components
+  /// stamp their id into bits 30..24 of the integer code.
+  std::uint32_t component = 0;
 
-  static constexpr EventId preset(Preset p) noexcept {
-    return {Kind::kPreset, static_cast<std::uint32_t>(p)};
+  static constexpr EventId preset(Preset p,
+                                  std::uint32_t component = 0) noexcept {
+    return {Kind::kPreset, static_cast<std::uint32_t>(p), component};
   }
-  static constexpr EventId native(pmu::NativeEventCode code) noexcept {
-    return {Kind::kNative, code};
+  static constexpr EventId native(pmu::NativeEventCode code,
+                                  std::uint32_t component = 0) noexcept {
+    return {Kind::kNative, code, component};
   }
 
   bool is_preset() const noexcept { return kind == Kind::kPreset; }
   Preset as_preset() const noexcept { return static_cast<Preset>(value); }
   pmu::NativeEventCode as_native() const noexcept { return value; }
 
-  /// PAPI-style integer code (preset codes carry the high bit).
+  /// PAPI-style integer code (preset codes carry the high bit; the
+  /// component id rides in bits 30..24).
   std::uint32_t code() const noexcept {
-    return is_preset() ? preset_code(as_preset()) : value;
+    const std::uint32_t base =
+        is_preset() ? preset_code(as_preset()) : value;
+    return base | (component << kEventComponentShift);
   }
 
   friend bool operator==(const EventId&, const EventId&) = default;

@@ -37,8 +37,14 @@ std::vector<EventId> EventSet::events() const {
 
 Status EventSet::rebuild(
     const std::vector<Entry>& candidate_entries,
-    const std::vector<pmu::NativeEventCode>& candidate_natives) {
+    const std::vector<pmu::NativeEventCode>& candidate_natives,
+    const std::vector<std::uint32_t>& candidate_components) {
   if (multiplex_) {
+    // Multiplexing stays a single-component (CPU core) feature: slices
+    // of one counter file rotated on one timer.
+    for (const std::uint32_t component : candidate_components) {
+      if (component != 0) return Error::kConflict;
+    }
     auto plans = plan_multiplex(library_.substrate(), candidate_natives,
                                 &library_.allocation_cache());
     if (!plans.ok()) return plans.error();
@@ -50,31 +56,112 @@ Status EventSet::rebuild(
         mux_group_events_[g].push_back(candidate_natives[idx]);
       }
     }
-  } else if (!candidate_natives.empty()) {
-    auto assignment = library_.allocation_cache().allocate(
-        library_.substrate(), candidate_natives, {});
-    if (!assignment.ok()) return assignment.error();
-    assignment_ = std::move(assignment.value());
-  } else {
-    assignment_.clear();
+    std::vector<ComponentSlice> slices;
+    if (!candidate_natives.empty()) {
+      slices.push_back({0, 0, candidate_natives.size(), {}, nullptr,
+                        ~0ULL});
+    }
+    entries_ = candidate_entries;
+    natives_ = candidate_natives;
+    native_components_ = candidate_components;
+    slices_ = std::move(slices);
+    return Error::kOk;
   }
-  entries_ = candidate_entries;
-  natives_ = candidate_natives;
+
+  // Order natives ascending by component (stable within a component) so
+  // each component's share is contiguous, and remap every entry's term
+  // indices to the new order.
+  std::vector<std::size_t> order(candidate_natives.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return candidate_components[a] <
+                            candidate_components[b];
+                   });
+  std::vector<pmu::NativeEventCode> sorted_natives;
+  std::vector<std::uint32_t> sorted_components;
+  std::vector<std::size_t> remap(order.size());
+  sorted_natives.reserve(order.size());
+  sorted_components.reserve(order.size());
+  for (std::size_t new_index = 0; new_index < order.size(); ++new_index) {
+    const std::size_t old_index = order[new_index];
+    remap[old_index] = new_index;
+    sorted_natives.push_back(candidate_natives[old_index]);
+    sorted_components.push_back(candidate_components[old_index]);
+  }
+
+  // One allocation per component slice, each against its own substrate
+  // and its own (component-keyed) memo entry.
+  std::vector<ComponentSlice> slices;
+  std::size_t begin = 0;
+  while (begin < sorted_natives.size()) {
+    const std::uint32_t component = sorted_components[begin];
+    std::size_t end = begin;
+    while (end < sorted_natives.size() &&
+           sorted_components[end] == component) {
+      ++end;
+    }
+    Substrate* substrate = library_.component_substrate(component);
+    if (substrate == nullptr) return Error::kNoComponent;
+    auto assignment = library_.allocation_cache().allocate(
+        *substrate,
+        std::span<const pmu::NativeEventCode>(sorted_natives)
+            .subspan(begin, end - begin),
+        {}, component);
+    if (!assignment.ok()) return assignment.error();
+    ComponentSlice slice;
+    slice.component = component;
+    slice.offset = begin;
+    slice.count = end - begin;
+    slice.assignment = std::move(assignment).value();
+    slices.push_back(std::move(slice));
+    begin = end;
+  }
+
+  std::vector<Entry> remapped_entries = candidate_entries;
+  for (Entry& entry : remapped_entries) {
+    for (TermRef& term : entry.terms) {
+      term.native_index = remap[term.native_index];
+    }
+  }
+  entries_ = std::move(remapped_entries);
+  natives_ = std::move(sorted_natives);
+  native_components_ = std::move(sorted_components);
+  slices_ = std::move(slices);
   return Error::kOk;
 }
+
+namespace {
+
+/// Dedup key for a native within a set: codes repeat across component
+/// namespaces, so identity is the (component, code) pair.
+constexpr std::uint64_t native_key(std::uint32_t component,
+                                   pmu::NativeEventCode code) noexcept {
+  return (static_cast<std::uint64_t>(component) << 32) | code;
+}
+
+}  // namespace
 
 Status EventSet::add_event(EventId id) {
   if (running()) return Error::kIsRunning;
   if (find_entry(id) >= 0) return Error::kConflict;  // already present
+  auto info = library_.component_info(id.component);
+  if (!info.ok()) return info.error();
+  if (!info.value().enabled) return Error::kComponentDisabled;
+  if (multiplex_ && id.component != 0) {
+    return Error::kConflict;  // mux is a single-component feature
+  }
+  Substrate& substrate = *library_.component_substrate(id.component);
 
-  // Resolve the event into native terms.
+  // Resolve the event into native terms within its component's
+  // namespace.
   std::vector<MappingTerm> terms;
   if (id.is_preset()) {
-    auto mapping = library_.substrate().preset_mapping(id.as_preset());
+    auto mapping = substrate.preset_mapping(id.as_preset());
     if (!mapping.ok()) return mapping.error();
     terms = std::move(mapping.value().terms);
   } else {
-    auto name = library_.substrate().native_name(id.as_native());
+    auto name = substrate.native_name(id.as_native());
     if (!name.ok()) return name.error();
     terms = {{id.as_native(), 1}};
   }
@@ -83,22 +170,28 @@ Status EventSet::add_event(EventId id) {
   // required by other member events (hashed index instead of a linear
   // scan per term).
   std::vector<pmu::NativeEventCode> candidate_natives = natives_;
-  std::unordered_map<pmu::NativeEventCode, std::size_t> native_index;
+  std::vector<std::uint32_t> candidate_components = native_components_;
+  std::unordered_map<std::uint64_t, std::size_t> native_index;
   native_index.reserve(candidate_natives.size() + terms.size());
   for (std::size_t i = 0; i < candidate_natives.size(); ++i) {
-    native_index.emplace(candidate_natives[i], i);
+    native_index.emplace(
+        native_key(candidate_components[i], candidate_natives[i]), i);
   }
   Entry entry{id, {}};
   for (const MappingTerm& t : terms) {
-    const auto [it, inserted] =
-        native_index.try_emplace(t.native, candidate_natives.size());
-    if (inserted) candidate_natives.push_back(t.native);
+    const auto [it, inserted] = native_index.try_emplace(
+        native_key(id.component, t.native), candidate_natives.size());
+    if (inserted) {
+      candidate_natives.push_back(t.native);
+      candidate_components.push_back(id.component);
+    }
     entry.terms.push_back({it->second, t.coefficient});
   }
   std::vector<Entry> candidate_entries = entries_;
   candidate_entries.push_back(std::move(entry));
 
-  return rebuild(candidate_entries, candidate_natives);
+  return rebuild(candidate_entries, candidate_natives,
+                 candidate_components);
 }
 
 Status EventSet::add_named(std::string_view name) {
@@ -118,13 +211,19 @@ Status EventSet::remove_event(EventId id) {
   // Recompute the native list from scratch (drop now-unused natives),
   // deduplicating through a hashed index instead of a scan per term.
   std::vector<pmu::NativeEventCode> candidate_natives;
-  std::unordered_map<pmu::NativeEventCode, std::size_t> native_index;
+  std::vector<std::uint32_t> candidate_components;
+  std::unordered_map<std::uint64_t, std::size_t> native_index;
   for (Entry& e : candidate_entries) {
     for (TermRef& ref : e.terms) {
       const pmu::NativeEventCode code = natives_[ref.native_index];
-      const auto [it, inserted] =
-          native_index.try_emplace(code, candidate_natives.size());
-      if (inserted) candidate_natives.push_back(code);
+      const std::uint32_t component =
+          native_components_[ref.native_index];
+      const auto [it, inserted] = native_index.try_emplace(
+          native_key(component, code), candidate_natives.size());
+      if (inserted) {
+        candidate_natives.push_back(code);
+        candidate_components.push_back(component);
+      }
       ref.native_index = it->second;
     }
   }
@@ -135,7 +234,8 @@ Status EventSet::remove_event(EventId id) {
             return c->id == id;
           }),
       overflow_configs_.end());
-  return rebuild(candidate_entries, candidate_natives);
+  return rebuild(candidate_entries, candidate_natives,
+                 candidate_components);
 }
 
 Status EventSet::enable_multiplex(std::uint64_t slice_cycles) {
@@ -143,9 +243,12 @@ Status EventSet::enable_multiplex(std::uint64_t slice_cycles) {
   if (!library_.substrate().supports_multiplex()) return Error::kNoSupport;
   if (slice_cycles == 0) return Error::kInvalid;
   if (!overflow_configs_.empty()) return Error::kConflict;
+  for (const std::uint32_t component : native_components_) {
+    if (component != 0) return Error::kConflict;  // mux is CPU-only
+  }
   multiplex_ = true;
   mux_slice_cycles_ = slice_cycles;
-  return rebuild(entries_, natives_);
+  return rebuild(entries_, natives_, native_components_);
 }
 
 Status EventSet::program_mux_group(std::size_t g) {
@@ -162,12 +265,16 @@ Status EventSet::set_domain(std::uint32_t domain_mask) {
 }
 
 Status EventSet::program_and_arm() {
-  if (const Status s = context_->set_domain(domain_mask_);
-      !s.ok() && !(s.error() == Error::kNoSupport &&
-                   domain_mask_ == domain::kAll)) {
-    return s;
-  }
+  const auto apply_domain = [this](CounterContext* context) -> Status {
+    const Status s = context->set_domain(domain_mask_);
+    if (!s.ok() && !(s.error() == Error::kNoSupport &&
+                     domain_mask_ == domain::kAll)) {
+      return s;
+    }
+    return Error::kOk;
+  };
   if (multiplex_) {
+    PAPIREPRO_RETURN_IF_ERROR(apply_domain(context_));
     mux_state_.assign(mux_plans_.size(), {});
     for (std::size_t g = 0; g < mux_plans_.size(); ++g) {
       mux_state_[g].accum.assign(mux_plans_[g].members.size(), 0);
@@ -176,7 +283,14 @@ Status EventSet::program_and_arm() {
     PAPIREPRO_RETURN_IF_ERROR(program_mux_group(0));
     return Error::kOk;
   }
-  PAPIREPRO_RETURN_IF_ERROR(context_->program(natives_, assignment_));
+  // Program every component slice, ascending component order.
+  for (ComponentSlice& slice : slices_) {
+    PAPIREPRO_RETURN_IF_ERROR(apply_domain(slice.context));
+    PAPIREPRO_RETURN_IF_ERROR(slice.context->program(
+        std::span<const pmu::NativeEventCode>(natives_)
+            .subspan(slice.offset, slice.count),
+        slice.assignment));
+  }
   return arm_overflows();
 }
 
@@ -301,11 +415,26 @@ void EventSet::preallocate_scratch() {
 Status EventSet::start() {
   if (running()) return Error::kIsRunning;
   if (entries_.empty()) return Error::kInvalid;
-  // Claim the calling thread's context; kIsRunning when another set
-  // already runs on this thread (the per-thread rule).
-  auto ctx = library_.acquire_context(this);
-  if (!ctx.ok()) return ctx.error();
-  context_ = ctx.value();
+  // Claim the calling thread's running slot; kIsRunning when another
+  // set already runs on this thread (the per-thread rule).  Then bind
+  // each component slice to this thread's context for that component
+  // (component 0's exists from registration; the rest are created
+  // lazily, on this thread, on first use).
+  auto thread = library_.acquire_thread(this);
+  if (!thread.ok()) return thread.error();
+  ThreadRegistry::ThreadState& tstate = *thread.value();
+  for (ComponentSlice& slice : slices_) {
+    auto ctx = library_.component_context(tstate, slice.component);
+    if (!ctx.ok()) {
+      for (ComponentSlice& s : slices_) s.context = nullptr;
+      library_.release_context(this);
+      return ctx.error();
+    }
+    slice.context = ctx.value();
+  }
+  // The primary (lowest-component) context drives clocks, overflow, and
+  // multiplexing; slices are never empty here (entries_ is not).
+  context_ = slices_.front().context;
 
   // Delivery mode is latched per run from the library-wide sampling
   // config; the ring is created before the (retryable) arming sequence
@@ -328,15 +457,32 @@ Status EventSet::start() {
     async_active_ = false;
     library_.release_context(this);
     context_ = nullptr;
+    for (ComponentSlice& s : slices_) s.context = nullptr;
     return status;
   };
   // Transient substrate faults (a counter file briefly busy, an
   // interrupted syscall) are retried as one unit — program is idempotent
   // on a stopped context, so re-running the whole sequence is safe.
+  // Slices start ascending by component; a mid-sequence failure unwinds
+  // the already-started slices (descending) before the unit returns, so
+  // a retry never observes a half-started fan-out.
   const Status started = library_.run_with_retries([this]() -> Status {
     PAPIREPRO_RETURN_IF_ERROR(program_and_arm());
-    PAPIREPRO_RETURN_IF_ERROR(context_->reset_counts());
-    return context_->start();
+    if (multiplex_) {
+      PAPIREPRO_RETURN_IF_ERROR(context_->reset_counts());
+      return context_->start();
+    }
+    for (ComponentSlice& slice : slices_) {
+      PAPIREPRO_RETURN_IF_ERROR(slice.context->reset_counts());
+    }
+    for (std::size_t i = 0; i < slices_.size(); ++i) {
+      const Status s = slices_[i].context->start();
+      if (!s.ok()) {
+        for (std::size_t j = i; j-- > 0;) (void)slices_[j].context->stop();
+        return s;
+      }
+    }
+    return Error::kOk;
   });
   if (!started.ok()) return abort_start(started);
   state_ = State::kRunning;
@@ -349,6 +495,10 @@ Status EventSet::start() {
   overhead_base_ = context_->overhead_cycles();
   window_base_ = context_->cycles();
   library_.telemetry().bump(TelemetryCounter::kStarts);
+  for (const ComponentSlice& slice : slices_) {
+    library_.telemetry().bump_component(slice.component,
+                                        ComponentCounter::kStarts);
+  }
   library_.telemetry().trace_instant(TraceEventKind::kStart, window_base_,
                                      static_cast<std::uint64_t>(handle_));
 
@@ -373,9 +523,14 @@ Status EventSet::start() {
     ring_attached_ = true;
   }
 
-  // Arm wraparound folding against the substrate's counter width.
-  const std::uint32_t width = library_.substrate().counter_width_bits();
-  wrap_mask_ = width < 64 ? (1ULL << width) - 1 : ~0ULL;
+  // Arm wraparound folding against each component substrate's counter
+  // width; the accumulators are global (indexed like natives_), the
+  // masks per slice.
+  for (ComponentSlice& slice : slices_) {
+    const std::uint32_t width =
+        library_.component_substrate(slice.component)->counter_width_bits();
+    slice.wrap_mask = width < 64 ? (1ULL << width) - 1 : ~0ULL;
+  }
   wrap_last_.assign(natives_.size(), 0);
   wrap_accum_.assign(natives_.size(), 0);
 
@@ -437,17 +592,28 @@ void EventSet::rotate_mux() {
 }
 
 Status EventSet::read_folded(std::vector<std::uint64_t>& raw_out) {
-  PAPIREPRO_RETURN_IF_ERROR(library_.run_with_retries(
-      [&] { return context_->read(raw_out); }));
-  if (wrap_mask_ == ~0ULL) return Error::kOk;  // full-width fast path
-  // Narrow counters wrap: trust only the delta since the previous read,
-  // folded modulo the counter width into the 64-bit accumulator.  Any
-  // reader cadence faster than one wrap period recovers exact totals.
-  for (std::size_t i = 0; i < raw_out.size(); ++i) {
-    const std::uint64_t raw = raw_out[i] & wrap_mask_;
-    wrap_accum_[i] += (raw - wrap_last_[i]) & wrap_mask_;
-    wrap_last_[i] = raw;
-    raw_out[i] = wrap_accum_[i];
+  // Fan out across the component slices in ascending component order —
+  // the coherent snapshot order every reader (read/accum/stop) shares.
+  // Each slice reads its contiguous share of raw_out through the retry
+  // wrapper; the lambda captures by reference, so the hot path stays
+  // allocation-free.
+  for (ComponentSlice& slice : slices_) {
+    std::span<std::uint64_t> window(raw_out.data() + slice.offset,
+                                    slice.count);
+    PAPIREPRO_RETURN_IF_ERROR(library_.run_with_retries(
+        [&] { return slice.context->read(window); }));
+    if (slice.wrap_mask == ~0ULL) continue;  // full-width fast path
+    // Narrow counters wrap: trust only the delta since the previous
+    // read, folded modulo the counter width into the 64-bit
+    // accumulator.  Any reader cadence faster than one wrap period
+    // recovers exact totals.
+    for (std::size_t i = 0; i < slice.count; ++i) {
+      const std::size_t g = slice.offset + i;
+      const std::uint64_t raw = window[i] & slice.wrap_mask;
+      wrap_accum_[g] += (raw - wrap_last_[g]) & slice.wrap_mask;
+      wrap_last_[g] = raw;
+      window[i] = wrap_accum_[g];
+    }
   }
   return Error::kOk;
 }
@@ -523,6 +689,9 @@ Status EventSet::read(std::span<long long> out) {
   const bool tracing = telemetry.tracing();
   const std::uint64_t ts = tracing ? context_->cycles() : 0;
   PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(scratch_raw_));
+  for (const ComponentSlice& slice : slices_) {
+    telemetry.bump_component(slice.component, ComponentCounter::kReads);
+  }
   compute_values(scratch_raw_, out);
   if (tracing) {
     const std::uint64_t after = context_->cycles();
@@ -550,7 +719,13 @@ Status EventSet::reset() {
   // When stopped there is no context and nothing live to reset: just
   // drop the snapshot so read() reports kNotRunning again.
   if (running()) {
-    PAPIREPRO_RETURN_IF_ERROR(context_->reset_counts());
+    if (multiplex_) {
+      PAPIREPRO_RETURN_IF_ERROR(context_->reset_counts());
+    } else {
+      for (ComponentSlice& slice : slices_) {
+        PAPIREPRO_RETURN_IF_ERROR(slice.context->reset_counts());
+      }
+    }
   }
   std::fill(wrap_last_.begin(), wrap_last_.end(), 0ULL);
   std::fill(wrap_accum_.begin(), wrap_accum_.end(), 0ULL);
@@ -590,7 +765,11 @@ Status EventSet::stop(std::span<long long> out) {
     }
     state_ = State::kStopped;
   } else {
-    PAPIREPRO_RETURN_IF_ERROR(context_->stop());
+    // Stop descending by component — the mirror image of start()'s
+    // ascending order, so the snapshot window nests coherently.
+    for (std::size_t i = slices_.size(); i-- > 0;) {
+      PAPIREPRO_RETURN_IF_ERROR(slices_[i].context->stop());
+    }
     state_ = State::kStopped;
   }
   // Snapshot straight into the preallocated stop buffer: stop() is part
@@ -614,12 +793,17 @@ Status EventSet::stop(std::span<long long> out) {
     total_window_cycles_ += clock_now - window_base_;
   }
   library_.telemetry().bump(TelemetryCounter::kStops);
+  for (const ComponentSlice& slice : slices_) {
+    library_.telemetry().bump_component(slice.component,
+                                        ComponentCounter::kStops);
+  }
   library_.telemetry().trace_instant(TraceEventKind::kStop, clock_now,
                                      static_cast<std::uint64_t>(handle_));
 
   stopped_raw_valid_ = true;
   library_.release_context(this);
   context_ = nullptr;
+  for (ComponentSlice& slice : slices_) slice.context = nullptr;
   if (!out.empty()) {
     if (out.size() < entries_.size()) return Error::kInvalid;
     compute_values(stopped_raw_, out);
@@ -631,6 +815,9 @@ Status EventSet::set_overflow(EventId id, std::uint64_t threshold,
                               OverflowHandler handler) {
   if (running()) return Error::kIsRunning;
   if (multiplex_) return Error::kConflict;  // PAPI: no overflow while muxed
+  // Overflow interrupts are a CPU-core (component 0) feature: the sim
+  // memory/network substrates have no interrupt line.
+  if (id.component != 0) return Error::kNoSupport;
   if (threshold == 0 || !handler) return Error::kInvalid;
   const int pos = find_entry(id);
   if (pos < 0) return Error::kNoEvent;
@@ -681,6 +868,7 @@ Status EventSet::profil(ProfileBuffer& buffer, EventId id,
                         std::uint64_t threshold, bool prefer_precise) {
   if (running()) return Error::kIsRunning;
   if (multiplex_) return Error::kConflict;
+  if (id.component != 0) return Error::kNoSupport;  // CPU-core only
   if (threshold == 0) return Error::kInvalid;
   const int pos = find_entry(id);
   if (pos < 0) return Error::kNoEvent;

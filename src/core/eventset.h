@@ -4,7 +4,12 @@
 // unique native events they require (shared natives are counted once and
 // reused by every derived event that references them), allocates those
 // natives onto physical counters via the bipartite matcher, and controls
-// counting.  Multiplexing is *opt-in* (enable_multiplex) per the mailing
+// counting.  A set may span components: natives are grouped into
+// per-component slices (kept sorted by component id), each programmed
+// onto that component's CounterContext with its own allocation and
+// counter-width folding; start()/read()/stop() fan out across the
+// slices in ascending component order (stop descends), so snapshots
+// have one coherent ordering.  Multiplexing is *opt-in* (enable_multiplex) per the mailing
 // list decision recorded in Section 2: naive transparent multiplexing
 // could silently return unconverged estimates, so the user must operate
 // at the low level to turn it on.  Overlapping EventSets are not
@@ -178,9 +183,24 @@ class EventSet {
     std::vector<std::uint64_t> accum;  ///< per member
     std::uint64_t active_cycles = 0;
   };
+  /// One component's contiguous share of natives_: its allocation, its
+  /// thread context for the current run, and its counter-width mask.
+  /// Slices are kept sorted ascending by component id — the fan-out
+  /// order for start/read (stop descends).
+  struct ComponentSlice {
+    std::uint32_t component = 0;
+    std::size_t offset = 0;  ///< into natives_
+    std::size_t count = 0;
+    std::vector<std::uint32_t> assignment;
+    /// Live between start() and stop(); the calling thread's context
+    /// for this component.
+    CounterContext* context = nullptr;
+    std::uint64_t wrap_mask = ~0ULL;
+  };
 
   Status rebuild(const std::vector<Entry>& candidate_entries,
-                 const std::vector<pmu::NativeEventCode>& candidate_natives);
+                 const std::vector<pmu::NativeEventCode>& candidate_natives,
+                 const std::vector<std::uint32_t>& candidate_components);
   Status program_and_arm();
   /// Sizes every steady-state scratch buffer (read/fold snapshots, mux
   /// live-slice reads, accum intermediates, the stop() snapshot) so the
@@ -208,13 +228,20 @@ class EventSet {
   Library& library_;
   int handle_;
   State state_ = State::kStopped;
-  /// The thread context this set runs on; non-null from a successful
-  /// start() until the matching stop().
+  /// The primary (lowest-component) slice's context — the one the mux,
+  /// overflow, trace, and overhead-attribution paths use; non-null from
+  /// a successful start() until the matching stop().
   CounterContext* context_ = nullptr;
 
   std::vector<Entry> entries_;
+  /// Unique natives, sorted ascending by owning component so each
+  /// component's share is one contiguous slice.  Codes are only unique
+  /// *within* a component (namespaces overlap), hence the parallel
+  /// component vector.
   std::vector<pmu::NativeEventCode> natives_;
-  std::vector<std::uint32_t> assignment_;  ///< non-mux allocation
+  std::vector<std::uint32_t> native_components_;  ///< parallel to natives_
+  /// Per-component sub-state, sorted ascending by component id.
+  std::vector<ComponentSlice> slices_;
 
   std::uint32_t domain_mask_ = domain::kAll;
   std::uint32_t degradations_ = 0;
@@ -228,8 +255,8 @@ class EventSet {
 
   /// Wraparound folding over sub-64-bit substrate counters: per-native
   /// last raw value and 64-bit accumulated total since start()/reset().
-  /// All-ones mask = full-width counters (fast path, no folding).
-  std::uint64_t wrap_mask_ = ~0ULL;
+  /// The mask is per-slice (each component has its own counter width);
+  /// an all-ones mask means full-width counters (fast path, no folding).
   std::vector<std::uint64_t> wrap_last_;
   std::vector<std::uint64_t> wrap_accum_;
 

@@ -39,10 +39,19 @@ thread_local TlsContextCache tls_context_cache;
 }  // namespace
 
 Library::Library(std::unique_ptr<Substrate> substrate)
-    : substrate_(std::move(substrate)),
-      instance_token_(
+    : instance_token_(
           next_library_token.fetch_add(1, std::memory_order_relaxed)) {
-  assert(substrate_ != nullptr);
+  assert(substrate != nullptr);
+  substrate_ = substrate.get();
+  // Component 0 is always the CPU core: every pre-component call site
+  // (unqualified event names, bare native codes) resolves against it.
+  // The description is read before std::move(substrate): argument
+  // evaluation order is unspecified.
+  std::string cpu_description(substrate->name());
+  const auto added = components_.add("cpu", std::move(cpu_description),
+                                     std::move(substrate));
+  assert(added.ok());
+  (void)added;
   substrate_->bind_telemetry(&telemetry_);
   alloc_cache_.bind_telemetry(&telemetry_);
   sampling_.bind_telemetry(&telemetry_);
@@ -73,6 +82,7 @@ Library::~Library() {
 
 TelemetrySnapshot Library::telemetry_snapshot() const {
   TelemetrySnapshot snap = telemetry_.snapshot();
+  snap.num_components = components_.size();
   snap.alloc_cache_entries = alloc_cache_.stats().entries;
   const SamplingStats sampling = sampling_.stats();
   snap.sampling_sweeps = sampling.sweeps;
@@ -89,34 +99,106 @@ Status Library::set_trace(bool enabled, std::size_t ring_capacity) {
                                   : ring_capacity);
 }
 
+// --- components ----------------------------------------------------------
+
+Result<std::uint32_t> Library::register_component(
+    std::string name, std::string description,
+    std::unique_ptr<Substrate> substrate) {
+  Substrate* raw = substrate.get();
+  auto added = components_.add(std::move(name), std::move(description),
+                               std::move(substrate));
+  if (added.ok()) raw->bind_telemetry(&telemetry_);
+  return added;
+}
+
+Result<ComponentInfo> Library::component_info(std::uint32_t id) const {
+  const Component* component = components_.at(id);
+  if (component == nullptr) return Error::kNoComponent;
+  ComponentInfo info;
+  info.id = component->id;
+  info.name = component->name;
+  info.description = component->description;
+  info.num_counters = component->substrate->num_counters();
+  info.enabled = component->enabled.load(std::memory_order_relaxed);
+  return info;
+}
+
+Result<std::uint32_t> Library::component_by_name(
+    std::string_view name) const {
+  const Component* component = components_.find(name);
+  if (component == nullptr) return Error::kNoComponent;
+  return component->id;
+}
+
+Status Library::set_component_enabled(std::uint32_t id, bool enabled) {
+  Component* component = components_.at(id);
+  if (component == nullptr) return Error::kNoComponent;
+  component->enabled.store(enabled, std::memory_order_relaxed);
+  return Error::kOk;
+}
+
+// --- event namespace -----------------------------------------------------
+
 bool Library::query_event(EventId id) const {
+  const Component* component = components_.at(id.component);
+  if (component == nullptr) return false;
   if (id.is_preset()) {
-    return substrate_->preset_mapping(id.as_preset()).ok();
+    return component->substrate->preset_mapping(id.as_preset()).ok();
   }
-  return substrate_->native_name(id.as_native()).ok();
+  return component->substrate->native_name(id.as_native()).ok();
 }
 
 Result<std::string> Library::event_name(EventId id) const {
+  const Component* component = components_.at(id.component);
+  if (component == nullptr) return Error::kNoComponent;
+  std::string bare;
   if (id.is_preset()) {
     if (!query_event(id)) return Error::kNoEvent;
-    return std::string(preset_name(id.as_preset()));
+    bare = std::string(preset_name(id.as_preset()));
+  } else {
+    auto native = component->substrate->native_name(id.as_native());
+    if (!native.ok()) return native.error();
+    bare = std::move(native).value();
   }
-  return substrate_->native_name(id.as_native());
+  // Component-0 names stay bare (legacy round-trip); other components
+  // render namespace-qualified so the name resolves back to the same id.
+  if (id.component == 0) return bare;
+  return component->name + "::" + bare;
 }
 
 Result<std::string> Library::event_description(EventId id) const {
+  const Component* component = components_.at(id.component);
+  if (component == nullptr) return Error::kNoComponent;
   if (id.is_preset()) {
     if (!query_event(id)) return Error::kNoEvent;
     return std::string(preset_description(id.as_preset()));
   }
-  const pmu::PlatformDescription* platform = substrate_->platform();
-  if (platform == nullptr) return Error::kNoEvent;
-  const pmu::NativeEvent* ev = platform->find_event(id.as_native());
-  if (ev == nullptr) return Error::kNoEvent;
-  return ev->description;
+  return component->substrate->native_description(id.as_native());
 }
 
 Result<EventId> Library::event_from_name(std::string_view name) const {
+  const auto sep = name.find("::");
+  if (sep != std::string_view::npos) {
+    const std::string_view prefix = name.substr(0, sep);
+    const std::string_view rest = name.substr(sep + 2);
+    const Component* component = components_.find(prefix);
+    if (component == nullptr) return Error::kNoComponent;
+    // Preset names resolve with or without the PAPI_ prefix
+    // ("cpu::TOT_CYC" == "cpu::PAPI_TOT_CYC").
+    auto preset = preset_from_name(rest);
+    if (!preset) {
+      preset = preset_from_name("PAPI_" + std::string(rest));
+    }
+    if (preset) {
+      if (!component->substrate->preset_mapping(*preset).ok()) {
+        return Error::kNoEvent;
+      }
+      return EventId::preset(*preset, component->id);
+    }
+    auto native = component->substrate->native_by_name(rest);
+    if (!native.ok()) return native.error();
+    return EventId::native(native.value(), component->id);
+  }
   if (const auto preset = preset_from_name(name)) {
     const EventId id = EventId::preset(*preset);
     if (!query_event(id)) return Error::kNoEvent;
@@ -248,7 +330,8 @@ Status Library::unregister_thread() {
   return erased;
 }
 
-Result<CounterContext*> Library::acquire_context(EventSet* set) {
+Result<ThreadRegistry::ThreadState*> Library::acquire_thread(
+    EventSet* set) {
   auto state = current_thread_state();
   if (!state.ok()) return state.error();
   EventSet* expected = nullptr;
@@ -259,7 +342,31 @@ Result<CounterContext*> Library::acquire_context(EventSet* set) {
     // is already counting.  A set running on a different thread is fine.
     return Error::kIsRunning;
   }
-  return state.value()->context.get();
+  return state.value();
+}
+
+Result<CounterContext*> Library::component_context(
+    ThreadRegistry::ThreadState& state, std::uint32_t component) {
+  if (component == 0) return state.context.get();
+  Component* entry = components_.at(component);
+  if (entry == nullptr) return Error::kNoComponent;
+  auto& slot = state.component_contexts[component];
+  if (slot == nullptr) {
+    // Lazy creation on the owning thread: thread-aware component
+    // substrates bind the context to the calling thread's domain (its
+    // machine, its rank), so this must not happen at registration time
+    // on someone else's thread.
+    std::unique_ptr<CounterContext> context;
+    const Status created = run_with_retries([&] {
+      auto attempt = entry->substrate->create_context();
+      if (!attempt.ok()) return Status(attempt.error());
+      context = std::move(attempt).value();
+      return Status();
+    });
+    if (!created.ok()) return created.error();
+    slot = std::move(context);
+  }
+  return slot.get();
 }
 
 void Library::release_context(EventSet* set) {

@@ -1,7 +1,10 @@
 // The library front door (PAPI_library_init and friends).  Owns the
-// substrate, the EventSets (by integer handle, so the C bridge is
-// trivial), the event-name namespace, and the per-thread one-running-
-// EventSet rule: PAPI 3 dropped overlapping EventSets "to reduce memory
+// component registry (every measurement component — CPU core, memory/
+// uncore, network — with its own Substrate, event namespace, and counter
+// budget; component 0 is the substrate the Library was constructed
+// with), the EventSets (by integer handle, so the C bridge is trivial),
+// the event-name namespace ("mem::BANDWIDTH_RD" routes to the "mem"
+// component), and the per-thread one-running-EventSet rule: PAPI 3 dropped overlapping EventSets "to reduce memory
 // usage and runtime overhead and simplify the code", and thread support
 // keys that rule by thread — each registered thread gets its own
 // CounterContext from the substrate factory, so N threads can each drive
@@ -27,6 +30,7 @@
 
 #include "common/status.h"
 #include "core/allocation_cache.h"
+#include "core/component.h"
 #include "core/eventset.h"
 #include "core/memory_info.h"
 #include "core/sampling_pipeline.h"
@@ -63,14 +67,42 @@ class Library {
   Library(const Library&) = delete;
   Library& operator=(const Library&) = delete;
 
+  /// Component 0's (the CPU core's) substrate.
   Substrate& substrate() noexcept { return *substrate_; }
   const Substrate& substrate() const noexcept { return *substrate_; }
+
+  // --- components (PAPI-C style registry) ---
+  /// Registers a measurement component under namespace prefix `name`
+  /// ("mem", "net", ...) and returns its id.  Registration belongs to
+  /// init time, before threads start counting — the registry is
+  /// lock-free to read and therefore append-only and single-threaded to
+  /// write.
+  Result<std::uint32_t> register_component(
+      std::string name, std::string description,
+      std::unique_ptr<Substrate> substrate);
+  std::size_t num_components() const noexcept {
+    return components_.size();
+  }
+  Result<ComponentInfo> component_info(std::uint32_t id) const;
+  Result<std::uint32_t> component_by_name(std::string_view name) const;
+  /// The component's substrate, or nullptr for an unknown id.
+  Substrate* component_substrate(std::uint32_t id) const noexcept {
+    Component* component = components_.at(id);
+    return component != nullptr ? component->substrate.get() : nullptr;
+  }
+  /// Soft-disables a component: existing EventSets keep working, new
+  /// add_event() calls against it fail with kComponentDisabled.
+  Status set_component_enabled(std::uint32_t id, bool enabled);
 
   // --- event namespace (stateless; any thread) ---
   bool query_event(EventId id) const;
   Result<std::string> event_name(EventId id) const;
   Result<std::string> event_description(EventId id) const;
-  /// Accepts "PAPI_*" preset names and platform native names.
+  /// Accepts "PAPI_*" preset names and platform native names, plus
+  /// component-qualified forms: "mem::BANDWIDTH_RD" resolves in the
+  /// "mem" component's namespace (native names, preset names with or
+  /// without the PAPI_ prefix).  Unknown prefixes fail with
+  /// kNoComponent.
   Result<EventId> event_from_name(std::string_view name) const;
   std::vector<Preset> available_presets() const;
   std::uint32_t num_counters() const noexcept {
@@ -178,9 +210,14 @@ class Library {
  private:
   friend class EventSet;
   /// Claims the calling thread's running slot for `set` and returns the
-  /// thread's context (auto-registering the thread on first use).
+  /// thread's state (auto-registering the thread on first use).
   /// kIsRunning when another set already runs on this thread.
-  Result<CounterContext*> acquire_context(EventSet* set);
+  Result<ThreadRegistry::ThreadState*> acquire_thread(EventSet* set);
+  /// The calling thread's CounterContext for `component`, creating it on
+  /// first use (component 0's was created at registration).  Must be
+  /// called with the thread's own state.
+  Result<CounterContext*> component_context(
+      ThreadRegistry::ThreadState& state, std::uint32_t component);
   /// Clears whichever thread's running slot holds `set`.
   void release_context(EventSet* set);
   /// The calling thread's state, creating it if needed.  Steady state is
@@ -196,7 +233,13 @@ class Library {
   /// destroyed after all of them.
   TelemetryRegistry telemetry_;
 
-  std::unique_ptr<Substrate> substrate_;
+  /// Owns every component's Substrate (component 0 is the one the
+  /// Library was constructed with).  Declared before the thread registry
+  /// and EventSets, whose contexts point into the substrates.
+  ComponentRegistry components_;
+  /// Component 0's substrate — the hot-path alias (owned by
+  /// components_).
+  Substrate* substrate_ = nullptr;
   /// Distinguishes this Library in thread-local context caches: a new
   /// Library constructed at a recycled address must never match a stale
   /// cache entry (ABA), so tokens are drawn from a process-wide counter.

@@ -34,6 +34,8 @@ constexpr std::array<PresetInfo, kNumPresets> kPresetTable = {{
     {"PAPI_BR_MSP", "Conditional branches mispredicted"},
     {"PAPI_BR_PRC", "Conditional branches correctly predicted"},
     {"PAPI_STL_CCY", "Cycles stalled (no instruction completion)"},
+    {"PAPI_MSG_SNT", "Messages sent"},
+    {"PAPI_MSG_RCV", "Messages received"},
 }};
 
 }  // namespace

@@ -35,6 +35,8 @@ enum class Preset : std::uint32_t {
   kBrMsp,       ///< PAPI_BR_MSP: mispredicted branches
   kBrPrc,       ///< PAPI_BR_PRC: correctly predicted branches (derived)
   kStlCcy,      ///< PAPI_STL_CCY: cycles with no instruction completion
+  kMsgSnt,      ///< PAPI_MSG_SNT: messages sent (network components)
+  kMsgRcv,      ///< PAPI_MSG_RCV: messages received (network components)
   kCount,       // sentinel
 };
 
@@ -45,13 +47,24 @@ inline constexpr std::size_t kNumPresets =
 /// the C API's integer codes look familiar.
 inline constexpr std::uint32_t kPresetCodeBase = 0x80000000u;
 
+/// PAPI-C style component field: bits 30..24 of an event code carry the
+/// owning component's id, so one 32-bit code addresses (component,
+/// event).  Component 0 (the CPU core) leaves the field clear, which
+/// keeps every legacy code bit-identical.
+inline constexpr std::uint32_t kEventComponentShift = 24;
+inline constexpr std::uint32_t kEventComponentMask = 0x7f000000u;
+
+constexpr std::uint32_t event_code_component(std::uint32_t code) noexcept {
+  return (code & kEventComponentMask) >> kEventComponentShift;
+}
+
 constexpr std::uint32_t preset_code(Preset p) noexcept {
   return kPresetCodeBase | static_cast<std::uint32_t>(p);
 }
 
 constexpr std::optional<Preset> preset_from_code(std::uint32_t code) noexcept {
   if ((code & kPresetCodeBase) == 0) return std::nullopt;
-  const std::uint32_t idx = code & ~kPresetCodeBase;
+  const std::uint32_t idx = code & ~(kPresetCodeBase | kEventComponentMask);
   if (idx >= kNumPresets) return std::nullopt;
   return static_cast<Preset>(idx);
 }

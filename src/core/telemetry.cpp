@@ -32,6 +32,10 @@ TelemetrySnapshot TelemetryRegistry::snapshot() const {
       out.counters[c] +=
           slab->counts[c].value.load(std::memory_order_relaxed);
     }
+    for (std::size_t c = 0; c < out.component_counters.size(); ++c) {
+      out.component_counters[c] +=
+          slab->component_counts[c].load(std::memory_order_relaxed);
+    }
     if (const TraceRing* ring =
             slab->ring.load(std::memory_order_relaxed)) {
       out.trace_records_buffered += ring->size();
@@ -114,6 +118,15 @@ std::string TelemetryRegistry::render_summary(
   for (std::size_t c = 0; c < kNumTelemetryCounters; ++c) {
     os << "  " << kTelemetryCounterNames[c] << ": "
        << snapshot.counters[c] << "\n";
+  }
+  for (std::size_t comp = 0; comp < snapshot.num_components; ++comp) {
+    os << "  component[" << comp << "]: starts="
+       << snapshot.component_value(comp, ComponentCounter::kStarts)
+       << " stops="
+       << snapshot.component_value(comp, ComponentCounter::kStops)
+       << " reads="
+       << snapshot.component_value(comp, ComponentCounter::kReads)
+       << "\n";
   }
   os << "  alloc_cache_entries: " << snapshot.alloc_cache_entries << "\n";
   os << "  sampling: sweeps=" << snapshot.sampling_sweeps

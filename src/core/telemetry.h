@@ -83,6 +83,26 @@ constexpr const char* telemetry_counter_name(TelemetryCounter c) {
   return kTelemetryCounterNames[static_cast<std::size_t>(c)];
 }
 
+/// Per-component dimension of the control-operation counters: the
+/// component registry makes "how often did each component's counters get
+/// started/stopped/read" a distinct question from the library-wide
+/// totals (one cross-component read bumps kReads once but every spanned
+/// component's kReads slot once each).
+enum class ComponentCounter : std::size_t {
+  kStarts = 0,  ///< per-component start fan-outs
+  kStops,       ///< per-component stop fan-outs
+  kReads,       ///< per-component counter snapshots
+  kNumCounters
+};
+
+inline constexpr std::size_t kNumComponentCounters =
+    static_cast<std::size_t>(ComponentCounter::kNumCounters);
+
+/// Must match papi::kMaxComponents (component.h keeps the registry-side
+/// cap; the slabs carry a fixed block so the bump path stays a plain
+/// indexed store).
+inline constexpr std::size_t kTelemetryMaxComponents = 8;
+
 /// What a trace record marks.  Spans (dur > 0 possible) for the control
 /// operations, instants for one-shot occurrences.
 enum class TraceEventKind : std::uint8_t {
@@ -176,6 +196,13 @@ class TraceRing {
 /// legacy alloc-cache / sampling stats entry points.
 struct TelemetrySnapshot {
   std::array<std::uint64_t, kNumTelemetryCounters> counters{};
+  /// Per-component control-operation totals, indexed
+  /// [component * kNumComponentCounters + counter].
+  std::array<std::uint64_t,
+             kTelemetryMaxComponents * kNumComponentCounters>
+      component_counters{};
+  /// Registered components at snapshot time (Library fills this).
+  std::uint64_t num_components = 0;
   bool enabled = true;
   bool trace_enabled = false;
   std::uint64_t threads_seen = 0;  ///< slabs ever registered
@@ -191,6 +218,12 @@ struct TelemetrySnapshot {
 
   std::uint64_t value(TelemetryCounter c) const noexcept {
     return counters[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t component_value(std::size_t component,
+                                ComponentCounter c) const noexcept {
+    if (component >= kTelemetryMaxComponents) return 0;
+    return component_counters[component * kNumComponentCounters +
+                              static_cast<std::size_t>(c)];
   }
 };
 
@@ -234,6 +267,23 @@ class TelemetryRegistry {
     if (!enabled_.load(std::memory_order_relaxed)) return;
     if (Slab* slab = current_slab()) {
       auto& cell = slab->counts[static_cast<std::size_t>(c)].value;
+      cell.store(cell.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+    }
+  }
+
+  /// Per-component variant of bump(): same one-flag-load, one-memo-probe,
+  /// one relaxed load+store shape, landing in the slab's fixed
+  /// per-component block.  Out-of-range components are dropped rather
+  /// than checked upstream — the registry caps ids at kMaxComponents.
+  void bump_component(std::uint32_t component, ComponentCounter c,
+                      std::uint64_t n = 1) noexcept {
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    if (component >= kTelemetryMaxComponents) return;
+    if (Slab* slab = current_slab()) {
+      auto& cell =
+          slab->component_counts[component * kNumComponentCounters +
+                                 static_cast<std::size_t>(c)];
       cell.store(cell.load(std::memory_order_relaxed) + n,
                  std::memory_order_relaxed);
     }
@@ -302,6 +352,12 @@ class TelemetryRegistry {
   /// thread's trace path.
   struct Slab {
     std::array<PaddedCounter, kNumTelemetryCounters> counts{};
+    /// Per-component block, same single-writer contract as `counts`.
+    /// Unpadded: one thread owns the whole block, so the only sharing
+    /// is with snapshot() reads.
+    std::array<std::atomic<std::uint64_t>,
+               kTelemetryMaxComponents * kNumComponentCounters>
+        component_counts{};
     std::atomic<TraceRing*> ring{nullptr};
     std::uint64_t thread_key = 0;
     std::uint64_t tid_label = 0;  ///< dense label for trace exports

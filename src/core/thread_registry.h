@@ -1,7 +1,8 @@
 // Per-thread counter state for the Library.  Each registered thread owns
-// one CounterContext (handed out by the substrate factory) and one
-// running-EventSet slot — the PAPI 3 one-running-EventSet rule, keyed by
-// thread instead of by process.  The registry itself is guarded by a
+// one CounterContext per registered component (component 0's — the CPU
+// core's — is created eagerly at registration, the rest lazily on first
+// use) and one running-EventSet slot — the PAPI 3 one-running-EventSet
+// rule, keyed by thread instead of by process.  The registry itself is guarded by a
 // shared_mutex (readers: every start/stop/read; writers: thread
 // register/unregister), while the `running` slot is atomic so another
 // thread — the Library destructor, or a stop() issued from a different
@@ -15,7 +16,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include <array>
+
 #include "common/status.h"
+#include "core/component.h"
 #include "substrate/counter_context.h"
 
 namespace papirepro::papi {
@@ -28,7 +32,13 @@ class ThreadRegistry {
     std::thread::id key;
     /// Numeric id from the user's PAPI_thread_init id function.
     unsigned long numeric_id = 0;
+    /// Component 0's (CPU core) context — created eagerly during
+    /// registration; a context-less slot marks a failed registration.
     std::unique_ptr<CounterContext> context;
+    /// Lazily-created contexts for components 1..N-1, indexed by
+    /// component id (slot 0 unused).  Touched only by the owning thread.
+    std::array<std::unique_ptr<CounterContext>, kMaxComponents>
+        component_contexts;
     std::atomic<EventSet*> running{nullptr};
   };
 

@@ -1,5 +1,6 @@
 #include "sim/comm.h"
 
+#include <algorithm>
 #include <cassert>
 #include <thread>
 
@@ -19,6 +20,12 @@ CommWorld::CommWorld(std::vector<Machine*> ranks)
         [this, r](std::int64_t id, Machine& machine) {
           on_probe(r, id, machine);
         });
+  }
+}
+
+CommWorld::~CommWorld() {
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    ranks_[r]->set_probe_handler(chained_[r]);
   }
 }
 
@@ -73,6 +80,8 @@ void CommWorld::on_probe(std::size_t rank, std::int64_t id,
     for (std::uint64_t i = 0; i < payload.size() && i < cap; ++i) {
       machine.memory().write_i64(addr + 8 * i, payload[i]);
     }
+    stats_[rank].words_recv +=
+        std::min<std::uint64_t>(payload.size(), cap);
     ++stats_[rank].recvs;
     return;
   }

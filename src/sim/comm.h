@@ -42,6 +42,7 @@ class CommWorld {
     std::uint64_t sends = 0;
     std::uint64_t recvs = 0;
     std::uint64_t words_sent = 0;
+    std::uint64_t words_recv = 0;
     /// Instructions spent re-executing a recv probe while waiting.
     std::uint64_t wait_retries = 0;
   };
@@ -50,10 +51,15 @@ class CommWorld {
   /// any handler already present for non-comm probe ids).
   explicit CommWorld(std::vector<Machine*> ranks);
 
+  /// Restores each rank's previous probe handler: the installed ones
+  /// capture `this` and must not outlive the world.
+  ~CommWorld();
+
   std::size_t num_ranks() const noexcept { return ranks_.size(); }
   const RankStats& stats(std::size_t rank) const {
     return stats_.at(rank);
   }
+  Machine& rank_machine(std::size_t rank) const { return *ranks_.at(rank); }
 
   /// Runs all ranks round-robin in quanta of `quantum` instructions
   /// until every rank halts or `max_rounds` scheduler rounds elapse.

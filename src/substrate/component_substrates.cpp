@@ -1,0 +1,372 @@
+#include "substrate/component_substrates.h"
+
+#include "sim/memory.h"
+
+namespace papirepro::papi {
+
+// --- DeltaCounterContext ------------------------------------------------
+
+Status DeltaCounterContext::program(
+    std::span<const pmu::NativeEventCode> events,
+    std::span<const std::uint32_t> assignment) {
+  if (running_) return Error::kIsRunning;
+  if (events.size() != assignment.size()) return Error::kInvalid;
+  if (events.size() > num_counters_) return Error::kNoCounters;
+  for (const pmu::NativeEventCode code : events) {
+    if (!valid_code(code)) return Error::kNoEvent;
+  }
+  events_.assign(events.begin(), events.end());
+  base_.assign(events.size(), 0);
+  frozen_.assign(events.size(), 0);
+  return {};
+}
+
+Status DeltaCounterContext::start() {
+  if (running_) return Error::kIsRunning;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    base_[i] = sample(events_[i]);
+  }
+  running_ = true;
+  return {};
+}
+
+Status DeltaCounterContext::stop() {
+  if (!running_) return Error::kNotRunning;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    frozen_[i] = sample(events_[i]) - base_[i];
+  }
+  running_ = false;
+  return {};
+}
+
+Status DeltaCounterContext::read(std::span<std::uint64_t> out) {
+  if (out.size() < events_.size()) return Error::kInvalid;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out[i] = running_ ? sample(events_[i]) - base_[i] : frozen_[i];
+  }
+  return {};
+}
+
+Status DeltaCounterContext::reset_counts() {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (running_) base_[i] = sample(events_[i]);
+    frozen_[i] = 0;
+  }
+  return {};
+}
+
+Status DeltaCounterContext::set_overflow(std::uint32_t /*event_index*/,
+                                         std::uint64_t /*threshold*/,
+                                         OverflowCallback /*callback*/,
+                                         OverflowDeliveryMode /*mode*/) {
+  return Error::kNoSupport;  // no interrupt line on these units
+}
+
+Status DeltaCounterContext::clear_overflow(std::uint32_t /*event_index*/) {
+  return {};
+}
+
+Status DeltaCounterContext::set_domain(std::uint32_t domain_mask) {
+  // Off-core units count regardless of privilege mode; accept any valid
+  // mask (the counts simply do not partition by domain).
+  return valid_domain(domain_mask) ? Status() : Status(Error::kInvalid);
+}
+
+namespace {
+
+// --- mem component ------------------------------------------------------
+
+struct NamedCode {
+  pmu::NativeEventCode code;
+  std::string_view name;
+  std::string_view description;
+};
+
+constexpr NamedCode kMemEvents[] = {
+    {mem_events::kBandwidthRd, "BANDWIDTH_RD",
+     "Bytes read from memory (L2 fills x line size)"},
+    {mem_events::kL2Traffic, "L2_TRAFFIC",
+     "Bytes transferred between L1 and L2 (L1 fills x line size)"},
+    {mem_events::kL2Accesses, "L2_ACCESSES", "L2 cache accesses"},
+    {mem_events::kL2Misses, "L2_MISSES", "L2 cache misses"},
+    {mem_events::kPagesTouched, "PAGES_TOUCHED",
+     "Distinct memory pages ever touched"},
+    {mem_events::kResidentBytes, "RESIDENT_BYTES",
+     "Resident bytes (pages touched x page size)"},
+};
+
+constexpr NamedCode kNetEvents[] = {
+    {net_events::kMsgSent, "MSG_SENT", "Messages sent by this rank"},
+    {net_events::kMsgRecv, "MSG_RECV", "Messages received by this rank"},
+    {net_events::kWordsSent, "WORDS_SENT", "Payload words sent"},
+    {net_events::kWordsRecv, "WORDS_RECV", "Payload words received"},
+    {net_events::kBytesSent, "BYTES_SENT", "Payload bytes sent"},
+    {net_events::kWaitRetries, "WAIT_RETRIES",
+     "Receive busy-wait probe retries"},
+};
+
+const NamedCode* find_code(std::span<const NamedCode> table,
+                           pmu::NativeEventCode code) noexcept {
+  for (const NamedCode& entry : table) {
+    if (entry.code == code) return &entry;
+  }
+  return nullptr;
+}
+
+const NamedCode* find_name(std::span<const NamedCode> table,
+                           std::string_view name) noexcept {
+  for (const NamedCode& entry : table) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+// Mask-platform translation shared by both components: every event may
+// sit on any of the unit's counters.
+Result<AllocationInstance> translate_full_mask(
+    std::span<const NamedCode> table, std::uint32_t num_counters,
+    std::span<const pmu::NativeEventCode> events,
+    std::span<const int> priorities) {
+  AllocationInstance instance;
+  instance.num_counters = num_counters;
+  instance.allowed.reserve(events.size());
+  instance.priority.reserve(events.size());
+  const std::uint64_t full_mask = (1ULL << num_counters) - 1;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (find_code(table, events[i]) == nullptr) return Error::kNoEvent;
+    instance.allowed.push_back(full_mask);
+    instance.priority.push_back(i < priorities.size() ? priorities[i]
+                                                      : 0);
+  }
+  return instance;
+}
+
+class MemBandwidthContext final : public DeltaCounterContext {
+ public:
+  MemBandwidthContext(std::uint32_t num_counters, sim::Machine& machine)
+      : DeltaCounterContext(num_counters), machine_(machine) {}
+
+  std::uint64_t cycles() const override { return machine_.cycles(); }
+
+ protected:
+  std::uint64_t sample(pmu::NativeEventCode code) const override {
+    switch (code) {
+      case mem_events::kBandwidthRd:
+        return machine_.l2().stats().misses *
+               machine_.l2().config().line_bytes;
+      case mem_events::kL2Traffic:
+        return (machine_.l1i().stats().misses +
+                machine_.l1d().stats().misses) *
+               machine_.l1d().config().line_bytes;
+      case mem_events::kL2Accesses:
+        return machine_.l2().stats().accesses;
+      case mem_events::kL2Misses:
+        return machine_.l2().stats().misses;
+      case mem_events::kPagesTouched:
+        return machine_.memory().pages_touched();
+      case mem_events::kResidentBytes:
+        return machine_.memory().bytes_touched();
+      default:
+        return 0;
+    }
+  }
+  bool valid_code(pmu::NativeEventCode code) const noexcept override {
+    return find_code(kMemEvents, code) != nullptr;
+  }
+
+ private:
+  sim::Machine& machine_;
+};
+
+class NetworkContext final : public DeltaCounterContext {
+ public:
+  NetworkContext(std::uint32_t num_counters, const sim::CommWorld& world,
+                 std::size_t rank)
+      : DeltaCounterContext(num_counters), world_(world), rank_(rank) {}
+
+  std::uint64_t cycles() const override {
+    return world_.rank_machine(rank_).cycles();
+  }
+
+ protected:
+  std::uint64_t sample(pmu::NativeEventCode code) const override {
+    const sim::CommWorld::RankStats& stats = world_.stats(rank_);
+    switch (code) {
+      case net_events::kMsgSent:
+        return stats.sends;
+      case net_events::kMsgRecv:
+        return stats.recvs;
+      case net_events::kWordsSent:
+        return stats.words_sent;
+      case net_events::kWordsRecv:
+        return stats.words_recv;
+      case net_events::kBytesSent:
+        return stats.words_sent * 8;
+      case net_events::kWaitRetries:
+        return stats.wait_retries;
+      default:
+        return 0;
+    }
+  }
+  bool valid_code(pmu::NativeEventCode code) const noexcept override {
+    return find_code(kNetEvents, code) != nullptr;
+  }
+
+ private:
+  const sim::CommWorld& world_;
+  std::size_t rank_;
+};
+
+}  // namespace
+
+// --- MemBandwidthSubstrate ----------------------------------------------
+
+Result<std::unique_ptr<CounterContext>>
+MemBandwidthSubstrate::create_context() {
+  return std::unique_ptr<CounterContext>(std::make_unique<
+      MemBandwidthContext>(num_counters(), machine_for_current_thread()));
+}
+
+void MemBandwidthSubstrate::bind_thread_machine(sim::Machine& machine) {
+  const std::lock_guard<std::mutex> lock(threads_mutex_);
+  thread_machines_[std::this_thread::get_id()] = &machine;
+}
+
+void MemBandwidthSubstrate::unbind_thread_machine() {
+  const std::lock_guard<std::mutex> lock(threads_mutex_);
+  thread_machines_.erase(std::this_thread::get_id());
+}
+
+sim::Machine& MemBandwidthSubstrate::machine_for_current_thread() const {
+  const std::lock_guard<std::mutex> lock(threads_mutex_);
+  const auto it = thread_machines_.find(std::this_thread::get_id());
+  return it != thread_machines_.end() ? *it->second : machine_;
+}
+
+Result<PresetMapping> MemBandwidthSubstrate::preset_mapping(
+    Preset preset) const {
+  PresetMapping mapping;
+  mapping.preset = preset;
+  switch (preset) {
+    case Preset::kL2Tca:
+      mapping.terms = {{mem_events::kL2Accesses, 1}};
+      return mapping;
+    case Preset::kL2Tcm:
+      mapping.terms = {{mem_events::kL2Misses, 1}};
+      return mapping;
+    default:
+      return Error::kNoEvent;
+  }
+}
+
+Result<pmu::NativeEventCode> MemBandwidthSubstrate::native_by_name(
+    std::string_view event_name) const {
+  const NamedCode* entry = find_name(kMemEvents, event_name);
+  if (entry == nullptr) return Error::kNoEvent;
+  return entry->code;
+}
+
+Result<std::string> MemBandwidthSubstrate::native_name(
+    pmu::NativeEventCode code) const {
+  const NamedCode* entry = find_code(kMemEvents, code);
+  if (entry == nullptr) return Error::kNoEvent;
+  return std::string(entry->name);
+}
+
+Result<std::string> MemBandwidthSubstrate::native_description(
+    pmu::NativeEventCode code) const {
+  const NamedCode* entry = find_code(kMemEvents, code);
+  if (entry == nullptr) return Error::kNoEvent;
+  return std::string(entry->description);
+}
+
+Result<AllocationInstance> MemBandwidthSubstrate::translate_allocation(
+    std::span<const pmu::NativeEventCode> events,
+    std::span<const int> priorities) const {
+  return translate_full_mask(kMemEvents, num_counters(), events,
+                             priorities);
+}
+
+Result<MemoryInfo> MemBandwidthSubstrate::memory_info() const {
+  // Model the machine as a 1 GiB node: resident = pages ever touched.
+  constexpr std::uint64_t kNodeBytes = 1ULL << 30;
+  const sim::Machine& machine = machine_for_current_thread();
+  MemoryInfo info;
+  info.total_bytes = kNodeBytes;
+  info.process_resident_bytes = machine.memory().bytes_touched();
+  info.process_peak_bytes = info.process_resident_bytes;
+  info.available_bytes = kNodeBytes - info.process_resident_bytes;
+  info.page_size_bytes = sim::kPageSize;
+  info.page_faults = machine.memory().pages_touched();
+  return info;
+}
+
+// --- NetworkSubstrate ---------------------------------------------------
+
+Result<std::unique_ptr<CounterContext>>
+NetworkSubstrate::create_context() {
+  return std::unique_ptr<CounterContext>(std::make_unique<NetworkContext>(
+      num_counters(), world_, rank_for_current_thread()));
+}
+
+void NetworkSubstrate::bind_thread_rank(std::size_t rank) {
+  const std::lock_guard<std::mutex> lock(threads_mutex_);
+  thread_ranks_[std::this_thread::get_id()] = rank;
+}
+
+void NetworkSubstrate::unbind_thread_rank() {
+  const std::lock_guard<std::mutex> lock(threads_mutex_);
+  thread_ranks_.erase(std::this_thread::get_id());
+}
+
+std::size_t NetworkSubstrate::rank_for_current_thread() const {
+  const std::lock_guard<std::mutex> lock(threads_mutex_);
+  const auto it = thread_ranks_.find(std::this_thread::get_id());
+  return it != thread_ranks_.end() ? it->second : 0;
+}
+
+Result<PresetMapping> NetworkSubstrate::preset_mapping(
+    Preset preset) const {
+  PresetMapping mapping;
+  mapping.preset = preset;
+  switch (preset) {
+    case Preset::kMsgSnt:
+      mapping.terms = {{net_events::kMsgSent, 1}};
+      return mapping;
+    case Preset::kMsgRcv:
+      mapping.terms = {{net_events::kMsgRecv, 1}};
+      return mapping;
+    default:
+      return Error::kNoEvent;
+  }
+}
+
+Result<pmu::NativeEventCode> NetworkSubstrate::native_by_name(
+    std::string_view event_name) const {
+  const NamedCode* entry = find_name(kNetEvents, event_name);
+  if (entry == nullptr) return Error::kNoEvent;
+  return entry->code;
+}
+
+Result<std::string> NetworkSubstrate::native_name(
+    pmu::NativeEventCode code) const {
+  const NamedCode* entry = find_code(kNetEvents, code);
+  if (entry == nullptr) return Error::kNoEvent;
+  return std::string(entry->name);
+}
+
+Result<std::string> NetworkSubstrate::native_description(
+    pmu::NativeEventCode code) const {
+  const NamedCode* entry = find_code(kNetEvents, code);
+  if (entry == nullptr) return Error::kNoEvent;
+  return std::string(entry->description);
+}
+
+Result<AllocationInstance> NetworkSubstrate::translate_allocation(
+    std::span<const pmu::NativeEventCode> events,
+    std::span<const int> priorities) const {
+  return translate_full_mask(kNetEvents, num_counters(), events,
+                             priorities);
+}
+
+}  // namespace papirepro::papi

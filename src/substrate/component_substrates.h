@@ -1,0 +1,202 @@
+// Non-CPU measurement components: the PAPI-C motivation was exactly
+// that "the substrate" stopped being one thing — memory controllers,
+// network adapters, and other off-core units expose their own counter
+// files with their own budgets and namespaces.  This module provides
+// two simulated ones, registered as components next to the CPU core
+// substrate:
+//
+//   * MemBandwidthSubstrate ("mem::") — memory/uncore traffic counters
+//     derived from the simulated cache hierarchy and page map (read
+//     bandwidth = L2 fills x line size, L2 traffic, resident bytes).
+//   * NetworkSubstrate ("net::") — NIC-style message counters backed by
+//     a sim::CommWorld's per-rank statistics (messages/words/bytes
+//     sent and received, receive-wait retries).
+//
+// Both are *free-running* counter files: the sources (cache stats, rank
+// stats) increment monotonically for the life of the machine, so the
+// contexts latch a base sample at start() and report deltas — the same
+// discipline a real uncore PMU driver uses over its MSRs.  Counter
+// access is free (no syscall cost model): these units are polled out of
+// band, not via the instrumented process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/comm.h"
+#include "sim/machine.h"
+#include "substrate/substrate.h"
+
+namespace papirepro::papi {
+
+/// Native event codes in the "mem" component namespace.  Codes are
+/// small integers — components own independent namespaces, so they may
+/// (and do) collide with CPU native codes; EventSet keys natives on
+/// (component, code).
+namespace mem_events {
+inline constexpr pmu::NativeEventCode kBandwidthRd = 0x01;
+inline constexpr pmu::NativeEventCode kL2Traffic = 0x02;
+inline constexpr pmu::NativeEventCode kL2Accesses = 0x03;
+inline constexpr pmu::NativeEventCode kL2Misses = 0x04;
+inline constexpr pmu::NativeEventCode kPagesTouched = 0x05;
+inline constexpr pmu::NativeEventCode kResidentBytes = 0x06;
+}  // namespace mem_events
+
+/// Native event codes in the "net" component namespace.
+namespace net_events {
+inline constexpr pmu::NativeEventCode kMsgSent = 0x01;
+inline constexpr pmu::NativeEventCode kMsgRecv = 0x02;
+inline constexpr pmu::NativeEventCode kWordsSent = 0x03;
+inline constexpr pmu::NativeEventCode kWordsRecv = 0x04;
+inline constexpr pmu::NativeEventCode kBytesSent = 0x05;
+inline constexpr pmu::NativeEventCode kWaitRetries = 0x06;
+}  // namespace net_events
+
+/// Shared shape of both component counter files: program a list of
+/// native codes, latch base samples at start(), report monotonic deltas
+/// on read(), freeze on stop().  Derived classes supply the source
+/// sample for one code.  Overflow interrupts are not supported (these
+/// units have no interrupt line — the wrong-component error path the
+/// portable layer must surface as kNoSupport).
+class DeltaCounterContext : public CounterContext {
+ public:
+  explicit DeltaCounterContext(std::uint32_t num_counters)
+      : num_counters_(num_counters) {}
+
+  Status program(std::span<const pmu::NativeEventCode> events,
+                 std::span<const std::uint32_t> assignment) override;
+  Status start() override;
+  Status stop() override;
+  Status read(std::span<std::uint64_t> out) override;
+  Status reset_counts() override;
+  Status set_overflow(std::uint32_t event_index, std::uint64_t threshold,
+                      OverflowCallback callback,
+                      OverflowDeliveryMode mode =
+                          OverflowDeliveryMode::kSynchronous) override;
+  Status clear_overflow(std::uint32_t event_index) override;
+  Status set_domain(std::uint32_t domain_mask) override;
+  bool running() const noexcept override { return running_; }
+
+ protected:
+  /// Current value of the free-running source counter behind `code`.
+  virtual std::uint64_t sample(pmu::NativeEventCode code) const = 0;
+  virtual bool valid_code(pmu::NativeEventCode code) const noexcept = 0;
+
+ private:
+  std::uint32_t num_counters_;
+  // Reused across program() calls so reprogramming never reallocates.
+  std::vector<pmu::NativeEventCode> events_;
+  std::vector<std::uint64_t> base_;
+  std::vector<std::uint64_t> frozen_;
+  bool running_ = false;
+};
+
+/// Memory/uncore bandwidth component over one simulated machine's cache
+/// hierarchy and page map.  Thread model mirrors SimSubstrate: threads
+/// driving their own machine bind it first; contexts attach to the
+/// calling thread's machine, falling back to the primary.
+class MemBandwidthSubstrate final : public Substrate {
+ public:
+  explicit MemBandwidthSubstrate(sim::Machine& primary)
+      : machine_(primary) {}
+
+  std::string_view name() const noexcept override { return "sim-mem"; }
+  std::uint32_t num_counters() const noexcept override { return 4; }
+
+  Result<std::unique_ptr<CounterContext>> create_context() override;
+  void bind_thread_machine(sim::Machine& machine);
+  void unbind_thread_machine();
+  sim::Machine& machine_for_current_thread() const;
+
+  Result<PresetMapping> preset_mapping(Preset preset) const override;
+  Result<pmu::NativeEventCode> native_by_name(
+      std::string_view event_name) const override;
+  Result<std::string> native_name(
+      pmu::NativeEventCode code) const override;
+  Result<std::string> native_description(
+      pmu::NativeEventCode code) const override;
+
+  Result<AllocationInstance> translate_allocation(
+      std::span<const pmu::NativeEventCode> events,
+      std::span<const int> priorities) const override;
+  std::uint64_t allocation_generation() const noexcept override {
+    return allocation_generation_.load(std::memory_order_relaxed);
+  }
+  /// Test hook: models an uncore reconfiguration that changes the
+  /// allocation rules, so per-component cache invalidation is testable.
+  void bump_allocation_generation() noexcept {
+    allocation_generation_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t real_usec() const override {
+    return machine_.microseconds();
+  }
+  std::uint64_t real_cycles() const override { return machine_.cycles(); }
+  std::uint64_t virt_usec() const override {
+    return machine_.microseconds();
+  }
+
+  Result<MemoryInfo> memory_info() const override;
+
+ private:
+  sim::Machine& machine_;  ///< primary (fallback) machine
+  mutable std::mutex threads_mutex_;
+  std::unordered_map<std::thread::id, sim::Machine*> thread_machines_;
+  std::atomic<std::uint64_t> allocation_generation_{0};
+};
+
+/// Network component over a sim::CommWorld: per-rank message counters
+/// as a NIC-style counter file.  A thread driving one rank binds its
+/// rank id first; contexts attach to the calling thread's rank, falling
+/// back to rank 0.  RankStats entries are written only by the owning
+/// rank's thread, so a context must be used on the thread bound to its
+/// rank (the same single-writer contract as sim::Machine).
+class NetworkSubstrate final : public Substrate {
+ public:
+  explicit NetworkSubstrate(sim::CommWorld& world) : world_(world) {}
+
+  std::string_view name() const noexcept override { return "sim-net"; }
+  std::uint32_t num_counters() const noexcept override { return 4; }
+
+  Result<std::unique_ptr<CounterContext>> create_context() override;
+  void bind_thread_rank(std::size_t rank);
+  void unbind_thread_rank();
+  std::size_t rank_for_current_thread() const;
+
+  Result<PresetMapping> preset_mapping(Preset preset) const override;
+  Result<pmu::NativeEventCode> native_by_name(
+      std::string_view event_name) const override;
+  Result<std::string> native_name(
+      pmu::NativeEventCode code) const override;
+  Result<std::string> native_description(
+      pmu::NativeEventCode code) const override;
+
+  Result<AllocationInstance> translate_allocation(
+      std::span<const pmu::NativeEventCode> events,
+      std::span<const int> priorities) const override;
+
+  std::uint64_t real_usec() const override {
+    return world_.rank_machine(0).microseconds();
+  }
+  std::uint64_t real_cycles() const override {
+    return world_.rank_machine(0).cycles();
+  }
+  std::uint64_t virt_usec() const override {
+    return world_.rank_machine(0).microseconds();
+  }
+
+  Result<MemoryInfo> memory_info() const override {
+    return Error::kNoSupport;
+  }
+
+ private:
+  sim::CommWorld& world_;
+  mutable std::mutex threads_mutex_;
+  std::unordered_map<std::thread::id, std::size_t> thread_ranks_;
+};
+
+}  // namespace papirepro::papi

@@ -146,6 +146,10 @@ class FaultInjectingSubstrate final : public Substrate {
       pmu::NativeEventCode code) const override {
     return inner_->native_name(code);
   }
+  Result<std::string> native_description(
+      pmu::NativeEventCode code) const override {
+    return inner_->native_description(code);
+  }
 
   Result<AllocationInstance> translate_allocation(
       std::span<const pmu::NativeEventCode> events,

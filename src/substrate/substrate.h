@@ -83,6 +83,17 @@ class Substrate {
       std::string_view name) const = 0;
   virtual Result<std::string> native_name(
       pmu::NativeEventCode code) const = 0;
+  /// Human-readable description of a native event.  The default answers
+  /// from the platform description; substrates without one (host,
+  /// component substrates with hand-rolled tables) override.
+  virtual Result<std::string> native_description(
+      pmu::NativeEventCode code) const {
+    const pmu::PlatformDescription* desc = platform();
+    if (desc == nullptr) return Error::kNoEvent;
+    const pmu::NativeEvent* event = desc->find_event(code);
+    if (event == nullptr) return Error::kNoEvent;
+    return event->description;
+  }
 
   // --- counter allocation (hardware-dependent half; stateless) ---
   /// Translates the platform constraint scheme for `events` into a pure

@@ -5,7 +5,9 @@
 #include <sstream>
 
 #include "core/library.h"
+#include "sim/comm.h"
 #include "sim/workload_registry.h"
+#include "substrate/component_substrates.h"
 #include "substrate/sim_substrate.h"
 
 namespace papirepro::tools {
@@ -19,12 +21,43 @@ Result<PapirunResult> papirun(const PapirunRequest& request) {
 
   sim::Machine machine(workload->program, platform->machine);
   if (workload->setup) workload->setup(machine);
+  // Declared before the library: the net component's substrate
+  // references the world, so the world must outlive the library.
+  sim::CommWorld world({&machine});
 
   auto substrate_ptr =
       std::make_unique<papi::SimSubstrate>(machine, *platform);
   papi::SimSubstrate* substrate = substrate_ptr.get();
   papi::Library library(std::move(substrate_ptr));
+  // papirun is the enumeration tool: register the non-CPU components
+  // over the same machine so --list-components shows the full registry
+  // and --events accepts namespaced names (mem::BANDWIDTH_RD, ...).
+  (void)library.register_component(
+      "mem", "simulated memory/uncore bandwidth counters",
+      std::make_unique<papi::MemBandwidthSubstrate>(machine));
+  (void)library.register_component(
+      "net", "simulated network message counters",
+      std::make_unique<papi::NetworkSubstrate>(world));
+
   PapirunResult result;
+  for (std::size_t c = 0; c < library.num_components(); ++c) {
+    auto info = library.component_info(static_cast<std::uint32_t>(c));
+    if (info.ok()) result.components.push_back(info.value().name);
+  }
+  if (request.list_components) {
+    std::ostringstream os;
+    os << "components:\n";
+    for (std::size_t c = 0; c < library.num_components(); ++c) {
+      auto info = library.component_info(static_cast<std::uint32_t>(c));
+      if (!info.ok()) continue;
+      os << "  " << info.value().id << "  " << std::left << std::setw(6)
+         << info.value().name << std::right << std::setw(2)
+         << info.value().num_counters << " counters  ("
+         << info.value().description << ")\n";
+    }
+    result.report = os.str();
+    return result;
+  }
   if (request.use_estimation) {
     // Degradation ladder: estimation service unavailable -> direct
     // counting, flagged in the result and the printed report.
@@ -106,6 +139,19 @@ Result<PapirunResult> papirun(const PapirunRequest& request) {
      << " reads=" << result.telemetry_reads
      << " rotations=" << result.telemetry_mux_rotations
      << " retries=" << result.telemetry_retry_attempts << "\n";
+  for (std::size_t c = 0; c < telemetry.num_components &&
+                          c < result.components.size();
+       ++c) {
+    const auto comp = static_cast<std::uint32_t>(c);
+    using CC = papi::ComponentCounter;
+    const std::uint64_t starts =
+        telemetry.component_value(comp, CC::kStarts);
+    const std::uint64_t reads =
+        telemetry.component_value(comp, CC::kReads);
+    if (starts == 0 && reads == 0) continue;
+    os << "  component " << result.components[c] << ": starts=" << starts
+       << " reads=" << reads << "\n";
+  }
   os << "  library overhead: " << std::fixed << std::setprecision(2)
      << result.overhead_ratio * 100.0 << "% of measured window\n";
   result.report = os.str();

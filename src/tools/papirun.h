@@ -23,11 +23,17 @@ struct PapirunRequest {
   std::vector<std::string> events;
   bool allow_multiplex = true;
   bool use_estimation = false;  ///< sim-alpha DADD mode
+  /// Report the registered components (id, namespace, counter budget)
+  /// instead of running the workload.
+  bool list_components = false;
 };
 
 struct PapirunResult {
   std::string report;  ///< formatted table
   std::vector<std::pair<std::string, long long>> counts;
+  /// Namespace prefixes of the registered components, in id order
+  /// ("cpu", "mem", "net").
+  std::vector<std::string> components;
   std::uint64_t real_usec = 0;
   std::uint64_t cycles = 0;
   std::uint64_t instructions = 0;

@@ -109,6 +109,10 @@ TEST(CapiErrorsNoInit, EveryEntryPointReportsNoInit) {
             PAPI_ENOINIT);
   double ratio = 0.0;
   EXPECT_EQ(PAPIrepro_overhead_ratio(0, &ratio), PAPI_ENOINIT);
+  PAPIrepro_component_info_t info;
+  EXPECT_EQ(PAPI_num_components(), PAPI_ENOINIT);
+  EXPECT_EQ(PAPI_get_component_info(0, &info), PAPI_ENOINIT);
+  EXPECT_EQ(PAPIrepro_set_component_enabled(0, 1), PAPI_ENOINIT);
 }
 
 TEST_F(CapiErrors, BadHandleReportsNoEventSet) {
@@ -188,6 +192,87 @@ TEST_F(CapiErrors, UnknownEventCodesReportNoEvent) {
                 static_cast<int>(PAPI_PRESET_MASK | 0x7000), name,
                 sizeof(name)),
             PAPI_ENOEVNT);
+}
+
+// ---- component registry surface ----
+
+TEST_F(CapiErrors, ComponentInfoMatrix) {
+  // A sim-bound init registers cpu + mem + net.
+  ASSERT_EQ(PAPI_num_components(), 3);
+  PAPIrepro_component_info_t info;
+  EXPECT_EQ(PAPI_get_component_info(0, nullptr), PAPI_EINVAL);
+  EXPECT_EQ(PAPI_get_component_info(-1, &info), PAPI_ENOCMP);
+  EXPECT_EQ(PAPI_get_component_info(99, &info), PAPI_ENOCMP);
+  ASSERT_EQ(PAPI_get_component_info(0, &info), PAPI_OK);
+  EXPECT_STREQ(info.name, "cpu");
+  EXPECT_EQ(info.id, 0);
+  EXPECT_GT(info.num_counters, 0);
+  EXPECT_EQ(info.enabled, 1);
+  ASSERT_EQ(PAPI_get_component_info(1, &info), PAPI_OK);
+  EXPECT_STREQ(info.name, "mem");
+  ASSERT_EQ(PAPI_get_component_info(2, &info), PAPI_OK);
+  EXPECT_STREQ(info.name, "net");
+
+  EXPECT_EQ(PAPIrepro_set_component_enabled(-1, 0), PAPI_ENOCMP);
+  EXPECT_EQ(PAPIrepro_set_component_enabled(99, 0), PAPI_ENOCMP);
+}
+
+TEST_F(CapiErrors, ComponentNamespaceAndDisableErrorPaths) {
+  int es = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+  // Unknown namespace prefix is a component error, not an event error.
+  EXPECT_EQ(PAPI_add_named_event(es, "gpu::CYCLES"), PAPI_ENOCMP);
+  int code = 0;
+  EXPECT_EQ(PAPI_event_name_to_code("gpu::CYCLES", &code), PAPI_ENOCMP);
+  // Known prefix, unknown name inside it.
+  EXPECT_EQ(PAPI_add_named_event(es, "mem::NOT_AN_EVENT"), PAPI_ENOEVNT);
+
+  // Soft-disabling the mem component turns new adds into ECMPDIS.
+  ASSERT_EQ(PAPIrepro_set_component_enabled(1, 0), PAPI_OK);
+  EXPECT_EQ(PAPI_add_named_event(es, "mem::BANDWIDTH_RD"), PAPI_ECMPDIS);
+  PAPIrepro_component_info_t info;
+  ASSERT_EQ(PAPI_get_component_info(1, &info), PAPI_OK);
+  EXPECT_EQ(info.enabled, 0);
+  ASSERT_EQ(PAPIrepro_set_component_enabled(1, 1), PAPI_OK);
+  EXPECT_EQ(PAPI_add_named_event(es, "mem::BANDWIDTH_RD"), PAPI_OK);
+}
+
+TEST_F(CapiErrors, CrossComponentEventSetThroughCApi) {
+  int es = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+  ASSERT_EQ(PAPI_add_event(es, PAPI_TOT_CYC), PAPI_OK);
+
+  // Name -> code -> name round-trips through the component field.
+  int bw_code = 0;
+  ASSERT_EQ(PAPI_event_name_to_code("mem::BANDWIDTH_RD", &bw_code),
+            PAPI_OK);
+  EXPECT_EQ(PAPIREPRO_EVENT_COMPONENT(bw_code), 1);
+  char name[PAPI_MAX_STR_LEN];
+  ASSERT_EQ(PAPI_event_code_to_name(bw_code, name, sizeof name), PAPI_OK);
+  EXPECT_STREQ(name, "mem::BANDWIDTH_RD");
+  ASSERT_EQ(PAPI_add_event(es, bw_code), PAPI_OK);
+  ASSERT_EQ(PAPI_add_named_event(es, "net::PAPI_MSG_SNT"), PAPI_OK);
+  EXPECT_EQ(PAPI_num_events(es), 3);
+
+  ASSERT_EQ(PAPI_start(es), PAPI_OK);
+  PAPIrepro_sim_run(sim_, -1);
+  long long values[3] = {-1, -1, -1};
+  ASSERT_EQ(PAPI_read(es, values), PAPI_OK);
+  ASSERT_EQ(PAPI_stop(es, values), PAPI_OK);
+  EXPECT_GT(values[0], 0);  // cpu::PAPI_TOT_CYC
+  EXPECT_GT(values[1], 0);  // mem::BANDWIDTH_RD: saxpy misses in L2
+  EXPECT_EQ(values[2], 0);  // net::PAPI_MSG_SNT: saxpy sends nothing
+
+  // Per-component attribution is visible through the telemetry struct.
+  PAPIrepro_telemetry_t t = {};
+  ASSERT_EQ(PAPIrepro_get_telemetry(&t), PAPI_OK);
+  EXPECT_EQ(t.num_components, 3);
+  EXPECT_EQ(t.component_starts[0], 1);
+  EXPECT_EQ(t.component_starts[1], 1);
+  EXPECT_EQ(t.component_starts[2], 1);
+  EXPECT_EQ(t.component_stops[1], 1);
+  EXPECT_GE(t.component_reads[1], 1);
+  EXPECT_EQ(t.component_reads[0], t.component_reads[2]);
 }
 
 // ---- overflow / profil argument matrix ----
@@ -445,6 +530,12 @@ TEST_F(CapiErrors, FaultPlanArgumentValidation) {
   plan = {};
   plan.counter_width_bits = -8;
   EXPECT_EQ(PAPIrepro_set_fault_plan(&plan), PAPI_EINVAL);
+  plan = {};
+  plan.target_component = -1;
+  EXPECT_EQ(PAPIrepro_set_fault_plan(&plan), PAPI_EINVAL);
+  plan = {};
+  plan.target_component = PAPIREPRO_MAX_COMPONENTS + 1;
+  EXPECT_EQ(PAPIrepro_set_fault_plan(&plan), PAPI_EINVAL);
   // Initialized without a decorator: the plan cannot be installed now.
   plan = {};
   EXPECT_EQ(PAPIrepro_set_fault_plan(&plan), PAPI_EISRUN);
@@ -509,6 +600,41 @@ TEST(CapiFaultInjection, PermanentFaultSurfacesConfiguredCode) {
   long long v = 0;
   ASSERT_EQ(PAPI_stop(es, &v), PAPI_OK);
   EXPECT_GT(v, 0);
+  PAPI_shutdown();
+  PAPIrepro_sim_destroy(sim);
+}
+
+TEST(CapiFaultInjection, TargetedComponentFaultsLeaveOthersClean) {
+  PAPI_shutdown();
+  PAPIrepro_sim_t* sim = PAPIrepro_sim_create("sim-x86", "saxpy", 5'000);
+  ASSERT_NE(sim, nullptr);
+  ASSERT_EQ(PAPIrepro_bind_sim(sim), PAPI_OK);
+  // Target the plan at the mem component only (target_component is
+  // 1-based; 0 means wrap everything): a permanent start fault there
+  // must not touch the cpu component's substrate.
+  PAPIrepro_fault_plan_t plan = {};
+  plan.start_fail_times = 1 << 20;
+  plan.fault_code = PAPI_ESYS;
+  plan.target_component = 2;  // component id 1: "mem"
+  ASSERT_EQ(PAPIrepro_set_fault_plan(&plan), PAPI_OK);
+  ASSERT_EQ(PAPIrepro_inject_faults(1), PAPI_OK);
+  ASSERT_EQ(PAPI_library_init(PAPI_VER_CURRENT), PAPI_VER_CURRENT);
+
+  int cpu_set = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&cpu_set), PAPI_OK);
+  ASSERT_EQ(PAPI_add_event(cpu_set, PAPI_TOT_INS), PAPI_OK);
+  ASSERT_EQ(PAPI_start(cpu_set), PAPI_OK);  // cpu is undecorated
+  long long v = 0;
+  ASSERT_EQ(PAPI_stop(cpu_set, &v), PAPI_OK);
+
+  int mem_set = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&mem_set), PAPI_OK);
+  ASSERT_EQ(PAPI_add_named_event(mem_set, "mem::L2_MISSES"), PAPI_OK);
+  EXPECT_EQ(PAPI_start(mem_set), PAPI_ESYS);
+  // Disabling injection heals the targeted component too.
+  ASSERT_EQ(PAPIrepro_inject_faults(0), PAPI_OK);
+  ASSERT_EQ(PAPI_start(mem_set), PAPI_OK);
+  ASSERT_EQ(PAPI_stop(mem_set, &v), PAPI_OK);
   PAPI_shutdown();
   PAPIrepro_sim_destroy(sim);
 }
