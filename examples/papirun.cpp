@@ -25,6 +25,8 @@ void usage() {
       "  --events A,B,C   PAPI_* preset or native event names\n"
       "  --no-multiplex   fail instead of multiplexing on conflicts\n"
       "  --estimation     DADD-style count estimation (sim-alpha)\n"
+      "  --health         append a per-component health report\n"
+      "  --strict         exit nonzero on disabled/quarantined-component warnings\n"
       "  --list           list platforms and workloads\n"
       "  --list-components  list registered components for --platform\n");
 }
@@ -73,6 +75,10 @@ int main(int argc, char** argv) {
       request.allow_multiplex = false;
     } else if (arg == "--estimation") {
       request.use_estimation = true;
+    } else if (arg == "--health") {
+      request.health_report = true;
+    } else if (arg == "--strict") {
+      request.strict = true;
     } else if (arg == "--list-components") {
       request.list_components = true;
     } else if (arg == "--list") {
@@ -90,6 +96,10 @@ int main(int argc, char** argv) {
                  std::string(to_string(result.error())).c_str());
     return 1;
   }
+  for (const std::string& warning : result.value().warnings) {
+    std::fprintf(stderr, "%s\n", warning.c_str());
+  }
   std::printf("%s", result.value().report.c_str());
+  if (request.strict && !result.value().warnings.empty()) return 3;
   return 0;
 }

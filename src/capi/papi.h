@@ -37,6 +37,7 @@ extern "C" {
 #define PAPI_ENOINIT (-17)
 #define PAPI_ECMPDIS (-19) /* component is disabled */
 #define PAPI_ENOCMP (-20)  /* no such component */
+#define PAPI_ECMPQUAR (-21) /* component quarantined by health monitor */
 
 #define PAPI_VER_CURRENT 0x03000000
 #define PAPI_NULL (-1)
@@ -161,6 +162,22 @@ typedef struct PAPIrepro_fault_plan {
    * registered component (the all-zero plan stays a no-op for all of
    * them), N > 0 = only component N-1.  Applied at init time. */
   int target_component;
+  /* Deferred hard-down windows: the first *_fail_after calls at a site
+   * pass untouched, then the site's *_fail_times scripted failures fire
+   * back-to-back, then the site recovers.  0 (the default) keeps the
+   * legacy fail-from-the-first-call behavior. */
+  int create_context_fail_after;
+  int program_fail_after;
+  int start_fail_after;
+  int read_fail_after;
+  int add_timer_fail_after;
+  /* Non-monotonic counter injection: after read_rewind_after successful
+   * reads, the next read_rewind_times reads report values rewound by
+   * read_rewind_delta (clamped at 0) — exercises the fold path's
+   * monotonicity sanity guard.  Times or delta of 0 disables it. */
+  unsigned int read_rewind_after;
+  unsigned int read_rewind_times;
+  unsigned long long read_rewind_delta;
 } PAPIrepro_fault_plan_t;
 
 /* Stages `plan` for the next PAPI_library_init, or — when the library is
@@ -178,6 +195,67 @@ int PAPIrepro_inject_faults(int enable);
  * library. */
 int PAPIrepro_set_retry(int max_attempts,
                         unsigned long long backoff_usec);
+
+/* ---- component health monitor (reproduction extension) ----
+ * Every component is watched by a circuit breaker: consecutive retry
+ * exhaustions or a high failure rate over a sliding window trip it into
+ * quarantine, where counter operations against the component fail fast
+ * with PAPI_ECMPQUAR instead of burning the retry/backoff budget.  A
+ * quarantined component self-heals: after an exponential cool-down the
+ * next operation is admitted as a probe, and enough consecutive probe
+ * successes return the component to service. */
+#define PAPIREPRO_HEALTH_HEALTHY 0
+#define PAPIREPRO_HEALTH_DEGRADED 1    /* failures seen, still admitted */
+#define PAPIREPRO_HEALTH_QUARANTINED 2 /* breaker open: ops fail fast */
+#define PAPIREPRO_HEALTH_PROBATION 3   /* cool-down over: probing */
+
+typedef struct PAPIrepro_component_health {
+  int component;                 /* component id */
+  int state;                     /* PAPIREPRO_HEALTH_* */
+  int consecutive_exhaustions;   /* current retry-exhaustion streak */
+  int window_ops;                /* ops in the sliding window (<= 64) */
+  int window_failures;           /* failed ops in the window */
+  long long quarantines;         /* times the breaker tripped */
+  long long fail_fasts;          /* ops rejected with PAPI_ECMPQUAR */
+  long long probes;              /* ops admitted on probation */
+  long long transitions;         /* state transitions since init */
+  long long cooldown_usec;       /* current quarantine cool-down */
+  int last_error;                /* last failing PAPI_* code, 0 if none */
+} PAPIrepro_component_health_t;
+
+typedef struct PAPIrepro_health_policy {
+  int enabled;                    /* 0 disables the breaker entirely */
+  int max_consecutive_exhaustions; /* streak that trips quarantine (>=1) */
+  int window_min_ops;             /* min window ops before rate applies */
+  double failure_rate_threshold;  /* window failure rate trip [0..1] */
+  int probation_successes;        /* probe successes to re-enter service */
+  long long probe_cooldown_usec;  /* initial quarantine cool-down */
+  long long probe_cooldown_max_usec; /* cool-down doubling cap */
+} PAPIrepro_health_policy_t;
+
+/* PAPI_ENOCMP for an unknown component; PAPI_EINVAL on NULL out. */
+int PAPIrepro_get_component_health(int component,
+                                   PAPIrepro_component_health_t* out);
+/* Applies `policy` to every component (library-wide).  PAPI_EINVAL on
+ * NULL or out-of-range fields. */
+int PAPIrepro_set_health_policy(const PAPIrepro_health_policy_t* policy);
+/* Reads the active library-wide policy.  PAPI_EINVAL on NULL out. */
+int PAPIrepro_get_health_policy(PAPIrepro_health_policy_t* out);
+
+/* Per-event validity flags for PAPIrepro_read_ex. */
+#define PAPIREPRO_READ_VALID 0       /* fresh value from the hardware */
+#define PAPIREPRO_READ_STALE 0x1     /* last latched value (slice failed) */
+#define PAPIREPRO_READ_QUARANTINED 0x2 /* owning component quarantined */
+#define PAPIREPRO_READ_SUSPECT 0x4   /* non-monotonic delta was clamped */
+
+/* Partial-failure read for spanning EventSets: like PAPI_read, but a
+ * failed or quarantined component slice no longer fails the whole call —
+ * its events report their last latched values flagged
+ * PAPIREPRO_READ_STALE (plus _QUARANTINED when the breaker is open)
+ * while healthy slices deliver fresh values flagged _VALID.  `flags`
+ * receives one entry per event (same order as values); returns PAPI_OK
+ * as long as the EventSet is running, even when every slice failed. */
+int PAPIrepro_read_ex(int event_set, long long* values, int* flags);
 
 /* Counter-allocation memo instrumentation: the library caches bipartite
  * allocation solves keyed on the native-event list, so repeated EventSet
@@ -251,6 +329,10 @@ typedef struct PAPIrepro_telemetry {
   long long overflows_suppressed; /* dispatches dropped after clear */
   long long trace_records;      /* trace records accepted */
   long long trace_drops;        /* trace records lost to full rings */
+  long long health_transitions; /* health state-machine transitions */
+  long long health_fail_fasts;  /* ops rejected with PAPI_ECMPQUAR */
+  long long health_probes;      /* ops admitted on probation */
+  long long sanity_faults;      /* non-monotonic deltas flagged suspect */
   /* gauges at snapshot time */
   long long threads_seen;       /* threads that ever touched telemetry */
   long long trace_records_buffered;

@@ -201,6 +201,9 @@ int PAPIrepro_set_fault_plan(const PAPIrepro_fault_plan_t* plan) {
       plan->create_context_fail_times < 0 ||
       plan->program_fail_times < 0 || plan->start_fail_times < 0 ||
       plan->read_fail_times < 0 || plan->add_timer_fail_times < 0 ||
+      plan->create_context_fail_after < 0 ||
+      plan->program_fail_after < 0 || plan->start_fail_after < 0 ||
+      plan->read_fail_after < 0 || plan->add_timer_fail_after < 0 ||
       plan->target_component < 0 ||
       plan->target_component > PAPIREPRO_MAX_COMPONENTS) {
     return PAPI_EINVAL;
@@ -210,25 +213,33 @@ int PAPIrepro_set_fault_plan(const PAPIrepro_fault_plan_t* plan) {
   const Error code = plan->fault_code == 0
                          ? Error::kConflict
                          : static_cast<Error>(plan->fault_code);
-  auto script = [code](int fail_times, double probability) {
-    return papi::FaultScript{fail_times, probability, code};
+  auto script = [code](int fail_times, double probability,
+                       int fail_after) {
+    return papi::FaultScript{fail_times, probability, code, fail_after};
   };
   converted.at(papi::FaultSite::kCreateContext) =
-      script(plan->create_context_fail_times, 0.0);
+      script(plan->create_context_fail_times, 0.0,
+             plan->create_context_fail_after);
   converted.at(papi::FaultSite::kProgram) =
-      script(plan->program_fail_times, plan->program_fail_probability);
+      script(plan->program_fail_times, plan->program_fail_probability,
+             plan->program_fail_after);
   converted.at(papi::FaultSite::kStart) =
-      script(plan->start_fail_times, 0.0);
+      script(plan->start_fail_times, 0.0, plan->start_fail_after);
   converted.at(papi::FaultSite::kRead) =
-      script(plan->read_fail_times, plan->read_fail_probability);
+      script(plan->read_fail_times, plan->read_fail_probability,
+             plan->read_fail_after);
   converted.at(papi::FaultSite::kAddTimer) =
-      script(plan->add_timer_fail_times, 0.0);
+      script(plan->add_timer_fail_times, 0.0,
+             plan->add_timer_fail_after);
   converted.counter_width_bits =
       plan->counter_width_bits == 0
           ? 64u
           : static_cast<std::uint32_t>(plan->counter_width_bits);
   converted.timer_drop_probability = plan->timer_drop_probability;
   converted.timer_extra_delay_cycles = plan->timer_extra_delay_cycles;
+  converted.read_rewind_after = plan->read_rewind_after;
+  converted.read_rewind_times = plan->read_rewind_times;
+  converted.read_rewind_delta = plan->read_rewind_delta;
 
   if (g().library == nullptr) {
     g().pending_fault_plan = converted;
@@ -349,6 +360,10 @@ int PAPIrepro_get_telemetry(PAPIrepro_telemetry_t* out) {
   out->overflows_suppressed = counter(TC::kOverflowsSuppressed);
   out->trace_records = counter(TC::kTraceRecords);
   out->trace_drops = counter(TC::kTraceDrops);
+  out->health_transitions = counter(TC::kHealthTransitions);
+  out->health_fail_fasts = counter(TC::kHealthFailFasts);
+  out->health_probes = counter(TC::kHealthProbes);
+  out->sanity_faults = counter(TC::kSanityFaults);
   out->threads_seen = static_cast<long long>(snap.threads_seen);
   out->trace_records_buffered =
       static_cast<long long>(snap.trace_records_buffered);
@@ -397,6 +412,72 @@ int PAPIrepro_set_component_enabled(int id, int enable) {
   if (id < 0) return PAPI_ENOCMP;
   return to_code(g().library->set_component_enabled(
       static_cast<std::uint32_t>(id), enable != 0));
+}
+
+int PAPIrepro_get_component_health(int component,
+                                   PAPIrepro_component_health_t* out) {
+  if (out == nullptr) return PAPI_EINVAL;
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  if (component < 0) return PAPI_ENOCMP;
+  auto health = g().library->component_health(
+      static_cast<std::uint32_t>(component));
+  if (!health.ok()) return to_code(health.error());
+  const papi::ComponentHealth& h = health.value();
+  out->component = static_cast<int>(h.component);
+  out->state = static_cast<int>(h.state);
+  out->consecutive_exhaustions =
+      static_cast<int>(h.consecutive_exhaustions);
+  out->window_ops = static_cast<int>(h.window_ops);
+  out->window_failures = static_cast<int>(h.window_failures);
+  out->quarantines = static_cast<long long>(h.quarantines);
+  out->fail_fasts = static_cast<long long>(h.fail_fasts);
+  out->probes = static_cast<long long>(h.probes);
+  out->transitions = static_cast<long long>(h.transitions);
+  out->cooldown_usec = static_cast<long long>(h.cooldown_usec);
+  out->last_error = to_code(h.last_error);
+  return PAPI_OK;
+}
+
+int PAPIrepro_set_health_policy(const PAPIrepro_health_policy_t* policy) {
+  if (policy == nullptr) return PAPI_EINVAL;
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  if (policy->max_consecutive_exhaustions < 1 ||
+      policy->window_min_ops < 0 || policy->probation_successes < 1 ||
+      policy->probe_cooldown_usec < 0 ||
+      policy->probe_cooldown_max_usec < 0) {
+    return PAPI_EINVAL;
+  }
+  papi::HealthPolicy converted;
+  converted.enabled = policy->enabled != 0;
+  converted.max_consecutive_exhaustions =
+      static_cast<std::uint32_t>(policy->max_consecutive_exhaustions);
+  converted.window_min_ops =
+      static_cast<std::uint32_t>(policy->window_min_ops);
+  converted.failure_rate_threshold = policy->failure_rate_threshold;
+  converted.probation_successes =
+      static_cast<std::uint32_t>(policy->probation_successes);
+  converted.probe_cooldown_usec =
+      static_cast<std::uint64_t>(policy->probe_cooldown_usec);
+  converted.probe_cooldown_max_usec =
+      static_cast<std::uint64_t>(policy->probe_cooldown_max_usec);
+  return to_code(g().library->set_health_policy(converted));
+}
+
+int PAPIrepro_get_health_policy(PAPIrepro_health_policy_t* out) {
+  if (out == nullptr) return PAPI_EINVAL;
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  const papi::HealthPolicy p = g().library->health_policy();
+  out->enabled = p.enabled ? 1 : 0;
+  out->max_consecutive_exhaustions =
+      static_cast<int>(p.max_consecutive_exhaustions);
+  out->window_min_ops = static_cast<int>(p.window_min_ops);
+  out->failure_rate_threshold = p.failure_rate_threshold;
+  out->probation_successes = static_cast<int>(p.probation_successes);
+  out->probe_cooldown_usec =
+      static_cast<long long>(p.probe_cooldown_usec);
+  out->probe_cooldown_max_usec =
+      static_cast<long long>(p.probe_cooldown_max_usec);
+  return PAPI_OK;
 }
 
 int PAPIrepro_set_trace(int enable, unsigned long long ring_capacity) {
@@ -662,6 +743,17 @@ int PAPI_read(int event_set, long long* values) {
   if (values == nullptr) return PAPI_EINVAL;
   return to_code(
       set.value()->read({values, set.value()->num_events()}));
+}
+
+int PAPIrepro_read_ex(int event_set, long long* values, int* flags) {
+  auto set = lookup(event_set);
+  if (!set.ok()) return to_code(set.error());
+  if (values == nullptr || flags == nullptr) return PAPI_EINVAL;
+  static_assert(sizeof(int) == sizeof(std::uint32_t),
+                "flag marshalling assumes 32-bit int");
+  const std::size_t n = set.value()->num_events();
+  return to_code(set.value()->read_ex(
+      {values, n}, {reinterpret_cast<std::uint32_t*>(flags), n}));
 }
 
 int PAPI_accum(int event_set, long long* values) {

@@ -32,6 +32,7 @@ enum class Error : int {
   kBufferFull = -18,  ///< sample/trace buffer exhausted
   kComponentDisabled = -19,
   kNoComponent = -20,  ///< PAPI_ENOCMP: no such component
+  kComponentQuarantined = -21,  ///< PAPI_ECMPQUAR: circuit breaker open
 };
 
 /// Human-readable error string (mirrors PAPI_strerror).
@@ -57,6 +58,8 @@ constexpr std::string_view to_string(Error e) noexcept {
     case Error::kBufferFull: return "Sample or trace buffer is full";
     case Error::kComponentDisabled: return "Component is disabled";
     case Error::kNoComponent: return "No such component";
+    case Error::kComponentQuarantined:
+      return "Component is quarantined by the health monitor";
   }
   return "Unknown error";
 }

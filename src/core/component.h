@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/health.h"
 
 namespace papirepro::papi {
 
@@ -38,7 +39,8 @@ struct ComponentInfo {
 /// One registered component: the namespace name plus the owning
 /// Substrate.  `enabled` is a soft switch — a disabled component keeps
 /// its registration (ids are stable) but rejects new event adds with
-/// Error::kComponentDisabled.
+/// Error::kComponentDisabled.  `health` is the component's circuit
+/// breaker, bound by the Library at registration time.
 struct Component {
   Component();
   ~Component();  // out of line: Substrate is incomplete here
@@ -48,6 +50,7 @@ struct Component {
   std::string description;
   std::unique_ptr<Substrate> substrate;
   std::atomic<bool> enabled{true};
+  HealthMonitor health;
 };
 
 /// Ordered, append-only registry.  Registration happens at Library

@@ -285,12 +285,14 @@ Status EventSet::program_and_arm() {
   }
   // Program every component slice, ascending component order.
   for (ComponentSlice& slice : slices_) {
+    attributed_component_ = slice.component;
     PAPIREPRO_RETURN_IF_ERROR(apply_domain(slice.context));
     PAPIREPRO_RETURN_IF_ERROR(slice.context->program(
         std::span<const pmu::NativeEventCode>(natives_)
             .subspan(slice.offset, slice.count),
         slice.assignment));
   }
+  attributed_component_ = 0;  // overflow arming is a CPU-core feature
   return arm_overflows();
 }
 
@@ -410,6 +412,11 @@ void EventSet::preallocate_scratch() {
   }
   scratch_live_.assign(multiplex_ ? max_group : 0, 0);
   stopped_raw_.reserve(natives_.size());  // stop() snapshots into this
+  // Partial-failure read state: last good values start at the
+  // post-reset zero point, fidelity flags start clean.
+  latched_raw_.assign(natives_.size(), 0);
+  native_flags_.assign(natives_.size(), 0);
+  scratch_flags_.assign(natives_.size(), 0);
 }
 
 Status EventSet::start() {
@@ -467,15 +474,25 @@ Status EventSet::start() {
   // the already-started slices (descending) before the unit returns, so
   // a retry never observes a half-started fan-out.
   const Status started = library_.run_with_retries([this]() -> Status {
+    // Health gate first: a quarantined slice rejects the whole start
+    // fast (kComponentQuarantined is not transient, so the retry loop
+    // never sleeps in backoff on a dead component).
+    for (const ComponentSlice& slice : slices_) {
+      attributed_component_ = slice.component;
+      PAPIREPRO_RETURN_IF_ERROR(library_.health_admit(slice.component));
+    }
     PAPIREPRO_RETURN_IF_ERROR(program_and_arm());
     if (multiplex_) {
+      attributed_component_ = 0;
       PAPIREPRO_RETURN_IF_ERROR(context_->reset_counts());
       return context_->start();
     }
     for (ComponentSlice& slice : slices_) {
+      attributed_component_ = slice.component;
       PAPIREPRO_RETURN_IF_ERROR(slice.context->reset_counts());
     }
     for (std::size_t i = 0; i < slices_.size(); ++i) {
+      attributed_component_ = slices_[i].component;
       const Status s = slices_[i].context->start();
       if (!s.ok()) {
         for (std::size_t j = i; j-- > 0;) (void)slices_[j].context->stop();
@@ -484,7 +501,13 @@ Status EventSet::start() {
     }
     return Error::kOk;
   });
-  if (!started.ok()) return abort_start(started);
+  if (!started.ok()) {
+    library_.health_record(attributed_component_, started.error());
+    return abort_start(started);
+  }
+  for (const ComponentSlice& slice : slices_) {
+    library_.health_record(slice.component, Error::kOk);
+  }
   state_ = State::kRunning;
   degradations_ = 0;
   preallocate_scratch();
@@ -591,29 +614,72 @@ void EventSet::rotate_mux() {
   }
 }
 
+Status EventSet::read_slice(ComponentSlice& slice,
+                            std::vector<std::uint64_t>& raw_out) {
+  std::span<std::uint64_t> window(raw_out.data() + slice.offset,
+                                  slice.count);
+  // Health breaker + retry wrapper around the substrate read; the
+  // lambda captures by reference, so the hot path stays allocation-free.
+  const Status status = library_.run_slice_op(
+      slice.component, [&] { return slice.context->read(window); });
+  if (!status.ok()) {
+    // Partial-failure semantics: serve the last latched good values and
+    // flag them.  read_ex() keeps going; read() propagates the error.
+    const std::uint8_t fail_flags = static_cast<std::uint8_t>(
+        read_flag::kStale | (status.error() == Error::kComponentQuarantined
+                                 ? read_flag::kQuarantined
+                                 : 0));
+    for (std::size_t i = 0; i < slice.count; ++i) {
+      const std::size_t g = slice.offset + i;
+      window[i] = latched_raw_[g];
+      scratch_flags_[g] = native_flags_[g] | fail_flags;
+    }
+    return status;
+  }
+  if (slice.wrap_mask == ~0ULL) {
+    // Full-width counters count up monotonically from the start()/
+    // reset() zero point; a regression is an impossible delta — flag
+    // the native suspect (sticky) and serve the last good value rather
+    // than silently trusting it.  Narrow counters cannot make this
+    // call (a wrap is indistinguishable from a regression).
+    for (std::size_t i = 0; i < slice.count; ++i) {
+      const std::size_t g = slice.offset + i;
+      const std::uint64_t raw = window[i];
+      if (raw < wrap_last_[g]) {
+        native_flags_[g] |= read_flag::kSuspect;
+        library_.telemetry().bump(TelemetryCounter::kSanityFaults);
+        window[i] = latched_raw_[g];
+      } else {
+        wrap_last_[g] = raw;
+        latched_raw_[g] = raw;
+      }
+      scratch_flags_[g] = native_flags_[g];
+    }
+    return Error::kOk;
+  }
+  // Narrow counters wrap: trust only the delta since the previous
+  // read, folded modulo the counter width into the 64-bit
+  // accumulator.  Any reader cadence faster than one wrap period
+  // recovers exact totals.
+  for (std::size_t i = 0; i < slice.count; ++i) {
+    const std::size_t g = slice.offset + i;
+    const std::uint64_t raw = window[i] & slice.wrap_mask;
+    wrap_accum_[g] += (raw - wrap_last_[g]) & slice.wrap_mask;
+    wrap_last_[g] = raw;
+    window[i] = wrap_accum_[g];
+    latched_raw_[g] = wrap_accum_[g];
+    scratch_flags_[g] = native_flags_[g];
+  }
+  return Error::kOk;
+}
+
 Status EventSet::read_folded(std::vector<std::uint64_t>& raw_out) {
   // Fan out across the component slices in ascending component order —
   // the coherent snapshot order every reader (read/accum/stop) shares.
-  // Each slice reads its contiguous share of raw_out through the retry
-  // wrapper; the lambda captures by reference, so the hot path stays
-  // allocation-free.
+  // All-or-nothing: the first failing slice fails the read (read_ex()
+  // is the partial-failure path).
   for (ComponentSlice& slice : slices_) {
-    std::span<std::uint64_t> window(raw_out.data() + slice.offset,
-                                    slice.count);
-    PAPIREPRO_RETURN_IF_ERROR(library_.run_with_retries(
-        [&] { return slice.context->read(window); }));
-    if (slice.wrap_mask == ~0ULL) continue;  // full-width fast path
-    // Narrow counters wrap: trust only the delta since the previous
-    // read, folded modulo the counter width into the 64-bit
-    // accumulator.  Any reader cadence faster than one wrap period
-    // recovers exact totals.
-    for (std::size_t i = 0; i < slice.count; ++i) {
-      const std::size_t g = slice.offset + i;
-      const std::uint64_t raw = window[i] & slice.wrap_mask;
-      wrap_accum_[g] += (raw - wrap_last_[g]) & slice.wrap_mask;
-      wrap_last_[g] = raw;
-      window[i] = wrap_accum_[g];
-    }
+    PAPIREPRO_RETURN_IF_ERROR(read_slice(slice, raw_out));
   }
   return Error::kOk;
 }
@@ -674,6 +740,61 @@ void EventSet::compute_values(std::span<const std::uint64_t> raw,
   }
 }
 
+void EventSet::compute_flags(std::span<std::uint32_t> flags) const {
+  // An event's fidelity is the OR over its term natives: one stale term
+  // makes a derived value stale.
+  for (std::size_t i = 0; i < entries_.size() && i < flags.size(); ++i) {
+    std::uint32_t f = read_flag::kValid;
+    for (const TermRef& t : entries_[i].terms) {
+      f |= scratch_flags_[t.native_index];
+    }
+    flags[i] = f;
+  }
+}
+
+Status EventSet::read_ex(std::span<long long> out,
+                         std::span<std::uint32_t> flags) {
+  if (out.size() < entries_.size() || flags.size() < entries_.size()) {
+    return Error::kInvalid;
+  }
+  if (!running() && !stopped_raw_valid_) return Error::kNotRunning;
+  TelemetryRegistry& telemetry = library_.telemetry();
+  telemetry.bump(TelemetryCounter::kReads);
+  if (!running() && stopped_raw_valid_) {
+    compute_values(stopped_raw_, out);
+    // The stop() snapshot's fidelity was persisted into native_flags_.
+    std::copy(native_flags_.begin(), native_flags_.end(),
+              scratch_flags_.begin());
+    compute_flags(flags);
+    return Error::kOk;
+  }
+  if (multiplex_) {
+    // Estimation is single-component (CPU) — no partial-failure story;
+    // plain read semantics with pass-through flags.
+    if ((degradations_ & degradation::kMuxSequential) != 0) rotate_mux();
+    PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(scratch_raw_));
+    telemetry.bump_component(0, ComponentCounter::kReads);
+    compute_values(scratch_raw_, out);
+    std::copy(native_flags_.begin(), native_flags_.end(),
+              scratch_flags_.begin());
+    compute_flags(flags);
+    return Error::kOk;
+  }
+  // The partial-failure fan-out: every slice is attempted; a failing
+  // slice serves latched values (read_slice fills flags + window), and
+  // the read as a whole still succeeds.
+  scratch_raw_.assign(natives_.size(), 0);
+  for (ComponentSlice& slice : slices_) {
+    const Status s = read_slice(slice, scratch_raw_);
+    if (s.ok()) {
+      telemetry.bump_component(slice.component, ComponentCounter::kReads);
+    }
+  }
+  compute_values(scratch_raw_, out);
+  compute_flags(flags);
+  return Error::kOk;
+}
+
 Status EventSet::read(std::span<long long> out) {
   if (out.size() < entries_.size()) return Error::kInvalid;
   if (!running() && !stopped_raw_valid_) return Error::kNotRunning;
@@ -729,6 +850,11 @@ Status EventSet::reset() {
   }
   std::fill(wrap_last_.begin(), wrap_last_.end(), 0ULL);
   std::fill(wrap_accum_.begin(), wrap_accum_.end(), 0ULL);
+  std::fill(latched_raw_.begin(), latched_raw_.end(), 0ULL);
+  std::fill(native_flags_.begin(), native_flags_.end(),
+            static_cast<std::uint8_t>(0));
+  std::fill(scratch_flags_.begin(), scratch_flags_.end(),
+            static_cast<std::uint8_t>(0));
   if (multiplex_) {
     for (auto& st : mux_state_) {
       std::fill(st.accum.begin(), st.accum.end(), 0ULL);
@@ -744,6 +870,11 @@ Status EventSet::reset() {
 
 Status EventSet::stop(std::span<long long> out) {
   if (!running()) return Error::kNotRunning;
+
+  // First per-slice failure, reported after the teardown completes: a
+  // sick component must not abort the unwind mid-way (the other slices'
+  // counters would keep running and the context would never release).
+  Status partial = Error::kOk;
 
   if (multiplex_) {
     // Close the final slice before the counters go away.  As in
@@ -766,15 +897,35 @@ Status EventSet::stop(std::span<long long> out) {
     state_ = State::kStopped;
   } else {
     // Stop descending by component — the mirror image of start()'s
-    // ascending order, so the snapshot window nests coherently.
+    // ascending order, so the snapshot window nests coherently.  Every
+    // slice is attempted (through its breaker): a quarantined or
+    // failing component records the first error but cannot leave the
+    // healthy slices counting.
     for (std::size_t i = slices_.size(); i-- > 0;) {
-      PAPIREPRO_RETURN_IF_ERROR(slices_[i].context->stop());
+      ComponentSlice& slice = slices_[i];
+      const Status s = library_.run_slice_op(
+          slice.component, [&] { return slice.context->stop(); });
+      if (!s.ok() && partial.ok()) partial = s;
     }
     state_ = State::kStopped;
   }
   // Snapshot straight into the preallocated stop buffer: stop() is part
   // of the steady-state path and performs no heap allocation.
-  PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(stopped_raw_));
+  if (multiplex_) {
+    PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(stopped_raw_));
+  } else {
+    // Resilient final snapshot: a failing slice latches its last good
+    // values instead of losing the healthy slices' finals; the
+    // snapshot's fidelity bits persist so read_ex() after stop()
+    // reports it.
+    stopped_raw_.assign(natives_.size(), 0);
+    for (ComponentSlice& slice : slices_) {
+      const Status s = read_slice(slice, stopped_raw_);
+      if (!s.ok() && partial.ok()) partial = s;
+    }
+    std::copy(scratch_flags_.begin(), scratch_flags_.end(),
+              native_flags_.begin());
+  }
 
   // Disarm before the context goes back to the library: the substrate
   // keeps callbacks armed until told otherwise, and the next user of
@@ -808,7 +959,7 @@ Status EventSet::stop(std::span<long long> out) {
     if (out.size() < entries_.size()) return Error::kInvalid;
     compute_values(stopped_raw_, out);
   }
-  return Error::kOk;
+  return partial;
 }
 
 Status EventSet::set_overflow(EventId id, std::uint64_t threshold,

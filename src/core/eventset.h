@@ -48,6 +48,22 @@ namespace degradation {
 inline constexpr std::uint32_t kMuxSequential = 0x1;
 }  // namespace degradation
 
+/// Per-event validity flags returned by read_ex(): 0 means the value is
+/// a live, trusted reading; any set bit marks reduced fidelity.  Flags
+/// OR together (a quarantined slice's value is also stale).
+namespace read_flag {
+inline constexpr std::uint32_t kValid = 0;
+/// The value is the last latched good reading, not a fresh one (the
+/// event's slice failed this read).
+inline constexpr std::uint32_t kStale = 0x1;
+/// The event's component is quarantined by the health monitor.
+inline constexpr std::uint32_t kQuarantined = 0x2;
+/// The counter regressed non-monotonically beyond its wrap mask at some
+/// point since start()/reset(); totals may be wrong.  Sticky until
+/// reset().
+inline constexpr std::uint32_t kSuspect = 0x4;
+}  // namespace read_flag
+
 /// Context passed to user overflow handlers.
 struct OverflowEvent {
   EventId event;
@@ -122,6 +138,14 @@ class EventSet {
   /// Stops counting; if `out` is non-empty it receives the final values.
   Status stop(std::span<long long> out = {});
   Status read(std::span<long long> out);
+  /// Partial-failure read for spanning sets: values from healthy
+  /// component slices are delivered normally; a failing or quarantined
+  /// slice contributes its last latched good values instead of failing
+  /// the whole read, and `flags[i]` carries the read_flag::* bits for
+  /// event i (0 = fully valid).  Returns kOk as long as the read could
+  /// be serviced at all (flags tell the fidelity story); argument-size
+  /// and not-running errors still surface as before.
+  Status read_ex(std::span<long long> out, std::span<std::uint32_t> flags);
   /// Adds current values into `inout` and resets the counters.
   Status accum(std::span<long long> inout);
   Status reset();
@@ -218,6 +242,16 @@ class EventSet {
   /// between successive reads are taken modulo the substrate counter
   /// width and accumulated into 64-bit totals.
   Status read_folded(std::vector<std::uint64_t>& raw_out);
+  /// Reads one component slice's share of `raw_out` through the health
+  /// breaker + retry wrapper, applies wraparound folding / monotonic
+  /// sanity guards, latches good values, and records per-native
+  /// read_flag bits in scratch_flags_.  On failure the slice's window
+  /// is filled from the latched values (flags mark it stale).
+  Status read_slice(ComponentSlice& slice,
+                    std::vector<std::uint64_t>& raw_out);
+  /// Folds scratch_flags_ (per-native) into per-event flags: each
+  /// event's flags are the OR over its term natives.
+  void compute_flags(std::span<std::uint32_t> flags) const;
   Status program_mux_group(std::size_t g);
   void rotate_mux();
   Status snapshot_raw(std::vector<std::uint64_t>& raw_out);
@@ -245,6 +279,10 @@ class EventSet {
 
   std::uint32_t domain_mask_ = domain::kAll;
   std::uint32_t degradations_ = 0;
+  /// Which component the most recent per-slice control failure belongs
+  /// to: the start() fan-out runs as one retried unit, so the outcome
+  /// must be attributed to the failing slice's breaker, not all of them.
+  std::uint32_t attributed_component_ = 0;
 
   /// Self-overhead attribution: the context's overhead/clock marks
   /// latched at start(), folded into the lifetime totals at stop().
@@ -259,6 +297,14 @@ class EventSet {
   /// an all-ones mask means full-width counters (fast path, no folding).
   std::vector<std::uint64_t> wrap_last_;
   std::vector<std::uint64_t> wrap_accum_;
+
+  /// Partial-failure read state, sized at start(): the last good
+  /// (post-fold) value per native — what read_ex() serves when a slice
+  /// fails —, the sticky per-native fidelity bits (kSuspect persists
+  /// until reset()), and the per-read working flags.
+  std::vector<std::uint64_t> latched_raw_;
+  std::vector<std::uint8_t> native_flags_;
+  std::vector<std::uint8_t> scratch_flags_;
 
   bool multiplex_ = false;
   std::uint64_t mux_slice_cycles_ = kDefaultMuxSliceCycles;

@@ -55,6 +55,9 @@ Library::Library(std::unique_ptr<Substrate> substrate)
   substrate_->bind_telemetry(&telemetry_);
   alloc_cache_.bind_telemetry(&telemetry_);
   sampling_.bind_telemetry(&telemetry_);
+  // Component 0's health monitor uses the CPU substrate as its cool-down
+  // clock (every component does — one time base for the whole breaker).
+  components_.at(0)->health.bind(&telemetry_, substrate_, 0);
 }
 
 Library::~Library() {
@@ -107,7 +110,13 @@ Result<std::uint32_t> Library::register_component(
   Substrate* raw = substrate.get();
   auto added = components_.add(std::move(name), std::move(description),
                                std::move(substrate));
-  if (added.ok()) raw->bind_telemetry(&telemetry_);
+  if (added.ok()) {
+    raw->bind_telemetry(&telemetry_);
+    // New components inherit the library-wide health policy in force.
+    Component* component = components_.at(added.value());
+    component->health.bind(&telemetry_, substrate_, added.value());
+    component->health.set_policy(components_.at(0)->health.policy());
+  }
   return added;
 }
 
@@ -135,6 +144,30 @@ Status Library::set_component_enabled(std::uint32_t id, bool enabled) {
   if (component == nullptr) return Error::kNoComponent;
   component->enabled.store(enabled, std::memory_order_relaxed);
   return Error::kOk;
+}
+
+Status Library::set_health_policy(const HealthPolicy& policy) {
+  if (policy.failure_rate_threshold < 0.0 ||
+      policy.failure_rate_threshold > 1.0 ||
+      policy.max_consecutive_exhaustions < 1 ||
+      policy.probation_successes < 1 ||
+      policy.probe_cooldown_max_usec < policy.probe_cooldown_usec) {
+    return Error::kInvalid;
+  }
+  for (std::uint32_t id = 0; id < components_.size(); ++id) {
+    components_.at(id)->health.set_policy(policy);
+  }
+  return Error::kOk;
+}
+
+HealthPolicy Library::health_policy() const {
+  return components_.at(0)->health.policy();
+}
+
+Result<ComponentHealth> Library::component_health(std::uint32_t id) const {
+  const Component* component = components_.at(id);
+  if (component == nullptr) return Error::kNoComponent;
+  return component->health.snapshot();
 }
 
 // --- event namespace -----------------------------------------------------
@@ -293,7 +326,7 @@ Result<ThreadRegistry::ThreadState*> Library::current_thread_state() {
     return &state;
   }
   std::unique_ptr<CounterContext> context;
-  const Status created = run_with_retries([&] {
+  const Status created = run_slice_op(0, [&] {
     auto attempt = substrate_->create_context();
     if (!attempt.ok()) return Status(attempt.error());
     context = std::move(attempt).value();
@@ -357,7 +390,7 @@ Result<CounterContext*> Library::component_context(
     // machine, its rank), so this must not happen at registration time
     // on someone else's thread.
     std::unique_ptr<CounterContext> context;
-    const Status created = run_with_retries([&] {
+    const Status created = run_slice_op(component, [&] {
       auto attempt = entry->substrate->create_context();
       if (!attempt.ok()) return Status(attempt.error());
       context = std::move(attempt).value();

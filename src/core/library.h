@@ -94,6 +94,26 @@ class Library {
   /// add_event() calls against it fail with kComponentDisabled.
   Status set_component_enabled(std::uint32_t id, bool enabled);
 
+  // --- component health (circuit breaker) ---
+  /// Applies `policy` to every registered component's health monitor.
+  Status set_health_policy(const HealthPolicy& policy);
+  /// The health policy currently in force (component 0's copy — the
+  /// policy is library-wide).
+  HealthPolicy health_policy() const;
+  /// Point-in-time health of one component.
+  Result<ComponentHealth> component_health(std::uint32_t id) const;
+  /// Gate before touching `component`'s substrate: kOk, or
+  /// kComponentQuarantined fail-fast while its breaker is open.
+  Status health_admit(std::uint32_t component) noexcept {
+    Component* c = components_.at(component);
+    return c != nullptr ? c->health.admit() : Status(Error::kNoComponent);
+  }
+  /// Feeds an operation's final (post-retry) outcome back into
+  /// `component`'s breaker.
+  void health_record(std::uint32_t component, Error outcome) noexcept {
+    if (Component* c = components_.at(component)) c->health.record(outcome);
+  }
+
   // --- event namespace (stateless; any thread) ---
   bool query_event(EventId id) const;
   Result<std::string> event_name(EventId id) const;
@@ -167,6 +187,21 @@ class Library {
     if (!status.ok() && is_transient(status.error())) {
       telemetry_.bump(TelemetryCounter::kRetryExhaustions);
     }
+    return status;
+  }
+
+  /// run_with_retries() bracketed by `component`'s circuit breaker: a
+  /// quarantined component rejects the op up front (fail fast, no
+  /// backoff sleeps), and the final outcome feeds the health state
+  /// machine.  Templated like run_with_retries so the hot path stays
+  /// free of type erasure; the Healthy bracket is two relaxed loads.
+  template <typename Op>
+  Status run_slice_op(std::uint32_t component, Op&& op) {
+    Component* c = components_.at(component);
+    if (c == nullptr) return Error::kNoComponent;
+    PAPIREPRO_RETURN_IF_ERROR(c->health.admit());
+    const Status status = run_with_retries(std::forward<Op>(op));
+    c->health.record(status.error());
     return status;
   }
 

@@ -58,6 +58,10 @@ enum class TelemetryCounter : std::size_t {
   kOverflowsSuppressed,  ///< dispatches dropped after clear_overflow()
   kTraceRecords,         ///< trace records accepted by trace rings
   kTraceDrops,           ///< trace records lost to full trace rings
+  kHealthTransitions,    ///< health state-machine transitions
+  kHealthFailFasts,      ///< ops rejected fast by an open circuit breaker
+  kHealthProbes,         ///< probation probes admitted to the substrate
+  kSanityFaults,         ///< counter readings flagged non-monotonic
   kNumCounters
 };
 
@@ -77,6 +81,8 @@ constexpr std::array<const char*, kNumTelemetryCounters>
         "samples_enqueued", "samples_dropped",
         "samples_dispatched", "overflows_suppressed",
         "trace_records",    "trace_drops",
+        "health_transitions", "health_fail_fasts",
+        "health_probes",    "sanity_faults",
 };
 
 constexpr const char* telemetry_counter_name(TelemetryCounter c) {
@@ -115,14 +121,16 @@ enum class TraceEventKind : std::uint8_t {
   kRetry,
   kDegrade,
   kOverflowDispatch,
+  kHealth,  ///< health state transition; arg packs component | from | to
   kNumKinds
 };
 
 constexpr const char* trace_event_name(TraceEventKind kind) {
   constexpr std::array<const char*,
                        static_cast<std::size_t>(TraceEventKind::kNumKinds)>
-      names = {"start",   "stop",  "read",    "accum",           "reset",
-               "rotate",  "retry", "degrade", "overflow_dispatch"};
+      names = {"start",  "stop",  "read",    "accum",            "reset",
+               "rotate", "retry", "degrade", "overflow_dispatch",
+               "health"};
   return names[static_cast<std::size_t>(kind)];
 }
 

@@ -71,6 +71,7 @@ class FaultInjectingContext final : public CounterContext {
       const std::uint64_t mask = owner_.plan().counter_mask();
       for (std::uint64_t& v : out) v &= mask;
     }
+    owner_.apply_read_rewind(out);
     return Error::kOk;
   }
 
@@ -133,6 +134,7 @@ void FaultInjectingSubstrate::set_plan(const FaultPlan& plan) {
     sites_[s].injected = 0;
   }
   timer_rng_ = SplitMix64(site_seed(plan_.seed, kNumFaultSites));
+  successful_reads_ = 0;
 }
 
 std::uint64_t FaultInjectingSubstrate::injected_count(
@@ -172,11 +174,17 @@ Error FaultInjectingSubstrate::consult(FaultSite site) {
     SiteState& state = sites_[static_cast<std::size_t>(site)];
     ++state.calls;
     if (!script.armed()) return Error::kOk;
-    if (state.remaining_scripted_failures > 0) {
+    if (state.remaining_scripted_failures > 0 &&
+        state.calls > static_cast<std::uint64_t>(script.fail_after)) {
+      // The deferred hard-down window: the first fail_after calls pass
+      // untouched, then fail_times consecutive calls fail, then the
+      // site recovers (calls is already incremented, so fail_after == 0
+      // keeps the legacy fail-from-the-first-call behaviour).
       --state.remaining_scripted_failures;
       ++state.injected;
       injected = script.error;
-    } else if (script.probability > 0.0 &&
+    } else if (state.remaining_scripted_failures == 0 &&
+               script.probability > 0.0 &&
                next_unit(state.rng) < script.probability) {
       ++state.injected;
       injected = script.error;
@@ -189,6 +197,25 @@ Error FaultInjectingSubstrate::consult(FaultSite site) {
     }
   }
   return injected;
+}
+
+void FaultInjectingSubstrate::apply_read_rewind(
+    std::span<std::uint64_t> out) {
+  // Unlocked disabled-window check: rewind fields are only written by
+  // set_plan, same benign pattern as the narrow-counter mask in read().
+  if (plan_.read_rewind_times == 0 || plan_.read_rewind_delta == 0) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t n = successful_reads_++;
+  if (n < plan_.read_rewind_after ||
+      n >= static_cast<std::uint64_t>(plan_.read_rewind_after) +
+               plan_.read_rewind_times) {
+    return;
+  }
+  for (std::uint64_t& v : out) {
+    v = v > plan_.read_rewind_delta ? v - plan_.read_rewind_delta : 0;
+  }
 }
 
 bool FaultInjectingSubstrate::drop_timer_fire() {

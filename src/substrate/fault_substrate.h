@@ -43,14 +43,20 @@ enum class FaultSite : std::size_t {
 inline constexpr std::size_t kNumFaultSites =
     static_cast<std::size_t>(FaultSite::kNumSites);
 
-/// Failure schedule for one call site: the first `fail_times` calls fail
-/// unconditionally (scripted transients — "fail N times then succeed"),
-/// later calls fail with `probability` drawn from the site's seeded
-/// stream.  `error` is the injected code for both.
+/// Failure schedule for one call site: after `fail_after` untouched
+/// calls, the next `fail_times` calls fail unconditionally (scripted
+/// hard-down-for-N-calls-then-recover — with fail_after 0 this is the
+/// classic "fail N times then succeed"), and later calls fail with
+/// `probability` drawn from the site's seeded stream.  `error` is the
+/// injected code for both.  The deferred window is what the health-
+/// monitor tests script: healthy warm-up, deterministic outage, then
+/// recovery at an exact call number.
 struct FaultScript {
   int fail_times = 0;
   double probability = 0.0;
   Error error = Error::kConflict;
+  /// Calls that pass untouched before the scripted failures begin.
+  int fail_after = 0;
 
   bool armed() const noexcept {
     return fail_times > 0 || probability > 0.0;
@@ -71,6 +77,14 @@ struct FaultPlan {
   double timer_drop_probability = 0.0;
   /// Added to every requested timer period — a slow/late timer service.
   std::uint64_t timer_extra_delay_cycles = 0;
+  /// Non-monotonic counter injection: after `read_rewind_after`
+  /// successful reads, the next `read_rewind_times` reads report values
+  /// rewound by `read_rewind_delta` (clamped at 0) — the impossible
+  /// backwards delta the fold path's sanity guard must flag.  Times or
+  /// delta of 0 disables the window.
+  std::uint32_t read_rewind_after = 0;
+  std::uint32_t read_rewind_times = 0;
+  std::uint64_t read_rewind_delta = 0;
 
   FaultScript& at(FaultSite site) {
     return scripts[static_cast<std::size_t>(site)];
@@ -192,6 +206,8 @@ class FaultInjectingSubstrate final : public Substrate {
   /// One call at `site`: Error::kOk to forward, otherwise the injected
   /// error.  Advances the site's script and probability stream.
   Error consult(FaultSite site);
+  /// Applies the read-rewind window to a successful read's values.
+  void apply_read_rewind(std::span<std::uint64_t> out);
   /// Deterministic timer-misfire draw (kOk semantics do not apply).
   bool drop_timer_fire();
   /// Wraps a timer request: injects kAddTimer faults, stretches the
@@ -213,9 +229,11 @@ class FaultInjectingSubstrate final : public Substrate {
   /// Owned by the Library, which outlives the substrate; written once
   /// by bind_telemetry, relaxed-read on the injection path.
   std::atomic<TelemetryRegistry*> telemetry_{nullptr};
-  mutable std::mutex mutex_;  ///< guards sites_ and timer_rng_
+  mutable std::mutex mutex_;  ///< guards sites_, timer_rng_, reads
   std::array<SiteState, kNumFaultSites> sites_;
   SplitMix64 timer_rng_{0};
+  /// Successful reads since set_plan — the read-rewind window's clock.
+  std::uint64_t successful_reads_ = 0;
   mutable std::string decorated_name_;
 };
 

@@ -77,6 +77,29 @@ Result<PapirunResult> papirun(const PapirunRequest& request) {
   if (!handle.ok()) return handle.error();
   papi::EventSet* set = library.event_set(handle.value()).value();
 
+  // Pre-flight each requested event's component: a disabled or
+  // quarantined component produces a warning (and, under --strict, a
+  // nonzero CLI exit) instead of a silent zero or an opaque failure.
+  for (const std::string& name : names) {
+    auto id = library.event_from_name(name);
+    if (!id.ok()) continue;  // unknown names fail loudly in add_named
+    const std::uint32_t comp = id.value().component;
+    auto info = library.component_info(comp);
+    if (info.ok() && !info.value().enabled) {
+      result.warnings.push_back("papirun: component '" +
+                                info.value().name + "' for event '" +
+                                name + "' is disabled");
+    }
+    auto health = library.component_health(comp);
+    if (health.ok() &&
+        health.value().state == papi::HealthState::kQuarantined) {
+      result.warnings.push_back(
+          "papirun: component '" +
+          (info.ok() ? info.value().name : std::to_string(comp)) +
+          "' for event '" + name + "' is quarantined");
+    }
+  }
+
   std::vector<std::string> added_names;
   for (const std::string& name : names) {
     Status added = set->add_named(name);
@@ -91,13 +114,17 @@ Result<PapirunResult> papirun(const PapirunRequest& request) {
     if (!added.ok()) {
       // A default event the platform cannot count (e.g. sampled-only
       // PAPI_FP_OPS on sim-alpha without estimation) is simply dropped;
-      // events the user asked for by name fail loudly.
+      // events the user asked for by name fail loudly — except events
+      // already warned about (disabled component), which are skipped so
+      // the rest of the run proceeds.
       if (defaulted && added.error() == Error::kConflict) continue;
+      if (added.error() == Error::kComponentDisabled) continue;
       return added.error();
     }
     added_names.push_back(name);
   }
   names = std::move(added_names);
+  if (names.empty()) return Error::kNoEvent;
 
   const std::uint64_t start_us = library.real_usec();
   PAPIREPRO_RETURN_IF_ERROR(set->start());
@@ -154,6 +181,23 @@ Result<PapirunResult> papirun(const PapirunRequest& request) {
   }
   os << "  library overhead: " << std::fixed << std::setprecision(2)
      << result.overhead_ratio * 100.0 << "% of measured window\n";
+  if (request.health_report) {
+    os << "health:\n";
+    for (std::size_t c = 0; c < library.num_components(); ++c) {
+      const auto comp = static_cast<std::uint32_t>(c);
+      auto health = library.component_health(comp);
+      if (!health.ok()) continue;
+      const papi::ComponentHealth& h = health.value();
+      os << "  " << std::left << std::setw(6)
+         << (c < result.components.size() ? result.components[c]
+                                          : std::to_string(c))
+         << std::right << " state=" << papi::health_state_name(h.state)
+         << " quarantines=" << h.quarantines
+         << " fail_fasts=" << h.fail_fasts << " probes=" << h.probes
+         << " window=" << h.window_failures << "/" << h.window_ops
+         << "\n";
+    }
+  }
   result.report = os.str();
   return result;
 }

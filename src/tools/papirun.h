@@ -26,10 +26,20 @@ struct PapirunRequest {
   /// Report the registered components (id, namespace, counter budget)
   /// instead of running the workload.
   bool list_components = false;
+  /// Append a per-component health report (state, quarantines,
+  /// fail-fasts) to the run output.
+  bool health_report = false;
+  /// Treat warnings (disabled/quarantined component for a requested
+  /// event) as fatal: the CLI exits nonzero when any were emitted.
+  bool strict = false;
 };
 
 struct PapirunResult {
   std::string report;  ///< formatted table
+  /// Human-readable warnings (one per line, no trailing newline): a
+  /// requested event's component was disabled or quarantined.  The CLI
+  /// prints these to stderr; with `strict` it also exits nonzero.
+  std::vector<std::string> warnings;
   std::vector<std::pair<std::string, long long>> counts;
   /// Namespace prefixes of the registered components, in id order
   /// ("cpu", "mem", "net").

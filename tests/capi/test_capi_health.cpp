@@ -1,0 +1,247 @@
+// C-binding surface of the component health monitor: error-code
+// plumbing (PAPI_ECMPQUAR), the policy get/set round trip,
+// PAPIrepro_get_component_health marshalling, the partial-failure
+// PAPIrepro_read_ex, and a staged end-to-end outage/recovery run
+// against the mem component.  Suites are named Health* so the CI
+// ThreadSanitizer shard picks them up with the rest of the health
+// tests.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "capi/papi.h"
+
+namespace {
+
+class HealthCapi : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim_ = PAPIrepro_sim_create("sim-x86", "saxpy", 10'000);
+    ASSERT_NE(sim_, nullptr);
+    ASSERT_EQ(PAPIrepro_bind_sim(sim_), PAPI_OK);
+    ASSERT_EQ(PAPI_library_init(PAPI_VER_CURRENT), PAPI_VER_CURRENT);
+  }
+  void TearDown() override {
+    PAPI_shutdown();
+    PAPIrepro_sim_destroy(sim_);
+  }
+  PAPIrepro_sim_t* sim_ = nullptr;
+};
+
+TEST_F(HealthCapi, ErrorCodeAndStateConstants) {
+  EXPECT_EQ(PAPI_ECMPQUAR, -21);
+  EXPECT_STREQ(PAPI_strerror(PAPI_ECMPQUAR),
+               "Component is quarantined by the health monitor");
+  EXPECT_EQ(PAPIREPRO_HEALTH_HEALTHY, 0);
+  EXPECT_EQ(PAPIREPRO_HEALTH_DEGRADED, 1);
+  EXPECT_EQ(PAPIREPRO_HEALTH_QUARANTINED, 2);
+  EXPECT_EQ(PAPIREPRO_HEALTH_PROBATION, 3);
+}
+
+TEST_F(HealthCapi, ComponentHealthQueryArgumentMatrix) {
+  EXPECT_EQ(PAPIrepro_get_component_health(0, nullptr), PAPI_EINVAL);
+  PAPIrepro_component_health_t h;
+  EXPECT_EQ(PAPIrepro_get_component_health(-1, &h), PAPI_ENOCMP);
+  EXPECT_EQ(PAPIrepro_get_component_health(99, &h), PAPI_ENOCMP);
+  // Sim-bound init registers cpu + mem + net; all start healthy.
+  for (int c = 0; c < 3; ++c) {
+    ASSERT_EQ(PAPIrepro_get_component_health(c, &h), PAPI_OK) << c;
+    EXPECT_EQ(h.component, c);
+    EXPECT_EQ(h.state, PAPIREPRO_HEALTH_HEALTHY);
+    EXPECT_EQ(h.quarantines, 0);
+    EXPECT_EQ(h.fail_fasts, 0);
+    EXPECT_EQ(h.window_ops, 0);
+    EXPECT_EQ(h.last_error, PAPI_OK);
+  }
+}
+
+TEST_F(HealthCapi, PolicyRoundTripAndValidation) {
+  EXPECT_EQ(PAPIrepro_get_health_policy(nullptr), PAPI_EINVAL);
+  EXPECT_EQ(PAPIrepro_set_health_policy(nullptr), PAPI_EINVAL);
+
+  PAPIrepro_health_policy_t p;
+  ASSERT_EQ(PAPIrepro_get_health_policy(&p), PAPI_OK);
+  EXPECT_EQ(p.enabled, 1);
+  EXPECT_EQ(p.max_consecutive_exhaustions, 3);
+  EXPECT_EQ(p.window_min_ops, 16);
+  EXPECT_DOUBLE_EQ(p.failure_rate_threshold, 0.5);
+  EXPECT_EQ(p.probation_successes, 2);
+  EXPECT_EQ(p.probe_cooldown_usec, 100);
+  EXPECT_EQ(p.probe_cooldown_max_usec, 1'000'000);
+
+  PAPIrepro_health_policy_t bad = p;
+  bad.max_consecutive_exhaustions = 0;
+  EXPECT_EQ(PAPIrepro_set_health_policy(&bad), PAPI_EINVAL);
+  bad = p;
+  bad.window_min_ops = -1;
+  EXPECT_EQ(PAPIrepro_set_health_policy(&bad), PAPI_EINVAL);
+  bad = p;
+  bad.probation_successes = 0;
+  EXPECT_EQ(PAPIrepro_set_health_policy(&bad), PAPI_EINVAL);
+  bad = p;
+  bad.probe_cooldown_usec = -5;
+  EXPECT_EQ(PAPIrepro_set_health_policy(&bad), PAPI_EINVAL);
+  bad = p;
+  bad.failure_rate_threshold = 1.5;  // library-side range check
+  EXPECT_EQ(PAPIrepro_set_health_policy(&bad), PAPI_EINVAL);
+  bad = p;
+  bad.probe_cooldown_max_usec = 10;  // cap below the base
+  EXPECT_EQ(PAPIrepro_set_health_policy(&bad), PAPI_EINVAL);
+
+  p.max_consecutive_exhaustions = 5;
+  p.window_min_ops = 32;
+  p.failure_rate_threshold = 0.25;
+  p.probation_successes = 1;
+  p.probe_cooldown_usec = 250;
+  p.probe_cooldown_max_usec = 4'000;
+  ASSERT_EQ(PAPIrepro_set_health_policy(&p), PAPI_OK);
+  PAPIrepro_health_policy_t got;
+  ASSERT_EQ(PAPIrepro_get_health_policy(&got), PAPI_OK);
+  EXPECT_EQ(got.max_consecutive_exhaustions, 5);
+  EXPECT_EQ(got.window_min_ops, 32);
+  EXPECT_DOUBLE_EQ(got.failure_rate_threshold, 0.25);
+  EXPECT_EQ(got.probation_successes, 1);
+  EXPECT_EQ(got.probe_cooldown_usec, 250);
+  EXPECT_EQ(got.probe_cooldown_max_usec, 4'000);
+}
+
+TEST_F(HealthCapi, ReadExArgumentMatrixAndCleanRun) {
+  long long values[2] = {};
+  int flags[2] = {};
+  EXPECT_EQ(PAPIrepro_read_ex(12345, values, flags), PAPI_ENOEVST);
+
+  int es = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+  ASSERT_EQ(PAPI_add_event(es, PAPI_TOT_INS), PAPI_OK);
+  EXPECT_EQ(PAPIrepro_read_ex(es, nullptr, flags), PAPI_EINVAL);
+  EXPECT_EQ(PAPIrepro_read_ex(es, values, nullptr), PAPI_EINVAL);
+  EXPECT_EQ(PAPIrepro_read_ex(es, values, flags), PAPI_ENOTRUN);
+
+  ASSERT_EQ(PAPI_start(es), PAPI_OK);
+  PAPIrepro_sim_run(sim_, 3'000);
+  flags[0] = 99;
+  ASSERT_EQ(PAPIrepro_read_ex(es, values, flags), PAPI_OK);
+  EXPECT_GT(values[0], 0);
+  EXPECT_EQ(flags[0], PAPIREPRO_READ_VALID);
+  long long final_values[1] = {};
+  ASSERT_EQ(PAPI_stop(es, final_values), PAPI_OK);
+}
+
+TEST(HealthCapiInit, UninitializedPathsReturnEnoinit) {
+  PAPI_shutdown();
+  PAPIrepro_component_health_t h;
+  EXPECT_EQ(PAPIrepro_get_component_health(0, &h), PAPI_ENOINIT);
+  PAPIrepro_health_policy_t p = {};
+  p.max_consecutive_exhaustions = 1;
+  p.probation_successes = 1;
+  EXPECT_EQ(PAPIrepro_set_health_policy(&p), PAPI_ENOINIT);
+  EXPECT_EQ(PAPIrepro_get_health_policy(&p), PAPI_ENOINIT);
+  long long values[1];
+  int flags[1];
+  EXPECT_EQ(PAPIrepro_read_ex(0, values, flags), PAPI_ENOINIT);
+}
+
+// End to end through the C API: the mem component goes hard-down for a
+// scripted window while a spanning EventSet keeps reading.  cpu values
+// stay fresh throughout, mem values latch with stale/quarantined flags,
+// fail-fast rejections stop touching the substrate, and once the
+// outage script runs dry a probe returns the component to service.
+TEST(HealthCapiFault, SpanningSetQuarantineAndRecovery) {
+  PAPI_shutdown();
+  PAPIrepro_sim_t* sim =
+      PAPIrepro_sim_create("sim-x86", "saxpy", 300'000);
+  ASSERT_NE(sim, nullptr);
+  ASSERT_EQ(PAPIrepro_bind_sim(sim), PAPI_OK);
+
+  PAPIrepro_fault_plan_t plan = {};
+  plan.seed = 7;
+  plan.target_component = 2;  // mem only (N-1 = component 1)
+  plan.read_fail_after = 1;   // first read latches good values
+  plan.read_fail_times = 6;   // two retry-exhausted reads, then recover
+  ASSERT_EQ(PAPIrepro_set_fault_plan(&plan), PAPI_OK);
+  ASSERT_EQ(PAPIrepro_inject_faults(1), PAPI_OK);
+  ASSERT_EQ(PAPI_library_init(PAPI_VER_CURRENT), PAPI_VER_CURRENT);
+
+  PAPIrepro_health_policy_t policy;
+  ASSERT_EQ(PAPIrepro_get_health_policy(&policy), PAPI_OK);
+  policy.max_consecutive_exhaustions = 2;
+  policy.probation_successes = 1;
+  // Cool-down far above per-read overhead, far below the workload's
+  // remaining cycles: read 4 lands inside it, the final run clears it.
+  policy.probe_cooldown_usec = 200;
+  policy.probe_cooldown_max_usec = 400;
+  ASSERT_EQ(PAPIrepro_set_health_policy(&policy), PAPI_OK);
+
+  int es = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+  ASSERT_EQ(PAPI_add_event(es, PAPI_TOT_INS), PAPI_OK);
+  ASSERT_EQ(PAPI_add_named_event(es, "mem::L2_MISSES"), PAPI_OK);
+  ASSERT_EQ(PAPI_start(es), PAPI_OK);
+
+  long long v[2] = {};
+  int flags[2] = {};
+
+  // Read 1: both components healthy.
+  PAPIrepro_sim_run(sim, 5'000);
+  ASSERT_EQ(PAPIrepro_read_ex(es, v, flags), PAPI_OK);
+  EXPECT_EQ(flags[0], PAPIREPRO_READ_VALID);
+  EXPECT_EQ(flags[1], PAPIREPRO_READ_VALID);
+  const long long cpu_1 = v[0];
+  const long long mem_latched = v[1];
+
+  // Reads 2 and 3: the outage window.  Each read burns one full retry
+  // budget against mem; cpu stays fresh, mem serves the latched value.
+  PAPIrepro_sim_run(sim, 5'000);
+  ASSERT_EQ(PAPIrepro_read_ex(es, v, flags), PAPI_OK);
+  EXPECT_EQ(flags[0], PAPIREPRO_READ_VALID);
+  EXPECT_GT(v[0], cpu_1);
+  EXPECT_EQ(flags[1], PAPIREPRO_READ_STALE);
+  EXPECT_EQ(v[1], mem_latched);
+
+  PAPIrepro_sim_run(sim, 5'000);
+  ASSERT_EQ(PAPIrepro_read_ex(es, v, flags), PAPI_OK);
+  EXPECT_EQ(flags[1], PAPIREPRO_READ_STALE);
+
+  PAPIrepro_component_health_t h;
+  ASSERT_EQ(PAPIrepro_get_component_health(1, &h), PAPI_OK);
+  ASSERT_EQ(h.state, PAPIREPRO_HEALTH_QUARANTINED);
+  EXPECT_EQ(h.quarantines, 1);
+  EXPECT_EQ(h.last_error, PAPI_ECNFLCT);
+
+  // Read 4, inside the cool-down: fail fast.  The plain read() contract
+  // surfaces the quarantine; read_ex still serves the cpu slice.
+  EXPECT_EQ(PAPI_read(es, v), PAPI_ECMPQUAR);
+  ASSERT_EQ(PAPIrepro_read_ex(es, v, flags), PAPI_OK);
+  EXPECT_EQ(flags[0], PAPIREPRO_READ_VALID);
+  EXPECT_GT(v[0], cpu_1);
+  EXPECT_EQ(flags[1],
+            PAPIREPRO_READ_STALE | PAPIREPRO_READ_QUARANTINED);
+  EXPECT_EQ(v[1], mem_latched);
+  ASSERT_EQ(PAPIrepro_get_component_health(1, &h), PAPI_OK);
+  EXPECT_GE(h.fail_fasts, 2);
+
+  // Run the rest of the workload: the cool-down elapses in sim time and
+  // the fault script is exhausted, so the next read probes and heals.
+  PAPIrepro_sim_run(sim, -1);
+  ASSERT_EQ(PAPIrepro_read_ex(es, v, flags), PAPI_OK);
+  EXPECT_EQ(flags[0], PAPIREPRO_READ_VALID);
+  EXPECT_EQ(flags[1], PAPIREPRO_READ_VALID);
+  EXPECT_GE(v[1], mem_latched);
+  ASSERT_EQ(PAPIrepro_get_component_health(1, &h), PAPI_OK);
+  EXPECT_EQ(h.state, PAPIREPRO_HEALTH_HEALTHY);
+  EXPECT_EQ(h.quarantines, 1);
+  EXPECT_GE(h.probes, 1);
+
+  PAPIrepro_telemetry_t telemetry;
+  ASSERT_EQ(PAPIrepro_get_telemetry(&telemetry), PAPI_OK);
+  EXPECT_GE(telemetry.health_transitions, 4ull);
+  EXPECT_GE(telemetry.health_fail_fasts, 2ull);
+  EXPECT_GE(telemetry.health_probes, 1ull);
+
+  long long final_values[2] = {};
+  ASSERT_EQ(PAPI_stop(es, final_values), PAPI_OK);
+  PAPI_shutdown();
+  PAPIrepro_sim_destroy(sim);
+}
+
+}  // namespace

@@ -5,6 +5,7 @@
 // machine's own cache/page statistics and the CommWorld's per-rank
 // message counts — the counter file and the truth come from the same
 // model, so every cross-component value is checked exactly.
+#include <atomic>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -597,6 +598,42 @@ TEST(ComponentThreading, PerThreadSpanningSetsCountIndependently) {
     EXPECT_EQ(got[r][3], static_cast<long long>(world.stats(r).recvs))
         << "rank " << r;
   }
+}
+
+TEST(ComponentThreading, DisableRacesRunningSpanningSet) {
+  // set_component_enabled is a soft disable: it must be safe to flip
+  // concurrently with a running spanning set, existing sets keep
+  // counting through every toggle, and re-enabling restores adds.
+  ComponentFixture f(sim::make_saxpy(500'000), {.charge_costs = false});
+  EventSet& set = f.new_set();
+  ASSERT_TRUE(set.add_preset(Preset::kTotIns).ok());
+  ASSERT_TRUE(set.add_named("mem::L2_ACCESSES").ok());
+  ASSERT_TRUE(set.start().ok());
+
+  std::atomic<bool> stop_toggling{false};
+  std::thread toggler([&] {
+    int i = 0;
+    while (!stop_toggling.load(std::memory_order_acquire)) {
+      (void)f.library().set_component_enabled(f.mem_id, ++i % 2 == 0);
+    }
+    (void)f.library().set_component_enabled(f.mem_id, true);
+  });
+
+  std::vector<long long> v(2, 0);
+  for (int i = 0; i < 300; ++i) {
+    f.machine().run(200);
+    ASSERT_TRUE(set.read(v).ok());
+  }
+  stop_toggling.store(true, std::memory_order_release);
+  toggler.join();
+
+  // The set survived every toggle; the component ends re-enabled.
+  ASSERT_TRUE(set.read(v).ok());
+  ASSERT_TRUE(set.stop(v).ok());
+  EXPECT_GT(v[0], 0);
+  ASSERT_TRUE(f.library().component_info(f.mem_id).value().enabled);
+  EventSet& fresh = f.new_set();
+  EXPECT_TRUE(fresh.add_named("mem::L2_MISSES").ok());
 }
 
 }  // namespace
