@@ -242,11 +242,16 @@ int PAPIrepro_set_health_policy(const PAPIrepro_health_policy_t* policy);
 /* Reads the active library-wide policy.  PAPI_EINVAL on NULL out. */
 int PAPIrepro_get_health_policy(PAPIrepro_health_policy_t* out);
 
-/* Per-event validity flags for PAPIrepro_read_ex. */
+/* Per-event validity flags for PAPIrepro_read_ex and the batched reads
+ * below. */
 #define PAPIREPRO_READ_VALID 0       /* fresh value from the hardware */
 #define PAPIREPRO_READ_STALE 0x1     /* last latched value (slice failed) */
 #define PAPIREPRO_READ_QUARANTINED 0x2 /* owning component quarantined */
 #define PAPIREPRO_READ_SUSPECT 0x4   /* non-monotonic delta was clamped */
+#define PAPIREPRO_READ_PUBLISHED 0x8 /* served from the owning thread's
+                                      * published snapshot, not a live read */
+#define PAPIREPRO_READ_NODATA 0x10   /* value unavailable (reads 0): beyond
+                                      * publication capacity / never ran */
 
 /* Partial-failure read for spanning EventSets: like PAPI_read, but a
  * failed or quarantined component slice no longer fails the whole call —
@@ -256,6 +261,39 @@ int PAPIrepro_get_health_policy(PAPIrepro_health_policy_t* out);
  * receives one entry per event (same order as values); returns PAPI_OK
  * as long as the EventSet is running, even when every slice failed. */
 int PAPIrepro_read_ex(int event_set, long long* values, int* flags);
+
+/* ---- batched snapshot reads (reproduction extension) ----
+ * One call reads many EventSets: the calling thread's context is
+ * resolved once, its own running set gets a full live read, and every
+ * other set — including sets running on other threads — is served from
+ * the seqlock-published snapshot its owning thread refreshes at
+ * start/read/stop (flagged PAPIREPRO_READ_PUBLISHED).  The whole pass
+ * is lock-free and allocation-free. */
+typedef struct PAPIrepro_snapshot {
+  int event_set;   /* the handle this entry describes */
+  int first_value; /* index of its first value in the shared buffer */
+  int num_values;  /* values written for it (0 on error/never ran) */
+  int status;      /* PAPI_OK, PAPI_ENOTRUN, PAPI_ENOEVST, ... */
+  int flags;       /* OR of its events' PAPIREPRO_READ_* bits */
+} PAPIrepro_snapshot_t;
+
+/* Reads `count` EventSets in one pass.  Values land back-to-back in
+ * `values` (capacity `values_capacity`); entries[i] describes where
+ * event_sets[i]'s values went.  An unknown handle yields a per-entry
+ * PAPI_ENOEVST status — not a call failure — so a racing destroy is
+ * survivable.  PAPI_EINVAL on NULL args, count <= 0, or insufficient
+ * values capacity. */
+int PAPIrepro_read_many(const int* event_sets, int count,
+                        long long* values, int values_capacity,
+                        PAPIrepro_snapshot_t* entries);
+
+/* Walks every live EventSet in the library in one coherent pass.
+ * Returns the number of entries written (>= 0), PAPI_EINVAL when
+ * entries/values are NULL or a buffer is too small (max_entries /
+ * values_capacity), or another PAPI error.  Ordering follows handle
+ * numbering. */
+int PAPIrepro_snapshot_all(PAPIrepro_snapshot_t* entries, int max_entries,
+                           long long* values, int values_capacity);
 
 /* Counter-allocation memo instrumentation: the library caches bipartite
  * allocation solves keyed on the native-event list, so repeated EventSet

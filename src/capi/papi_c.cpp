@@ -756,6 +756,57 @@ int PAPIrepro_read_ex(int event_set, long long* values, int* flags) {
       {values, n}, {reinterpret_cast<std::uint32_t*>(flags), n}));
 }
 
+int PAPIrepro_read_many(const int* event_sets, int count, long long* values,
+                        int values_capacity,
+                        PAPIrepro_snapshot_t* entries) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  if (event_sets == nullptr || values == nullptr || entries == nullptr ||
+      count <= 0 || values_capacity < 0) {
+    return PAPI_EINVAL;
+  }
+  // Marshalling scratch is thread-local and reused: steady-state calls
+  // allocate nothing once the capacity is warm.
+  thread_local std::vector<papi::SnapshotEntry> scratch;
+  scratch.assign(static_cast<std::size_t>(count), {});
+  const Status s = g().library->read_many_handles(
+      {event_sets, static_cast<std::size_t>(count)},
+      {values, static_cast<std::size_t>(values_capacity)}, scratch);
+  if (!s.ok()) return to_code(s);
+  for (int i = 0; i < count; ++i) {
+    entries[i].event_set = scratch[i].handle;
+    entries[i].first_value = static_cast<int>(scratch[i].first_value);
+    entries[i].num_values = static_cast<int>(scratch[i].num_values);
+    entries[i].status = to_code(scratch[i].status);
+    entries[i].flags = static_cast<int>(scratch[i].flags);
+  }
+  return PAPI_OK;
+}
+
+int PAPIrepro_snapshot_all(PAPIrepro_snapshot_t* entries, int max_entries,
+                           long long* values, int values_capacity) {
+  if (g().library == nullptr) return PAPI_ENOINIT;
+  if (entries == nullptr || values == nullptr || max_entries < 0 ||
+      values_capacity < 0) {
+    return PAPI_EINVAL;
+  }
+  thread_local std::vector<papi::SnapshotEntry> scratch;
+  scratch.assign(static_cast<std::size_t>(max_entries), {});
+  std::size_t entries_used = 0;
+  const Status s = g().library->snapshot_all(
+      {scratch.data(), static_cast<std::size_t>(max_entries)},
+      {values, static_cast<std::size_t>(values_capacity)}, &entries_used,
+      nullptr);
+  if (!s.ok()) return to_code(s);
+  for (std::size_t i = 0; i < entries_used; ++i) {
+    entries[i].event_set = scratch[i].handle;
+    entries[i].first_value = static_cast<int>(scratch[i].first_value);
+    entries[i].num_values = static_cast<int>(scratch[i].num_values);
+    entries[i].status = to_code(scratch[i].status);
+    entries[i].flags = static_cast<int>(scratch[i].flags);
+  }
+  return static_cast<int>(entries_used);
+}
+
 int PAPI_accum(int event_set, long long* values) {
   auto set = lookup(event_set);
   if (!set.ok()) return to_code(set.error());

@@ -58,13 +58,20 @@ Status EventSet::rebuild(
     }
     std::vector<ComponentSlice> slices;
     if (!candidate_natives.empty()) {
-      slices.push_back({0, 0, candidate_natives.size(), {}, nullptr,
-                        ~0ULL});
+      ComponentSlice slice;
+      slice.count = candidate_natives.size();
+      slice.comp = library_.components_.at(0);
+      slices.push_back(std::move(slice));
     }
     entries_ = candidate_entries;
     natives_ = candidate_natives;
     native_components_ = candidate_components;
     slices_ = std::move(slices);
+    rebuild_flat_terms();
+    // Membership changed: the stop() snapshot and the cross-thread
+    // publication describe the old member list — drop both.
+    stopped_raw_valid_ = false;
+    publish_clear();
     return Error::kOk;
   }
 
@@ -114,6 +121,7 @@ Status EventSet::rebuild(
     slice.offset = begin;
     slice.count = end - begin;
     slice.assignment = std::move(assignment).value();
+    slice.comp = library_.components_.at(component);
     slices.push_back(std::move(slice));
     begin = end;
   }
@@ -128,7 +136,38 @@ Status EventSet::rebuild(
   natives_ = std::move(sorted_natives);
   native_components_ = std::move(sorted_components);
   slices_ = std::move(slices);
+  rebuild_flat_terms();
+  // Membership changed: the stop() snapshot and the cross-thread
+  // publication describe the old member list — drop both.
+  stopped_raw_valid_ = false;
+  publish_clear();
   return Error::kOk;
+}
+
+void EventSet::rebuild_flat_terms() {
+  // Flatten the term lists for the read hot path: one contiguous array,
+  // rebuilt whenever membership changes (both rebuild() branches).
+  flat_terms_.clear();
+  calc_.clear();
+  calc_.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    calc_.push_back({static_cast<std::uint32_t>(flat_terms_.size()),
+                     static_cast<std::uint32_t>(e.terms.size())});
+    for (const TermRef& t : e.terms) {
+      flat_terms_.push_back({static_cast<std::uint32_t>(t.native_index),
+                             static_cast<std::int32_t>(t.coefficient)});
+    }
+  }
+  terms_identity_ = flat_terms_.size() == calc_.size();
+  if (terms_identity_) {
+    for (std::size_t i = 0; i < flat_terms_.size(); ++i) {
+      if (flat_terms_[i].native_index != i ||
+          flat_terms_[i].coefficient != 1) {
+        terms_identity_ = false;
+        break;
+      }
+    }
+  }
 }
 
 namespace {
@@ -412,11 +451,9 @@ void EventSet::preallocate_scratch() {
   }
   scratch_live_.assign(multiplex_ ? max_group : 0, 0);
   stopped_raw_.reserve(natives_.size());  // stop() snapshots into this
-  // Partial-failure read state: last good values start at the
+  // Per-native fold/latch/flag state: last good values start at the
   // post-reset zero point, fidelity flags start clean.
-  latched_raw_.assign(natives_.size(), 0);
-  native_flags_.assign(natives_.size(), 0);
-  scratch_flags_.assign(natives_.size(), 0);
+  folds_.assign(natives_.size(), NativeFold{});
 }
 
 Status EventSet::start() {
@@ -547,15 +584,18 @@ Status EventSet::start() {
   }
 
   // Arm wraparound folding against each component substrate's counter
-  // width; the accumulators are global (indexed like natives_), the
-  // masks per slice.
+  // width; the accumulators live in folds_ (zeroed by
+  // preallocate_scratch above), the masks per slice.
   for (ComponentSlice& slice : slices_) {
     const std::uint32_t width =
         library_.component_substrate(slice.component)->counter_width_bits();
     slice.wrap_mask = width < 64 ? (1ULL << width) - 1 : ~0ULL;
   }
-  wrap_last_.assign(natives_.size(), 0);
-  wrap_accum_.assign(natives_.size(), 0);
+
+  // Counters are at the post-reset zero point: publish it so batch
+  // readers on other threads see this set as running-from-zero rather
+  // than serving the previous run's finals.
+  publish_values({}, kPubRunning);
 
   if (multiplex_) {
     mux_window_start_ = mux_slice_start_ = context_->cycles();
@@ -614,14 +654,17 @@ void EventSet::rotate_mux() {
   }
 }
 
-Status EventSet::read_slice(ComponentSlice& slice,
+inline Status EventSet::read_slice(ComponentSlice& slice,
                             std::vector<std::uint64_t>& raw_out) {
   std::span<std::uint64_t> window(raw_out.data() + slice.offset,
                                   slice.count);
   // Health breaker + retry wrapper around the substrate read; the
-  // lambda captures by reference, so the hot path stays allocation-free.
+  // lambda captures by reference, so the hot path stays allocation-free,
+  // and the component entry was resolved at rebuild() so the bracket is
+  // two relaxed loads on one already-hot line.
   const Status status = library_.run_slice_op(
-      slice.component, [&] { return slice.context->read(window); });
+      *slice.comp, [&] { return slice.context->read(window); });
+  NativeFold* folds = folds_.data() + slice.offset;
   if (!status.ok()) {
     // Partial-failure semantics: serve the last latched good values and
     // flag them.  read_ex() keeps going; read() propagates the error.
@@ -630,9 +673,8 @@ Status EventSet::read_slice(ComponentSlice& slice,
                                  ? read_flag::kQuarantined
                                  : 0));
     for (std::size_t i = 0; i < slice.count; ++i) {
-      const std::size_t g = slice.offset + i;
-      window[i] = latched_raw_[g];
-      scratch_flags_[g] = native_flags_[g] | fail_flags;
+      window[i] = folds[i].latched;
+      folds[i].read_flags = folds[i].sticky_flags | fail_flags;
     }
     return status;
   }
@@ -643,17 +685,17 @@ Status EventSet::read_slice(ComponentSlice& slice,
     // than silently trusting it.  Narrow counters cannot make this
     // call (a wrap is indistinguishable from a regression).
     for (std::size_t i = 0; i < slice.count; ++i) {
-      const std::size_t g = slice.offset + i;
+      NativeFold& f = folds[i];
       const std::uint64_t raw = window[i];
-      if (raw < wrap_last_[g]) {
-        native_flags_[g] |= read_flag::kSuspect;
+      if (raw < f.wrap_last) [[unlikely]] {
+        f.sticky_flags |= read_flag::kSuspect;
         library_.telemetry().bump(TelemetryCounter::kSanityFaults);
-        window[i] = latched_raw_[g];
+        window[i] = f.latched;
       } else {
-        wrap_last_[g] = raw;
-        latched_raw_[g] = raw;
+        f.wrap_last = raw;
+        f.latched = raw;
       }
-      scratch_flags_[g] = native_flags_[g];
+      f.read_flags = f.sticky_flags;
     }
     return Error::kOk;
   }
@@ -662,13 +704,13 @@ Status EventSet::read_slice(ComponentSlice& slice,
   // accumulator.  Any reader cadence faster than one wrap period
   // recovers exact totals.
   for (std::size_t i = 0; i < slice.count; ++i) {
-    const std::size_t g = slice.offset + i;
+    NativeFold& f = folds[i];
     const std::uint64_t raw = window[i] & slice.wrap_mask;
-    wrap_accum_[g] += (raw - wrap_last_[g]) & slice.wrap_mask;
-    wrap_last_[g] = raw;
-    window[i] = wrap_accum_[g];
-    latched_raw_[g] = wrap_accum_[g];
-    scratch_flags_[g] = native_flags_[g];
+    f.wrap_accum += (raw - f.wrap_last) & slice.wrap_mask;
+    f.wrap_last = raw;
+    window[i] = f.wrap_accum;
+    f.latched = f.wrap_accum;
+    f.read_flags = f.sticky_flags;
   }
   return Error::kOk;
 }
@@ -728,13 +770,25 @@ Status EventSet::snapshot_raw(std::vector<std::uint64_t>& raw_out) {
   return Error::kOk;
 }
 
-void EventSet::compute_values(std::span<const std::uint64_t> raw,
+inline void EventSet::compute_values(std::span<const std::uint64_t> raw,
                               std::span<long long> out) const {
-  for (std::size_t i = 0; i < entries_.size() && i < out.size(); ++i) {
+  // Walks the rebuild-time flattened term array sequentially — no
+  // per-entry vector indirection on the hot path.
+  const std::size_t n = std::min(calc_.size(), out.size());
+  if (terms_identity_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<long long>(raw[i]);
+    }
+    return;
+  }
+  const FlatTerm* terms = flat_terms_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const EntryCalc c = calc_[i];
     long long v = 0;
-    for (const TermRef& t : entries_[i].terms) {
-      v += static_cast<long long>(t.coefficient) *
-           static_cast<long long>(raw[t.native_index]);
+    for (std::uint32_t t = 0; t < c.count; ++t) {
+      const FlatTerm& ft = terms[c.begin + t];
+      v += static_cast<long long>(ft.coefficient) *
+           static_cast<long long>(raw[ft.native_index]);
     }
     out[i] = v;
   }
@@ -743,13 +797,80 @@ void EventSet::compute_values(std::span<const std::uint64_t> raw,
 void EventSet::compute_flags(std::span<std::uint32_t> flags) const {
   // An event's fidelity is the OR over its term natives: one stale term
   // makes a derived value stale.
-  for (std::size_t i = 0; i < entries_.size() && i < flags.size(); ++i) {
+  const FlatTerm* terms = flat_terms_.data();
+  const std::size_t n = std::min(calc_.size(), flags.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const EntryCalc c = calc_[i];
     std::uint32_t f = read_flag::kValid;
-    for (const TermRef& t : entries_[i].terms) {
-      f |= scratch_flags_[t.native_index];
+    for (std::uint32_t t = 0; t < c.count; ++t) {
+      f |= folds_[terms[c.begin + t].native_index].read_flags;
     }
     flags[i] = f;
   }
+}
+
+std::uint32_t EventSet::folded_read_flags() const noexcept {
+  std::uint32_t f = read_flag::kValid;
+  for (const NativeFold& fold : folds_) f |= fold.read_flags;
+  return f;
+}
+
+// --- cross-thread value publication ----------------------------------------
+
+inline void EventSet::publish_values(std::span<const long long> values,
+                              std::uint32_t pub_state) noexcept {
+  // Seqlock write (single writer: the owning thread).  The release
+  // fence orders the odd seq store before the data stores; the final
+  // release store orders the data before the even seq — a reader that
+  // sees the same even seq on both sides of its copy got a consistent
+  // snapshot.  All data fields are atomics, so a torn interleaving is
+  // discarded by the seq check, never undefined behaviour.
+  Published& p = published_;
+  const std::uint32_t s = pub_seq_shadow_;
+  pub_seq_shadow_ = s + 2;
+  p.seq.store(s + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  const std::size_t n = std::min(calc_.size(), kMaxPublishedValues);
+  p.state.store(pub_state, std::memory_order_relaxed);
+  p.num_events.store(static_cast<std::uint32_t>(calc_.size()),
+                     std::memory_order_relaxed);
+  p.stored.store(static_cast<std::uint32_t>(n), std::memory_order_relaxed);
+  const NativeFold* folds = folds_.data();
+  if (terms_identity_ && values.size() >= n) [[likely]] {
+    // One fused pass, flags straight from the per-native fold records —
+    // the steady-state read's publication cost is this loop plus the
+    // seq bracket.
+    for (std::size_t i = 0; i < n; ++i) {
+      p.values[i].store(values[i], std::memory_order_relaxed);
+      p.flags[i].store(folds[i].read_flags, std::memory_order_relaxed);
+    }
+    p.seq.store(s + 2, std::memory_order_release);
+    return;
+  }
+  const FlatTerm* terms = flat_terms_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    p.values[i].store(i < values.size() ? values[i] : 0,
+                      std::memory_order_relaxed);
+    const EntryCalc c = calc_[i];
+    std::uint8_t f = 0;
+    for (std::uint32_t t = 0; t < c.count; ++t) {
+      f |= folds[terms[c.begin + t].native_index].read_flags;
+    }
+    p.flags[i].store(f, std::memory_order_relaxed);
+  }
+  p.seq.store(s + 2, std::memory_order_release);
+}
+
+void EventSet::publish_clear() noexcept {
+  Published& p = published_;
+  const std::uint32_t s = pub_seq_shadow_;
+  pub_seq_shadow_ = s + 2;
+  p.seq.store(s + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  p.state.store(kPubNeverRan, std::memory_order_relaxed);
+  p.num_events.store(0, std::memory_order_relaxed);
+  p.stored.store(0, std::memory_order_relaxed);
+  p.seq.store(s + 2, std::memory_order_release);
 }
 
 Status EventSet::read_ex(std::span<long long> out,
@@ -762,9 +883,9 @@ Status EventSet::read_ex(std::span<long long> out,
   telemetry.bump(TelemetryCounter::kReads);
   if (!running() && stopped_raw_valid_) {
     compute_values(stopped_raw_, out);
-    // The stop() snapshot's fidelity was persisted into native_flags_.
-    std::copy(native_flags_.begin(), native_flags_.end(),
-              scratch_flags_.begin());
+    // The stop() snapshot's fidelity was persisted into the sticky
+    // flags; surface those.
+    for (NativeFold& f : folds_) f.read_flags = f.sticky_flags;
     compute_flags(flags);
     return Error::kOk;
   }
@@ -775,15 +896,15 @@ Status EventSet::read_ex(std::span<long long> out,
     PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(scratch_raw_));
     telemetry.bump_component(0, ComponentCounter::kReads);
     compute_values(scratch_raw_, out);
-    std::copy(native_flags_.begin(), native_flags_.end(),
-              scratch_flags_.begin());
+    for (NativeFold& f : folds_) f.read_flags = f.sticky_flags;
     compute_flags(flags);
+    publish_values(out, kPubRunning);
     return Error::kOk;
   }
   // The partial-failure fan-out: every slice is attempted; a failing
   // slice serves latched values (read_slice fills flags + window), and
-  // the read as a whole still succeeds.
-  scratch_raw_.assign(natives_.size(), 0);
+  // the read as a whole still succeeds.  read_slice overwrites every
+  // native in its window, so no zero-fill is needed first.
   for (ComponentSlice& slice : slices_) {
     const Status s = read_slice(slice, scratch_raw_);
     if (s.ok()) {
@@ -792,34 +913,78 @@ Status EventSet::read_ex(std::span<long long> out,
   }
   compute_values(scratch_raw_, out);
   compute_flags(flags);
+  publish_values(out, kPubRunning);
   return Error::kOk;
 }
 
 Status EventSet::read(std::span<long long> out) {
   if (out.size() < entries_.size()) return Error::kInvalid;
-  if (!running() && !stopped_raw_valid_) return Error::kNotRunning;
   TelemetryRegistry& telemetry = library_.telemetry();
-  telemetry.bump(TelemetryCounter::kReads);
-  if (!running() && stopped_raw_valid_) {
+  if (!running()) {
+    if (!stopped_raw_valid_) return Error::kNotRunning;
+    telemetry.bump(TelemetryCounter::kReads);
     compute_values(stopped_raw_, out);
     return Error::kOk;
   }
-  if (multiplex_ && (degradations_ & degradation::kMuxSequential) != 0) {
-    rotate_mux();  // sequential-slice fallback: reads drive the rotation
+  if (multiplex_ || telemetry.tracing()) [[unlikely]] {
+    telemetry.bump(TelemetryCounter::kReads);
+    if (multiplex_ && (degradations_ & degradation::kMuxSequential) != 0) {
+      rotate_mux();  // sequential-slice fallback: reads drive rotation
+    }
+    const bool tracing = telemetry.tracing();
+    const std::uint64_t ts = tracing ? context_->cycles() : 0;
+    PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(scratch_raw_));
+    for (const ComponentSlice& slice : slices_) {
+      telemetry.bump_component(slice.component, ComponentCounter::kReads);
+    }
+    compute_values(scratch_raw_, out);
+    publish_values(out, kPubRunning);
+    if (tracing) {
+      const std::uint64_t after = context_->cycles();
+      telemetry.trace(TraceEventKind::kRead, ts,
+                      after > ts ? after - ts : 0,
+                      static_cast<std::uint64_t>(handle_));
+    }
+    return Error::kOk;
   }
-  const bool tracing = telemetry.tracing();
-  const std::uint64_t ts = tracing ? context_->cycles() : 0;
-  PAPIREPRO_RETURN_IF_ERROR(snapshot_raw(scratch_raw_));
-  for (const ComponentSlice& slice : slices_) {
-    telemetry.bump_component(slice.component, ComponentCounter::kReads);
+  // Non-mux, non-tracing steady state — the sub-10 ns target path.
+  // read_slice overwrites every native in its window (slices partition
+  // natives_), so the old pre-read zero-fill is skipped, and telemetry
+  // folds into one fused bump after success instead of separate
+  // library-wide and per-component touches.
+  for (ComponentSlice& slice : slices_) {
+    const Status s = read_slice(slice, scratch_raw_);
+    if (!s.ok()) {
+      telemetry.bump(TelemetryCounter::kReads);  // attempts still count
+      return s;
+    }
   }
   compute_values(scratch_raw_, out);
-  if (tracing) {
-    const std::uint64_t after = context_->cycles();
-    telemetry.trace(TraceEventKind::kRead, ts, after > ts ? after - ts : 0,
-                    static_cast<std::uint64_t>(handle_));
+  publish_values(out, kPubRunning);
+  telemetry.bump_read(slices_.front().component);
+  for (std::size_t i = 1; i < slices_.size(); ++i) {
+    telemetry.bump_component(slices_[i].component, ComponentCounter::kReads);
   }
   return Error::kOk;
+}
+
+Status EventSet::read_many(std::span<EventSet* const> sets,
+                           std::span<long long> values,
+                           std::span<SnapshotEntry> entries,
+                           std::size_t* values_used) {
+  if (values_used != nullptr) *values_used = 0;
+  if (sets.empty()) return Error::kOk;
+  if (entries.size() < sets.size()) return Error::kInvalid;
+  Library* library = nullptr;
+  for (EventSet* set : sets) {
+    if (set == nullptr) return Error::kInvalid;
+    if (library == nullptr) {
+      library = &set->library_;
+    } else if (&set->library_ != library) {
+      return Error::kInvalid;  // one batch, one library
+    }
+  }
+  return library->read_many(sets, values, entries, values_used);
 }
 
 Status EventSet::accum(std::span<long long> inout) {
@@ -848,13 +1013,7 @@ Status EventSet::reset() {
       }
     }
   }
-  std::fill(wrap_last_.begin(), wrap_last_.end(), 0ULL);
-  std::fill(wrap_accum_.begin(), wrap_accum_.end(), 0ULL);
-  std::fill(latched_raw_.begin(), latched_raw_.end(), 0ULL);
-  std::fill(native_flags_.begin(), native_flags_.end(),
-            static_cast<std::uint8_t>(0));
-  std::fill(scratch_flags_.begin(), scratch_flags_.end(),
-            static_cast<std::uint8_t>(0));
+  for (NativeFold& f : folds_) f = NativeFold{};
   if (multiplex_) {
     for (auto& st : mux_state_) {
       std::fill(st.accum.begin(), st.accum.end(), 0ULL);
@@ -865,6 +1024,11 @@ Status EventSet::reset() {
     }
   }
   stopped_raw_valid_ = false;
+  if (running()) {
+    publish_values({}, kPubRunning);  // batched readers see zeros, not stale
+  } else {
+    publish_clear();
+  }
   return Error::kOk;
 }
 
@@ -923,8 +1087,7 @@ Status EventSet::stop(std::span<long long> out) {
       const Status s = read_slice(slice, stopped_raw_);
       if (!s.ok() && partial.ok()) partial = s;
     }
-    std::copy(scratch_flags_.begin(), scratch_flags_.end(),
-              native_flags_.begin());
+    for (NativeFold& f : folds_) f.sticky_flags = f.read_flags;
   }
 
   // Disarm before the context goes back to the library: the substrate
@@ -952,6 +1115,11 @@ Status EventSet::stop(std::span<long long> out) {
                                      static_cast<std::uint64_t>(handle_));
 
   stopped_raw_valid_ = true;
+  // Publish the final totals so batched readers on other threads keep
+  // seeing this set's values after it stops (capacity already reserved).
+  scratch_values_.assign(entries_.size(), 0);
+  compute_values(stopped_raw_, scratch_values_);
+  publish_values(scratch_values_, kPubStopped);
   library_.release_context(this);
   context_ = nullptr;
   for (ComponentSlice& slice : slices_) slice.context = nullptr;

@@ -20,6 +20,7 @@
 // belongs to whichever thread started it until stop().
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -37,6 +38,7 @@
 namespace papirepro::papi {
 
 class Library;
+struct Component;
 
 /// Degradation-ladder flags: loud markers that counting continued in a
 /// reduced mode after a substrate fault, set on the EventSet so callers
@@ -62,7 +64,28 @@ inline constexpr std::uint32_t kQuarantined = 0x2;
 /// point since start()/reset(); totals may be wrong.  Sticky until
 /// reset().
 inline constexpr std::uint32_t kSuspect = 0x4;
+/// The value was served from the set's cross-thread publication (the
+/// seqlock snapshot its owning thread refreshes at start/read/stop)
+/// rather than a live substrate read — it may lag the live counters by
+/// up to one publication interval.  Batched reads set this for every
+/// set not running on the calling thread.
+inline constexpr std::uint32_t kPublished = 0x8;
+/// No value was available for this slot: the event is beyond the
+/// publication capacity, or the set never ran.  The value reads 0.
+inline constexpr std::uint32_t kNoData = 0x10;
 }  // namespace read_flag
+
+/// One set's result within a batched read (Library::read_many /
+/// Library::snapshot_all): where its values landed in the shared values
+/// buffer, its per-set status, and the OR-fold of its events'
+/// read_flag::* bits.
+struct SnapshotEntry {
+  int handle = 0;
+  std::uint32_t first_value = 0;  ///< index into the shared values buffer
+  std::uint32_t num_values = 0;
+  Error status = Error::kOk;
+  std::uint32_t flags = 0;
+};
 
 /// Context passed to user overflow handlers.
 struct OverflowEvent {
@@ -150,6 +173,19 @@ class EventSet {
   Status accum(std::span<long long> inout);
   Status reset();
 
+  /// Batched read over `sets` (all from the same Library): one
+  /// thread-state resolve and one epoch pin amortized across every set.
+  /// Sets running on the calling thread are read live; all others are
+  /// served from their seqlock publication (read_flag::kPublished).
+  /// Values pack consecutively per set into `values`; `entries[i]`
+  /// records set i's window, status, and flags.  kInvalid when entries
+  /// is smaller than sets, the sets span libraries, or values runs out
+  /// of capacity.  Zero-allocation.
+  static Status read_many(std::span<EventSet* const> sets,
+                          std::span<long long> values,
+                          std::span<SnapshotEntry> entries,
+                          std::size_t* values_used = nullptr);
+
   // --- overflow dispatch ---
   /// Arms overflow on `id` (must be a non-derived member event; not
   /// available while multiplexing).  `threshold` counts per interrupt.
@@ -220,11 +256,18 @@ class EventSet {
     /// for this component.
     CounterContext* context = nullptr;
     std::uint64_t wrap_mask = ~0ULL;
+    /// The component's registry entry, resolved once at rebuild()
+    /// (Component addresses are stable for the library's lifetime) so
+    /// the per-read health bracket skips the registry lookup.
+    Component* comp = nullptr;
   };
 
   Status rebuild(const std::vector<Entry>& candidate_entries,
                  const std::vector<pmu::NativeEventCode>& candidate_natives,
                  const std::vector<std::uint32_t>& candidate_components);
+  /// Regenerates flat_terms_/calc_ from entries_ — must follow every
+  /// entries_ assignment (both rebuild() branches).
+  void rebuild_flat_terms();
   Status program_and_arm();
   /// Sizes every steady-state scratch buffer (read/fold snapshots, mux
   /// live-slice reads, accum intermediates, the stop() snapshot) so the
@@ -247,16 +290,26 @@ class EventSet {
   /// sanity guards, latches good values, and records per-native
   /// read_flag bits in scratch_flags_.  On failure the slice's window
   /// is filled from the latched values (flags mark it stale).
-  Status read_slice(ComponentSlice& slice,
-                    std::vector<std::uint64_t>& raw_out);
-  /// Folds scratch_flags_ (per-native) into per-event flags: each
-  /// event's flags are the OR over its term natives.
+  [[gnu::always_inline]] Status read_slice(
+      ComponentSlice& slice, std::vector<std::uint64_t>& raw_out);
+  /// Folds the per-native read flags into per-event flags: each event's
+  /// flags are the OR over its term natives.
   void compute_flags(std::span<std::uint32_t> flags) const;
+  /// OR of every native's last read flags — one batched entry's
+  /// fidelity summary.
+  std::uint32_t folded_read_flags() const noexcept;
+  /// Refreshes the cross-thread publication (seqlock write; owner
+  /// thread only).  Flags come from folds_' current read flags.
+  [[gnu::always_inline]] void publish_values(
+      std::span<const long long> values, std::uint32_t pub_state) noexcept;
+  /// Invalidates the publication (membership changed / snapshot
+  /// dropped) without touching folds_ — safe mid-rebuild.
+  void publish_clear() noexcept;
   Status program_mux_group(std::size_t g);
   void rotate_mux();
   Status snapshot_raw(std::vector<std::uint64_t>& raw_out);
-  void compute_values(std::span<const std::uint64_t> raw,
-                      std::span<long long> out) const;
+  [[gnu::always_inline]] void compute_values(
+      std::span<const std::uint64_t> raw, std::span<long long> out) const;
   int find_entry(EventId id) const;
 
   Library& library_;
@@ -291,20 +344,43 @@ class EventSet {
   std::uint64_t total_overhead_cycles_ = 0;
   std::uint64_t total_window_cycles_ = 0;
 
-  /// Wraparound folding over sub-64-bit substrate counters: per-native
-  /// last raw value and 64-bit accumulated total since start()/reset().
-  /// The mask is per-slice (each component has its own counter width);
-  /// an all-ones mask means full-width counters (fast path, no folding).
-  std::vector<std::uint64_t> wrap_last_;
-  std::vector<std::uint64_t> wrap_accum_;
+  /// Per-native hot-path state, one record per native instead of five
+  /// parallel arrays, so a read's fold/latch/flag work touches one
+  /// cache line per native: the wraparound-folding accumulators (the
+  /// mask is per-slice — an all-ones mask means full-width counters,
+  /// the no-fold fast path), the last good post-fold value read_ex()
+  /// serves when a slice fails, the sticky fidelity bits (kSuspect
+  /// persists until reset()), and the per-read working flags.
+  struct NativeFold {
+    std::uint64_t wrap_last = 0;
+    std::uint64_t wrap_accum = 0;
+    std::uint64_t latched = 0;
+    std::uint8_t sticky_flags = 0;
+    std::uint8_t read_flags = 0;
+  };
+  std::vector<NativeFold> folds_;
 
-  /// Partial-failure read state, sized at start(): the last good
-  /// (post-fold) value per native — what read_ex() serves when a slice
-  /// fails —, the sticky per-native fidelity bits (kSuspect persists
-  /// until reset()), and the per-read working flags.
-  std::vector<std::uint64_t> latched_raw_;
-  std::vector<std::uint8_t> native_flags_;
-  std::vector<std::uint8_t> scratch_flags_;
+  /// Rebuild-time flattening of entries_[i].terms into one contiguous
+  /// run: the read hot path (compute_values / compute_flags /
+  /// publish_values) walks flat_terms_[calc_[i].begin ..] sequentially
+  /// instead of chasing a per-entry vector allocation, so a two-event
+  /// read touches two adjacent 8-byte records and nothing else.
+  struct FlatTerm {
+    std::uint32_t native_index = 0;
+    std::int32_t coefficient = 1;
+  };
+  struct EntryCalc {
+    std::uint32_t begin = 0;
+    std::uint32_t count = 0;
+  };
+  std::vector<FlatTerm> flat_terms_;
+  std::vector<EntryCalc> calc_;  ///< parallel to entries_
+  /// True when every entry is exactly one term, coefficient +1, with
+  /// native_index == entry index — the overwhelmingly common shape
+  /// (single-counter presets and native events, no derived formulas).
+  /// compute_values collapses to a copy and publish_values reads each
+  /// entry's flags straight out of folds_.
+  bool terms_identity_ = false;
 
   bool multiplex_ = false;
   std::uint64_t mux_slice_cycles_ = kDefaultMuxSliceCycles;
@@ -353,6 +429,87 @@ class EventSet {
   /// returns this set's values even if the substrate is reprogrammed.
   std::vector<std::uint64_t> stopped_raw_;
   bool stopped_raw_valid_ = false;
+
+  // --- cross-thread value publication -------------------------------------
+  /// Published values per set; sets with more events publish the first
+  /// kMaxPublishedValues and batch readers flag the rest kNoData.
+  static constexpr std::size_t kMaxPublishedValues = 16;
+  enum : std::uint32_t { kPubNeverRan = 0, kPubRunning = 1, kPubStopped = 2 };
+  /// Seqlock-published snapshot of this set's values, refreshed by the
+  /// owning thread at start()/read()/stop()/reset().  All fields are
+  /// atomics (relaxed inside the seq bracket), so concurrent batch
+  /// readers on other threads are race-free without ever touching the
+  /// owner's substrate contexts; torn reads are discarded via the seq
+  /// check.  Single writer: the thread driving the set.
+  struct Published {
+    std::atomic<std::uint32_t> seq{0};  ///< odd while a write is open
+    std::atomic<std::uint32_t> state{kPubNeverRan};
+    std::atomic<std::uint32_t> num_events{0};  ///< authoritative count
+    std::atomic<std::uint32_t> stored{0};      ///< values published
+    std::array<std::atomic<long long>, kMaxPublishedValues> values{};
+    std::array<std::atomic<std::uint8_t>, kMaxPublishedValues> flags{};
+  };
+  /// The batch readers' publication path: one seqlock read bracket
+  /// copying the published values straight into `out` and folding
+  /// status/flags into `e` — no intermediate snapshot struct (zeroing
+  /// and copying fixed kMaxPublishedValues arrays per set dominated
+  /// snapshot_all over large registries).
+  void read_published_into(std::span<long long> out,
+                           SnapshotEntry& e) const noexcept;
+  Published published_;
+  /// Single-writer shadow of published_.seq: the owning thread is the
+  /// only writer, so publish paths bump this plain copy instead of
+  /// re-loading the atomic on every read.
+  std::uint32_t pub_seq_shadow_ = 0;
 };
+
+// Defined here (not eventset.cpp) so Library's batch loops inline it:
+// snapshot_all over a large registry runs this once per set, and the
+// cross-TU call was a measurable share of the per-set cost.
+inline void EventSet::read_published_into(std::span<long long> out,
+                                          SnapshotEntry& e) const noexcept {
+  const Published& p = published_;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    // The final attempt gives up on consistency: serve the copy anyway,
+    // marked kStale (the writer kept racing us — a read loop on the
+    // owning thread).
+    const bool last = attempt == 63;
+    const std::uint32_t s1 = p.seq.load(std::memory_order_acquire);
+    if ((s1 & 1u) != 0 && !last) continue;  // write in progress
+    const std::uint32_t state = p.state.load(std::memory_order_relaxed);
+    const std::uint32_t num_events =
+        p.num_events.load(std::memory_order_relaxed);
+    const std::uint32_t stored_raw =
+        std::min(p.stored.load(std::memory_order_relaxed),
+                 static_cast<std::uint32_t>(kMaxPublishedValues));
+    std::size_t n = num_events;
+    bool clipped = false;
+    if (n > out.size()) {
+      n = out.size();
+      clipped = true;
+    }
+    const std::size_t stored = std::min<std::size_t>(stored_raw, n);
+    std::uint32_t folded = 0;
+    for (std::size_t i = 0; i < stored; ++i) {
+      out[i] = p.values[i].load(std::memory_order_relaxed);
+      folded |= p.flags[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (!last && p.seq.load(std::memory_order_relaxed) != s1) continue;
+    if (state == kPubNeverRan) {
+      e.status = Error::kNotRunning;
+      e.num_values = 0;
+      return;
+    }
+    e.flags |= read_flag::kPublished | folded;
+    if (clipped || last) e.flags |= read_flag::kStale;
+    for (std::size_t i = stored; i < n; ++i) {
+      out[i] = 0;
+      e.flags |= read_flag::kNoData;
+    }
+    e.num_values = static_cast<std::uint32_t>(n);
+    return;
+  }
+}
 
 }  // namespace papirepro::papi

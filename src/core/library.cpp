@@ -1,5 +1,6 @@
 #include "core/library.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <climits>
@@ -66,6 +67,11 @@ Library::~Library() {
   // slot, so don't hold the registry lock while calling it.
   for (EventSet* set : threads_.running_sets()) {
     (void)set->stop();
+  }
+  // Handle-table chunks are only ever freed here, after all user threads
+  // (and thus all lock-free readers) have quiesced.
+  for (auto& chunk_slot : set_chunks_) {
+    delete[] chunk_slot.load(std::memory_order_acquire);
   }
   // PAPIREPRO_TELEMETRY=stderr|<path>: at-shutdown summary of the
   // library's own behaviour, for runs that never call the C API.
@@ -255,14 +261,17 @@ std::vector<Preset> Library::available_presets() const {
 
 Status Library::thread_init(ThreadIdFn id_fn) {
   if (!id_fn) return Error::kInvalid;
-  const std::unique_lock<std::shared_mutex> lock(id_fn_mutex_);
+  writer_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(id_fn_mutex_);
   id_fn_ = std::move(id_fn);
+  has_id_fn_.store(true, std::memory_order_release);
   return Error::kOk;
 }
 
 bool Library::threaded() const noexcept {
-  const std::shared_lock<std::shared_mutex> lock(id_fn_mutex_);
-  return static_cast<bool>(id_fn_);
+  // Lock-free: the flag is release-published after the function object
+  // is installed, and thread_init never uninstalls it.
+  return has_id_fn_.load(std::memory_order_acquire);
 }
 
 // --- transient-fault hardening ---------------------------------------------
@@ -312,9 +321,13 @@ Result<ThreadRegistry::ThreadState*> Library::current_thread_state() {
     return state;
   }
   unsigned long numeric_id = 0;
-  {
-    const std::shared_lock<std::shared_mutex> lock(id_fn_mutex_);
+  if (has_id_fn_.load(std::memory_order_acquire)) {
+    // Registration slow path only — steady-state reads never get here.
+    writer_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(id_fn_mutex_);
     numeric_id = id_fn_ ? id_fn_() : default_thread_id();
+  } else {
+    numeric_id = default_thread_id();
   }
   // Claim the registry slot first so the numeric id is assigned exactly
   // once (the id function may not be idempotent), then create the
@@ -423,42 +436,287 @@ void Library::release_context(EventSet* set) {
 
 // --- EventSets -----------------------------------------------------------
 
+std::atomic<EventSet*>* Library::set_slot(int handle) const noexcept {
+  if (handle <= 0) return nullptr;
+  const std::size_t idx = static_cast<std::size_t>(handle) - 1;
+  const std::size_t chunk_idx = idx >> kSetChunkShift;
+  if (chunk_idx >= kMaxSetChunks) return nullptr;
+  std::atomic<EventSet*>* chunk =
+      set_chunks_[chunk_idx].load(std::memory_order_acquire);
+  if (chunk == nullptr) return nullptr;
+  return &chunk[idx & (kSetChunkSlots - 1)];
+}
+
+EventSet* Library::find_set(int handle) const noexcept {
+  std::atomic<EventSet*>* slot = set_slot(handle);
+  // seq_cst slot load: participates in the reclamation protocol's single
+  // total order (see EpochPin) so a pinned reader either sees the set or
+  // provably pinned after its unpublish.
+  return slot != nullptr ? slot->load(std::memory_order_seq_cst) : nullptr;
+}
+
 Result<int> Library::create_event_set() {
-  const std::unique_lock<std::shared_mutex> lock(sets_mutex_);
+  writer_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(sets_mutex_);
   int handle = 0;
   if (!free_handles_.empty()) {
     handle = free_handles_.back();
     free_handles_.pop_back();
-  } else if (next_handle_ == INT_MAX) {
+  } else if (static_cast<std::size_t>(next_handle_) >
+             kMaxSetChunks * kSetChunkSlots) {
     return Error::kNoMemory;  // handle space exhausted
   } else {
     handle = next_handle_++;
   }
-  sets_.emplace(handle,
-                std::unique_ptr<EventSet>(new EventSet(*this, handle)));
+  const std::size_t idx = static_cast<std::size_t>(handle) - 1;
+  const std::size_t chunk_idx = idx >> kSetChunkShift;
+  std::atomic<EventSet*>* chunk =
+      set_chunks_[chunk_idx].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    // Value-initialized: every slot is null before the release store
+    // publishes the chunk to lock-free readers.  Chunks are never freed
+    // before the Library dies.
+    chunk = new std::atomic<EventSet*>[kSetChunkSlots]();
+    set_chunks_[chunk_idx].store(chunk, std::memory_order_release);
+  }
+  auto set = std::unique_ptr<EventSet>(new EventSet(*this, handle));
+  EventSet* raw = set.get();
+  sets_.emplace(handle, std::move(set));
+  num_sets_.fetch_add(1, std::memory_order_relaxed);
+  // Publish last, after the set is fully constructed and owned.
+  chunk[idx & (kSetChunkSlots - 1)].store(raw, std::memory_order_seq_cst);
   return handle;
 }
 
 Result<EventSet*> Library::event_set(int handle) {
-  const std::shared_lock<std::shared_mutex> lock(sets_mutex_);
-  const auto it = sets_.find(handle);
-  if (it == sets_.end()) return Error::kNoEventSet;
-  return it->second.get();
+  EventSet* set = find_set(handle);  // lock-free: two atomic loads
+  if (set == nullptr) return Error::kNoEventSet;
+  return set;
+}
+
+void Library::reclaim_retired_locked() {
+  if (graveyard_.empty()) return;
+  // A retired set is freeable once every pinned reader's epoch is at or
+  // past its retire epoch: such a pin's seq_cst global-epoch load came
+  // after the retire bump, therefore after the unpublish, so that
+  // reader's table walk can only have seen null for this handle.
+  const std::uint64_t min_pin = threads_.min_active_epoch();
+  std::erase_if(graveyard_, [&](const RetiredSet& retired) {
+    return retired.retire_epoch <= min_pin;
+  });
 }
 
 Status Library::destroy_event_set(int handle) {
-  const std::unique_lock<std::shared_mutex> lock(sets_mutex_);
+  writer_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(sets_mutex_);
   const auto it = sets_.find(handle);
   if (it == sets_.end()) return Error::kNoEventSet;
   if (it->second->running()) return Error::kIsRunning;
+  // 1. Unpublish: lock-free readers stop finding the set.
+  set_slot(handle)->store(nullptr, std::memory_order_seq_cst);
+  // 2. Retire under the epoch that exists *after* the unpublish; readers
+  //    pinned before it may still hold the pointer, so the storage moves
+  //    to the graveyard instead of being freed.
+  const std::uint64_t retire =
+      global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  graveyard_.push_back({std::move(it->second), retire});
   sets_.erase(it);
+  num_sets_.fetch_sub(1, std::memory_order_relaxed);
   free_handles_.push_back(handle);
+  // 3. Opportunistically free whatever prior retirees have quiesced.
+  reclaim_retired_locked();
   return Error::kOk;
 }
 
-std::size_t Library::num_event_sets() const noexcept {
-  const std::shared_lock<std::shared_mutex> lock(sets_mutex_);
-  return sets_.size();
+std::size_t Library::retired_sets_pending() const {
+  const std::lock_guard<std::mutex> lock(sets_mutex_);
+  return graveyard_.size();
+}
+
+// --- batched snapshot reads ----------------------------------------------
+
+EventSet* Library::current_running() const noexcept {
+  if (tls_context_cache.token == instance_token_ &&
+      tls_context_cache.state != nullptr) {
+    return tls_context_cache.state->running.load(std::memory_order_acquire);
+  }
+  if (ThreadRegistry::ThreadState* state = threads_.find_current()) {
+    return state->running.load(std::memory_order_acquire);
+  }
+  return nullptr;
+}
+
+std::size_t Library::batch_num_values(EventSet& set,
+                                      bool live) const noexcept {
+  if (live) return set.entries_.size();
+  return set.published_.num_events.load(std::memory_order_acquire);
+}
+
+Status Library::batch_fill(EventSet& set, bool live,
+                           std::span<long long> out, SnapshotEntry& e) {
+  e.status = Error::kOk;
+  e.flags = 0;
+  e.num_values = 0;
+  if (live) {
+    const std::size_t n = set.entries_.size();
+    if (out.size() < n) return Error::kInvalid;
+    const Status s = set.read(out.first(n));
+    if (s.ok()) {
+      e.num_values = static_cast<std::uint32_t>(n);
+      e.flags = set.folded_read_flags();
+      return Error::kOk;
+    }
+    if (s.error() == Error::kNotRunning) {
+      e.status = s.error();
+      return Error::kOk;
+    }
+    // The live read failed (quarantine, substrate fault): serve the last
+    // publication and mark the provenance instead of failing the batch.
+    set.read_published_into(out, e);
+    e.flags |= read_flag::kStale;
+    if (s.error() == Error::kComponentQuarantined) {
+      e.flags |= read_flag::kQuarantined;
+    }
+    return Error::kOk;
+  }
+  set.read_published_into(out, e);
+  return Error::kOk;
+}
+
+Status Library::read_many(std::span<EventSet* const> sets,
+                          std::span<long long> values,
+                          std::span<SnapshotEntry> entries,
+                          std::size_t* values_used) {
+  if (values_used != nullptr) *values_used = 0;
+  if (entries.size() < sets.size()) return Error::kInvalid;
+  // Resolve the calling thread's context once for the whole batch.
+  EventSet* const my_running = current_running();
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    EventSet* set = sets[i];
+    if (set == nullptr) return Error::kInvalid;
+    SnapshotEntry& e = entries[i];
+    e.handle = set->handle();
+    e.first_value = static_cast<std::uint32_t>(used);
+    const bool live = set == my_running;
+    if (used + batch_num_values(*set, live) > values.size()) {
+      return Error::kInvalid;  // caller's values buffer is too small
+    }
+    PAPIREPRO_RETURN_IF_ERROR(
+        batch_fill(*set, live, values.subspan(used), e));
+    used += e.num_values;
+  }
+  if (values_used != nullptr) *values_used = used;
+  return Error::kOk;
+}
+
+Status Library::read_many_handles(std::span<const int> handles,
+                                  std::span<long long> values,
+                                  std::span<SnapshotEntry> entries,
+                                  std::size_t* values_used) {
+  if (values_used != nullptr) *values_used = 0;
+  if (entries.size() < handles.size()) return Error::kInvalid;
+  auto state = current_thread_state();
+  if (!state.ok()) return state.error();
+  EventSet* const my_running =
+      state.value()->running.load(std::memory_order_acquire);
+  // Handle resolution happens inside the pin: a concurrent destroy of
+  // any of these sets parks the storage in the graveyard until we drop
+  // the pin, so the pointers stay valid for the whole batch.
+  const EpochPin pin(*this, *state.value());
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    SnapshotEntry& e = entries[i];
+    e.handle = handles[i];
+    e.first_value = static_cast<std::uint32_t>(used);
+    e.num_values = 0;
+    e.flags = 0;
+    EventSet* set = find_set(handles[i]);
+    if (set == nullptr) {
+      e.status = Error::kNoEventSet;  // per-entry, not a batch failure
+      continue;
+    }
+    const bool live = set == my_running;
+    if (used + batch_num_values(*set, live) > values.size()) {
+      return Error::kInvalid;  // caller's values buffer is too small
+    }
+    PAPIREPRO_RETURN_IF_ERROR(
+        batch_fill(*set, live, values.subspan(used), e));
+    used += e.num_values;
+  }
+  if (values_used != nullptr) *values_used = used;
+  return Error::kOk;
+}
+
+Status Library::snapshot_all(std::vector<SnapshotEntry>& entries,
+                             std::vector<long long>& values) {
+  // Thin grow-and-retry wrapper over the span overload: the hot walk
+  // runs over plain spans with no per-set vector bookkeeping (the
+  // earlier resize-per-set/push_back-per-set loop cost more than the
+  // seqlock copies it fed).  A warm caller's capacity survives the
+  // trailing shrink, so steady state is one span pass per call.
+  entries.resize(std::max<std::size_t>(entries.capacity(), 64));
+  values.resize(std::max<std::size_t>(values.capacity(), 256));
+  for (;;) {
+    std::size_t n_entries = 0;
+    std::size_t n_values = 0;
+    const Status s = snapshot_all(std::span<SnapshotEntry>(entries),
+                                  std::span<long long>(values), &n_entries,
+                                  &n_values);
+    if (s.ok()) {
+      entries.resize(n_entries);
+      values.resize(n_values);
+      return s;
+    }
+    if (s.error() != Error::kInvalid) {
+      entries.clear();
+      values.clear();
+      return s;
+    }
+    // Undersized for the current registry: kInvalid from the span
+    // overload only means one of the two buffers ran out.
+    entries.resize(entries.size() * 2);
+    values.resize(values.size() * 2);
+  }
+}
+
+Status Library::snapshot_all(std::span<SnapshotEntry> entries,
+                             std::span<long long> values,
+                             std::size_t* entries_used,
+                             std::size_t* values_used) {
+  if (entries_used != nullptr) *entries_used = 0;
+  if (values_used != nullptr) *values_used = 0;
+  auto state = current_thread_state();
+  if (!state.ok()) return state.error();
+  EventSet* const my_running =
+      state.value()->running.load(std::memory_order_acquire);
+  const EpochPin pin(*this, *state.value());
+  std::size_t n_entries = 0;
+  std::size_t used = 0;
+  for (std::size_t chunk_idx = 0; chunk_idx < kMaxSetChunks; ++chunk_idx) {
+    std::atomic<EventSet*>* chunk =
+        set_chunks_[chunk_idx].load(std::memory_order_acquire);
+    if (chunk == nullptr) break;
+    for (std::size_t s = 0; s < kSetChunkSlots; ++s) {
+      EventSet* set = chunk[s].load(std::memory_order_seq_cst);
+      if (set == nullptr) continue;
+      if (n_entries == entries.size()) return Error::kInvalid;
+      SnapshotEntry& e = entries[n_entries];
+      e.handle = set->handle();
+      e.first_value = static_cast<std::uint32_t>(used);
+      const bool live = set == my_running;
+      if (used + batch_num_values(*set, live) > values.size()) {
+        return Error::kInvalid;  // caller's values buffer is too small
+      }
+      PAPIREPRO_RETURN_IF_ERROR(
+          batch_fill(*set, live, values.subspan(used), e));
+      used += e.num_values;
+      ++n_entries;
+    }
+  }
+  if (entries_used != nullptr) *entries_used = n_entries;
+  if (values_used != nullptr) *values_used = used;
+  return Error::kOk;
 }
 
 }  // namespace papirepro::papi

@@ -10,8 +10,11 @@
 // CounterContext from the substrate factory, so N threads can each drive
 // one running EventSet concurrently with no shared counter state.
 //
-// Thread discipline: the handle table is shared_mutex-guarded (EventSet
-// creation/destruction/lookup may happen on any thread), counter control
+// Thread discipline: the handle table is a lock-free chunked array of
+// atomic EventSet pointers — lookups and batched walks take zero locks;
+// creation/destruction serialize on one plain writer mutex with
+// epoch-based deferred reclamation (a destroyed set's storage survives
+// until every in-flight batched reader has unpinned).  Counter control
 // goes through the calling thread's context, and the stateless services
 // (event namespace, allocation, timers, memory info) are safe from any
 // thread.  Threads are auto-registered on their first start(); explicit
@@ -19,10 +22,12 @@
 // want PAPI_register_thread semantics.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -148,7 +153,57 @@ class Library {
   Result<int> create_event_set();
   Result<EventSet*> event_set(int handle);
   Status destroy_event_set(int handle);
-  std::size_t num_event_sets() const noexcept;
+  std::size_t num_event_sets() const noexcept {
+    return num_sets_.load(std::memory_order_relaxed);
+  }
+
+  // --- batched snapshot reads ---
+  /// Reads every set in `sets` in one pass: the calling thread's context
+  /// is resolved once, its own running set gets a full live read, every
+  /// other set is served from its seqlock publication (kPublished flag).
+  /// `entries[i]` describes set i's values at
+  /// values[entries[i].first_value ..+ num_values).  Zero heap
+  /// allocation.  kInvalid when entries or values are too small.
+  Status read_many(std::span<EventSet* const> sets,
+                   std::span<long long> values,
+                   std::span<SnapshotEntry> entries,
+                   std::size_t* values_used = nullptr);
+  /// Handle-resolving variant (the C API's entry): lookups happen inside
+  /// the caller's epoch pin, so a concurrent destroy_event_set defers
+  /// reclamation instead of racing.  Unknown handles yield a per-entry
+  /// kNoEventSet status, not a batch failure.
+  Status read_many_handles(std::span<const int> handles,
+                           std::span<long long> values,
+                           std::span<SnapshotEntry> entries,
+                           std::size_t* values_used = nullptr);
+  /// One coherent pass over every live EventSet in the library (the
+  /// whole handle table), into caller-owned vectors that are resized to
+  /// fit (contents replaced) and reused — steady state allocates
+  /// nothing once capacity is warm.
+  Status snapshot_all(std::vector<SnapshotEntry>& entries,
+                      std::vector<long long>& values);
+  /// Fixed-capacity variant (the C API's entry): kInvalid when either
+  /// buffer is too small for the live population.  Never allocates.
+  Status snapshot_all(std::span<SnapshotEntry> entries,
+                      std::span<long long> values,
+                      std::size_t* entries_used, std::size_t* values_used);
+
+  /// Lock-free handle lookup: two atomic loads.  The pointer is only
+  /// safe to dereference while the caller holds an epoch pin or
+  /// otherwise owns the set's lifetime.
+  EventSet* find_set(int handle) const noexcept;
+
+  // --- lock observability (test hooks) ---
+  /// Total writer-mutex acquisitions (thread registry + handle table) so
+  /// far.  Steady-state read/accum/read_many/snapshot_all must leave
+  /// this unchanged — the assertion tests prove the lock-free claim.
+  std::uint64_t lock_acquisitions() const noexcept {
+    return threads_.lock_acquisitions() +
+           writer_lock_acquisitions_.load(std::memory_order_relaxed);
+  }
+  /// Destroyed EventSets whose storage is still deferred behind an
+  /// active reader pin.
+  std::size_t retired_sets_pending() const;
 
   // --- timers ("the most popular feature") ---
   std::uint64_t real_usec() const { return substrate_->real_usec(); }
@@ -199,9 +254,17 @@ class Library {
   Status run_slice_op(std::uint32_t component, Op&& op) {
     Component* c = components_.at(component);
     if (c == nullptr) return Error::kNoComponent;
-    PAPIREPRO_RETURN_IF_ERROR(c->health.admit());
+    return run_slice_op(*c, std::forward<Op>(op));
+  }
+
+  /// Same bracket with the Component already resolved — the read hot
+  /// path caches the pointer per slice at rebuild so steady-state reads
+  /// skip the registry indirection entirely.
+  template <typename Op>
+  Status run_slice_op(Component& c, Op&& op) {
+    PAPIREPRO_RETURN_IF_ERROR(c.health.admit());
     const Status status = run_with_retries(std::forward<Op>(op));
-    c->health.record(status.error());
+    c.health.record(status.error());
     return status;
   }
 
@@ -262,6 +325,48 @@ class Library {
   /// Sleeps the policy's exponential backoff before retry `attempt`.
   void backoff_before_retry(int attempt) const;
 
+  /// RAII epoch pin for batched readers.  While alive, destroyed
+  /// EventSets whose unpublish the pinned reader may not have observed
+  /// stay in the graveyard instead of being freed.  The pin load of the
+  /// global epoch is seq_cst: correctness argues through the single
+  /// total order over {pin store, unpublish store, epoch bump, writer
+  /// scan} — a pin at or past a set's retire epoch proves the reader's
+  /// table walk started after the unpublish and cannot hold the pointer.
+  class EpochPin {
+   public:
+    EpochPin(Library& library, ThreadRegistry::ThreadState& state) noexcept
+        : state_(state) {
+      state_.epoch.store(
+          library.global_epoch_.load(std::memory_order_seq_cst),
+          std::memory_order_seq_cst);
+    }
+    ~EpochPin() { state_.epoch.store(0, std::memory_order_release); }
+    EpochPin(const EpochPin&) = delete;
+    EpochPin& operator=(const EpochPin&) = delete;
+
+   private:
+    ThreadRegistry::ThreadState& state_;
+  };
+
+  /// The handle's slot in the chunked table, or nullptr when its chunk
+  /// was never allocated.
+  std::atomic<EventSet*>* set_slot(int handle) const noexcept;
+  /// Frees every graveyard entry no active reader pin can still reach.
+  /// Caller holds sets_mutex_.
+  void reclaim_retired_locked();
+  /// Number of values `set` will produce in a batch (live event count or
+  /// the published header's count).
+  std::size_t batch_num_values(EventSet& set, bool live) const noexcept;
+  /// Fills one batch entry: live read for the caller's running set (with
+  /// publication fallback on failure), seqlock publication copy for
+  /// everything else.  Writes e.num_values values into `out`; kInvalid
+  /// only when `out` cannot hold a live read.
+  Status batch_fill(EventSet& set, bool live, std::span<long long> out,
+                    SnapshotEntry& e);
+  /// The calling thread's currently running set, resolved through the
+  /// thread-local cache (no registry lock), or nullptr.
+  EventSet* current_running() const noexcept;
+
   /// Declared first: every other subsystem (substrate decorators, the
   /// allocation cache, the sampling aggregator, EventSets) holds a raw
   /// pointer into the registry, so it must be constructed before and
@@ -281,7 +386,10 @@ class Library {
   const std::uint64_t instance_token_;
 
   ThreadRegistry threads_;
-  mutable std::shared_mutex id_fn_mutex_;
+  /// threaded() is an acquire load on the flag; the mutex only covers
+  /// the registration slow path and reads of the function object.
+  std::atomic<bool> has_id_fn_{false};
+  mutable std::mutex id_fn_mutex_;
   ThreadIdFn id_fn_;
 
   /// Retry policy as relaxed atomics: read on every hot-path retry
@@ -296,10 +404,35 @@ class Library {
   /// destructors, so the aggregator must outlive the handle table.
   SamplingAggregator sampling_;
 
-  mutable std::shared_mutex sets_mutex_;
+  // --- handle table: lock-free readers, mutex-serialized writers ---
+  /// Chunk geometry: handle h lives at chunk[(h-1) >> kSetChunkShift]
+  /// slot[(h-1) & (kSetChunkSlots-1)].  Chunks are allocated on demand
+  /// under sets_mutex_, release-published, and never freed before the
+  /// Library dies, so a lock-free reader's two loads (acquire chunk,
+  /// seq_cst slot) always land on live storage.
+  static constexpr std::size_t kSetChunkShift = 10;
+  static constexpr std::size_t kSetChunkSlots = 1u << kSetChunkShift;
+  static constexpr std::size_t kMaxSetChunks = 1024;  // ~1M handles
+  std::array<std::atomic<std::atomic<EventSet*>*>, kMaxSetChunks>
+      set_chunks_{};
+
+  mutable std::mutex sets_mutex_;
+  /// Ownership ledger behind the lock-free table: the unique_ptrs that
+  /// actually own live EventSets.
   std::unordered_map<int, std::unique_ptr<EventSet>> sets_;
+  /// Destroyed sets whose storage waits out in-flight reader pins.
+  struct RetiredSet {
+    std::unique_ptr<EventSet> set;
+    std::uint64_t retire_epoch;
+  };
+  std::vector<RetiredSet> graveyard_;
   std::vector<int> free_handles_;  ///< destroyed handles, reused LIFO
   int next_handle_ = 1;
+  /// Global reclamation epoch; bumped (seq_cst) after each unpublish.
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::atomic<std::size_t> num_sets_{0};
+  /// Handle-table writer-mutex acquisitions (see lock_acquisitions()).
+  std::atomic<std::uint64_t> writer_lock_acquisitions_{0};
 };
 
 }  // namespace papirepro::papi

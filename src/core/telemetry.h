@@ -297,6 +297,29 @@ class TelemetryRegistry {
     }
   }
 
+  /// Fused read-path bump: the library-wide kReads counter and
+  /// `component`'s kReads slot in one slab resolve (one enabled-flag
+  /// load, one thread-local memo probe) instead of two — the
+  /// single-read fast path's only telemetry touch.  `n` > 1 lets the
+  /// batched read paths account a whole pass with one call.
+  void bump_read(std::uint32_t component, std::uint64_t n = 1) noexcept {
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    Slab* slab = current_slab();
+    if (slab == nullptr) return;
+    auto& cell =
+        slab->counts[static_cast<std::size_t>(TelemetryCounter::kReads)]
+            .value;
+    cell.store(cell.load(std::memory_order_relaxed) + n,
+               std::memory_order_relaxed);
+    if (component >= kTelemetryMaxComponents) return;
+    auto& ccell =
+        slab->component_counts[component * kNumComponentCounters +
+                               static_cast<std::size_t>(
+                                   ComponentCounter::kReads)];
+    ccell.store(ccell.load(std::memory_order_relaxed) + n,
+                std::memory_order_relaxed);
+  }
+
   /// Trace enqueue: wait-free and allocation-free once the thread's
   /// ring exists (set_trace(true) creates rings for known slabs; slabs
   /// registered later get one at registration).  Full rings drop the

@@ -104,11 +104,6 @@ Status PmuModel::stop() {
   return Error::kOk;
 }
 
-Result<std::uint64_t> PmuModel::read(std::uint32_t idx) const {
-  if (idx >= counters_.size()) return Error::kInvalid;
-  return counters_[idx].value;
-}
-
 void PmuModel::reset_counts() {
   for (auto& c : counters_) {
     c.value = 0;

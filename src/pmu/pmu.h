@@ -58,8 +58,13 @@ class PmuModel final : public sim::EventListener {
   Status stop();
   bool running() const noexcept { return running_; }
 
-  /// Value of physical counter `idx`.
-  Result<std::uint64_t> read(std::uint32_t idx) const;
+  /// Value of physical counter `idx`.  Inline: this sits under every
+  /// substrate counter read, and a cross-TU call (plus Result
+  /// materialization) would be the single largest cost on that path.
+  Result<std::uint64_t> read(std::uint32_t idx) const {
+    if (idx >= counters_.size()) return Error::kInvalid;
+    return counters_[idx].value;
+  }
   void reset_counts();
 
   /// Arms threshold overflow on physical counter `idx`: `handler` runs

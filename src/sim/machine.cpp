@@ -24,10 +24,12 @@ Machine::Machine(Program program, const MachineConfig& config)
 
 void Machine::add_listener(EventListener* listener) {
   assert(listener != nullptr);
+  const std::lock_guard<std::mutex> lock(listeners_mutex_);
   listeners_.push_back(listener);
 }
 
 void Machine::remove_listener(EventListener* listener) {
+  const std::lock_guard<std::mutex> lock(listeners_mutex_);
   listeners_.erase(
       std::remove(listeners_.begin(), listeners_.end(), listener),
       listeners_.end());

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
@@ -199,6 +200,13 @@ class Machine {
   std::uint64_t retired_ = 0;
   std::uint64_t overhead_cycles_ = 0;
 
+  /// Guards listener-list *mutation* only: cross-thread Library
+  /// registration attaches PMU listeners concurrently (one context per
+  /// registering thread on the fallback machine), so add/remove must
+  /// serialize.  Dispatch (emit) stays lock-free under the machine's
+  /// ownership rule — only the owning thread runs it, and never while a
+  /// registration is in flight on this machine.
+  std::mutex listeners_mutex_;
   std::vector<EventListener*> listeners_;
   ProbeHandler probe_handler_;
   std::vector<Timer> timers_;

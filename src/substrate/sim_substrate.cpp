@@ -17,6 +17,7 @@ SimCounterContext::SimCounterContext(SimSubstrate& substrate,
     : substrate_(substrate),
       machine_(machine),
       platform_(substrate.platform_description()),
+      charge_costs_(substrate.options().charge_costs),
       pmu_(platform_, machine) {
   substrate_.register_context(this);
 }
@@ -27,7 +28,7 @@ SimCounterContext::~SimCounterContext() {
 
 void SimCounterContext::charge(std::uint64_t cycles,
                                std::uint32_t pollute_lines) {
-  if (substrate_.options().charge_costs) {
+  if (charge_costs_) {
     machine_.charge_cycles(cycles, pollute_lines);
   }
 }

@@ -85,6 +85,10 @@ class SimCounterContext final : public CounterContext {
   SimSubstrate& substrate_;
   sim::Machine& machine_;
   const pmu::PlatformDescription& platform_;
+  /// options().charge_costs, latched at construction (options are
+  /// immutable): charge() is on every counter access, and chasing
+  /// substrate_ -> options_ per read costs more than the charge check.
+  const bool charge_costs_;
   pmu::PmuModel pmu_;
 
   // Programming state.

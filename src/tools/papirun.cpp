@@ -1,5 +1,6 @@
 #include "tools/papirun.h"
 
+#include <algorithm>
 #include <iomanip>
 #include <memory>
 #include <sstream>
@@ -129,8 +130,30 @@ Result<PapirunResult> papirun(const PapirunRequest& request) {
   const std::uint64_t start_us = library.real_usec();
   PAPIREPRO_RETURN_IF_ERROR(set->start());
   machine.run();
+  PAPIREPRO_RETURN_IF_ERROR(set->stop());
+  // Gather the finals through the batched snapshot path: stop()
+  // published the totals, and one snapshot_all pass returns every set's
+  // values (here just ours) without touching the counter contexts.
   std::vector<long long> values(set->num_events(), 0);
-  PAPIREPRO_RETURN_IF_ERROR(set->stop(values));
+  std::vector<papi::SnapshotEntry> snap_entries;
+  std::vector<long long> snap_values;
+  bool snapped = false;
+  if (library.snapshot_all(snap_entries, snap_values).ok()) {
+    for (const papi::SnapshotEntry& e : snap_entries) {
+      if (e.handle == handle.value() && e.status == Error::kOk &&
+          e.num_values == values.size() &&
+          (e.flags & papi::read_flag::kNoData) == 0) {
+        std::copy(snap_values.begin() + e.first_value,
+                  snap_values.begin() + e.first_value + e.num_values,
+                  values.begin());
+        snapped = true;
+        break;
+      }
+    }
+  }
+  // Sets wider than the publication window fall back to the classic
+  // stopped-snapshot read.
+  if (!snapped) PAPIREPRO_RETURN_IF_ERROR(set->read(values));
   result.real_usec = library.real_usec() - start_us;
   result.cycles = machine.cycles();
   result.instructions = machine.retired();

@@ -28,6 +28,7 @@ Status Perfometer::start() {
   if (!handle.ok()) return handle.error();
   set_handle_ = handle.value();
   auto set = library_.event_set(set_handle_);
+  set_ = set.value();
   PAPIREPRO_RETURN_IF_ERROR(set.value()->add_event(metric_));
   PAPIREPRO_RETURN_IF_ERROR(set.value()->start());
 
@@ -46,11 +47,18 @@ Status Perfometer::start() {
 }
 
 void Perfometer::sample() {
-  if (!running_) return;
-  auto set = library_.event_set(set_handle_);
-  if (!set.ok()) return;
+  if (!running_ || set_ == nullptr) return;
+  // Batched read, span of one: resolves the thread context once and
+  // performs no handle lookup or allocation on the timer path.  The
+  // timer may fire on a thread other than the one driving the set, in
+  // which case the value arrives from the set's publication.
   long long value = 0;
-  if (!set.value()->read({&value, 1}).ok()) return;
+  papi::SnapshotEntry entry;
+  if (!papi::EventSet::read_many({&set_, 1}, {&value, 1}, {&entry, 1})
+           .ok() ||
+      entry.status != Error::kOk) {
+    return;
+  }
   const std::uint64_t now = library_.real_usec();
   Point p;
   p.usec = now;
@@ -83,6 +91,7 @@ Status Perfometer::stop() {
     (void)library_.destroy_event_set(set_handle_);
   }
   set_handle_ = -1;
+  set_ = nullptr;
   running_ = false;
   return Error::kOk;
 }

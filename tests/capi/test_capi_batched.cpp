@@ -1,0 +1,259 @@
+// C-binding surface of the batched snapshot reads: the
+// PAPIrepro_read_many / PAPIrepro_snapshot_all argument matrix
+// (table-driven, like the rest of the C-API error tests), per-entry
+// statuses for unknown handles and never-started sets, flag marshalling
+// for published and quarantined values, and entry-count/ordering
+// semantics of the full-registry walk.  Suite names are Batched* so the
+// CI ThreadSanitizer shard runs them alongside the core batched tests.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "capi/papi.h"
+
+namespace {
+
+class BatchedCapi : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PAPI_shutdown();  // other suites may have left global state behind
+    sim_ = PAPIrepro_sim_create("sim-x86", "saxpy", 10'000);
+    ASSERT_NE(sim_, nullptr);
+    ASSERT_EQ(PAPIrepro_bind_sim(sim_), PAPI_OK);
+    ASSERT_EQ(PAPI_library_init(PAPI_VER_CURRENT), PAPI_VER_CURRENT);
+  }
+  void TearDown() override {
+    PAPI_shutdown();
+    PAPIrepro_sim_destroy(sim_);
+  }
+
+  /// One started-then-stopped two-event set; returns its handle.
+  int make_stopped_set() {
+    int es = PAPI_NULL;
+    EXPECT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+    EXPECT_EQ(PAPI_add_event(es, PAPI_TOT_INS), PAPI_OK);
+    EXPECT_EQ(PAPI_add_event(es, PAPI_TOT_CYC), PAPI_OK);
+    long long v[2] = {};
+    EXPECT_EQ(PAPI_start(es), PAPI_OK);
+    EXPECT_EQ(PAPI_stop(es, v), PAPI_OK);
+    return es;
+  }
+
+  PAPIrepro_sim_t* sim_ = nullptr;
+};
+
+TEST_F(BatchedCapi, ArgumentMatrix) {
+  const int es = make_stopped_set();
+  static long long values[8];
+  static PAPIrepro_snapshot_t entries[8];
+  static int handles[2];
+  handles[0] = es;
+  handles[1] = es;
+
+  struct BadCall {
+    const char* name;
+    std::function<int()> call;
+  };
+  const std::vector<BadCall> cases = {
+      {"read_many null handles",
+       [] {
+         return PAPIrepro_read_many(nullptr, 1, values, 8, entries);
+       }},
+      {"read_many null values",
+       [] {
+         return PAPIrepro_read_many(handles, 1, nullptr, 8, entries);
+       }},
+      {"read_many null entries",
+       [] {
+         return PAPIrepro_read_many(handles, 1, values, 8, nullptr);
+       }},
+      {"read_many zero count",
+       [] {
+         return PAPIrepro_read_many(handles, 0, values, 8, entries);
+       }},
+      {"read_many negative count",
+       [] {
+         return PAPIrepro_read_many(handles, -1, values, 8, entries);
+       }},
+      {"read_many negative capacity",
+       [] {
+         return PAPIrepro_read_many(handles, 1, values, -1, entries);
+       }},
+      {"read_many capacity below publication",
+       [] {
+         return PAPIrepro_read_many(handles, 2, values, 3, entries);
+       }},
+      {"snapshot_all null entries",
+       [] { return PAPIrepro_snapshot_all(nullptr, 8, values, 8); }},
+      {"snapshot_all null values",
+       [] { return PAPIrepro_snapshot_all(entries, 8, nullptr, 8); }},
+      {"snapshot_all negative max_entries",
+       [] { return PAPIrepro_snapshot_all(entries, -1, values, 8); }},
+      {"snapshot_all negative capacity",
+       [] { return PAPIrepro_snapshot_all(entries, 8, values, -1); }},
+      {"snapshot_all entry capacity below population",
+       [] { return PAPIrepro_snapshot_all(entries, 0, values, 8); }},
+      {"snapshot_all value capacity below population",
+       [] { return PAPIrepro_snapshot_all(entries, 8, values, 1); }},
+  };
+  for (const BadCall& c : cases) {
+    EXPECT_EQ(c.call(), PAPI_EINVAL) << c.name;
+  }
+}
+
+TEST_F(BatchedCapi, UninitializedLibraryReportsEnoinit) {
+  PAPI_shutdown();
+  long long values[4];
+  PAPIrepro_snapshot_t entries[4];
+  int handles[1] = {1};
+  EXPECT_EQ(PAPIrepro_read_many(handles, 1, values, 4, entries),
+            PAPI_ENOINIT);
+  EXPECT_EQ(PAPIrepro_snapshot_all(entries, 4, values, 4), PAPI_ENOINIT);
+}
+
+TEST_F(BatchedCapi, UnknownHandleYieldsPerEntryEnoevst) {
+  const int es = make_stopped_set();
+  const int handles[2] = {es, 123'456};
+  long long values[4] = {};
+  PAPIrepro_snapshot_t entries[2];
+  ASSERT_EQ(PAPIrepro_read_many(handles, 2, values, 4, entries), PAPI_OK);
+  EXPECT_EQ(entries[0].event_set, es);
+  EXPECT_EQ(entries[0].status, PAPI_OK);
+  EXPECT_EQ(entries[0].num_values, 2);
+  EXPECT_EQ(entries[1].status, PAPI_ENOEVST);
+  EXPECT_EQ(entries[1].num_values, 0);
+}
+
+TEST_F(BatchedCapi, MixedStatesReportStatusAndFlags) {
+  // Three sets in the three publication states: running on the calling
+  // thread (live read, no flags), started-then-stopped (served from the
+  // publication), and never started (per-entry PAPI_ENOTRUN).
+  const int stopped = make_stopped_set();
+  int never = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&never), PAPI_OK);
+  ASSERT_EQ(PAPI_add_event(never, PAPI_TOT_INS), PAPI_OK);
+  int running = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&running), PAPI_OK);
+  ASSERT_EQ(PAPI_add_event(running, PAPI_TOT_INS), PAPI_OK);
+  ASSERT_EQ(PAPI_add_event(running, PAPI_TOT_CYC), PAPI_OK);
+  ASSERT_EQ(PAPI_start(running), PAPI_OK);
+  PAPIrepro_sim_run(sim_, 2'000);
+
+  const int handles[3] = {running, stopped, never};
+  long long values[8] = {};
+  PAPIrepro_snapshot_t entries[3];
+  ASSERT_EQ(PAPIrepro_read_many(handles, 3, values, 8, entries), PAPI_OK);
+
+  EXPECT_EQ(entries[0].status, PAPI_OK);
+  EXPECT_EQ(entries[0].num_values, 2);
+  EXPECT_EQ(entries[0].flags, PAPIREPRO_READ_VALID);
+  long long direct[2] = {};
+  ASSERT_EQ(PAPI_read(running, direct), PAPI_OK);
+  EXPECT_EQ(values[entries[0].first_value], direct[0]);
+
+  EXPECT_EQ(entries[1].status, PAPI_OK);
+  EXPECT_EQ(entries[1].num_values, 2);
+  EXPECT_NE(entries[1].flags & PAPIREPRO_READ_PUBLISHED, 0);
+
+  EXPECT_EQ(entries[2].status, PAPI_ENOTRUN);
+  EXPECT_EQ(entries[2].num_values, 0);
+
+  long long stopv[2] = {};
+  ASSERT_EQ(PAPI_stop(running, stopv), PAPI_OK);
+
+  // snapshot_all: every set appears, handle-ordered, same statuses.
+  PAPIrepro_snapshot_t all[8];
+  long long all_values[16] = {};
+  const int n = PAPIrepro_snapshot_all(all, 8, all_values, 16);
+  ASSERT_EQ(n, 3);
+  for (int i = 1; i < n; ++i) {
+    EXPECT_LT(all[i - 1].event_set, all[i].event_set);
+  }
+  for (int i = 0; i < n; ++i) {
+    if (all[i].event_set == never) {
+      EXPECT_EQ(all[i].status, PAPI_ENOTRUN);
+    } else {
+      EXPECT_EQ(all[i].status, PAPI_OK);
+      EXPECT_EQ(all[i].num_values, 2);
+    }
+  }
+}
+
+TEST_F(BatchedCapi, DestroyedSetLeavesTheSnapshot) {
+  const int a = make_stopped_set();
+  const int b = make_stopped_set();
+  PAPIrepro_snapshot_t entries[4];
+  long long values[8];
+  ASSERT_EQ(PAPIrepro_snapshot_all(entries, 4, values, 8), 2);
+  int doomed = b;
+  ASSERT_EQ(PAPI_destroy_eventset(&doomed), PAPI_OK);
+  ASSERT_EQ(PAPIrepro_snapshot_all(entries, 4, values, 8), 1);
+  EXPECT_EQ(entries[0].event_set, a);
+}
+
+// A quarantined component must not fail the batch: the live read's
+// PAPI_ECMPQUAR downgrades to the last publication with the stale and
+// quarantined flags set — same script as the health C-API test, driven
+// through the batched path.
+TEST(BatchedCapiFault, QuarantinedSetServesPublicationWithFlags) {
+  PAPI_shutdown();
+  PAPIrepro_sim_t* sim =
+      PAPIrepro_sim_create("sim-x86", "saxpy", 300'000);
+  ASSERT_NE(sim, nullptr);
+  ASSERT_EQ(PAPIrepro_bind_sim(sim), PAPI_OK);
+  PAPIrepro_fault_plan_t plan = {};
+  plan.seed = 7;
+  plan.target_component = 2;  // mem only
+  plan.read_fail_after = 1;   // first read latches good values
+  plan.read_fail_times = 50;  // stays down for the whole test
+  ASSERT_EQ(PAPIrepro_set_fault_plan(&plan), PAPI_OK);
+  ASSERT_EQ(PAPIrepro_inject_faults(1), PAPI_OK);
+  ASSERT_EQ(PAPI_library_init(PAPI_VER_CURRENT), PAPI_VER_CURRENT);
+  PAPIrepro_health_policy_t policy;
+  ASSERT_EQ(PAPIrepro_get_health_policy(&policy), PAPI_OK);
+  policy.max_consecutive_exhaustions = 2;
+  ASSERT_EQ(PAPIrepro_set_health_policy(&policy), PAPI_OK);
+
+  int es = PAPI_NULL;
+  ASSERT_EQ(PAPI_create_eventset(&es), PAPI_OK);
+  ASSERT_EQ(PAPI_add_event(es, PAPI_TOT_INS), PAPI_OK);
+  ASSERT_EQ(PAPI_add_named_event(es, "mem::L2_MISSES"), PAPI_OK);
+  ASSERT_EQ(PAPI_start(es), PAPI_OK);
+
+  long long v[2] = {};
+  int flags[2] = {};
+  PAPIrepro_sim_run(sim, 5'000);
+  ASSERT_EQ(PAPIrepro_read_ex(es, v, flags), PAPI_OK);  // latch
+  const long long mem_latched = v[1];
+  PAPIrepro_sim_run(sim, 5'000);
+  ASSERT_EQ(PAPIrepro_read_ex(es, v, flags), PAPI_OK);  // exhaustion 1
+  PAPIrepro_sim_run(sim, 5'000);
+  ASSERT_EQ(PAPIrepro_read_ex(es, v, flags), PAPI_OK);  // 2 -> quarantine
+  PAPIrepro_component_health_t h;
+  ASSERT_EQ(PAPIrepro_get_component_health(1, &h), PAPI_OK);
+  ASSERT_EQ(h.state, PAPIREPRO_HEALTH_QUARANTINED);
+
+  // The plain read fails fast; the batch survives on the publication.
+  EXPECT_EQ(PAPI_read(es, v), PAPI_ECMPQUAR);
+  const int handles[1] = {es};
+  long long batch_values[2] = {};
+  PAPIrepro_snapshot_t entries[1];
+  ASSERT_EQ(PAPIrepro_read_many(handles, 1, batch_values, 2, entries),
+            PAPI_OK);
+  EXPECT_EQ(entries[0].status, PAPI_OK);
+  EXPECT_EQ(entries[0].num_values, 2);
+  EXPECT_NE(entries[0].flags & PAPIREPRO_READ_PUBLISHED, 0);
+  EXPECT_NE(entries[0].flags & PAPIREPRO_READ_STALE, 0);
+  EXPECT_NE(entries[0].flags & PAPIREPRO_READ_QUARANTINED, 0);
+  EXPECT_EQ(batch_values[1], mem_latched);
+
+  // stop() still reads the quarantined slice, so it reports the
+  // quarantine too; shutdown cleans the running set up regardless.
+  long long stopv[2] = {};
+  EXPECT_EQ(PAPI_stop(es, stopv), PAPI_ECMPQUAR);
+  PAPI_shutdown();
+  PAPIrepro_sim_destroy(sim);
+}
+
+}  // namespace
