@@ -3,6 +3,10 @@
 //
 //   papirun [--platform P] [--workload W] [--n N] [--events A,B,C]
 //           [--no-multiplex] [--estimation] [--list]
+//
+// --collect switches to papicollect mode: a rank population runs a ring
+// exchange while a collector aggregates their published snapshots into
+// a live cluster reduction (min/max/avg/percentiles + top-N ranks).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,6 +14,7 @@
 
 #include "pmu/platform.h"
 #include "sim/workload_registry.h"
+#include "tools/papicollect.h"
 #include "tools/papirun.h"
 
 using namespace papirepro;
@@ -28,7 +33,12 @@ void usage() {
       "  --health         append a per-component health report\n"
       "  --strict         exit nonzero on disabled/quarantined-component warnings\n"
       "  --list           list platforms and workloads\n"
-      "  --list-components  list registered components for --platform\n");
+      "  --list-components  list registered components for --platform\n"
+      "  --collect        aggregate a rank population (papicollect mode)\n"
+      "  --ranks N        rank count for --collect (default 8)\n"
+      "  --fan-in N       ranks per node in the reduction tree "
+      "(default 4)\n"
+      "  --top N          rows in the top-N rank table (default 4)\n");
 }
 
 void list_targets() {
@@ -47,6 +57,8 @@ void list_targets() {
 
 int main(int argc, char** argv) {
   tools::PapirunRequest request;
+  tools::PapicollectRequest collect_request;
+  bool collect = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -81,6 +93,21 @@ int main(int argc, char** argv) {
       request.strict = true;
     } else if (arg == "--list-components") {
       request.list_components = true;
+    } else if (arg == "--collect") {
+      collect = true;
+    } else if (arg == "--ranks") {
+      if (const char* v = next()) {
+        collect_request.ranks = static_cast<std::uint32_t>(std::atoi(v));
+      }
+    } else if (arg == "--fan-in") {
+      if (const char* v = next()) {
+        collect_request.ranks_per_node =
+            static_cast<std::uint32_t>(std::atoi(v));
+      }
+    } else if (arg == "--top") {
+      if (const char* v = next()) {
+        collect_request.top_n = static_cast<std::uint32_t>(std::atoi(v));
+      }
     } else if (arg == "--list") {
       list_targets();
       return 0;
@@ -88,6 +115,19 @@ int main(int argc, char** argv) {
       usage();
       return arg == "--help" ? 0 : 2;
     }
+  }
+
+  if (collect) {
+    collect_request.platform = request.platform;
+    if (request.n > 0) collect_request.iters = request.n;
+    auto collected = tools::papicollect(collect_request);
+    if (!collected.ok()) {
+      std::fprintf(stderr, "papicollect: %s\n",
+                   std::string(to_string(collected.error())).c_str());
+      return 1;
+    }
+    std::printf("%s", collected.value().report.c_str());
+    return 0;
   }
 
   auto result = tools::papirun(request);

@@ -1,0 +1,298 @@
+#include "aggregate/collector.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace papirepro::aggregate {
+
+namespace {
+
+using papi::TelemetryCounter;
+
+/// Histogram domain is unsigned; negative counter values (possible for
+/// derived formulas) clamp to zero for the percentile stream.
+std::uint64_t clamp_non_negative(long long v) noexcept {
+  return v > 0 ? static_cast<std::uint64_t>(v) : 0u;
+}
+
+}  // namespace
+
+Collector::Collector(const CollectorConfig& config,
+                     papi::TelemetryRegistry* telemetry)
+    : config_(config), telemetry_(telemetry) {
+  if (config_.max_ranks == 0) config_.max_ranks = 1;
+  if (config_.ranks_per_node == 0) config_.ranks_per_node = 1;
+  if (config_.num_metrics == 0) config_.num_metrics = 1;
+  if (config_.num_metrics > kMaxMetrics) {
+    config_.num_metrics = static_cast<std::uint32_t>(kMaxMetrics);
+  }
+  ranks_ = std::make_unique<RankSlot[]>(config_.max_ranks);
+  rank_values_ = std::make_unique<long long[]>(
+      static_cast<std::size_t>(config_.max_ranks) * config_.num_metrics);
+  max_nodes_ = (config_.max_ranks + config_.ranks_per_node - 1) /
+               config_.ranks_per_node;
+  nodes_ = std::make_unique<NodeStats[]>(max_nodes_);
+  cluster_.num_metrics = config_.num_metrics;
+}
+
+std::size_t Collector::ingest(std::span<const std::uint8_t> buf) noexcept {
+  WireReader reader(buf);
+  std::size_t accepted = 0;
+  std::uint64_t errors = 0;
+  FrameHeader fh;
+  for (;;) {
+    const std::size_t frame_start = reader.offset();
+    const WireError b = reader.begin_frame(fh);
+    if (b == WireError::kNeedMore) break;
+    if (b != WireError::kOk) {
+      ++stats_.decode_errors;
+      ++errors;
+      if (!reader.skip_frame()) break;  // cannot resync: abandon buffer
+      continue;
+    }
+    if (fh.mode == kFrameModeRankRun) {
+      // Node-agent batch: entry i is the single set of rank
+      // `fh.rank + i`.  Entries commit individually as they decode
+      // cleanly — a malformed tail still never half-updates any rank,
+      // it just stops the run at the last good entry.
+      std::uint64_t entries_seen = 0;
+      std::uint64_t dropped = 0;
+      bool bad = false;
+      for (std::uint32_t i = 0; i < fh.entry_count && !bad; ++i) {
+        EntryHeader eh;
+        if (reader.read_entry(eh) != WireError::kOk) {
+          bad = true;
+          break;
+        }
+        // Values beyond the metric cap are counted from the declared
+        // num_values and skipped via the entry length hop — never
+        // decoded.
+        const std::uint32_t stored =
+            std::min(eh.num_values, config_.num_metrics);
+        if (reader.read_values(staging_.data(), stored) !=
+            WireError::kOk) {
+          bad = true;
+          break;
+        }
+        dropped += eh.num_values - stored;
+        ++entries_seen;
+        const std::uint64_t rank =
+            static_cast<std::uint64_t>(fh.rank) + i;
+        if (rank >= config_.max_ranks) {
+          ++stats_.ranks_dropped;
+          continue;
+        }
+        RankSlot& slot = ranks_[static_cast<std::uint32_t>(rank)];
+        slot.seen = true;
+        slot.flags = eh.flags;
+        long long* dst = values_of(static_cast<std::uint32_t>(rank));
+        for (std::uint32_t k = 0; k < stored; ++k) dst[k] = staging_[k];
+        slot.num_values = stored;
+        slot.frame_cycles = fh.frame_cycles;
+        slot.pub_cycles = eh.pub_cycles;
+      }
+      if (!bad && reader.end_frame() != WireError::kOk) bad = true;
+      if (bad) {
+        ++stats_.decode_errors;
+        ++errors;
+        if (!reader.skip_frame()) break;
+        continue;
+      }
+      ++accepted;
+      ++stats_.frames;
+      stats_.entries += entries_seen;
+      stats_.bytes += reader.offset() - frame_start;
+      stats_.values_dropped += dropped;
+      continue;
+    }
+    if (fh.rank >= config_.max_ranks) {
+      ++stats_.ranks_dropped;
+      (void)reader.skip_frame();
+      continue;
+    }
+    // Decode into the fixed staging array — no per-frame heap storage
+    // on the ingest path.  The rank slot is only committed once the
+    // whole frame decoded cleanly.
+    RankSlot& slot = ranks_[fh.rank];
+    std::uint32_t stored = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t newest_pub = 0;
+    std::uint8_t flags = 0;
+    std::uint64_t entries_seen = 0;
+    bool bad = false;
+    for (std::uint32_t i = 0; i < fh.entry_count && !bad; ++i) {
+      EntryHeader eh;
+      if (reader.read_entry(eh) != WireError::kOk) {
+        bad = true;
+        break;
+      }
+      flags |= eh.flags;
+      if (eh.pub_cycles > newest_pub) newest_pub = eh.pub_cycles;
+      ++entries_seen;
+      const std::uint32_t take =
+          std::min(eh.num_values, config_.num_metrics - stored);
+      if (reader.read_values(staging_.data() + stored, take) !=
+          WireError::kOk) {
+        bad = true;
+        break;
+      }
+      stored += take;
+      dropped += eh.num_values - take;  // skipped via the entry length
+    }
+    if (!bad && reader.end_frame() != WireError::kOk) bad = true;
+    if (bad) {
+      ++stats_.decode_errors;
+      ++errors;
+      if (!reader.skip_frame()) break;
+      continue;
+    }
+    slot.seen = true;
+    slot.flags = flags;
+    long long* dst = values_of(fh.rank);
+    for (std::uint32_t i = 0; i < stored; ++i) {
+      dst[i] = staging_[i];
+    }
+    slot.num_values = stored;
+    slot.frame_cycles = fh.frame_cycles;
+    slot.pub_cycles = newest_pub;
+    ++accepted;
+    ++stats_.frames;
+    stats_.entries += entries_seen;
+    stats_.bytes += reader.offset() - frame_start;
+    stats_.values_dropped += dropped;
+  }
+  // Telemetry is batched per ingest() call: one slab resolve for the
+  // whole buffer instead of one per frame keeps the per-frame decode
+  // cost within the snapshot-read budget the bench gates.
+  if (telemetry_ != nullptr) {
+    if (accepted != 0) {
+      telemetry_->bump(TelemetryCounter::kCollectorFrames, accepted);
+    }
+    if (errors != 0) {
+      telemetry_->bump(TelemetryCounter::kCollectorDecodeErrors, errors);
+    }
+  }
+  return accepted;
+}
+
+const ClusterReduction& Collector::reduce(
+    std::uint64_t now_cycles) noexcept {
+  const std::uint32_t m = config_.num_metrics;
+  for (std::uint32_t i = 0; i < m; ++i) histograms_[i].reset();
+
+  // Pass 1: per-rank -> per-node partials.  Every node slot is reset
+  // first (bounded work over preallocated storage) so a node that had
+  // live ranks last round but none this round reads as empty, never as
+  // last round's leftovers.
+  for (std::size_t n = 0; n < max_nodes_; ++n) {
+    nodes_[n].node = static_cast<std::uint32_t>(n);
+    nodes_[n].ranks = 0;
+    for (std::uint32_t i = 0; i < m; ++i) nodes_[n].metrics[i] = {};
+  }
+  num_nodes_used_ = 0;
+  std::uint32_t live = 0;
+  std::uint32_t stale = 0;
+  for (std::uint32_t r = 0; r < config_.max_ranks; ++r) {
+    RankSlot& slot = ranks_[r];
+    if (!slot.seen) continue;
+    // Liveness: stamp distance and stamp stagnation.
+    bool is_live = true;
+    if (config_.max_age_cycles != 0 && now_cycles > slot.pub_cycles &&
+        now_cycles - slot.pub_cycles > config_.max_age_cycles) {
+      is_live = false;
+    }
+    if (config_.stale_reduce_rounds != 0) {
+      if (slot.pub_cycles == slot.prev_pub_cycles) {
+        if (slot.stale_rounds < std::numeric_limits<std::uint32_t>::max()) {
+          ++slot.stale_rounds;
+        }
+        if (slot.stale_rounds >= config_.stale_reduce_rounds) {
+          is_live = false;
+        }
+      } else {
+        slot.stale_rounds = 0;
+      }
+    }
+    slot.prev_pub_cycles = slot.pub_cycles;
+    slot.live = is_live;
+    if (!is_live) {
+      ++stale;
+      continue;
+    }
+    ++live;
+    const std::size_t node_index = r / config_.ranks_per_node;
+    NodeStats& node = nodes_[node_index];
+    ++node.ranks;
+    const std::uint32_t nv = std::min(slot.num_values, m);
+    const long long* vals = values_of(r);
+    for (std::uint32_t i = 0; i < nv; ++i) {
+      const long long v = vals[i];
+      MetricStats& ms = node.metrics[i];
+      if (ms.count == 0 || v < ms.min) ms.min = v;
+      if (ms.count == 0 || v > ms.max) ms.max = v;
+      ms.sum += v;
+      ++ms.count;
+      histograms_[i].record(clamp_non_negative(v));
+    }
+    if (node_index + 1 > num_nodes_used_) num_nodes_used_ = node_index + 1;
+  }
+
+  // Pass 2: per-node -> cluster.
+  cluster_.now_cycles = now_cycles;
+  cluster_.ranks_live = live;
+  cluster_.ranks_stale = stale;
+  cluster_.num_metrics = m;
+  for (std::uint32_t i = 0; i < m; ++i) cluster_.metrics[i] = {};
+  for (std::size_t n = 0; n < num_nodes_used_; ++n) {
+    NodeStats& node = nodes_[n];
+    if (node.ranks == 0) continue;  // empty node: no live ranks landed
+    for (std::uint32_t i = 0; i < m; ++i) {
+      MetricStats& nm = node.metrics[i];
+      if (nm.count == 0) continue;
+      nm.avg = static_cast<double>(nm.sum) /
+               static_cast<double>(nm.count);
+      MetricStats& cm = cluster_.metrics[i];
+      if (cm.count == 0 || nm.min < cm.min) cm.min = nm.min;
+      if (cm.count == 0 || nm.max > cm.max) cm.max = nm.max;
+      cm.sum += nm.sum;
+      cm.count += nm.count;
+    }
+  }
+  for (std::uint32_t i = 0; i < m; ++i) {
+    MetricStats& cm = cluster_.metrics[i];
+    if (cm.count != 0) {
+      cm.avg = static_cast<double>(cm.sum) / static_cast<double>(cm.count);
+    }
+    cm.p50 = histograms_[i].quantile(0.50);
+    cm.p95 = histograms_[i].quantile(0.95);
+    cm.p99 = histograms_[i].quantile(0.99);
+  }
+  ++cluster_.reduce_count;
+  ++stats_.reductions;
+  if (telemetry_ != nullptr) {
+    telemetry_->bump(TelemetryCounter::kCollectorReductions);
+  }
+  return cluster_;
+}
+
+std::size_t Collector::top_ranks(std::uint32_t metric,
+                                 std::span<RankValue> out) const noexcept {
+  if (metric >= config_.num_metrics || out.empty()) return 0;
+  std::size_t used = 0;
+  for (std::uint32_t r = 0; r < config_.max_ranks; ++r) {
+    const RankSlot& slot = ranks_[r];
+    if (!slot.seen || !slot.live || slot.num_values <= metric) continue;
+    const long long v = values_of(r)[metric];
+    // Insertion position in the descending prefix [0, used).
+    std::size_t pos = used;
+    while (pos > 0 && out[pos - 1].value < v) --pos;
+    if (pos >= out.size()) continue;  // below the current top-N floor
+    const std::size_t tail = std::min(used, out.size() - 1);
+    for (std::size_t i = tail; i > pos; --i) out[i] = out[i - 1];
+    out[pos] = RankValue{r, v, slot.pub_cycles};
+    if (used < out.size()) ++used;
+  }
+  return used;
+}
+
+}  // namespace papirepro::aggregate

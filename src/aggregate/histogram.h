@@ -1,0 +1,92 @@
+// Fixed-bucket log-linear histogram for streaming percentiles.  The
+// collector reduces thousands of ranks per polling interval and must
+// produce p50/p95/p99 without sorting or allocating: buckets are laid
+// out HDR-style — values below 2^kSubBucketBits land in exact unit
+// buckets, larger values in octaves split into 2^kSubBucketBits
+// sub-buckets — giving a bounded relative error of 2^-kSubBucketBits
+// (12.5 %) over the full 64-bit range in a fixed 512-slot array.
+// record/merge/quantile are all O(1)/O(buckets) with no heap use, so a
+// histogram can live inside a per-metric slot and be merged up the
+// rank -> node -> cluster reduction tree.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace papirepro::aggregate {
+
+class FixedHistogram {
+ public:
+  static constexpr std::uint32_t kSubBucketBits = 3;  // 8 per octave
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBucketBits;
+  /// Octave 0 covers [0, kSubBuckets) exactly; octaves 1..61 cover the
+  /// remaining powers of two up to 2^64.
+  static constexpr std::uint32_t kBuckets =
+      (64 - kSubBucketBits + 1) * kSubBuckets;  // 496, padded to 512
+  static constexpr std::uint32_t kSlots = 512;
+  static_assert(kBuckets <= kSlots);
+
+  void reset() noexcept {
+    counts_.fill(0);
+    total_ = 0;
+  }
+
+  /// Buckets `v` (negative inputs clamp to 0 at the caller; this class
+  /// is unsigned-only).
+  void record(std::uint64_t v, std::uint64_t weight = 1) noexcept {
+    counts_[bucket_index(v)] += weight;
+    total_ += weight;
+  }
+
+  void merge(const FixedHistogram& other) noexcept {
+    for (std::uint32_t i = 0; i < kSlots; ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    total_ += other.total_;
+  }
+
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Value at quantile `q` in [0, 1]: the representative (lower bound)
+  /// of the bucket containing the ceil(q * total)-th observation.  0 on
+  /// an empty histogram.
+  std::uint64_t quantile(double q) const noexcept {
+    if (total_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(total_));
+    if (target >= total_) target = total_ - 1;
+    std::uint64_t seen = 0;
+    for (std::uint32_t i = 0; i < kSlots; ++i) {
+      seen += counts_[i];
+      if (seen > target) return bucket_value(i);
+    }
+    return bucket_value(kSlots - 1);
+  }
+
+  /// Bucket index for `v`: exact below kSubBuckets, log-linear above.
+  static std::uint32_t bucket_index(std::uint64_t v) noexcept {
+    if (v < kSubBuckets) return static_cast<std::uint32_t>(v);
+    const auto top = static_cast<std::uint32_t>(63 - std::countl_zero(v));
+    const auto sub = static_cast<std::uint32_t>(
+        (v >> (top - kSubBucketBits)) & (kSubBuckets - 1));
+    return (top - kSubBucketBits + 1) * kSubBuckets + sub;
+  }
+
+  /// Lower bound of bucket `i` — the value quantile() reports for it.
+  static std::uint64_t bucket_value(std::uint32_t i) noexcept {
+    if (i < kSubBuckets) return i;
+    const std::uint32_t octave = i / kSubBuckets - 1;
+    const std::uint32_t sub = i % kSubBuckets;
+    return (static_cast<std::uint64_t>(kSubBuckets) + sub)
+           << octave;
+  }
+
+ private:
+  std::array<std::uint64_t, kSlots> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace papirepro::aggregate

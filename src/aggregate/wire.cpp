@@ -1,0 +1,111 @@
+#include "aggregate/wire.h"
+
+namespace papirepro::aggregate {
+
+const char* wire_error_name(WireError e) noexcept {
+  switch (e) {
+    case WireError::kOk: return "ok";
+    case WireError::kNeedMore: return "need_more";
+    case WireError::kTruncated: return "truncated";
+    case WireError::kBadMagic: return "bad_magic";
+    case WireError::kBadVersion: return "bad_version";
+    case WireError::kOversized: return "oversized";
+    case WireError::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_varint_signed(std::vector<std::uint8_t>& out, long long v) {
+  put_varint(out, zigzag_encode(v));
+}
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+}  // namespace
+
+bool encode_frame(std::uint32_t rank, std::uint64_t frame_cycles,
+                  std::span<const papi::SnapshotEntry> entries,
+                  std::span<const long long> values,
+                  std::vector<std::uint8_t>& out, std::uint8_t mode) {
+  if (entries.size() > kMaxEntriesPerFrame) return false;
+  if (mode > kFrameModeRankRun) return false;
+  const std::size_t base = out.size();
+  put_u32(out, 0);  // frame_len backpatched below
+  put_u32(out, kWireMagic);
+  out.push_back(kWireVersion);
+  out.push_back(mode);
+  put_varint(out, rank);
+  put_varint(out, frame_cycles);
+  put_varint(out, entries.size());
+  for (const papi::SnapshotEntry& e : entries) {
+    if (e.num_values > kMaxValuesPerEntry ||
+        e.first_value + static_cast<std::size_t>(e.num_values) >
+            values.size()) {
+      out.resize(base);
+      return false;
+    }
+    // entry_len rides ahead of the fields so the decoder can hop
+    // entry-to-entry off one byte.  Reserve one byte and backpatch;
+    // entries of 128+ bytes (rare: many values or huge deltas) shift
+    // the tail to make room for the longer varint.
+    const std::size_t len_pos = out.size();
+    out.push_back(0);
+    put_varint(out, static_cast<std::uint32_t>(e.handle));
+    // Error codes are 0 or negative; one byte covers the enum range.
+    out.push_back(static_cast<std::uint8_t>(-static_cast<int>(e.status)));
+    out.push_back(static_cast<std::uint8_t>(e.flags));
+    // Publication stamps ride as zigzag deltas from frame_cycles: one
+    // byte in the steady state (the poller stamps the frame with the
+    // clock it just snapshotted under).  Wrapping subtraction keeps the
+    // mapping exact for any stamp pair.
+    put_varint_signed(out, static_cast<long long>(e.pub_cycles -
+                                                  frame_cycles));
+    put_varint(out, e.num_values);
+    for (std::uint32_t i = 0; i < e.num_values; ++i) {
+      put_varint_signed(out, values[e.first_value + i]);
+    }
+    const std::size_t entry_len = out.size() - (len_pos + 1);
+    if (entry_len < 0x80) {
+      out[len_pos] = static_cast<std::uint8_t>(entry_len);
+    } else {
+      std::uint8_t enc[10];
+      std::size_t n = 0;
+      std::uint64_t v = entry_len;
+      while (v >= 0x80) {
+        enc[n++] = static_cast<std::uint8_t>(v) | 0x80u;
+        v >>= 7;
+      }
+      enc[n++] = static_cast<std::uint8_t>(v);
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(len_pos) + 1,
+                 n - 1, 0);
+      for (std::size_t i = 0; i < n; ++i) out[len_pos + i] = enc[i];
+    }
+  }
+  const std::size_t frame_len = out.size() - base;
+  if (frame_len > kMaxFrameBytes) {
+    out.resize(base);
+    return false;
+  }
+  out[base] = static_cast<std::uint8_t>(frame_len);
+  out[base + 1] = static_cast<std::uint8_t>(frame_len >> 8);
+  out[base + 2] = static_cast<std::uint8_t>(frame_len >> 16);
+  out[base + 3] = static_cast<std::uint8_t>(frame_len >> 24);
+  return true;
+}
+
+}  // namespace papirepro::aggregate

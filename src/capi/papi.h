@@ -275,6 +275,11 @@ typedef struct PAPIrepro_snapshot {
   int num_values;  /* values written for it (0 on error/never ran) */
   int status;      /* PAPI_OK, PAPI_ENOTRUN, PAPI_ENOEVST, ... */
   int flags;       /* OR of its events' PAPIREPRO_READ_* bits */
+  /* Substrate cycle stamp of the moment the values were produced (the
+   * publication time for _PUBLISHED entries, the read time for live
+   * ones; 0 if the set never ran).  Collectors age-out ranks whose
+   * stamps stop advancing. */
+  long long pub_cycles;
 } PAPIrepro_snapshot_t;
 
 /* Reads `count` EventSets in one pass.  Values land back-to-back in
@@ -294,6 +299,83 @@ int PAPIrepro_read_many(const int* event_sets, int count,
  * numbering. */
 int PAPIrepro_snapshot_all(PAPIrepro_snapshot_t* entries, int max_entries,
                            long long* values, int values_capacity);
+
+/* ---- cluster aggregation service (reproduction extension) ----
+ * A collector ingests per-rank snapshot frames (the compact wire format
+ * PAPIrepro_wire_encode produces from PAPIrepro_snapshot_all output)
+ * and reduces them hierarchically: per-rank -> per-node min/max/sum/avg
+ * -> per-cluster min/max/sum/avg plus streaming p50/p95/p99.  Ingest
+ * and reduce allocate nothing after create, and never touch the
+ * counting threads — only their published snapshots.  The reduction is
+ * double-buffered through a seqlock region, so PAPIrepro_collector_read
+ * may be called from any thread while another ingests/reduces. */
+#define PAPIREPRO_COLLECTOR_MAX_METRICS 16
+
+typedef struct PAPIrepro_collector_config {
+  int max_ranks;       /* rank slots preallocated (<=0 -> 1024) */
+  int ranks_per_node;  /* reduction-tree fan-in (<=0 -> 32) */
+  int num_metrics;     /* metrics reduced per rank (<=0 -> 4) */
+  /* Age-out: a rank whose newest publication stamp lags now_cycles by
+   * more than max_age_cycles (0 = off), or fails to advance for
+   * stale_reduce_rounds consecutive reduces (0 = off), is excluded
+   * from the reduction and counted in ranks_stale. */
+  long long max_age_cycles;
+  int stale_reduce_rounds;
+} PAPIrepro_collector_config_t;
+
+typedef struct PAPIrepro_metric_stats {
+  long long min;
+  long long max;
+  long long sum;
+  double avg;
+  long long count; /* ranks contributing */
+  long long p50;   /* histogram lower-bound representatives */
+  long long p95;
+  long long p99;
+} PAPIrepro_metric_stats_t;
+
+typedef struct PAPIrepro_cluster_view {
+  long long now_cycles;
+  long long reduce_count;
+  int ranks_live;
+  int ranks_stale;
+  int num_metrics;
+  PAPIrepro_metric_stats_t metrics[PAPIREPRO_COLLECTOR_MAX_METRICS];
+} PAPIrepro_cluster_view_t;
+
+/* Creates a collector sized by `config` (NULL = all defaults).  Returns
+ * a handle >= 0, or PAPI_ENOMEM.  Collectors are independent of
+ * PAPI_library_init, but when the library is initialized their frame /
+ * decode-error / reduction counts land in PAPIrepro_get_telemetry. */
+int PAPIrepro_collector_create(const PAPIrepro_collector_config_t* config);
+int PAPIrepro_collector_destroy(int collector);
+
+/* Decodes every frame in buf[0..len) into the collector's rank slots.
+ * Returns frames accepted (>= 0; bad frames are skipped and counted),
+ * PAPI_ENOEVST for an unknown collector handle, PAPI_EINVAL on NULL
+ * buf with nonzero len. */
+int PAPIrepro_collector_ingest(int collector, const void* buf,
+                               long long len);
+
+/* Recomputes the hierarchical reduction at `now_cycles` (the caller's
+ * clock, used for age-out), publishes it through the seqlock region,
+ * and optionally copies it to *out (NULL ok). */
+int PAPIrepro_collector_reduce(int collector, long long now_cycles,
+                               PAPIrepro_cluster_view_t* out);
+
+/* Copies the most recently published reduction into *out without
+ * disturbing a concurrent ingest/reduce (bounded seqlock retry;
+ * PAPI_ESYS if every attempt raced the writer). */
+int PAPIrepro_collector_read(int collector, PAPIrepro_cluster_view_t* out);
+
+/* Encodes one rank's snapshot (entries/values as filled in by
+ * PAPIrepro_snapshot_all) into the wire format, appended at out[0].
+ * Returns bytes written, PAPI_EINVAL on NULL args or when the frame
+ * would exceed `capacity` or the format's caps. */
+int PAPIrepro_wire_encode(unsigned int rank, long long frame_cycles,
+                          const PAPIrepro_snapshot_t* entries,
+                          int num_entries, const long long* values,
+                          int num_values, void* out, long long capacity);
 
 /* Counter-allocation memo instrumentation: the library caches bipartite
  * allocation solves keyed on the native-event list, so repeated EventSet
@@ -371,6 +453,9 @@ typedef struct PAPIrepro_telemetry {
   long long health_fail_fasts;  /* ops rejected with PAPI_ECMPQUAR */
   long long health_probes;      /* ops admitted on probation */
   long long sanity_faults;      /* non-monotonic deltas flagged suspect */
+  long long collector_frames;   /* snapshot frames ingested by collectors */
+  long long collector_decode_errors; /* frames the wire decoder rejected */
+  long long collector_reductions;    /* cluster reductions computed */
   /* gauges at snapshot time */
   long long threads_seen;       /* threads that ever touched telemetry */
   long long trace_records_buffered;

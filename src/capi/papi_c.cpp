@@ -15,6 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "aggregate/collector.h"
+#include "aggregate/shm_region.h"
+#include "aggregate/wire.h"
 #include "core/highlevel.h"
 #include "core/library.h"
 #include "sim/comm.h"
@@ -364,6 +367,9 @@ int PAPIrepro_get_telemetry(PAPIrepro_telemetry_t* out) {
   out->health_fail_fasts = counter(TC::kHealthFailFasts);
   out->health_probes = counter(TC::kHealthProbes);
   out->sanity_faults = counter(TC::kSanityFaults);
+  out->collector_frames = counter(TC::kCollectorFrames);
+  out->collector_decode_errors = counter(TC::kCollectorDecodeErrors);
+  out->collector_reductions = counter(TC::kCollectorReductions);
   out->threads_seen = static_cast<long long>(snap.threads_seen);
   out->trace_records_buffered =
       static_cast<long long>(snap.trace_records_buffered);
@@ -778,6 +784,7 @@ int PAPIrepro_read_many(const int* event_sets, int count, long long* values,
     entries[i].num_values = static_cast<int>(scratch[i].num_values);
     entries[i].status = to_code(scratch[i].status);
     entries[i].flags = static_cast<int>(scratch[i].flags);
+    entries[i].pub_cycles = static_cast<long long>(scratch[i].pub_cycles);
   }
   return PAPI_OK;
 }
@@ -803,8 +810,238 @@ int PAPIrepro_snapshot_all(PAPIrepro_snapshot_t* entries, int max_entries,
     entries[i].num_values = static_cast<int>(scratch[i].num_values);
     entries[i].status = to_code(scratch[i].status);
     entries[i].flags = static_cast<int>(scratch[i].flags);
+    entries[i].pub_cycles = static_cast<long long>(scratch[i].pub_cycles);
   }
   return static_cast<int>(entries_used);
+}
+
+}  /* extern "C" */
+
+namespace {
+
+namespace aggregate = papirepro::aggregate;
+
+/// One C-visible collector: the reducer, its seqlock-published region,
+/// and cursors for attributing stat deltas to the library's telemetry.
+/// The Collector itself holds no telemetry pointer — the library may be
+/// shut down and re-initialized while collectors live, so attribution
+/// happens by delta at each call instead of through a stored registry.
+struct CollectorState {
+  explicit CollectorState(const aggregate::CollectorConfig& config)
+      : collector(config) {}
+  aggregate::Collector collector;
+  aggregate::SharedSnapshotRegion region;
+  /// Serializes ingest/reduce (the Collector is single-writer; the
+  /// region handles concurrent readers on its own).
+  std::mutex writer_mutex;
+  std::uint64_t frames_attributed = 0;
+  std::uint64_t errors_attributed = 0;
+  std::uint64_t reductions_attributed = 0;
+};
+
+struct CollectorRegistry {
+  std::mutex mutex;
+  std::map<int, std::shared_ptr<CollectorState>> map;
+  int next_handle = 0;
+};
+
+CollectorRegistry& collectors() {
+  static CollectorRegistry r;
+  return r;
+}
+
+std::shared_ptr<CollectorState> find_collector(int handle) {
+  const std::lock_guard<std::mutex> lock(collectors().mutex);
+  auto it = collectors().map.find(handle);
+  return it == collectors().map.end() ? nullptr : it->second;
+}
+
+/// Forwards stat growth since the last call into the library registry
+/// (call with writer_mutex held).  No-op while the library is down; the
+/// deltas simply attribute at the first call after the next init.
+void attribute_collector_telemetry(CollectorState& cs) {
+  if (g().library == nullptr) return;
+  papi::TelemetryRegistry& t = g().library->telemetry();
+  const aggregate::CollectorStats& st = cs.collector.stats();
+  if (st.frames > cs.frames_attributed) {
+    t.bump(papi::TelemetryCounter::kCollectorFrames,
+           st.frames - cs.frames_attributed);
+  }
+  if (st.decode_errors > cs.errors_attributed) {
+    t.bump(papi::TelemetryCounter::kCollectorDecodeErrors,
+           st.decode_errors - cs.errors_attributed);
+  }
+  if (st.reductions > cs.reductions_attributed) {
+    t.bump(papi::TelemetryCounter::kCollectorReductions,
+           st.reductions - cs.reductions_attributed);
+  }
+  cs.frames_attributed = st.frames;
+  cs.errors_attributed = st.decode_errors;
+  cs.reductions_attributed = st.reductions;
+}
+
+void fill_metric(const aggregate::MetricStats& in,
+                 PAPIrepro_metric_stats_t& out) {
+  out.min = in.min;
+  out.max = in.max;
+  out.sum = in.sum;
+  out.avg = in.avg;
+  out.count = static_cast<long long>(in.count);
+  out.p50 = static_cast<long long>(in.p50);
+  out.p95 = static_cast<long long>(in.p95);
+  out.p99 = static_cast<long long>(in.p99);
+}
+
+void fill_view(const aggregate::ClusterReduction& in,
+               PAPIrepro_cluster_view_t& out) {
+  out.now_cycles = static_cast<long long>(in.now_cycles);
+  out.reduce_count = static_cast<long long>(in.reduce_count);
+  out.ranks_live = static_cast<int>(in.ranks_live);
+  out.ranks_stale = static_cast<int>(in.ranks_stale);
+  out.num_metrics = static_cast<int>(in.num_metrics);
+  for (std::uint32_t i = 0;
+       i < in.num_metrics && i < PAPIREPRO_COLLECTOR_MAX_METRICS; ++i) {
+    fill_metric(in.metrics[i], out.metrics[i]);
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+int PAPIrepro_collector_create(
+    const PAPIrepro_collector_config_t* config) {
+  aggregate::CollectorConfig cc;
+  if (config != nullptr) {
+    if (config->max_ranks > 0) {
+      cc.max_ranks = static_cast<std::uint32_t>(config->max_ranks);
+    }
+    if (config->ranks_per_node > 0) {
+      cc.ranks_per_node =
+          static_cast<std::uint32_t>(config->ranks_per_node);
+    }
+    if (config->num_metrics > 0) {
+      cc.num_metrics = static_cast<std::uint32_t>(config->num_metrics);
+    }
+    if (config->max_age_cycles > 0) {
+      cc.max_age_cycles =
+          static_cast<std::uint64_t>(config->max_age_cycles);
+    }
+    if (config->stale_reduce_rounds > 0) {
+      cc.stale_reduce_rounds =
+          static_cast<std::uint32_t>(config->stale_reduce_rounds);
+    }
+  }
+  std::shared_ptr<CollectorState> state;
+  try {
+    state = std::make_shared<CollectorState>(cc);
+  } catch (const std::bad_alloc&) {
+    return PAPI_ENOMEM;
+  }
+  const std::lock_guard<std::mutex> lock(collectors().mutex);
+  const int handle = collectors().next_handle++;
+  collectors().map.emplace(handle, std::move(state));
+  return handle;
+}
+
+int PAPIrepro_collector_destroy(int collector) {
+  const std::lock_guard<std::mutex> lock(collectors().mutex);
+  return collectors().map.erase(collector) != 0 ? PAPI_OK : PAPI_ENOEVST;
+}
+
+int PAPIrepro_collector_ingest(int collector, const void* buf,
+                               long long len) {
+  if (len < 0 || (buf == nullptr && len != 0)) return PAPI_EINVAL;
+  auto state = find_collector(collector);
+  if (state == nullptr) return PAPI_ENOEVST;
+  const std::lock_guard<std::mutex> lock(state->writer_mutex);
+  const std::size_t accepted = state->collector.ingest(
+      {static_cast<const std::uint8_t*>(buf),
+       static_cast<std::size_t>(len)});
+  attribute_collector_telemetry(*state);
+  return static_cast<int>(accepted);
+}
+
+int PAPIrepro_collector_reduce(int collector, long long now_cycles,
+                               PAPIrepro_cluster_view_t* out) {
+  auto state = find_collector(collector);
+  if (state == nullptr) return PAPI_ENOEVST;
+  const std::lock_guard<std::mutex> lock(state->writer_mutex);
+  const aggregate::ClusterReduction& r = state->collector.reduce(
+      now_cycles > 0 ? static_cast<std::uint64_t>(now_cycles) : 0u);
+  state->region.publish(r);
+  attribute_collector_telemetry(*state);
+  if (out != nullptr) fill_view(r, *out);
+  return PAPI_OK;
+}
+
+int PAPIrepro_collector_read(int collector,
+                             PAPIrepro_cluster_view_t* out) {
+  if (out == nullptr) return PAPI_EINVAL;
+  auto state = find_collector(collector);
+  if (state == nullptr) return PAPI_ENOEVST;
+  aggregate::RegionSnapshot snap;
+  if (!state->region.read_into(snap)) return PAPI_ESYS;
+  out->now_cycles = static_cast<long long>(snap.now_cycles);
+  out->reduce_count = static_cast<long long>(snap.reduce_count);
+  out->ranks_live = static_cast<int>(snap.ranks_live);
+  out->ranks_stale = static_cast<int>(snap.ranks_stale);
+  out->num_metrics = static_cast<int>(snap.num_metrics);
+  for (std::uint32_t i = 0;
+       i < snap.num_metrics && i < PAPIREPRO_COLLECTOR_MAX_METRICS;
+       ++i) {
+    const aggregate::RegionMetric& m = snap.metrics[i];
+    PAPIrepro_metric_stats_t& o = out->metrics[i];
+    o.min = m.min;
+    o.max = m.max;
+    o.sum = m.sum;
+    o.avg = m.avg;
+    o.count = static_cast<long long>(m.count);
+    o.p50 = static_cast<long long>(m.p50);
+    o.p95 = static_cast<long long>(m.p95);
+    o.p99 = static_cast<long long>(m.p99);
+  }
+  return PAPI_OK;
+}
+
+int PAPIrepro_wire_encode(unsigned int rank, long long frame_cycles,
+                          const PAPIrepro_snapshot_t* entries,
+                          int num_entries, const long long* values,
+                          int num_values, void* out, long long capacity) {
+  if (entries == nullptr || out == nullptr || num_entries < 0 ||
+      num_values < 0 || capacity < 0 ||
+      (values == nullptr && num_values != 0)) {
+    return PAPI_EINVAL;
+  }
+  // Marshal the C snapshot rows back into SnapshotEntry form; scratch
+  // is thread-local so steady-state encoding allocates nothing.
+  thread_local std::vector<papi::SnapshotEntry> scratch;
+  scratch.assign(static_cast<std::size_t>(num_entries), {});
+  for (int i = 0; i < num_entries; ++i) {
+    scratch[i].handle = entries[i].event_set;
+    scratch[i].first_value =
+        static_cast<std::uint32_t>(entries[i].first_value);
+    scratch[i].num_values =
+        static_cast<std::uint32_t>(entries[i].num_values);
+    scratch[i].status = static_cast<Error>(entries[i].status);
+    scratch[i].flags = static_cast<std::uint32_t>(entries[i].flags);
+    scratch[i].pub_cycles =
+        static_cast<std::uint64_t>(entries[i].pub_cycles);
+  }
+  thread_local std::vector<std::uint8_t> frame;
+  frame.clear();
+  if (!aggregate::encode_frame(
+          rank,
+          frame_cycles > 0 ? static_cast<std::uint64_t>(frame_cycles) : 0u,
+          scratch, {values, static_cast<std::size_t>(num_values)},
+          frame)) {
+    return PAPI_EINVAL;
+  }
+  if (frame.size() > static_cast<std::size_t>(capacity)) {
+    return PAPI_EINVAL;
+  }
+  std::memcpy(out, frame.data(), frame.size());
+  return static_cast<int>(frame.size());
 }
 
 int PAPI_accum(int event_set, long long* values) {

@@ -825,6 +825,14 @@ inline void EventSet::publish_values(std::span<const long long> values,
   // sees the same even seq on both sides of its copy got a consistent
   // snapshot.  All data fields are atomics, so a torn interleaving is
   // discarded by the seq check, never undefined behaviour.
+  // Stamp the publication age before opening the bracket: the stamp is
+  // the liveness signal collectors key on (a publication whose stamp
+  // stops advancing belongs to a stalled or dead rank).  The running
+  // context's clock is authoritative while live; stop() publishes after
+  // releasing, so fall back to the library's timer substrate.
+  const std::uint64_t now = context_ != nullptr
+                                ? context_->cycles()
+                                : library_.real_cycles();
   Published& p = published_;
   const std::uint32_t s = pub_seq_shadow_;
   pub_seq_shadow_ = s + 2;
@@ -832,6 +840,7 @@ inline void EventSet::publish_values(std::span<const long long> values,
   std::atomic_thread_fence(std::memory_order_release);
   const std::size_t n = std::min(calc_.size(), kMaxPublishedValues);
   p.state.store(pub_state, std::memory_order_relaxed);
+  p.pub_cycles.store(now, std::memory_order_relaxed);
   p.num_events.store(static_cast<std::uint32_t>(calc_.size()),
                      std::memory_order_relaxed);
   p.stored.store(static_cast<std::uint32_t>(n), std::memory_order_relaxed);
@@ -868,6 +877,7 @@ void EventSet::publish_clear() noexcept {
   p.seq.store(s + 1, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_release);
   p.state.store(kPubNeverRan, std::memory_order_relaxed);
+  p.pub_cycles.store(0, std::memory_order_relaxed);
   p.num_events.store(0, std::memory_order_relaxed);
   p.stored.store(0, std::memory_order_relaxed);
   p.seq.store(s + 2, std::memory_order_release);

@@ -85,6 +85,12 @@ struct SnapshotEntry {
   std::uint32_t num_values = 0;
   Error status = Error::kOk;
   std::uint32_t flags = 0;
+  /// Substrate cycle stamp of the moment the values were produced: the
+  /// publication time for kPublished entries, the read time for live
+  /// ones.  A collector ages-out ranks whose stamps stop advancing —
+  /// without it a STALE entry from a dead rank is indistinguishable
+  /// from a fresh one.  0 when the set never ran.
+  std::uint64_t pub_cycles = 0;
 };
 
 /// Context passed to user overflow handlers.
@@ -446,6 +452,9 @@ class EventSet {
     std::atomic<std::uint32_t> state{kPubNeverRan};
     std::atomic<std::uint32_t> num_events{0};  ///< authoritative count
     std::atomic<std::uint32_t> stored{0};      ///< values published
+    /// Substrate cycle stamp taken at publication — the age signal
+    /// batch readers and the aggregation collector key liveness on.
+    std::atomic<std::uint64_t> pub_cycles{0};
     std::array<std::atomic<long long>, kMaxPublishedValues> values{};
     std::array<std::atomic<std::uint8_t>, kMaxPublishedValues> flags{};
   };
@@ -477,6 +486,8 @@ inline void EventSet::read_published_into(std::span<long long> out,
     const std::uint32_t s1 = p.seq.load(std::memory_order_acquire);
     if ((s1 & 1u) != 0 && !last) continue;  // write in progress
     const std::uint32_t state = p.state.load(std::memory_order_relaxed);
+    const std::uint64_t pub_cycles =
+        p.pub_cycles.load(std::memory_order_relaxed);
     const std::uint32_t num_events =
         p.num_events.load(std::memory_order_relaxed);
     const std::uint32_t stored_raw =
@@ -501,6 +512,7 @@ inline void EventSet::read_published_into(std::span<long long> out,
       e.num_values = 0;
       return;
     }
+    e.pub_cycles = pub_cycles;
     e.flags |= read_flag::kPublished | folded;
     if (clipped || last) e.flags |= read_flag::kStale;
     for (std::size_t i = stored; i < n; ++i) {

@@ -557,6 +557,7 @@ Status Library::batch_fill(EventSet& set, bool live,
   e.status = Error::kOk;
   e.flags = 0;
   e.num_values = 0;
+  e.pub_cycles = 0;
   if (live) {
     const std::size_t n = set.entries_.size();
     if (out.size() < n) return Error::kInvalid;
@@ -564,6 +565,9 @@ Status Library::batch_fill(EventSet& set, bool live,
     if (s.ok()) {
       e.num_values = static_cast<std::uint32_t>(n);
       e.flags = set.folded_read_flags();
+      // The live read just republished: its stamp is the read time.
+      e.pub_cycles =
+          set.published_.pub_cycles.load(std::memory_order_relaxed);
       return Error::kOk;
     }
     if (s.error() == Error::kNotRunning) {
@@ -631,6 +635,7 @@ Status Library::read_many_handles(std::span<const int> handles,
     e.first_value = static_cast<std::uint32_t>(used);
     e.num_values = 0;
     e.flags = 0;
+    e.pub_cycles = 0;
     EventSet* set = find_set(handles[i]);
     if (set == nullptr) {
       e.status = Error::kNoEventSet;  // per-entry, not a batch failure

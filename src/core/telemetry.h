@@ -62,6 +62,9 @@ enum class TelemetryCounter : std::size_t {
   kHealthFailFasts,      ///< ops rejected fast by an open circuit breaker
   kHealthProbes,         ///< probation probes admitted to the substrate
   kSanityFaults,         ///< counter readings flagged non-monotonic
+  kCollectorFrames,      ///< snapshot frames ingested by collectors
+  kCollectorDecodeErrors,  ///< frames rejected by the wire decoder
+  kCollectorReductions,  ///< cluster reductions computed by collectors
   kNumCounters
 };
 
@@ -83,6 +86,8 @@ constexpr std::array<const char*, kNumTelemetryCounters>
         "trace_records",    "trace_drops",
         "health_transitions", "health_fail_fasts",
         "health_probes",    "sanity_faults",
+        "collector_frames", "collector_decode_errors",
+        "collector_reductions",
 };
 
 constexpr const char* telemetry_counter_name(TelemetryCounter c) {

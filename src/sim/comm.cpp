@@ -12,7 +12,7 @@ namespace papirepro::sim {
 CommWorld::CommWorld(std::vector<Machine*> ranks)
     : ranks_(std::move(ranks)) {
   assert(!ranks_.empty());
-  stats_.resize(ranks_.size());
+  stats_ = std::make_unique<AtomicRankStats[]>(ranks_.size());
   chained_.resize(ranks_.size());
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
     chained_[r] = ranks_[r]->probe_handler();
@@ -43,8 +43,14 @@ void CommWorld::on_probe(std::size_t rank, std::int64_t id,
     for (std::uint64_t i = 0; i < count; ++i) {
       payload.push_back(machine.memory().read_i64(addr + 8 * i));
     }
-    stats_[rank].words_sent += payload.size();
-    ++stats_[rank].sends;
+    // Single-writer relaxed bumps (this rank's thread is the only
+    // writer of its entry); load+store avoids an RMW on the hot path.
+    AtomicRankStats& s = stats_[rank];
+    s.words_sent.store(
+        s.words_sent.load(std::memory_order_relaxed) + payload.size(),
+        std::memory_order_relaxed);
+    s.sends.store(s.sends.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
     {
       const std::lock_guard<std::mutex> lock(comm_mutex_);
       mailboxes_[{dest, rank}].push_back(std::move(payload));
@@ -70,7 +76,10 @@ void CommWorld::on_probe(std::size_t rank, std::int64_t id,
       const std::int64_t next_index =
           address_to_index(machine.pc_address());
       machine.set_pc_index(static_cast<std::int32_t>(next_index - 1));
-      ++stats_[rank].wait_retries;
+      AtomicRankStats& s = stats_[rank];
+      s.wait_retries.store(
+          s.wait_retries.load(std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
       return;
     }
     const auto addr =
@@ -80,9 +89,13 @@ void CommWorld::on_probe(std::size_t rank, std::int64_t id,
     for (std::uint64_t i = 0; i < payload.size() && i < cap; ++i) {
       machine.memory().write_i64(addr + 8 * i, payload[i]);
     }
-    stats_[rank].words_recv +=
-        std::min<std::uint64_t>(payload.size(), cap);
-    ++stats_[rank].recvs;
+    AtomicRankStats& s = stats_[rank];
+    s.words_recv.store(
+        s.words_recv.load(std::memory_order_relaxed) +
+            std::min<std::uint64_t>(payload.size(), cap),
+        std::memory_order_relaxed);
+    s.recvs.store(s.recvs.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
     return;
   }
   if (chained_[rank]) chained_[rank](id, machine);

@@ -18,11 +18,14 @@
 // communication phases.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/kernels.h"
@@ -38,6 +41,7 @@ class CommWorld {
   static constexpr int kAddrReg = 24;
   static constexpr int kCountReg = 25;
 
+  /// Point-in-time snapshot of one rank's communication counters.
   struct RankStats {
     std::uint64_t sends = 0;
     std::uint64_t recvs = 0;
@@ -56,8 +60,21 @@ class CommWorld {
   ~CommWorld();
 
   std::size_t num_ranks() const noexcept { return ranks_.size(); }
-  const RankStats& stats(std::size_t rank) const {
-    return stats_.at(rank);
+  /// Snapshot of `rank`'s counters, safe to call from any thread while
+  /// the ranks run (a live-polling collector's view).  Each counter is
+  /// internally a relaxed atomic written only by the owning rank's
+  /// thread, so the snapshot is race-free; counters in one snapshot may
+  /// straddle a probe (e.g. sends bumped, words_sent not yet), which a
+  /// monitor tolerates by construction.
+  RankStats stats(std::size_t rank) const {
+    const AtomicRankStats& s = *stats_at(rank);
+    RankStats out;
+    out.sends = s.sends.load(std::memory_order_relaxed);
+    out.recvs = s.recvs.load(std::memory_order_relaxed);
+    out.words_sent = s.words_sent.load(std::memory_order_relaxed);
+    out.words_recv = s.words_recv.load(std::memory_order_relaxed);
+    out.wait_retries = s.wait_retries.load(std::memory_order_relaxed);
+    return out;
   }
   Machine& rank_machine(std::size_t rank) const { return *ranks_.at(rank); }
 
@@ -82,10 +99,29 @@ class CommWorld {
       const std::function<void(std::size_t)>& thread_end = {});
 
  private:
+  /// Live counter storage.  Single-writer: each entry is bumped only by
+  /// its own rank's thread (probe handlers run on the executing rank),
+  /// so the writers use relaxed load+store — no RMW contention — while
+  /// cross-thread pollers read via `stats()` snapshots.  Held in a
+  /// unique_ptr array because atomics are not movable (vector resize
+  /// would not compile) and the rank count is fixed at construction.
+  struct AtomicRankStats {
+    std::atomic<std::uint64_t> sends{0};
+    std::atomic<std::uint64_t> recvs{0};
+    std::atomic<std::uint64_t> words_sent{0};
+    std::atomic<std::uint64_t> words_recv{0};
+    std::atomic<std::uint64_t> wait_retries{0};
+  };
+
   void on_probe(std::size_t rank, std::int64_t id, Machine& machine);
 
+  const AtomicRankStats* stats_at(std::size_t rank) const {
+    if (rank >= ranks_.size()) throw std::out_of_range("CommWorld::stats");
+    return &stats_[rank];
+  }
+
   std::vector<Machine*> ranks_;
-  std::vector<RankStats> stats_;  ///< each entry written by its rank only
+  std::unique_ptr<AtomicRankStats[]> stats_;
   std::vector<Machine::ProbeHandler> chained_;
   /// Guards the mailboxes (the only cross-rank state).
   std::mutex comm_mutex_;

@@ -168,6 +168,46 @@ TEST(BatchedRead, SnapshotAllCoversEveryLiveSetInHandleOrder) {
   EXPECT_TRUE(f.library->event_set(handles[0]).value()->stop().ok());
 }
 
+TEST(BatchedRead, PublicationCyclesStampAdvancesAndAges) {
+  SimFixture f(sim::make_saxpy(2'000), pmu::sim_x86(),
+               {.charge_costs = false});
+  // Advance the clock first so the stopped set's stop()-time stamp is
+  // distinguishable from "never ran".
+  f.machine->run(1'000);
+  std::vector<std::array<long long, 2>> finals;
+  const std::vector<int> handles = make_sets(f, 2, &finals);
+  EventSet* live = f.library->event_set(handles[0]).value();
+  EventSet* stopped = f.library->event_set(handles[1]).value();
+  ASSERT_TRUE(live->start().ok());
+  f.machine->run(2'000);
+
+  EventSet* sets[2] = {live, stopped};
+  std::vector<long long> values(4);
+  std::vector<SnapshotEntry> entries(2);
+  ASSERT_TRUE(f.library->read_many(sets, values, entries).ok());
+  // Both entries ran at some point, so both carry a nonzero stamp.
+  EXPECT_GT(entries[0].pub_cycles, 0u);
+  EXPECT_GT(entries[1].pub_cycles, 0u);
+  const std::uint64_t live_stamp = entries[0].pub_cycles;
+  const std::uint64_t stopped_stamp = entries[1].pub_cycles;
+
+  // More work, another batch: the live set's stamp advances with its
+  // reads; the stopped set's publication is frozen at its stop().
+  f.machine->run(2'000);
+  ASSERT_TRUE(f.library->read_many(sets, values, entries).ok());
+  EXPECT_GT(entries[0].pub_cycles, live_stamp);
+  EXPECT_EQ(entries[1].pub_cycles, stopped_stamp);
+
+  // A never-started set has no stamp to report.
+  EventSet& idle = f.new_set();
+  ASSERT_TRUE(idle.add_preset(Preset::kTotIns).ok());
+  EventSet* idle_sets[1] = {&idle};
+  ASSERT_TRUE(f.library->read_many(idle_sets, values, entries).ok());
+  EXPECT_EQ(entries[0].status, Error::kNotRunning);
+  EXPECT_EQ(entries[0].pub_cycles, 0u);
+  EXPECT_TRUE(live->stop().ok());
+}
+
 TEST(BatchedRead, CapacityPrechecksFailWithInvalid) {
   SimFixture f(sim::make_saxpy(500), pmu::sim_x86(),
                {.charge_costs = false});

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 
 #include "sim/program.h"
 
@@ -152,6 +154,53 @@ TEST(Comm, RingRankExpectedCounts) {
   const Workload w = make_ring_rank(0, 2, 5, 100, 4);
   EXPECT_EQ(*w.expected.fp_fma, 500u);
   EXPECT_EQ(*w.expected.flops, 1000u);
+}
+
+// CommStats* runs in the TSan CI job: a live-polling collector reads
+// rank counters while the ranks run on their own threads.
+TEST(CommStatsThreaded, PollingDuringRunThreadedIsRaceFree) {
+  constexpr std::size_t kRanks = 4;
+  constexpr std::int64_t kIters = 50;
+  std::vector<Workload> workloads;
+  std::vector<std::unique_ptr<Machine>> machines;
+  std::vector<Machine*> raw;
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    workloads.push_back(make_ring_rank(r, kRanks, kIters,
+                                       /*work=*/200, /*chunk_words=*/8));
+    machines.push_back(
+        std::make_unique<Machine>(workloads.back().program, MachineConfig{}));
+    raw.push_back(machines.back().get());
+  }
+  CommWorld world(raw);
+
+  std::atomic<bool> stop{false};
+  std::vector<CommWorld::RankStats> last(kRanks);
+  std::uint64_t polls = 0;
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (std::size_t r = 0; r < kRanks; ++r) {
+        const CommWorld::RankStats now = world.stats(r);
+        // Counters are monotone under the single-writer rule.
+        EXPECT_GE(now.sends, last[r].sends) << "rank " << r;
+        EXPECT_GE(now.recvs, last[r].recvs) << "rank " << r;
+        EXPECT_GE(now.words_sent, last[r].words_sent) << "rank " << r;
+        EXPECT_GE(now.wait_retries, last[r].wait_retries) << "rank " << r;
+        last[r] = now;
+      }
+      ++polls;
+    }
+  });
+  ASSERT_TRUE(world.run_threaded());
+  stop.store(true, std::memory_order_release);
+  poller.join();
+  EXPECT_GT(polls, 0u);
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    const CommWorld::RankStats fin = world.stats(r);
+    EXPECT_EQ(fin.sends, static_cast<std::uint64_t>(kIters)) << "rank " << r;
+    EXPECT_EQ(fin.recvs, static_cast<std::uint64_t>(kIters)) << "rank " << r;
+    EXPECT_EQ(fin.words_sent, static_cast<std::uint64_t>(kIters) * 8)
+        << "rank " << r;
+  }
 }
 
 }  // namespace
